@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks of the IR substrate: index construction and
+//! DPH top-k retrieval over a testbed-sized collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serpdiv_corpus::{Testbed, TestbedConfig};
+use serpdiv_index::SearchEngine;
+
+fn bench_index(c: &mut Criterion) {
+    let mut cfg = TestbedConfig::small();
+    cfg.num_topics = 10;
+    cfg.docs_per_subtopic = 20;
+    cfg.noise_docs = 500;
+    let testbed = Testbed::generate(cfg);
+
+    let mut group = c.benchmark_group("index");
+    group.sample_size(10);
+    group.bench_function("build", |b| {
+        b.iter(|| testbed.build_index());
+    });
+
+    let index = testbed.build_index();
+    let engine = SearchEngine::new(&index);
+    let queries: Vec<String> = testbed.topics.iter().map(|t| t.query.clone()).collect();
+    group.bench_function("search_top100", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            engine.search(q, 100)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

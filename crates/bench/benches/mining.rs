@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of the mining stack: session splitting,
+//! query-flow-graph construction and shortcuts training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serpdiv_corpus::{Testbed, TestbedConfig};
+use serpdiv_mining::{QueryFlowGraph, ShortcutsModel};
+use serpdiv_querylog::{split_sessions, LogConfig, QueryLogGenerator};
+
+fn bench_mining(c: &mut Criterion) {
+    let mut cfg = TestbedConfig::small();
+    cfg.num_topics = 10;
+    cfg.docs_per_subtopic = 5;
+    cfg.noise_docs = 50;
+    let testbed = Testbed::generate(cfg);
+    let gen = QueryLogGenerator::new(
+        LogConfig::aol_like(5_000),
+        &testbed.topics,
+        &testbed.background,
+    );
+    let (log, _) = gen.generate();
+
+    let mut group = c.benchmark_group("mining");
+    group.sample_size(10);
+    group.bench_function("split_sessions_5k", |b| {
+        b.iter(|| split_sessions(&log));
+    });
+    let sessions = split_sessions(&log);
+    group.bench_function("qfg_build_5k", |b| {
+        b.iter(|| QueryFlowGraph::build(&log, &sessions));
+    });
+    group.bench_function("shortcuts_train_5k", |b| {
+        b.iter(|| ShortcutsModel::train(&log, &sessions, 16));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the three selection algorithms —
+//! the statistical companion of Table 2's wall-clock grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serpdiv_bench::{SelectionWorkload, WorkloadConfig};
+use serpdiv_core::{Diversifier, IaSelect, OptSelect, XQuad};
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let workload = SelectionWorkload::generate(WorkloadConfig::table2(n), 1);
+        let input = &workload.queries[0];
+        for &k in &[10usize, 100] {
+            group.bench_with_input(
+                BenchmarkId::new("OptSelect", format!("n{n}_k{k}")),
+                &(input, k),
+                |b, (input, k)| {
+                    let algo = OptSelect::new();
+                    b.iter(|| algo.select(input, *k));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("xQuAD", format!("n{n}_k{k}")),
+                &(input, k),
+                |b, (input, k)| {
+                    let algo = XQuad::new();
+                    b.iter(|| algo.select(input, *k));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("IASelect", format!("n{n}_k{k}")),
+                &(input, k),
+                |b, (input, k)| {
+                    let algo = IaSelect::new();
+                    b.iter(|| algo.select(input, *k));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

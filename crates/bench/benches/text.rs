@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks of the text pipeline: Porter stemming and
+//! full analysis throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serpdiv_text::{porter_stem, Analyzer};
+
+const SAMPLE: &str = "Diversification of web search results is a hot research \
+topic nowadays because queries are often ambiguous and have more than one \
+possible interpretation; search engines should produce results covering all \
+the different interpretations of the query maximizing the probability of \
+satisfying the users expectations";
+
+fn bench_text(c: &mut Criterion) {
+    let mut group = c.benchmark_group("text");
+    group.bench_function("porter_stem", |b| {
+        let words: Vec<&str> = SAMPLE.split_whitespace().collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            let w = words[i % words.len()];
+            i += 1;
+            porter_stem(w)
+        });
+    });
+    group.bench_function("analyze_paragraph", |b| {
+        let analyzer = Analyzer::english();
+        b.iter(|| analyzer.analyze(SAMPLE));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_text);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Table 1 — "Time complexity of the three algorithms considered" —
+//! verified empirically: log–log scaling fits of selection time against
+//! `n = |Rq|` (all three should be ≈ linear) and against `k` (the greedy
+//! algorithms ≈ linear, OptSelect ≈ flat/logarithmic).
+
+use serpdiv_bench::{time_median_ms, SelectionWorkload, WorkloadConfig};
+use serpdiv_core::{Diversifier, IaSelect, OptSelect, XQuad};
+use serpdiv_eval::Table;
+
+/// Least-squares slope of `ln(y)` against `ln(x)`.
+fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.max(1e-9).ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+fn run_algo(name: &str, input: &serpdiv_core::DiversifyInput, k: usize) -> Vec<usize> {
+    match name {
+        "OptSelect" => OptSelect::new().select(input, k),
+        "xQuAD" => XQuad::new().select(input, k),
+        "IASelect" => IaSelect::new().select(input, k),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    println!("Table 1 reproduction — asymptotic complexity, verified by scaling fits\n");
+    println!("paper:  IASelect O(nk)   xQuAD O(nk)   OptSelect O(n log2 k)\n");
+
+    let algos = ["OptSelect", "xQuAD", "IASelect"];
+
+    // --- scaling in n (k fixed at 100) -----------------------------------
+    let ns = [2_000usize, 4_000, 8_000, 16_000, 32_000];
+    let k = 100;
+    let mut t = Table::new(&["algorithm", "slope vs n", "expected"]);
+    for name in algos {
+        let mut points = Vec::new();
+        for &n in &ns {
+            let w = SelectionWorkload::generate(WorkloadConfig::table2(n), 3);
+            let timed = time_median_ms(3, || {
+                w.queries.iter().map(|q| run_algo(name, q, k)).collect::<Vec<_>>()
+            });
+            points.push((n as f64, timed.median_ms));
+        }
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", loglog_slope(&points)),
+            "≈ 1 (linear)".to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- scaling in k (n fixed at 20 000) --------------------------------
+    let ks = [16usize, 64, 256, 1_024];
+    let n = 20_000;
+    let w = SelectionWorkload::generate(WorkloadConfig::table2(n), 3);
+    let mut t = Table::new(&["algorithm", "slope vs k", "expected"]);
+    for name in algos {
+        let mut points = Vec::new();
+        for &k in &ks {
+            let timed = time_median_ms(3, || {
+                w.queries.iter().map(|q| run_algo(name, q, k)).collect::<Vec<_>>()
+            });
+            points.push((k as f64, timed.median_ms));
+        }
+        let expected = if name == "OptSelect" {
+            "≈ 0 (log k)"
+        } else {
+            "≈ 1 (linear)"
+        };
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", loglog_slope(&points)),
+            expected.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}

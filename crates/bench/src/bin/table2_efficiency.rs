@@ -1,0 +1,80 @@
+//! Table 2 — "Execution time (in msec.) of OptSelect, xQuAD, and IASelect
+//! by varying both the size of the initial set of documents to diversify
+//! (|Rq|), and the size of the diversified result set (k = |S|)."
+//!
+//! Usage: `table2_efficiency [--full]`
+//!
+//! The paper averages over the 50 queries of the TREC 2009 Web Track's
+//! Diversity Task on an Intel Core 2 Quad. This harness generates the same
+//! workload shape (§4: |Sq| constant and small, utilities precomputed) and
+//! reports per-query selection time. `--full` uses 50 queries per cell as
+//! in the paper; the default uses 5 (the big greedy cells take seconds per
+//! query — the *ratios* are stable either way).
+
+use serpdiv_bench::{time_median_ms, SelectionWorkload, WorkloadConfig};
+use serpdiv_core::{Diversifier, IaSelect, OptSelect, XQuad};
+use serpdiv_eval::report::ms;
+use serpdiv_eval::Table;
+
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+const KS: [usize; 5] = [10, 50, 100, 500, 1_000];
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let queries_per_cell = if full { 50 } else { 5 };
+    println!("Table 2 reproduction — per-query selection time (ms), averaged over {queries_per_cell} queries");
+    println!("(paper: Intel Core 2 Quad, 50 TREC-2009 queries; shape, not absolute values, is the target)\n");
+
+    type Select = Box<dyn Fn(&serpdiv_core::DiversifyInput, usize) -> Vec<usize>>;
+    let algorithms: Vec<(&str, Select)> = vec![
+        ("OptSelect", Box::new(|i, k| OptSelect::new().select(i, k))),
+        ("xQuAD", Box::new(|i, k| XQuad::new().select(i, k))),
+        ("IASelect", Box::new(|i, k| IaSelect::new().select(i, k))),
+    ];
+
+    let mut header: Vec<String> = vec!["|Rq|".to_string()];
+    header.extend(KS.iter().map(|k| format!("k={k}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    for (name, run) in &algorithms {
+        println!("{name}");
+        let mut table = Table::new(&header_refs);
+        for &n in &SIZES {
+            let workload = SelectionWorkload::generate(WorkloadConfig::table2(n), queries_per_cell);
+            let mut cells = vec![format!("{n}")];
+            for &k in &KS {
+                // Average per-query time: time all queries back to back.
+                let timed = time_median_ms(3, || {
+                    workload
+                        .queries
+                        .iter()
+                        .map(|q| run(q, k))
+                        .collect::<Vec<_>>()
+                });
+                cells.push(ms(timed.median_ms / queries_per_cell as f64));
+            }
+            table.row(cells);
+        }
+        println!("{}", table.render());
+    }
+
+    // The headline claim: two orders of magnitude at the largest cell.
+    let n = 100_000;
+    let k = 1_000;
+    let workload = SelectionWorkload::generate(WorkloadConfig::table2(n), 3);
+    let t_opt = time_median_ms(3, || {
+        workload.queries.iter().map(|q| OptSelect::new().select(q, k)).collect::<Vec<_>>()
+    });
+    let t_xq = time_median_ms(1, || {
+        workload.queries.iter().map(|q| XQuad::new().select(q, k)).collect::<Vec<_>>()
+    });
+    let t_ia = time_median_ms(1, || {
+        workload.queries.iter().map(|q| IaSelect::new().select(q, k)).collect::<Vec<_>>()
+    });
+    println!(
+        "speedup at |Rq|=100k, k=1000:  xQuAD/OptSelect = {:.0}x, IASelect/OptSelect = {:.0}x",
+        t_xq.median_ms / t_opt.median_ms,
+        t_ia.median_ms / t_opt.median_ms
+    );
+    println!("(paper: 2849.83/13.92 = 205x, 4071.81/13.92 = 293x)");
+}

@@ -1,0 +1,25 @@
+//! Benchmark harness — regenerates every table and figure of the paper.
+//!
+//! Library side: the synthetic selection workload (Table 1/2) and the
+//! shared end-to-end laboratory (Table 3, Figure 1, recall, footprint).
+//! The binaries under `src/bin/` print the corresponding paper artifacts;
+//! criterion micro-benches live under `benches/`.
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `table1_complexity`   | Table 1 (empirical scaling fits) |
+//! | `table2_efficiency`   | Table 2 (selection time grid) |
+//! | `table3_effectiveness`| Table 3 (α-NDCG / IA-P sweep over c) |
+//! | `figure1_utility`     | Figure 1 (avg utility vs |Sq|, AOL & MSN) |
+//! | `recall_coverage`     | App. C recall (61% AOL / 65% MSN) |
+//! | `footprint`           | §4.1 memory budget |
+//! | `ablation_lambda`     | λ sweep (ours) |
+//! | `ablation_heap`       | heap vs full-sort OptSelect (ours) |
+
+pub mod lab;
+pub mod timing;
+pub mod workload;
+
+pub use lab::{Lab, LabConfig};
+pub use timing::{time_median_ms, Timed};
+pub use workload::{SelectionWorkload, WorkloadConfig};

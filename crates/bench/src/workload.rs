@@ -1,0 +1,150 @@
+//! Synthetic selection workloads for the efficiency experiments.
+//!
+//! §4 of the paper: "We consider diversification to be done on a set of
+//! |Rq| = n results returned by the baseline retrieval algorithm.
+//! Furthermore, we consider |Sq| ... to be a constant (indeed, it is
+//! usually a small value depending on q)." The efficiency measurements time
+//! the *selection* phase — the paper's cost model counts marginal-utility
+//! updates and heap operations, with the utilities `Ũ(d|R_q′)` as inputs —
+//! so the workload generates [`DiversifyInput`]s directly: per-candidate
+//! relevance, per-specialization probabilities, and a sparse utility
+//! pattern in which each document serves mainly one interpretation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serpdiv_core::{DiversifyInput, UtilityMatrix};
+
+/// Workload shape.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Candidates per query (`|Rq| = n`).
+    pub n: usize,
+    /// Minimum specializations per query.
+    pub min_specs: usize,
+    /// Maximum specializations per query (TREC topics: 3–8).
+    pub max_specs: usize,
+    /// Probability a candidate is also useful for a second specialization.
+    pub p_secondary: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The Table 2 shape for a given `n`.
+    pub fn table2(n: usize) -> Self {
+        WorkloadConfig {
+            n,
+            min_specs: 3,
+            max_specs: 8,
+            p_secondary: 0.15,
+            seed: 0x7AB2,
+        }
+    }
+}
+
+/// A sequence of per-query [`DiversifyInput`]s (the "50 queries of the
+/// TREC 2009 Web Track" of Table 2's caption).
+#[derive(Debug)]
+pub struct SelectionWorkload {
+    /// One input per query.
+    pub queries: Vec<DiversifyInput>,
+}
+
+impl SelectionWorkload {
+    /// Generate `num_queries` inputs with the given shape.
+    pub fn generate(cfg: WorkloadConfig, num_queries: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let queries = (0..num_queries)
+            .map(|_| Self::one_query(&cfg, &mut rng))
+            .collect();
+        SelectionWorkload { queries }
+    }
+
+    fn one_query(cfg: &WorkloadConfig, rng: &mut StdRng) -> DiversifyInput {
+        let m = rng.gen_range(cfg.min_specs..=cfg.max_specs);
+        // Zipf-ish specialization popularity, normalized.
+        let raw: Vec<f64> = (0..m).map(|j| 1.0 / (j + 1) as f64).collect();
+        let total: f64 = raw.iter().sum();
+        let probs: Vec<f64> = raw.iter().map(|p| p / total).collect();
+
+        let mut values = vec![0.0f64; cfg.n * m];
+        for i in 0..cfg.n {
+            // Primary specialization ∝ popularity.
+            let u: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut primary = m - 1;
+            for (j, &p) in probs.iter().enumerate() {
+                acc += p;
+                if u <= acc {
+                    primary = j;
+                    break;
+                }
+            }
+            values[i * m + primary] = rng.gen_range(0.2..1.0);
+            if m > 1 && rng.gen_bool(cfg.p_secondary) {
+                let mut second = rng.gen_range(0..m);
+                if second == primary {
+                    second = (second + 1) % m;
+                }
+                values[i * m + second] = rng.gen_range(0.05..0.5);
+            }
+        }
+        let relevance: Vec<f64> = (0..cfg.n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        DiversifyInput::new(probs, relevance, UtilityMatrix::from_values(cfg.n, m, values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let w = SelectionWorkload::generate(WorkloadConfig::table2(500), 10);
+        assert_eq!(w.queries.len(), 10);
+        for q in &w.queries {
+            assert_eq!(q.num_candidates(), 500);
+            assert!((3..=8).contains(&q.num_specializations()));
+            let p: f64 = q.spec_probs.iter().sum();
+            assert!((p - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SelectionWorkload::generate(WorkloadConfig::table2(100), 3);
+        let b = SelectionWorkload::generate(WorkloadConfig::table2(100), 3);
+        assert_eq!(a.queries[0].relevance, b.queries[0].relevance);
+        assert_eq!(a.queries[2].spec_probs, b.queries[2].spec_probs);
+    }
+
+    #[test]
+    fn utilities_are_sparse() {
+        let w = SelectionWorkload::generate(WorkloadConfig::table2(1000), 2);
+        for q in &w.queries {
+            let m = q.num_specializations();
+            let nonzero: usize = (0..q.num_candidates())
+                .map(|i| q.utilities.row(i).iter().filter(|&&v| v > 0.0).count())
+                .sum();
+            // ≈ 1.15 nonzeros per candidate, far fewer than n·m.
+            assert!(nonzero < q.num_candidates() * 2);
+            assert!(nonzero >= q.num_candidates());
+            let _ = m;
+        }
+    }
+
+    #[test]
+    fn algorithms_run_on_workload() {
+        use serpdiv_core::{Diversifier, IaSelect, OptSelect, XQuad};
+        let w = SelectionWorkload::generate(WorkloadConfig::table2(200), 2);
+        for q in &w.queries {
+            for sel in [
+                OptSelect::new().select(q, 20),
+                IaSelect::new().select(q, 20),
+                XQuad::new().select(q, 20),
+            ] {
+                assert_eq!(sel.len(), 20);
+            }
+        }
+    }
+}

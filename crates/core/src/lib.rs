@@ -1,0 +1,57 @@
+//! Diversification framework — the paper's primary contribution.
+//!
+//! Implements the three algorithms compared in *Capannini et al., VLDB
+//! 2011*, plus the classic MMR baseline, behind one [`Diversifier`] trait:
+//!
+//! * [`OptSelect`] — the paper's algorithm (Algorithm 2) solving the
+//!   **MaxUtility Diversify(k)** problem in `O(n·|Sq|·log k)`,
+//! * [`IaSelect`] — the greedy `(1−1/e)`-approximation of Agrawal et al.'s
+//!   **QL Diversify(k)** (Eq. 4), `O(n·k·|Sq|)`,
+//! * [`XQuad`] — Santos et al.'s greedy **xQuAD Diversify(k)** (Eq. 5–6),
+//!   `O(n·k·|Sq|)`,
+//! * [`Mmr`] — Carbonell & Goldstein's Maximal Marginal Relevance (the
+//!   pioneering diversifier the related-work section starts from).
+//!
+//! Shared substrate:
+//!
+//! * [`utility`] — the paper's **results' utility** (Definition 2) with
+//!   harmonic-number normalization and the threshold `c` of §5,
+//! * [`candidates`] — the [`DiversifyInput`] bundle (`P(q′|q)`, `P(d|q)`,
+//!   the `Ũ(d|R_q′)` matrix, optional surrogate vectors),
+//! * [`heap`] — the bounded top-`m` heaps of Algorithm 2,
+//! * [`framework`] — the end-to-end pipeline: specialization model →
+//!   retrieval → snippets → utilities → selection, plus the §4.1
+//!   precomputed store and its memory accounting.
+
+pub mod candidates;
+pub mod framework;
+pub mod heap;
+pub mod iaselect;
+pub mod mmr;
+pub mod optselect;
+pub mod utility;
+pub mod xquad;
+
+pub use candidates::DiversifyInput;
+pub use framework::{
+    run_algorithm, AlgorithmKind, DiversificationPipeline, DiversifiedRanking, PipelineParams,
+    SpecializationStore,
+};
+pub use heap::BoundedHeap;
+pub use iaselect::IaSelect;
+pub use mmr::Mmr;
+pub use optselect::OptSelect;
+pub use utility::{harmonic, UtilityMatrix, UtilityParams};
+pub use xquad::XQuad;
+
+/// A diversification algorithm: given the per-candidate relevance and
+/// per-specialization utilities, choose and order `k` of the `n`
+/// candidates.
+pub trait Diversifier {
+    /// Human-readable algorithm name (used by the bench tables).
+    fn name(&self) -> &'static str;
+
+    /// Select up to `k` candidate indices (into `input`'s candidate axis),
+    /// in final ranking order. Must return `min(k, n)` distinct indices.
+    fn select(&self, input: &DiversifyInput, k: usize) -> Vec<usize>;
+}

@@ -1,0 +1,124 @@
+//! Zipf-distributed sampling.
+//!
+//! Query popularity and web-text term frequency are famously Zipfian; the
+//! corpus and query-log generators both sample from this distribution. The
+//! implementation precomputes the CDF over ranks `1..=n` and samples by
+//! binary search — `O(n)` setup, `O(log n)` per sample, exact.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = r) ∝ 1 / (r + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `s` is not finite and ≥ 0.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Make the final entry exactly 1 so sampling can never fall off.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is a single rank (degenerate distribution).
+    pub fn is_empty(&self) -> bool {
+        false // constructor guarantees n > 0
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - lo
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_most_likely() {
+        let z = Zipf::new(50, 1.2);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_follow_ranks() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 20];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Head rank must dominate the tail rank decisively.
+        assert!(counts[0] > counts[19] * 3);
+        // Every rank should be reachable.
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.pmf(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the synthetic-corpus substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serpdiv_corpus::{Testbed, TestbedConfig, Zipf};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Zipf pmf sums to 1 and is monotone non-increasing over ranks.
+    #[test]
+    fn zipf_pmf_is_a_monotone_distribution(n in 1usize..200, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..n {
+            prop_assert!(z.pmf(r - 1) >= z.pmf(r) - 1e-12);
+        }
+    }
+
+    /// Zipf samples always land in range.
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..50, s in 0.0f64..2.5, seed in 0u64..1000) {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Testbed invariants hold for arbitrary small shapes: topic weights
+    /// normalized, qrels consistent with document counts, determinism.
+    #[test]
+    fn testbed_invariants(
+        num_topics in 1usize..5,
+        min_subs in 1usize..4,
+        extra_subs in 0usize..3,
+        docs in 1usize..8,
+        distractors in 0usize..10,
+        seed in 0u64..100,
+    ) {
+        let cfg = TestbedConfig {
+            num_topics,
+            min_subtopics: min_subs,
+            max_subtopics: min_subs + extra_subs,
+            docs_per_subtopic: docs,
+            proportional_docs: false,
+            distractors_per_topic: distractors,
+            noise_docs: 5,
+            background_vocab: 300,
+            terms_per_subtopic: 5,
+            subtopic_popularity_exponent: 1.0,
+            docgen: serpdiv_corpus::DocGenConfig {
+                min_len: 10,
+                max_len: 30,
+                ..Default::default()
+            },
+            seed,
+        };
+        let tb = Testbed::generate(cfg.clone());
+        prop_assert_eq!(tb.topics.len(), num_topics);
+        for t in &tb.topics {
+            prop_assert!(t.validate().is_ok());
+            for s in &t.subtopics {
+                prop_assert_eq!(tb.qrels.relevant_docs(t.id, s.id).len(), docs);
+            }
+        }
+        // Total documents = relevant + distractors + noise.
+        let relevant: usize = tb.topics.iter().map(|t| t.num_subtopics() * docs).sum();
+        prop_assert_eq!(
+            tb.num_docs(),
+            relevant + num_topics * distractors + 5
+        );
+        // Deterministic regeneration.
+        let tb2 = Testbed::generate(cfg);
+        prop_assert_eq!(tb.num_docs(), tb2.num_docs());
+        prop_assert_eq!(&tb.topics[0].query, &tb2.topics[0].query);
+    }
+
+    /// Every topic's subtopic queries are distinct and extend the
+    /// ambiguous query (true refinements).
+    #[test]
+    fn subtopic_queries_are_refinements(seed in 0u64..50) {
+        let mut cfg = TestbedConfig::small();
+        cfg.num_topics = 3;
+        cfg.docs_per_subtopic = 2;
+        cfg.noise_docs = 0;
+        cfg.seed = seed;
+        let tb = Testbed::generate(cfg);
+        for t in &tb.topics {
+            let mut queries: Vec<&str> = t.subtopics.iter().map(|s| s.query.as_str()).collect();
+            queries.sort_unstable();
+            queries.dedup();
+            prop_assert_eq!(queries.len(), t.num_subtopics());
+            for s in &t.subtopics {
+                prop_assert!(s.query.starts_with(&t.query), "{} !< {}", t.query, s.query);
+                prop_assert!(s.query.len() > t.query.len());
+            }
+        }
+    }
+}

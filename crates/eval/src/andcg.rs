@@ -1,0 +1,194 @@
+//! α-NDCG — novelty-and-diversity NDCG (Clarke et al., SIGIR 2008).
+//!
+//! The gain of the document at rank `r` (1-based) is
+//!
+//! ```text
+//! G[r] = Σ_i J(d_r, i) · (1 − α)^{c_i(r−1)}
+//! ```
+//!
+//! where `J(d,i)` is the binary subtopic judgement and `c_i(r−1)` counts
+//! earlier documents relevant to subtopic `i` — repeated coverage of the
+//! same subtopic decays geometrically by `1 − α`. Gains are discounted by
+//! `log₂(1 + r)` and normalized by the *ideal* DCG, computed greedily (the
+//! true ideal is NP-hard; the greedy ideal is the standard used by TREC's
+//! `ndeval`). At `α = 0` the metric degenerates to classic NDCG with
+//! binary any-subtopic gains (§5 of the paper).
+
+use serpdiv_corpus::{Qrels, TopicId};
+use serpdiv_index::DocId;
+
+/// α-DCG@k of `ranking` for `topic`.
+pub fn alpha_dcg_at(ranking: &[DocId], qrels: &Qrels, topic: TopicId, alpha: f64, k: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "α must lie in [0,1]");
+    let m = qrels.num_subtopics(topic);
+    let mut seen = vec![0u32; m];
+    let mut dcg = 0.0;
+    for (idx, &doc) in ranking.iter().take(k).enumerate() {
+        let rank = idx + 1;
+        let mut gain = 0.0;
+        for (i, count) in seen.iter_mut().enumerate() {
+            if qrels.is_relevant(topic, i, doc) {
+                gain += (1.0 - alpha).powi(*count as i32);
+                *count += 1;
+            }
+        }
+        dcg += gain / (1.0 + rank as f64).log2();
+    }
+    dcg
+}
+
+/// Greedy ideal α-DCG@k: repeatedly append the judged document with the
+/// largest marginal gain.
+pub fn ideal_alpha_dcg_at(qrels: &Qrels, topic: TopicId, alpha: f64, k: usize) -> f64 {
+    let m = qrels.num_subtopics(topic);
+    // Pool: every document judged relevant to at least one subtopic.
+    let mut pool: Vec<DocId> = Vec::new();
+    for i in 0..m {
+        for d in qrels.relevant_docs(topic, i) {
+            if !pool.contains(&d) {
+                pool.push(d);
+            }
+        }
+    }
+    pool.sort_unstable();
+
+    let mut seen = vec![0u32; m];
+    let mut used = vec![false; pool.len()];
+    let mut dcg = 0.0;
+    for rank in 1..=k.min(pool.len()) {
+        // Pick the unused document with the largest marginal gain.
+        let mut best: Option<(f64, usize)> = None;
+        for (pi, &doc) in pool.iter().enumerate() {
+            if used[pi] {
+                continue;
+            }
+            let gain: f64 = (0..m)
+                .filter(|&i| qrels.is_relevant(topic, i, doc))
+                .map(|i| (1.0 - alpha).powi(seen[i] as i32))
+                .sum();
+            let better = match best {
+                None => true,
+                Some((bg, _)) => gain > bg,
+            };
+            if better {
+                best = Some((gain, pi));
+            }
+        }
+        let Some((gain, pi)) = best else { break };
+        if gain <= 0.0 {
+            break;
+        }
+        used[pi] = true;
+        for (i, count) in seen.iter_mut().enumerate() {
+            if qrels.is_relevant(topic, i, pool[pi]) {
+                *count += 1;
+            }
+        }
+        dcg += gain / (1.0 + rank as f64).log2();
+    }
+    dcg
+}
+
+/// α-NDCG@k = α-DCG@k / ideal-α-DCG@k (0 when the topic has no relevant
+/// documents).
+pub fn alpha_ndcg_at(
+    ranking: &[DocId],
+    qrels: &Qrels,
+    topic: TopicId,
+    alpha: f64,
+    k: usize,
+) -> f64 {
+    let ideal = ideal_alpha_dcg_at(qrels, topic, alpha, k);
+    if ideal <= 0.0 {
+        return 0.0;
+    }
+    (alpha_dcg_at(ranking, qrels, topic, alpha, k) / ideal).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Topic 0 with 2 subtopics: docs 0,1 → sub0; docs 2,3 → sub1.
+    fn qrels() -> Qrels {
+        let mut q = Qrels::new();
+        q.declare_topic(0, 2);
+        q.add(0, 0, DocId(0));
+        q.add(0, 0, DocId(1));
+        q.add(0, 1, DocId(2));
+        q.add(0, 1, DocId(3));
+        q
+    }
+
+    #[test]
+    fn diverse_ranking_beats_redundant_ranking() {
+        let q = qrels();
+        let diverse = vec![DocId(0), DocId(2), DocId(1), DocId(3)];
+        let redundant = vec![DocId(0), DocId(1), DocId(2), DocId(3)];
+        let nd = alpha_ndcg_at(&diverse, &q, 0, 0.5, 4);
+        let nr = alpha_ndcg_at(&redundant, &q, 0, 0.5, 4);
+        assert!(nd > nr, "diverse {nd} must beat redundant {nr}");
+    }
+
+    #[test]
+    fn ideal_ranking_scores_one() {
+        let q = qrels();
+        // The greedy ideal alternates subtopics.
+        let ideal = vec![DocId(0), DocId(2), DocId(1), DocId(3)];
+        let score = alpha_ndcg_at(&ideal, &q, 0, 0.5, 4);
+        assert!((score - 1.0).abs() < 1e-9, "got {score}");
+    }
+
+    #[test]
+    fn alpha_zero_ignores_redundancy() {
+        let q = qrels();
+        let diverse = vec![DocId(0), DocId(2)];
+        let redundant = vec![DocId(0), DocId(1)];
+        let nd = alpha_ndcg_at(&diverse, &q, 0, 0.0, 2);
+        let nr = alpha_ndcg_at(&redundant, &q, 0, 0.0, 2);
+        assert!((nd - nr).abs() < 1e-12, "α=0 is diversity-blind");
+    }
+
+    #[test]
+    fn irrelevant_ranking_scores_zero() {
+        let q = qrels();
+        let bad = vec![DocId(7), DocId(8)];
+        assert_eq!(alpha_ndcg_at(&bad, &q, 0, 0.5, 2), 0.0);
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        let q = qrels();
+        for ranking in [
+            vec![DocId(0), DocId(1), DocId(2), DocId(3)],
+            vec![DocId(3), DocId(3), DocId(0)], // duplicates in ranking
+            vec![],
+        ] {
+            let s = alpha_ndcg_at(&ranking, &q, 0, 0.5, 5);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn repeated_subtopic_gain_decays() {
+        let q = qrels();
+        // Second doc of the same subtopic at rank 2 gains (1-α) = 0.5.
+        let dcg = alpha_dcg_at(&[DocId(0), DocId(1)], &q, 0, 0.5, 2);
+        let expected = 1.0 / 2.0f64.log2() + 0.5 / 3.0f64.log2();
+        assert!((dcg - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_topic_scores_zero() {
+        let q = qrels();
+        assert_eq!(alpha_ndcg_at(&[DocId(0)], &q, 9, 0.5, 5), 0.0);
+    }
+
+    #[test]
+    fn cutoff_truncates() {
+        let q = qrels();
+        let ranking = vec![DocId(9), DocId(0)]; // relevant doc at rank 2
+        assert_eq!(alpha_ndcg_at(&ranking, &q, 0, 0.5, 1), 0.0);
+        assert!(alpha_ndcg_at(&ranking, &q, 0, 0.5, 2) > 0.0);
+    }
+}

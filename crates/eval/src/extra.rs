@@ -1,0 +1,202 @@
+//! Additional retrieval/diversity metrics.
+//!
+//! The paper's §2 notes that Agrawal et al. "generalize some classical IR
+//! metrics, including NDCG, MRR, and MAP, to explicitly account for the
+//! value of diversification"; Zhai et al.'s subtopic-retrieval work
+//! introduced subtopic recall. This module supplies those companions to
+//! the two official metrics:
+//!
+//! * [`subtopic_recall_at`] — S-recall@k: fraction of a topic's subtopics
+//!   covered by the top-k (Zhai, Cohen & Lafferty, SIGIR 2003),
+//! * [`precision_at`] / [`average_precision`] — classical P@k and AP with
+//!   any-subtopic binary relevance,
+//! * [`ia_average_precision`] — intent-aware MAP (MAP-IA) with uniform
+//!   intent weights,
+//! * [`mrr`] / [`ia_mrr`] — (intent-aware) mean reciprocal rank.
+
+use serpdiv_corpus::{Qrels, TopicId};
+use serpdiv_index::DocId;
+
+/// S-recall@k: `|∪_{d ∈ top-k} subtopics(d)| / #subtopics`.
+pub fn subtopic_recall_at(ranking: &[DocId], qrels: &Qrels, topic: TopicId, k: usize) -> f64 {
+    let m = qrels.num_subtopics(topic);
+    if m == 0 {
+        return 0.0;
+    }
+    let mut covered = vec![false; m];
+    for &doc in ranking.iter().take(k) {
+        for s in qrels.subtopics_of(topic, doc) {
+            covered[s] = true;
+        }
+    }
+    covered.iter().filter(|&&c| c).count() as f64 / m as f64
+}
+
+/// Classical precision@k with any-subtopic binary relevance.
+pub fn precision_at(ranking: &[DocId], qrels: &Qrels, topic: TopicId, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranking
+        .iter()
+        .take(k)
+        .filter(|&&d| qrels.is_relevant_any(topic, d))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Classical average precision (any-subtopic relevance), normalized by
+/// the number of relevant documents of the topic.
+pub fn average_precision(ranking: &[DocId], qrels: &Qrels, topic: TopicId) -> f64 {
+    let m = qrels.num_subtopics(topic);
+    let mut relevant: Vec<DocId> = Vec::new();
+    for i in 0..m {
+        for d in qrels.relevant_docs(topic, i) {
+            if !relevant.contains(&d) {
+                relevant.push(d);
+            }
+        }
+    }
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (idx, &doc) in ranking.iter().enumerate() {
+        if qrels.is_relevant_any(topic, doc) {
+            hits += 1;
+            sum += hits as f64 / (idx + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Intent-aware MAP with uniform intent weights: the mean over subtopics
+/// of the per-subtopic average precision.
+pub fn ia_average_precision(ranking: &[DocId], qrels: &Qrels, topic: TopicId) -> f64 {
+    let m = qrels.num_subtopics(topic);
+    if m == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..m {
+        let relevant = qrels.relevant_docs(topic, i);
+        if relevant.is_empty() {
+            continue;
+        }
+        let mut hits = 0usize;
+        let mut sum = 0.0;
+        for (idx, &doc) in ranking.iter().enumerate() {
+            if qrels.is_relevant(topic, i, doc) {
+                hits += 1;
+                sum += hits as f64 / (idx + 1) as f64;
+            }
+        }
+        total += sum / relevant.len() as f64;
+    }
+    total / m as f64
+}
+
+/// Reciprocal rank of the first any-subtopic-relevant document.
+pub fn mrr(ranking: &[DocId], qrels: &Qrels, topic: TopicId) -> f64 {
+    ranking
+        .iter()
+        .position(|&d| qrels.is_relevant_any(topic, d))
+        .map(|idx| 1.0 / (idx + 1) as f64)
+        .unwrap_or(0.0)
+}
+
+/// Intent-aware MRR: mean over subtopics of the reciprocal rank of the
+/// first document relevant to that subtopic.
+pub fn ia_mrr(ranking: &[DocId], qrels: &Qrels, topic: TopicId) -> f64 {
+    let m = qrels.num_subtopics(topic);
+    if m == 0 {
+        return 0.0;
+    }
+    (0..m)
+        .map(|i| {
+            ranking
+                .iter()
+                .position(|&d| qrels.is_relevant(topic, i, d))
+                .map(|idx| 1.0 / (idx + 1) as f64)
+                .unwrap_or(0.0)
+        })
+        .sum::<f64>()
+        / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 subtopics: docs 0,1 → s0; doc 2 → s1; doc 3 → s2.
+    fn qrels() -> Qrels {
+        let mut q = Qrels::new();
+        q.declare_topic(0, 3);
+        q.add(0, 0, DocId(0));
+        q.add(0, 0, DocId(1));
+        q.add(0, 1, DocId(2));
+        q.add(0, 2, DocId(3));
+        q
+    }
+
+    #[test]
+    fn s_recall_counts_distinct_subtopics() {
+        let q = qrels();
+        let r = vec![DocId(0), DocId(1), DocId(2)];
+        assert!((subtopic_recall_at(&r, &q, 0, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((subtopic_recall_at(&r, &q, 0, 3) - 2.0 / 3.0).abs() < 1e-12);
+        let diverse = vec![DocId(0), DocId(2), DocId(3)];
+        assert!((subtopic_recall_at(&diverse, &q, 0, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_counts_relevant_prefix() {
+        let q = qrels();
+        let r = vec![DocId(0), DocId(9), DocId(2), DocId(8)];
+        assert!((precision_at(&r, &q, 0, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(precision_at(&r, &q, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_worst() {
+        let q = qrels();
+        let perfect = vec![DocId(0), DocId(1), DocId(2), DocId(3)];
+        assert!((average_precision(&perfect, &q, 0) - 1.0).abs() < 1e-12);
+        let nothing = vec![DocId(7), DocId(8)];
+        assert_eq!(average_precision(&nothing, &q, 0), 0.0);
+    }
+
+    #[test]
+    fn ia_map_rewards_early_coverage_of_all_intents() {
+        let q = qrels();
+        // Covering the two singleton intents first beats spending the
+        // first two ranks on the doubly-judged subtopic 0.
+        let diverse = vec![DocId(2), DocId(3), DocId(0)];
+        let redundant = vec![DocId(0), DocId(1), DocId(2)];
+        let d = ia_average_precision(&diverse, &q, 0);
+        let r = ia_average_precision(&redundant, &q, 0);
+        assert!(d > r, "diverse {d} vs redundant {r}");
+        assert!((d - (1.0 / 6.0 + 1.0 + 0.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_variants() {
+        let q = qrels();
+        let r = vec![DocId(9), DocId(2), DocId(3)];
+        assert!((mrr(&r, &q, 0) - 0.5).abs() < 1e-12);
+        // ia_mrr: s0 never found (0), s1 at rank 2 (0.5), s2 at rank 3.
+        let expected = (0.0 + 0.5 + 1.0 / 3.0) / 3.0;
+        assert!((ia_mrr(&r, &q, 0) - expected).abs() < 1e-12);
+        assert_eq!(mrr(&[], &q, 0), 0.0);
+    }
+
+    #[test]
+    fn unknown_topic_scores_zero() {
+        let q = qrels();
+        let r = vec![DocId(0)];
+        assert_eq!(subtopic_recall_at(&r, &q, 7, 5), 0.0);
+        assert_eq!(ia_average_precision(&r, &q, 7), 0.0);
+        assert_eq!(ia_mrr(&r, &q, 7), 0.0);
+    }
+}

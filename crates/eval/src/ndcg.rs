@@ -1,0 +1,81 @@
+//! Classic NDCG (Järvelin & Kekäläinen, TOIS 2002) with binary
+//! any-subtopic gains — the α = 0 limit of α-NDCG (§5: "when α = 0, only
+//! relevance is rewarded, and this metric is equivalent to the traditional
+//! NDCG").
+
+use serpdiv_corpus::{Qrels, TopicId};
+use serpdiv_index::DocId;
+
+/// NDCG@k with binary gains ("relevant to any subtopic").
+pub fn ndcg_at(ranking: &[DocId], qrels: &Qrels, topic: TopicId, k: usize) -> f64 {
+    let dcg: f64 = ranking
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|&(_, &d)| qrels.is_relevant_any(topic, d))
+        .map(|(idx, _)| 1.0 / (2.0 + idx as f64).log2())
+        .sum();
+    // Ideal: count all relevant documents of the topic.
+    let m = qrels.num_subtopics(topic);
+    let mut relevant: Vec<DocId> = Vec::new();
+    for i in 0..m {
+        for d in qrels.relevant_docs(topic, i) {
+            if !relevant.contains(&d) {
+                relevant.push(d);
+            }
+        }
+    }
+    let ideal: f64 = (0..relevant.len().min(k))
+        .map(|idx| 1.0 / (2.0 + idx as f64).log2())
+        .sum();
+    if ideal <= 0.0 {
+        0.0
+    } else {
+        (dcg / ideal).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qrels() -> Qrels {
+        let mut q = Qrels::new();
+        q.declare_topic(0, 2);
+        q.add(0, 0, DocId(0));
+        q.add(0, 1, DocId(1));
+        q
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let q = qrels();
+        assert!((ndcg_at(&[DocId(0), DocId(1)], &q, 0, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn later_relevance_scores_lower() {
+        let q = qrels();
+        let early = ndcg_at(&[DocId(0), DocId(9)], &q, 0, 2);
+        let late = ndcg_at(&[DocId(9), DocId(0)], &q, 0, 2);
+        assert!(early > late && late > 0.0);
+    }
+
+    #[test]
+    fn no_relevant_scores_zero() {
+        let q = qrels();
+        assert_eq!(ndcg_at(&[DocId(5)], &q, 0, 5), 0.0);
+        assert_eq!(ndcg_at(&[], &q, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn agrees_with_alpha_ndcg_at_alpha_zero_on_disjoint_subtopics() {
+        // With one doc per subtopic (no redundancy possible) α=0-NDCG and
+        // classic NDCG coincide.
+        let q = qrels();
+        let ranking = vec![DocId(1), DocId(5), DocId(0)];
+        let a = crate::andcg::alpha_ndcg_at(&ranking, &q, 0, 0.0, 3);
+        let c = ndcg_at(&ranking, &q, 0, 3);
+        assert!((a - c).abs() < 1e-9, "α-NDCG {a} vs NDCG {c}");
+    }
+}

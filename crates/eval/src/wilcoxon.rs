@@ -1,0 +1,203 @@
+//! Wilcoxon signed-rank test (paired, two-sided).
+//!
+//! §5: "none of these differences can be classified as statistically
+//! significant according to the Wilcoxon signed-rank test at 0.05 level of
+//! significance" — the Table 3 harness reruns this check.
+//!
+//! Implementation: zero differences are dropped (the standard Wilcoxon
+//! convention), absolute differences are ranked with midranks for ties,
+//! and the two-sided p-value uses the normal approximation with tie
+//! correction and continuity correction — accurate for n ≳ 10 and the
+//! standard approach in IR evaluation (50 topics).
+
+/// Outcome of the test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences.
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences.
+    pub w_minus: f64,
+    /// Number of nonzero paired differences actually tested.
+    pub n: usize,
+    /// Two-sided p-value (1.0 when n == 0: no evidence either way).
+    pub p_value: f64,
+}
+
+impl WilcoxonResult {
+    /// Is the difference significant at `level` (e.g. 0.05)?
+    pub fn significant_at(&self, level: f64) -> bool {
+        self.p_value < level
+    }
+}
+
+/// Run the test on paired samples `a` and `b` (testing `a − b`).
+///
+/// # Panics
+/// Panics when the samples have different lengths.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    // Nonzero differences.
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| d.abs() > 1e-15)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return WilcoxonResult {
+            w_plus: 0.0,
+            w_minus: 0.0,
+            n: 0,
+            p_value: 1.0,
+        };
+    }
+    // Rank |d| ascending with midranks for ties.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by(|&i, &j| diffs[i].abs().total_cmp(&diffs[j].abs()));
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n
+            && (diffs[order[j + 1]].abs() - diffs[order[i]].abs()).abs() < 1e-15
+        {
+            j += 1;
+        }
+        // Tied block [i..=j] shares the midrank.
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = midrank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t * t * t - t;
+        i = j + 1;
+    }
+
+    let mut w_plus = 0.0;
+    let mut w_minus = 0.0;
+    for (d, r) in diffs.iter().zip(&ranks) {
+        if *d > 0.0 {
+            w_plus += r;
+        } else {
+            w_minus += r;
+        }
+    }
+
+    // Normal approximation with tie and continuity corrections.
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    let w = w_plus.min(w_minus);
+    let p_value = if var <= 0.0 {
+        1.0
+    } else {
+        let z = (w - mean + 0.5) / var.sqrt();
+        // Two-sided: 2·Φ(z) with z ≤ 0 by construction of w = min(...).
+        (2.0 * phi(z)).clamp(0.0, 1.0)
+    };
+    WilcoxonResult {
+        w_plus,
+        w_minus,
+        n,
+        p_value,
+    }
+}
+
+/// Standard normal CDF via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 polynomial, |ε| < 1.5e-7).
+fn phi(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = vec![0.2, 0.3, 0.4, 0.5];
+        let r = wilcoxon_signed_rank(&a, &a);
+        assert_eq!(r.n, 0);
+        assert_eq!(r.p_value, 1.0);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn clearly_shifted_samples_are_significant() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| i as f64 + 5.0).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert_eq!(r.n, 30);
+        assert_eq!(r.w_plus, 0.0);
+        assert!(r.significant_at(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn symmetric_noise_is_not_significant() {
+        // Alternating ±δ differences cancel out.
+        let a: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..40)
+            .map(|i| i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(!r.significant_at(0.05), "p = {}", r.p_value);
+        assert!((r.w_plus + r.w_minus - (40.0 * 41.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_sums_are_complementary() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = vec![0.5, 2.5, 2.0, 4.5, 4.0, 7.0];
+        let r = wilcoxon_signed_rank(&a, &b);
+        let total = r.n as f64 * (r.n as f64 + 1.0) / 2.0;
+        assert!((r.w_plus + r.w_minus - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_value_in_unit_interval() {
+        let a = vec![0.1, 0.9, 0.3, 0.7, 0.5];
+        let b = vec![0.2, 0.8, 0.4, 0.6, 0.5];
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+    }
+
+    #[test]
+    fn known_value_sanity() {
+        // n=10 with all differences positive: W- = 0, classic critical
+        // region ⇒ p ≈ 0.002 (exact two-sided 2/1024 ≈ 0.00195).
+        let a: Vec<f64> = (1..=10).map(|i| i as f64 + 1.0).collect();
+        let b: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(r.p_value < 0.02, "p = {}", r.p_value);
+        assert!(r.p_value > 0.0005);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    }
+}

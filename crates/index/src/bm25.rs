@@ -1,0 +1,117 @@
+//! Okapi BM25 — an alternative ranking model.
+//!
+//! The paper uses DPH; BM25 is provided as the standard comparison point for
+//! ablations (the framework is model-agnostic: any [`RankingModel`] yields a
+//! baseline ranking the diversifiers re-rank).
+
+use crate::index::{CollectionStats, TermStats};
+use crate::search::RankingModel;
+
+/// Okapi BM25 with the usual `k1`/`b` parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25 {
+    /// Term-frequency saturation (default 1.2).
+    pub k1: f64,
+    /// Length normalization (default 0.75).
+    pub b: f64,
+}
+
+impl Default for Bm25 {
+    fn default() -> Self {
+        Bm25 { k1: 1.2, b: 0.75 }
+    }
+}
+
+impl Bm25 {
+    /// BM25 with the conventional defaults `k1 = 1.2`, `b = 0.75`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RankingModel for Bm25 {
+    fn score(&self, tf: u32, doc_len: u32, term: TermStats, coll: CollectionStats) -> f64 {
+        if tf == 0 || term.doc_freq == 0 || coll.num_docs == 0 {
+            return 0.0;
+        }
+        let n = coll.num_docs as f64;
+        let df = term.doc_freq as f64;
+        // Robertson-Spärck Jones idf with the +0.5 smoothing; never negative
+        // thanks to the +1 inside the log.
+        let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+        let tf = f64::from(tf);
+        let dl = f64::from(doc_len);
+        let avg = if coll.avg_doc_len > 0.0 {
+            coll.avg_doc_len
+        } else {
+            1.0
+        };
+        let denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avg);
+        idf * tf * (self.k1 + 1.0) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::RankingModel;
+
+    fn coll() -> CollectionStats {
+        CollectionStats {
+            num_docs: 1_000,
+            num_tokens: 100_000,
+            avg_doc_len: 100.0,
+        }
+    }
+
+    #[test]
+    fn idf_orders_rare_above_common() {
+        let rare = TermStats {
+            doc_freq: 2,
+            coll_freq: 2,
+        };
+        let common = TermStats {
+            doc_freq: 900,
+            coll_freq: 5_000,
+        };
+        let m = Bm25::new();
+        assert!(m.score(2, 100, rare, coll()) > m.score(2, 100, common, coll()));
+    }
+
+    #[test]
+    fn tf_saturates() {
+        let ts = TermStats {
+            doc_freq: 10,
+            coll_freq: 30,
+        };
+        let m = Bm25::new();
+        let s1 = m.score(1, 100, ts, coll());
+        let s2 = m.score(2, 100, ts, coll());
+        let s20 = m.score(20, 100, ts, coll());
+        let s40 = m.score(40, 100, ts, coll());
+        assert!(s2 - s1 > s40 - s20, "marginal gain must shrink");
+    }
+
+    #[test]
+    fn score_is_nonnegative() {
+        let ts = TermStats {
+            doc_freq: 999,
+            coll_freq: 99_999,
+        };
+        assert!(Bm25::new().score(5, 10, ts, coll()) >= 0.0);
+    }
+
+    #[test]
+    fn zero_cases() {
+        let ts = TermStats {
+            doc_freq: 0,
+            coll_freq: 0,
+        };
+        assert_eq!(Bm25::new().score(3, 100, ts, coll()), 0.0);
+        let ts2 = TermStats {
+            doc_freq: 5,
+            coll_freq: 9,
+        };
+        assert_eq!(Bm25::new().score(0, 100, ts2, coll()), 0.0);
+    }
+}

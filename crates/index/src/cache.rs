@@ -1,0 +1,134 @@
+//! A result cache in front of the search engine.
+//!
+//! §6 of the paper points at "a search architecture performing the
+//! diversification task in parallel with the document scoring phase"; in
+//! any such architecture the specialization result lists `R_q′` are served
+//! from a cache (they are few, popular, and change slowly — §4.1). This
+//! wrapper memoizes `(query, k)` → results behind a [`parking_lot::Mutex`]
+//! so concurrent diversification workers share retrieval work.
+
+use crate::search::{ScoredDoc, SearchEngine};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A memoizing wrapper around [`SearchEngine`]. Cheap to share by
+/// reference across threads.
+pub struct CachingEngine<'a> {
+    engine: &'a SearchEngine<'a>,
+    cache: Mutex<HashMap<(String, usize), Vec<ScoredDoc>>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl<'a> CachingEngine<'a> {
+    /// Wrap `engine` with an empty cache.
+    pub fn new(engine: &'a SearchEngine<'a>) -> Self {
+        CachingEngine {
+            engine,
+            cache: Mutex::new(HashMap::new()),
+            hits: Mutex::new(0),
+            misses: Mutex::new(0),
+        }
+    }
+
+    /// Top-`k` search, served from the cache when possible.
+    pub fn search(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
+        let key = (query.to_string(), k);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            *self.hits.lock() += 1;
+            return hit.clone();
+        }
+        let results = self.engine.search(query, k);
+        *self.misses.lock() += 1;
+        self.cache.lock().insert(key, results.clone());
+        results
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    /// Number of cached `(query, k)` entries.
+    pub fn len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.lock().is_empty()
+    }
+
+    /// Drop every cached entry.
+    pub fn clear(&self) {
+        self.cache.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::document::Document;
+
+    fn engine_fixture() -> crate::index::InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new(0, "u0", "", "apple banana"));
+        b.add(Document::new(1, "u1", "", "apple cherry"));
+        b.build()
+    }
+
+    #[test]
+    fn cache_returns_identical_results() {
+        let idx = engine_fixture();
+        let engine = SearchEngine::new(&idx);
+        let cached = CachingEngine::new(&engine);
+        let a = cached.search("apple", 10);
+        let b = cached.search("apple", 10);
+        assert_eq!(a, b);
+        assert_eq!(cached.stats(), (1, 1));
+        assert_eq!(cached.len(), 1);
+    }
+
+    #[test]
+    fn different_k_is_a_different_entry() {
+        let idx = engine_fixture();
+        let engine = SearchEngine::new(&idx);
+        let cached = CachingEngine::new(&engine);
+        cached.search("apple", 1);
+        cached.search("apple", 2);
+        assert_eq!(cached.len(), 2);
+        assert_eq!(cached.stats(), (0, 2));
+    }
+
+    #[test]
+    fn clear_resets_entries() {
+        let idx = engine_fixture();
+        let engine = SearchEngine::new(&idx);
+        let cached = CachingEngine::new(&engine);
+        cached.search("apple", 5);
+        assert!(!cached.is_empty());
+        cached.clear();
+        assert!(cached.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let idx = engine_fixture();
+        let engine = SearchEngine::new(&idx);
+        let cached = CachingEngine::new(&engine);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let r = cached.search("apple banana", 10);
+                        assert!(!r.is_empty());
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cached.stats();
+        assert_eq!(hits + misses, 200);
+        assert!(misses >= 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! The immutable inverted index and its collection statistics.
+//!
+//! Built by [`IndexBuilder`](crate::builder::IndexBuilder); queried by the
+//! ranking models ([`Dph`](crate::dph::Dph), [`Bm25`](crate::bm25::Bm25))
+//! through [`CollectionStats`] / [`TermStats`] and by the
+//! [`SearchEngine`](crate::search::SearchEngine) through the postings.
+
+use crate::document::{DocId, DocumentStore};
+use crate::postings::PostingsList;
+use serpdiv_text::{Analyzer, TermId, Vocabulary};
+
+/// Global statistics of the indexed collection, needed by DFR/BM25 models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionStats {
+    /// Number of documents in the collection.
+    pub num_docs: u64,
+    /// Total number of (post-analysis) token occurrences.
+    pub num_tokens: u64,
+    /// Average document length in tokens.
+    pub avg_doc_len: f64,
+}
+
+/// Per-term statistics, needed by the ranking models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TermStats {
+    /// Document frequency: number of documents containing the term.
+    pub doc_freq: u64,
+    /// Collection frequency: total occurrences across the collection.
+    pub coll_freq: u64,
+}
+
+/// Immutable inverted index over a [`DocumentStore`].
+#[derive(Debug)]
+pub struct InvertedIndex {
+    pub(crate) vocab: Vocabulary,
+    pub(crate) postings: Vec<PostingsList>,
+    pub(crate) term_stats: Vec<TermStats>,
+    pub(crate) doc_lens: Vec<u32>,
+    pub(crate) max_tfs: Vec<u32>,
+    pub(crate) min_doc_len: u32,
+    pub(crate) store: DocumentStore,
+    pub(crate) analyzer: Analyzer,
+    pub(crate) stats: CollectionStats,
+}
+
+impl InvertedIndex {
+    /// Collection-wide statistics.
+    pub fn stats(&self) -> CollectionStats {
+        self.stats
+    }
+
+    /// The analyzer the index was built with (use it for queries too).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// The term dictionary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The underlying document store.
+    pub fn store(&self) -> &DocumentStore {
+        &self.store
+    }
+
+    /// Statistics of `term`, if it occurs in the collection.
+    pub fn term_stats(&self, term: TermId) -> Option<TermStats> {
+        self.term_stats.get(term.index()).copied()
+    }
+
+    /// The compressed postings of `term`.
+    pub fn postings(&self, term: TermId) -> Option<&PostingsList> {
+        self.postings.get(term.index())
+    }
+
+    /// Length (in analyzed tokens) of document `doc`.
+    pub fn doc_len(&self, doc: DocId) -> Option<u32> {
+        self.doc_lens.get(doc.index()).copied()
+    }
+
+    /// Analyze raw query text into term ids known to this index.
+    pub fn analyze_query(&self, query: &str) -> Vec<TermId> {
+        self.analyzer.analyze_known(query, &self.vocab)
+    }
+
+    /// Largest term frequency of `term` in any single document (0 for
+    /// unknown terms) — the MaxScore upper-bound ingredient.
+    pub fn max_tf(&self, term: TermId) -> u32 {
+        self.max_tfs.get(term.index()).copied().unwrap_or(0)
+    }
+
+    /// Length of the shortest *non-empty* document (0 when the collection
+    /// is empty or all-empty).
+    pub fn min_doc_len(&self) -> u32 {
+        self.min_doc_len
+    }
+
+    /// Total compressed size of all postings, in bytes.
+    pub fn postings_byte_size(&self) -> usize {
+        self.postings.iter().map(|p| p.byte_size()).sum()
+    }
+
+    /// Number of distinct terms.
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::IndexBuilder;
+    use crate::document::Document;
+
+    fn tiny_index() -> super::InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new(0, "u0", "apple", "apple apple banana"));
+        b.add(Document::new(1, "u1", "banana", "banana cherry"));
+        b.add(Document::new(2, "u2", "", "cherry cherry cherry"));
+        b.build()
+    }
+
+    #[test]
+    fn collection_stats() {
+        let idx = tiny_index();
+        let s = idx.stats();
+        assert_eq!(s.num_docs, 3);
+        // doc0: apple apple apple banana (title+body) = 4 tokens,
+        // doc1: banana banana cherry = 3, doc2: cherry x3 = 3.
+        assert_eq!(s.num_tokens, 10);
+        assert!((s.avg_doc_len - 10.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn term_stats_and_postings() {
+        let idx = tiny_index();
+        let apple = idx.vocab().id("appl").expect("stemmed apple");
+        let ts = idx.term_stats(apple).unwrap();
+        assert_eq!(ts.doc_freq, 1);
+        assert_eq!(ts.coll_freq, 3);
+        let postings: Vec<_> = idx.postings(apple).unwrap().iter().collect();
+        assert_eq!(postings.len(), 1);
+        assert_eq!(postings[0].tf, 3);
+    }
+
+    #[test]
+    fn doc_lengths() {
+        let idx = tiny_index();
+        assert_eq!(idx.doc_len(crate::DocId(0)), Some(4));
+        assert_eq!(idx.doc_len(crate::DocId(2)), Some(3));
+        assert_eq!(idx.doc_len(crate::DocId(9)), None);
+    }
+
+    #[test]
+    fn analyze_query_drops_unknown_terms() {
+        let idx = tiny_index();
+        assert_eq!(idx.analyze_query("apple zeppelin").len(), 1);
+        assert!(idx.analyze_query("zeppelin").is_empty());
+    }
+}

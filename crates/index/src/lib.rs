@@ -1,0 +1,58 @@
+//! IR-engine substrate for the `serpdiv` workspace.
+//!
+//! The paper indexes ClueWeb-B with "an ad-hoc modified version of the
+//! Terrier IR platform" (§5): Porter stemming + stopword removal (provided by
+//! [`serpdiv_text`]), the parameter-free **DPH Divergence-From-Randomness**
+//! weighting model for retrieval, and short document summaries (snippets)
+//! used as document surrogates by the diversification utility function.
+//!
+//! This crate rebuilds that stack from scratch:
+//!
+//! * [`document`] — documents, dense [`DocId`]s and the document store,
+//! * [`postings`] — delta+varint compressed postings lists,
+//! * [`builder`] — the index builder,
+//! * [`index`] — the immutable inverted index and collection statistics,
+//! * [`dph`] / [`bm25`] — ranking models,
+//! * [`search`] — top-`k` query evaluation,
+//! * [`snippet`] — query-biased snippet extraction (document surrogates),
+//! * [`vector`] — sparse TF-IDF vectors and the cosine similarity that
+//!   powers the paper's distance `δ(d₁,d₂) = 1 − cosine(d₁,d₂)` (Eq. 2).
+//!
+//! # Example
+//!
+//! ```
+//! use serpdiv_index::{Document, IndexBuilder, SearchEngine};
+//!
+//! let mut builder = IndexBuilder::new();
+//! builder.add(Document::new(0, "http://a", "apple iphone", "apple announces new iphone model"));
+//! builder.add(Document::new(1, "http://b", "apple pie", "apple pie recipe with fresh apples"));
+//! let index = builder.build();
+//! let engine = SearchEngine::new(&index);
+//! let hits = engine.search("apple iphone", 10);
+//! assert_eq!(hits[0].doc.0, 0);
+//! ```
+
+pub mod bm25;
+pub mod builder;
+pub mod cache;
+pub mod document;
+pub mod dph;
+pub mod index;
+pub mod maxscore;
+pub mod positions;
+pub mod postings;
+pub mod search;
+pub mod serialize;
+pub mod snippet;
+pub mod vector;
+
+pub use builder::IndexBuilder;
+pub use cache::CachingEngine;
+pub use document::{DocId, Document, DocumentStore};
+pub use dph::Dph;
+pub use index::{CollectionStats, InvertedIndex, TermStats};
+pub use maxscore::MaxScoreEngine;
+pub use positions::{phrase_search, PositionalIndex};
+pub use search::{RankingModel, ScoredDoc, SearchEngine};
+pub use snippet::SnippetGenerator;
+pub use vector::{cosine, SparseVector};

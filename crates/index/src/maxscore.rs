@@ -1,0 +1,277 @@
+//! Doc-at-a-time evaluation with MaxScore dynamic pruning.
+//!
+//! [`SearchEngine`](crate::search::SearchEngine) evaluates term-at-a-time:
+//! simple, but it materializes an accumulator per matching document. This
+//! module provides the production alternative used by large-scale engines
+//! (Turtle & Flood's **MaxScore**): postings cursors advance document-at-
+//! a-time, query terms are split into *essential* and *non-essential*
+//! lists by their score upper bounds, and documents that cannot enter the
+//! current top-k are skipped without scoring.
+//!
+//! Pruning is only sound for models with *non-negative* per-term scores
+//! (skipping a term must never increase a document's score): BM25
+//! qualifies; DPH does not (its DFR term can go negative), so
+//! [`MaxScoreEngine::new`] takes the model explicitly and the equivalence
+//! tests run against BM25.
+//!
+//! Per-term upper bounds come from index metadata: the largest term
+//! frequency in any posting ([`InvertedIndex::max_tf`]) combined with the
+//! shortest document in the collection gives a conservative bound on the
+//! per-term contribution.
+
+use crate::document::DocId;
+use crate::index::InvertedIndex;
+use crate::postings::{Posting, PostingsIter};
+use crate::search::{top_k, RankingModel, ScoredDoc};
+use serpdiv_text::TermId;
+
+/// A postings cursor with the term's score upper bound.
+struct Cursor<'a> {
+    iter: PostingsIter<'a>,
+    current: Option<Posting>,
+    term: TermId,
+    upper_bound: f64,
+}
+
+impl Cursor<'_> {
+    fn advance(&mut self) {
+        self.current = self.iter.next();
+    }
+
+    /// Advance to the first posting with doc ≥ `target`.
+    fn seek(&mut self, target: DocId) {
+        while let Some(p) = self.current {
+            if p.doc >= target {
+                break;
+            }
+            self.advance();
+        }
+    }
+}
+
+/// Doc-at-a-time evaluator with MaxScore pruning.
+pub struct MaxScoreEngine<'a, M: RankingModel> {
+    index: &'a InvertedIndex,
+    model: M,
+}
+
+impl<'a, M: RankingModel> MaxScoreEngine<'a, M> {
+    /// Engine over `index` with a *non-negative* ranking model.
+    pub fn new(index: &'a InvertedIndex, model: M) -> Self {
+        MaxScoreEngine { index, model }
+    }
+
+    /// Top-`k` retrieval for a raw query string.
+    pub fn search(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
+        let terms = self.index.analyze_query(query);
+        self.search_terms(&terms, k)
+    }
+
+    /// Top-`k` retrieval for analyzed terms (duplicates are dropped: the
+    /// MaxScore partition works on distinct lists; multiplicity weighting
+    /// is applied per distinct term as in the TAAT engine).
+    pub fn search_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
+        if terms.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let coll = self.index.stats();
+        let min_dl = self.index.min_doc_len().max(1);
+
+        // Distinct terms with multiplicities.
+        let mut distinct: Vec<(TermId, u32)> = Vec::new();
+        for &t in terms {
+            match distinct.iter_mut().find(|(d, _)| *d == t) {
+                Some((_, w)) => *w += 1,
+                None => distinct.push((t, 1)),
+            }
+        }
+
+        // Cursors with upper bounds, sorted ascending by bound (MaxScore's
+        // canonical order: non-essential prefix, essential suffix).
+        let mut cursors: Vec<(Cursor<'_>, u32)> = Vec::new();
+        for (term, weight) in distinct {
+            let (Some(postings), Some(stats)) =
+                (self.index.postings(term), self.index.term_stats(term))
+            else {
+                continue;
+            };
+            if postings.is_empty() {
+                continue;
+            }
+            let max_tf = self.index.max_tf(term);
+            let ub = self.model.score(max_tf, min_dl, stats, coll).max(0.0)
+                * f64::from(weight);
+            let mut iter = postings.iter();
+            let current = iter.next();
+            cursors.push((
+                Cursor {
+                    iter,
+                    current,
+                    term,
+                    upper_bound: ub,
+                },
+                weight,
+            ));
+        }
+        if cursors.is_empty() {
+            return Vec::new();
+        }
+        cursors.sort_by(|a, b| a.0.upper_bound.total_cmp(&b.0.upper_bound));
+
+        // Prefix sums of upper bounds: bound_prefix[i] = Σ ub of cursors
+        // 0..i (the non-essential part when the split is at i).
+        let mut results: Vec<ScoredDoc> = Vec::new();
+        let mut threshold = f64::NEG_INFINITY; // score of the weakest kept
+        let mut heap_scores: Vec<f64> = Vec::new(); // scores of kept docs
+
+        loop {
+            let bound_prefix: Vec<f64> = {
+                let mut acc = 0.0;
+                let mut v = Vec::with_capacity(cursors.len() + 1);
+                v.push(0.0);
+                for (c, _) in &cursors {
+                    acc += c.upper_bound;
+                    v.push(acc);
+                }
+                v
+            };
+            // First essential list: smallest split point where the
+            // non-essential bound alone cannot beat the threshold.
+            let mut first_essential = 0usize;
+            if heap_scores.len() >= k {
+                while first_essential < cursors.len()
+                    && bound_prefix[first_essential + 1] <= threshold
+                {
+                    first_essential += 1;
+                }
+            }
+            if first_essential >= cursors.len() {
+                break; // no essential list can improve the top-k
+            }
+
+            // Next candidate: smallest current doc among essential lists.
+            let mut pivot: Option<DocId> = None;
+            for (c, _) in &cursors[first_essential..] {
+                if let Some(p) = c.current {
+                    pivot = Some(match pivot {
+                        None => p.doc,
+                        Some(d) => d.min(p.doc),
+                    });
+                }
+            }
+            let Some(doc) = pivot else { break };
+
+            // Score `doc`: essential lists at doc contribute exactly;
+            // check whether probing non-essential lists can still matter.
+            let mut score = 0.0;
+            for (c, weight) in cursors[first_essential..].iter_mut() {
+                if let Some(p) = c.current {
+                    if p.doc == doc {
+                        let dl = self.index.doc_len(doc).unwrap_or(0);
+                        let ts = self.index.term_stats(c.term).unwrap();
+                        score += self.model.score(p.tf, dl, ts, coll) * f64::from(*weight);
+                        c.advance();
+                    }
+                }
+            }
+            // Upper bound with all non-essential terms added.
+            if heap_scores.len() < k || score + bound_prefix[first_essential] > threshold {
+                for (c, weight) in cursors[..first_essential].iter_mut() {
+                    c.seek(doc);
+                    if let Some(p) = c.current {
+                        if p.doc == doc {
+                            let dl = self.index.doc_len(doc).unwrap_or(0);
+                            let ts = self.index.term_stats(c.term).unwrap();
+                            score += self.model.score(p.tf, dl, ts, coll) * f64::from(*weight);
+                        }
+                    }
+                }
+                results.push(ScoredDoc { doc, score });
+                heap_scores.push(score);
+                heap_scores.sort_by(f64::total_cmp);
+                if heap_scores.len() > k {
+                    heap_scores.remove(0);
+                }
+                if heap_scores.len() >= k {
+                    threshold = heap_scores[0];
+                }
+            }
+        }
+        top_k(results.into_iter(), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bm25::Bm25;
+    use crate::builder::IndexBuilder;
+    use crate::document::Document;
+    use crate::search::SearchEngine;
+
+    fn index_from(bodies: &[&str]) -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        for (i, body) in bodies.iter().enumerate() {
+            b.add(Document::new(i as u32, format!("u{i}"), "", body.to_string()));
+        }
+        b.build()
+    }
+
+    fn equivalent(idx: &InvertedIndex, query: &str, k: usize) {
+        let taat = SearchEngine::with_model(idx, Bm25::new()).search(query, k);
+        let daat = MaxScoreEngine::new(idx, Bm25::new()).search(query, k);
+        assert_eq!(taat.len(), daat.len(), "query {query}");
+        for (a, b) in taat.iter().zip(&daat) {
+            assert_eq!(a.doc, b.doc, "query {query}");
+            assert!((a.score - b.score).abs() < 1e-9, "query {query}");
+        }
+    }
+
+    #[test]
+    fn matches_taat_on_small_corpus() {
+        let idx = index_from(&[
+            "apple banana cherry",
+            "apple apple banana",
+            "cherry cherry cherry apple",
+            "banana",
+            "durian elderberry fig",
+        ]);
+        for q in ["apple", "apple banana", "cherry banana apple", "durian fig"] {
+            for k in [1, 2, 3, 10] {
+                equivalent(&idx, q, k);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_query_terms_weighted() {
+        let idx = index_from(&["apple banana", "apple apple", "banana banana"]);
+        equivalent(&idx, "apple apple banana", 3);
+    }
+
+    #[test]
+    fn empty_and_unknown_queries() {
+        let idx = index_from(&["apple"]);
+        let engine = MaxScoreEngine::new(&idx, Bm25::new());
+        assert!(engine.search("", 5).is_empty());
+        assert!(engine.search("zebra", 5).is_empty());
+        assert!(engine.search("apple", 0).is_empty());
+    }
+
+    #[test]
+    fn pruning_preserves_topk_on_skewed_collection() {
+        // One rare high-scoring term + one very common low-scoring term:
+        // the common list is non-essential once the heap fills.
+        let mut bodies: Vec<String> = (0..300)
+            .map(|i| format!("common filler{} common", i % 7))
+            .collect();
+        bodies[42] = "rare common".to_string();
+        bodies[77] = "rare rare common".to_string();
+        let refs: Vec<&str> = bodies.iter().map(String::as_str).collect();
+        let idx = index_from(&refs);
+        equivalent(&idx, "rare common", 5);
+        let daat = MaxScoreEngine::new(&idx, Bm25::new()).search("rare common", 2);
+        assert_eq!(daat[0].doc, DocId(77));
+        assert_eq!(daat[1].doc, DocId(42));
+    }
+}

@@ -1,0 +1,204 @@
+//! Positional index and phrase matching.
+//!
+//! Specializations are multi-word reformulations ("leopard mac os x");
+//! treating them as *phrases* rather than bags of words is the standard
+//! precision upgrade for the specialization retrievals `R_q′`. This module
+//! adds term positions on top of the frequency index:
+//!
+//! * [`PositionalIndex`] — per-(term, document) position lists over the
+//!   *analyzed* token stream (positions count post-stopword, post-stemming
+//!   tokens; a phrase therefore matches across removed stopwords, e.g.
+//!   "university of pisa" matches the phrase "university pisa"),
+//! * [`PositionalIndex::phrase_docs`] — documents containing the exact
+//!   consecutive term sequence, by sorted position-list intersection,
+//! * [`phrase_search`] — DPH-ranked retrieval restricted to phrase
+//!   matches.
+
+use crate::document::DocId;
+use crate::index::InvertedIndex;
+use crate::search::{ScoredDoc, SearchEngine};
+use serpdiv_text::TermId;
+
+/// Per-term, per-document token positions.
+#[derive(Debug, Default)]
+pub struct PositionalIndex {
+    /// `positions[term][i] = (doc, sorted positions)`, docs ascending.
+    positions: Vec<Vec<(DocId, Vec<u32>)>>,
+}
+
+impl PositionalIndex {
+    /// Build the positional data by re-analyzing the documents of `index`
+    /// (the frequency index stores no positions; this pays the analysis
+    /// cost once, offline).
+    pub fn build(index: &InvertedIndex) -> Self {
+        let mut positions: Vec<Vec<(DocId, Vec<u32>)>> = vec![Vec::new(); index.num_terms()];
+        for doc in index.store().iter() {
+            let terms = index
+                .analyzer()
+                .analyze_known(&doc.full_text(), index.vocab());
+            for (pos, term) in terms.iter().enumerate() {
+                let list = &mut positions[term.index()];
+                match list.last_mut() {
+                    Some((d, ps)) if *d == doc.id => ps.push(pos as u32),
+                    _ => list.push((doc.id, vec![pos as u32])),
+                }
+            }
+        }
+        PositionalIndex { positions }
+    }
+
+    /// The `(doc, positions)` list of `term`.
+    pub fn term_positions(&self, term: TermId) -> &[(DocId, Vec<u32>)] {
+        self.positions
+            .get(term.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Documents containing `terms` as a consecutive phrase, ascending.
+    /// An empty phrase matches nothing; a single term degenerates to
+    /// containment.
+    pub fn phrase_docs(&self, terms: &[TermId]) -> Vec<DocId> {
+        let Some((first, rest)) = terms.split_first() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        'docs: for (doc, first_positions) in self.term_positions(*first) {
+            // Candidate start positions; narrow through each next term.
+            let mut starts: Vec<u32> = first_positions.clone();
+            for (offset, term) in rest.iter().enumerate() {
+                let needed_offset = (offset + 1) as u32;
+                let Some(positions) = self
+                    .term_positions(*term)
+                    .iter()
+                    .find(|(d, _)| d == doc)
+                    .map(|(_, ps)| ps)
+                else {
+                    continue 'docs;
+                };
+                starts.retain(|&s| positions.binary_search(&(s + needed_offset)).is_ok());
+                if starts.is_empty() {
+                    continue 'docs;
+                }
+            }
+            out.push(*doc);
+        }
+        out
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.positions
+            .iter()
+            .flatten()
+            .map(|(_, ps)| std::mem::size_of::<(DocId, Vec<u32>)>() + ps.len() * 4)
+            .sum()
+    }
+}
+
+/// Top-`k` DPH retrieval restricted to documents containing `phrase` as a
+/// consecutive analyzed-term sequence.
+pub fn phrase_search(
+    engine: &SearchEngine<'_>,
+    positional: &PositionalIndex,
+    phrase: &str,
+    k: usize,
+) -> Vec<ScoredDoc> {
+    let terms = engine.index().analyze_query(phrase);
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    let allowed = positional.phrase_docs(&terms);
+    engine
+        .search_terms(&terms, engine.index().stats().num_docs as usize)
+        .into_iter()
+        .filter(|h| allowed.binary_search(&h.doc).is_ok())
+        .take(k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::document::Document;
+
+    fn fixture() -> (InvertedIndex, PositionalIndex) {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new(0, "u0", "", "apple pie recipe with cinnamon"));
+        b.add(Document::new(1, "u1", "", "pie apple is not a phrase match"));
+        b.add(Document::new(2, "u2", "", "the apple pie and another apple pie"));
+        b.add(Document::new(3, "u3", "", "apple sauce and pecan pie"));
+        let idx = b.build();
+        let pos = PositionalIndex::build(&idx);
+        (idx, pos)
+    }
+
+    #[test]
+    fn phrase_requires_adjacency_in_order() {
+        let (idx, pos) = fixture();
+        let terms = idx.analyze_query("apple pie");
+        let docs = pos.phrase_docs(&terms);
+        assert_eq!(docs, vec![DocId(0), DocId(2)]);
+    }
+
+    #[test]
+    fn single_term_phrase_is_containment() {
+        let (idx, pos) = fixture();
+        let terms = idx.analyze_query("apple");
+        assert_eq!(
+            pos.phrase_docs(&terms),
+            vec![DocId(0), DocId(1), DocId(2), DocId(3)]
+        );
+    }
+
+    #[test]
+    fn empty_and_unknown_phrases() {
+        let (idx, pos) = fixture();
+        assert!(pos.phrase_docs(&[]).is_empty());
+        assert!(pos.phrase_docs(&idx.analyze_query("zeppelin ride")).is_empty());
+    }
+
+    #[test]
+    fn stopwords_are_transparent() {
+        // "apple pie and another" — the stopwords vanish at analysis, so
+        // the phrase "pie another" matches doc 2 ("...pie and another...").
+        let (idx, pos) = fixture();
+        let terms = idx.analyze_query("pie and another");
+        assert_eq!(pos.phrase_docs(&terms), vec![DocId(2)]);
+    }
+
+    #[test]
+    fn repeated_phrase_counts_once() {
+        let (idx, pos) = fixture();
+        let terms = idx.analyze_query("apple pie");
+        let docs = pos.phrase_docs(&terms);
+        assert_eq!(docs.iter().filter(|&&d| d == DocId(2)).count(), 1);
+    }
+
+    #[test]
+    fn phrase_search_ranks_with_dph() {
+        let (idx, pos) = fixture();
+        let engine = SearchEngine::new(&idx);
+        let hits = phrase_search(&engine, &pos, "apple pie", 10);
+        let docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
+        assert!(docs.contains(&DocId(0)) && docs.contains(&DocId(2)));
+        assert!(!docs.contains(&DocId(1)), "bag-of-words match must be excluded");
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn three_term_phrase() {
+        let (idx, pos) = fixture();
+        let terms = idx.analyze_query("apple pie recipe");
+        assert_eq!(pos.phrase_docs(&terms), vec![DocId(0)]);
+    }
+
+    #[test]
+    fn footprint_positive() {
+        let (_idx, pos) = fixture();
+        assert!(pos.byte_size() > 0);
+    }
+}

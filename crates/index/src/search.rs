@@ -1,0 +1,261 @@
+//! Top-`k` query evaluation.
+//!
+//! Term-at-a-time evaluation: each query term's postings are decoded once and
+//! scores accumulated per document, then the top `k` accumulators are
+//! selected with a bounded binary heap — `O(matches · log k)` selection, the
+//! same discipline OptSelect later applies to diversification.
+
+use crate::document::DocId;
+use crate::index::{CollectionStats, InvertedIndex, TermStats};
+use serpdiv_text::TermId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// A retrieval scoring function (DPH, BM25, …).
+pub trait RankingModel {
+    /// Score the contribution of one query term occurring `tf` times in a
+    /// document of length `doc_len`.
+    fn score(&self, tf: u32, doc_len: u32, term: TermStats, coll: CollectionStats) -> f64;
+}
+
+/// One ranked result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredDoc {
+    /// The document.
+    pub doc: DocId,
+    /// Its retrieval score (higher is better).
+    pub score: f64,
+}
+
+/// Min-heap entry ordered by `(score, doc)` so the heap root is the weakest
+/// kept result; doc id breaks ties deterministically.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    score: f64,
+    doc: DocId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on score; ties broken by *larger* doc id
+        // first so smaller ids survive eviction (stable, deterministic).
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.doc.cmp(&other.doc))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Query evaluator over an [`InvertedIndex`] with a pluggable model.
+pub struct SearchEngine<'a> {
+    index: &'a InvertedIndex,
+    model: Box<dyn RankingModel + Send + Sync + 'a>,
+}
+
+impl<'a> SearchEngine<'a> {
+    /// Engine with the paper's DPH model.
+    pub fn new(index: &'a InvertedIndex) -> Self {
+        Self::with_model(index, crate::dph::Dph::new())
+    }
+
+    /// Engine with a custom ranking model.
+    pub fn with_model(index: &'a InvertedIndex, model: impl RankingModel + Send + Sync + 'a) -> Self {
+        SearchEngine {
+            index,
+            model: Box::new(model),
+        }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &'a InvertedIndex {
+        self.index
+    }
+
+    /// Retrieve the top `k` documents for a raw query string.
+    pub fn search(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
+        let terms = self.index.analyze_query(query);
+        self.search_terms(&terms, k)
+    }
+
+    /// Retrieve the top `k` documents for pre-analyzed query terms.
+    ///
+    /// Duplicate query terms contribute multiplicatively (bag-of-words), as
+    /// in Terrier: the per-term score is weighted by the query-term count.
+    pub fn search_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
+        if terms.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let coll = self.index.stats();
+        // Query-term multiplicity.
+        let mut qtf: HashMap<TermId, u32> = HashMap::with_capacity(terms.len());
+        for &t in terms {
+            *qtf.entry(t).or_insert(0) += 1;
+        }
+        // Term-at-a-time accumulation.
+        let mut acc: HashMap<DocId, f64> = HashMap::new();
+        for (&term, &weight) in &qtf {
+            let (Some(postings), Some(ts)) =
+                (self.index.postings(term), self.index.term_stats(term))
+            else {
+                continue;
+            };
+            for posting in postings.iter() {
+                let dl = self.index.doc_len(posting.doc).unwrap_or(0);
+                let s = self.model.score(posting.tf, dl, ts, coll) * f64::from(weight);
+                *acc.entry(posting.doc).or_insert(0.0) += s;
+            }
+        }
+        top_k(acc.into_iter().map(|(doc, score)| ScoredDoc { doc, score }), k)
+    }
+}
+
+/// Select the `k` highest-scoring entries, ordered by decreasing score
+/// (ties by increasing doc id), using a bounded min-heap.
+pub fn top_k(items: impl Iterator<Item = ScoredDoc>, k: usize) -> Vec<ScoredDoc> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for item in items {
+        heap.push(HeapEntry {
+            score: item.score,
+            doc: item.doc,
+        });
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut out: Vec<ScoredDoc> = heap
+        .into_iter()
+        .map(|e| ScoredDoc {
+            doc: e.doc,
+            score: e.score,
+        })
+        .collect();
+    out.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::document::Document;
+
+    fn index() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new(
+            0,
+            "http://apple.com",
+            "apple iphone",
+            "apple announces the new iphone with a faster chip",
+        ));
+        b.add(Document::new(
+            1,
+            "http://fruit.example",
+            "apple fruit",
+            "the apple is a sweet edible fruit grown on apple trees",
+        ));
+        b.add(Document::new(
+            2,
+            "http://pie.example",
+            "apple pie recipe",
+            "bake an apple pie with cinnamon and fresh apples",
+        ));
+        b.add(Document::new(
+            3,
+            "http://cars.example",
+            "electric cars",
+            "electric cars and their batteries",
+        ));
+        b.build()
+    }
+
+    #[test]
+    fn relevant_documents_rank_first() {
+        let idx = index();
+        let engine = SearchEngine::new(&idx);
+        let hits = engine.search("apple iphone", 10);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].doc, DocId(0));
+        // The unrelated car document must not appear.
+        assert!(hits.iter().all(|h| h.doc != DocId(3)));
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let idx = index();
+        let engine = SearchEngine::new(&idx);
+        let hits = engine.search("apple", 2);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let idx = index();
+        let engine = SearchEngine::new(&idx);
+        let hits = engine.search("apple fruit pie", 10);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn empty_query_and_zero_k() {
+        let idx = index();
+        let engine = SearchEngine::new(&idx);
+        assert!(engine.search("", 10).is_empty());
+        assert!(engine.search("the of", 10).is_empty(), "stopwords only");
+        assert!(engine.search("apple", 0).is_empty());
+    }
+
+    #[test]
+    fn unknown_terms_match_nothing() {
+        let idx = index();
+        let engine = SearchEngine::new(&idx);
+        assert!(engine.search("zeppelin dirigible", 10).is_empty());
+    }
+
+    #[test]
+    fn bm25_engine_also_works() {
+        let idx = index();
+        let engine = SearchEngine::with_model(&idx, crate::bm25::Bm25::new());
+        let hits = engine.search("electric cars", 10);
+        assert_eq!(hits[0].doc, DocId(3));
+    }
+
+    #[test]
+    fn top_k_ties_break_by_doc_id() {
+        let items = vec![
+            ScoredDoc { doc: DocId(5), score: 1.0 },
+            ScoredDoc { doc: DocId(1), score: 1.0 },
+            ScoredDoc { doc: DocId(3), score: 1.0 },
+        ];
+        let out = top_k(items.into_iter(), 2);
+        assert_eq!(out[0].doc, DocId(1));
+        assert_eq!(out[1].doc, DocId(3));
+    }
+
+    #[test]
+    fn top_k_selects_true_maxima() {
+        let items: Vec<ScoredDoc> = (0..1000)
+            .map(|i| ScoredDoc {
+                doc: DocId(i),
+                score: f64::from((i * 7919) % 1000),
+            })
+            .collect();
+        let mut reference = items.clone();
+        reference.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
+        let out = top_k(items.into_iter(), 10);
+        assert_eq!(out, reference[..10].to_vec());
+    }
+}

@@ -1,0 +1,300 @@
+//! Binary persistence of the inverted index.
+//!
+//! A deployable search system builds its index offline and loads it at
+//! serving time; this module provides the corresponding on-disk format —
+//! a single length-prefixed binary buffer:
+//!
+//! ```text
+//! [magic u32][version u32]
+//! [num_docs u64][num_tokens u64]
+//! [doc_lens: u32 count + raw u32s]
+//! [vocab: u32 count + (u32 len + utf8)*]
+//! [postings: u32 count + (doc_freq u32, coll_freq u64,
+//!                          byte_len u32 + compressed bytes)*]
+//! [documents: u32 count + (url, title, body as length-prefixed utf8)*]
+//! ```
+//!
+//! Postings buffers are written verbatim (they are already delta+varint
+//! compressed), so save/load is a straight memory copy of the hot data.
+
+use crate::document::{Document, DocumentStore};
+use crate::index::{CollectionStats, InvertedIndex, TermStats};
+use crate::postings::{PostingsBuilder, PostingsList};
+use bytes::{Buf, BufMut, BytesMut};
+use serpdiv_text::{Analyzer, Vocabulary};
+
+const MAGIC: u32 = 0x5E9D_1F01;
+const VERSION: u32 = 1;
+
+/// Errors raised while decoding a serialized index.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the expected magic number.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The buffer ended prematurely or a length field is inconsistent.
+    Truncated,
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a serpdiv index (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported index version {v}"),
+            DecodeError::Truncated => write!(f, "truncated index buffer"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in index buffer"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let bytes = buf[..len].to_vec();
+    buf.advance(len);
+    String::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)
+}
+
+impl InvertedIndex {
+    /// Serialize the index (with its document store) to a binary buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(self.stats.num_docs);
+        buf.put_u64_le(self.stats.num_tokens);
+
+        buf.put_u32_le(self.doc_lens.len() as u32);
+        for &dl in &self.doc_lens {
+            buf.put_u32_le(dl);
+        }
+
+        buf.put_u32_le(self.vocab.len() as u32);
+        for (_, term) in self.vocab.iter() {
+            put_str(&mut buf, term);
+        }
+
+        buf.put_u32_le(self.postings.len() as u32);
+        for (list, stats) in self.postings.iter().zip(&self.term_stats) {
+            buf.put_u32_le(stats.doc_freq as u32);
+            buf.put_u64_le(stats.coll_freq);
+            // Re-encode through the iterator: the list knows its bytes but
+            // exposes postings; round-tripping through the builder keeps
+            // the format independent of the in-memory layout.
+            let mut pb = PostingsBuilder::new();
+            for p in list.iter() {
+                pb.push(p.doc, p.tf);
+            }
+            let encoded = pb.build();
+            let payload = encoded.raw_bytes();
+            buf.put_u32_le(payload.len() as u32);
+            buf.put_slice(payload);
+        }
+
+        buf.put_u32_le(self.store.len() as u32);
+        for doc in self.store.iter() {
+            put_str(&mut buf, &doc.url);
+            put_str(&mut buf, &doc.title);
+            put_str(&mut buf, &doc.body);
+        }
+        buf.to_vec()
+    }
+
+    /// Decode an index serialized by [`InvertedIndex::to_bytes`]. The
+    /// analyzer is not persisted (it is code, not data): pass the same
+    /// analyzer the index was built with.
+    pub fn from_bytes(data: &[u8], analyzer: Analyzer) -> Result<Self, DecodeError> {
+        let mut buf = data;
+        if buf.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        if buf.get_u32_le() != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        if buf.remaining() < 16 {
+            return Err(DecodeError::Truncated);
+        }
+        let num_docs = buf.get_u64_le();
+        let num_tokens = buf.get_u64_le();
+
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let n_lens = buf.get_u32_le() as usize;
+        if buf.remaining() < n_lens * 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut doc_lens = Vec::with_capacity(n_lens);
+        for _ in 0..n_lens {
+            doc_lens.push(buf.get_u32_le());
+        }
+
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let n_terms = buf.get_u32_le() as usize;
+        let mut vocab = Vocabulary::new();
+        for _ in 0..n_terms {
+            let term = get_str(&mut buf)?;
+            vocab.intern(&term);
+        }
+
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let n_postings = buf.get_u32_le() as usize;
+        let mut postings = Vec::with_capacity(n_postings);
+        let mut term_stats = Vec::with_capacity(n_postings);
+        for _ in 0..n_postings {
+            if buf.remaining() < 16 {
+                return Err(DecodeError::Truncated);
+            }
+            let doc_freq = buf.get_u32_le() as u64;
+            let coll_freq = buf.get_u64_le();
+            let byte_len = buf.get_u32_le() as usize;
+            if buf.remaining() < byte_len {
+                return Err(DecodeError::Truncated);
+            }
+            let payload = buf[..byte_len].to_vec();
+            buf.advance(byte_len);
+            postings.push(PostingsList::from_raw(payload.into(), doc_freq as u32));
+            term_stats.push(TermStats {
+                doc_freq,
+                coll_freq,
+            });
+        }
+
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let n_docs = buf.get_u32_le() as usize;
+        let mut store = DocumentStore::new();
+        for id in 0..n_docs {
+            let url = get_str(&mut buf)?;
+            let title = get_str(&mut buf)?;
+            let body = get_str(&mut buf)?;
+            store.push(Document::new(id as u32, url, title, body));
+        }
+
+        let avg_doc_len = if num_docs == 0 {
+            0.0
+        } else {
+            num_tokens as f64 / num_docs as f64
+        };
+        let max_tfs: Vec<u32> = postings
+            .iter()
+            .map(|l| l.iter().map(|p| p.tf).max().unwrap_or(0))
+            .collect();
+        let min_doc_len = doc_lens.iter().copied().filter(|&l| l > 0).min().unwrap_or(0);
+        Ok(InvertedIndex {
+            vocab,
+            postings,
+            term_stats,
+            doc_lens,
+            max_tfs,
+            min_doc_len,
+            store,
+            analyzer,
+            stats: CollectionStats {
+                num_docs,
+                num_tokens,
+                avg_doc_len,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::search::SearchEngine;
+
+    fn sample_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new(0, "http://a", "apple iphone", "apple announces new iphone chip"));
+        b.add(Document::new(1, "http://b", "apple pie", "bake an apple pie with cinnamon"));
+        b.add(Document::new(2, "http://c", "", "unrelated text about sailing boats"));
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_search_results() {
+        let idx = sample_index();
+        let bytes = idx.to_bytes();
+        let restored = InvertedIndex::from_bytes(&bytes, Analyzer::english()).unwrap();
+        for query in ["apple", "apple pie", "sailing", "iphone chip"] {
+            let a: Vec<_> = SearchEngine::new(&idx).search(query, 10);
+            let b: Vec<_> = SearchEngine::new(&restored).search(query, 10);
+            assert_eq!(a.len(), b.len(), "query {query}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.doc, y.doc);
+                assert!((x.score - y.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_stats_and_store() {
+        let idx = sample_index();
+        let restored =
+            InvertedIndex::from_bytes(&idx.to_bytes(), Analyzer::english()).unwrap();
+        assert_eq!(restored.stats(), idx.stats());
+        assert_eq!(restored.num_terms(), idx.num_terms());
+        assert_eq!(restored.store().len(), 3);
+        assert_eq!(restored.store().get(crate::DocId(1)).unwrap().title, "apple pie");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = InvertedIndex::from_bytes(&[0u8; 64], Analyzer::english()).unwrap_err();
+        assert_eq!(err, DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let idx = sample_index();
+        let bytes = idx.to_bytes();
+        for cut in [0, 4, 10, bytes.len() / 2, bytes.len() - 1] {
+            let err = InvertedIndex::from_bytes(&bytes[..cut], Analyzer::english());
+            assert!(err.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let idx = sample_index();
+        let mut bytes = idx.to_bytes();
+        bytes[4] = 99; // bump the version field
+        let err = InvertedIndex::from_bytes(&bytes, Analyzer::english()).unwrap_err();
+        assert_eq!(err, DecodeError::BadVersion(99));
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let idx = IndexBuilder::new().build();
+        let restored =
+            InvertedIndex::from_bytes(&idx.to_bytes(), Analyzer::english()).unwrap();
+        assert_eq!(restored.stats().num_docs, 0);
+        assert_eq!(restored.num_terms(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Query-biased snippet extraction (document surrogates).
+//!
+//! §4.1 and §5 of the paper: "only short summaries, and not whole documents,
+//! can be used without significative loss in the precision of our method" —
+//! the utility function (Eq. 1) is applied "to the snippets returned by the
+//! Terrier search engine instead of applying it to the whole documents".
+//!
+//! The generator slides a fixed-size window over the document tokens and
+//! keeps the window covering the most *distinct* query terms (ties broken
+//! by total query-term occurrences, then by earliest position — the classic
+//! query-biased summarisation heuristic of Tombros & Sanderson).
+
+use crate::document::Document;
+use serpdiv_text::{Analyzer, TermId, Vocabulary};
+
+/// Configurable query-biased snippet generator.
+#[derive(Debug, Clone)]
+pub struct SnippetGenerator {
+    analyzer: Analyzer,
+    /// Window size in raw tokens (default 30 — a SERP-like summary).
+    pub window: usize,
+}
+
+impl Default for SnippetGenerator {
+    fn default() -> Self {
+        SnippetGenerator {
+            analyzer: Analyzer::english(),
+            window: 30,
+        }
+    }
+}
+
+impl SnippetGenerator {
+    /// Generator with the standard analyzer and a 30-token window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generator with a custom window size.
+    pub fn with_window(window: usize) -> Self {
+        SnippetGenerator {
+            window: window.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Extract a snippet of `self.window` raw tokens biased towards the
+    /// query terms. Falls back to the document prefix when no query term
+    /// occurs. Returns the raw-token window joined by spaces, prefixed by
+    /// the title (titles are part of the surrogate on a SERP).
+    pub fn snippet(&self, doc: &Document, query_terms: &[TermId], vocab: &Vocabulary) -> String {
+        let raw_tokens: Vec<String> = serpdiv_text::tokenize(&doc.body);
+        if raw_tokens.is_empty() {
+            return doc.title.clone();
+        }
+        // Normal-form of each raw token (same pipeline as indexing); tokens
+        // that are stopwords map to None.
+        let normalized: Vec<Option<TermId>> = raw_tokens
+            .iter()
+            .map(|t| {
+                let analyzed = self.analyzer.analyze(t);
+                analyzed.first().and_then(|term| vocab.id(term))
+            })
+            .collect();
+
+        let window = self.window.min(raw_tokens.len());
+        let mut best_start = 0usize;
+        let mut best_key = (0usize, 0usize); // (distinct coverage, total hits)
+        if !query_terms.is_empty() {
+            let mut distinct_scratch: Vec<TermId> = Vec::new();
+            for start in 0..=(raw_tokens.len() - window) {
+                let mut total = 0usize;
+                distinct_scratch.clear();
+                for norm in normalized[start..start + window].iter().flatten() {
+                    if query_terms.contains(norm) {
+                        total += 1;
+                        if !distinct_scratch.contains(norm) {
+                            distinct_scratch.push(*norm);
+                        }
+                    }
+                }
+                let key = (distinct_scratch.len(), total);
+                if key > best_key {
+                    best_key = key;
+                    best_start = start;
+                }
+            }
+        }
+        let body_part = raw_tokens[best_start..best_start + window].join(" ");
+        if doc.title.is_empty() {
+            body_part
+        } else {
+            format!("{} {}", doc.title, body_part)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serpdiv_text::Analyzer;
+
+    fn setup(body: &str) -> (Document, Vocabulary, Analyzer) {
+        let doc = Document::new(0, "u", "Title", body);
+        let mut vocab = Vocabulary::new();
+        let analyzer = Analyzer::english();
+        analyzer.analyze_interned(body, &mut vocab);
+        (doc, vocab, analyzer)
+    }
+
+    #[test]
+    fn window_centers_on_query_terms() {
+        let filler = "lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod ";
+        let body = format!("{}{}apple iphone announcement today{}", filler.repeat(5), "", filler.repeat(5));
+        let (doc, vocab, analyzer) = setup(&body);
+        let q = analyzer.analyze_known("apple iphone", &vocab);
+        let snip = SnippetGenerator::with_window(10).snippet(&doc, &q, &vocab);
+        assert!(snip.contains("apple"), "snippet was: {snip}");
+        assert!(snip.contains("iphone"));
+    }
+
+    #[test]
+    fn fallback_to_prefix_without_matches() {
+        let (doc, vocab, _) = setup("first second third fourth fifth sixth");
+        let snip = SnippetGenerator::with_window(3).snippet(&doc, &[], &vocab);
+        assert_eq!(snip, "Title first second third");
+    }
+
+    #[test]
+    fn empty_body_returns_title() {
+        let (doc, vocab, _) = setup("");
+        let snip = SnippetGenerator::new().snippet(&doc, &[], &vocab);
+        assert_eq!(snip, "Title");
+    }
+
+    #[test]
+    fn short_document_is_returned_whole() {
+        let (doc, vocab, analyzer) = setup("tiny body");
+        let q = analyzer.analyze_known("tiny", &vocab);
+        let snip = SnippetGenerator::with_window(50).snippet(&doc, &q, &vocab);
+        assert_eq!(snip, "Title tiny body");
+    }
+
+    #[test]
+    fn prefers_window_with_more_distinct_terms() {
+        // First region repeats one query term; second region has both.
+        let body = format!(
+            "apple apple apple apple {} apple iphone review",
+            "pad ".repeat(40)
+        );
+        let (doc, vocab, analyzer) = setup(&body);
+        let q = analyzer.analyze_known("apple iphone", &vocab);
+        let snip = SnippetGenerator::with_window(5).snippet(&doc, &q, &vocab);
+        assert!(snip.contains("iphone"), "snippet was: {snip}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Sparse TF-IDF document vectors and cosine similarity.
+//!
+//! The paper's distance function (Eq. 2) is `δ(d₁,d₂) = 1 − cosine(d₁,d₂)`,
+//! computed over document *surrogates* (snippets). A [`SparseVector`] stores
+//! `(TermId, weight)` pairs sorted by term id with a cached L2 norm, so the
+//! dot product is a linear merge and cosine is two multiplies away.
+//!
+//! Weights are the standard `(1 + ln tf) · ln(1 + N/df)` TF-IDF, which is
+//! non-negative — hence `cosine ∈ [0, 1]` and `δ ∈ [0, 1]` as Definition 2
+//! requires.
+
+use crate::index::InvertedIndex;
+use serde::{Deserialize, Serialize};
+use serpdiv_text::TermId;
+use std::collections::HashMap;
+
+/// A sparse vector over the term space with cached norm.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseVector {
+    /// `(term, weight)` pairs sorted by term id, weights ≥ 0.
+    entries: Vec<(TermId, f32)>,
+    norm: f32,
+}
+
+impl SparseVector {
+    /// Build from unsorted `(term, weight)` pairs; duplicate terms are
+    /// summed, non-finite or negative weights rejected.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (TermId, f32)>) -> Self {
+        let mut map: HashMap<TermId, f32> = HashMap::new();
+        for (t, w) in pairs {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and ≥ 0");
+            *map.entry(t).or_insert(0.0) += w;
+        }
+        let mut entries: Vec<(TermId, f32)> =
+            map.into_iter().filter(|&(_, w)| w > 0.0).collect();
+        entries.sort_unstable_by_key(|&(t, _)| t);
+        let norm = entries.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt();
+        SparseVector { entries, norm }
+    }
+
+    /// TF-IDF vector of a text under `index`'s analyzer and statistics.
+    ///
+    /// This is how snippet surrogates are vectorized: analyze the snippet,
+    /// weight each term by `(1 + ln tf) · ln(1 + N/df)`.
+    pub fn from_text(text: &str, index: &InvertedIndex) -> Self {
+        let terms = index.analyze_query(text);
+        let mut tf: HashMap<TermId, u32> = HashMap::new();
+        for t in terms {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        let n = index.stats().num_docs as f32;
+        Self::from_pairs(tf.into_iter().map(|(t, f)| {
+            let df = index
+                .term_stats(t)
+                .map(|s| s.doc_freq as f32)
+                .unwrap_or(0.0)
+                .max(1.0);
+            let w = (1.0 + (f as f32).ln()) * (1.0 + n / df).ln();
+            (t, w)
+        }))
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the vector is all-zero.
+    pub fn is_zero(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cached L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.norm
+    }
+
+    /// The sorted entries.
+    pub fn entries(&self) -> &[(TermId, f32)] {
+        &self.entries
+    }
+
+    /// Dot product by sorted merge — `O(nnz(a) + nnz(b))`.
+    pub fn dot(&self, other: &SparseVector) -> f32 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.entries, &other.entries);
+        let mut acc = 0.0f32;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Approximate in-memory footprint in bytes (for the §4.1 memory
+    /// feasibility experiment).
+    pub fn byte_size(&self) -> usize {
+        std::mem::size_of::<Self>() + self.entries.len() * std::mem::size_of::<(TermId, f32)>()
+    }
+}
+
+/// Cosine similarity in `[0, 1]`; zero vectors have similarity 0 with
+/// everything (a zero snippet carries no evidence of relatedness).
+pub fn cosine(a: &SparseVector, b: &SparseVector) -> f32 {
+    if a.is_zero() || b.is_zero() {
+        return 0.0;
+    }
+    let c = a.dot(b) / (a.norm() * b.norm());
+    // Guard floating error so callers can rely on the [0,1] contract.
+    c.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    #[test]
+    fn identical_vectors_have_cosine_one() {
+        let a = v(&[(1, 2.0), (5, 3.0)]);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disjoint_vectors_have_cosine_zero() {
+        let a = v(&[(1, 2.0)]);
+        let b = v(&[(2, 2.0)]);
+        assert_eq!(cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_symmetric() {
+        let a = v(&[(1, 1.0), (2, 2.0), (9, 0.5)]);
+        let b = v(&[(2, 1.5), (9, 4.0)]);
+        assert!((cosine(&a, &b) - cosine(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_vector_cosine_is_zero() {
+        let z = SparseVector::default();
+        let a = v(&[(1, 1.0)]);
+        assert_eq!(cosine(&z, &a), 0.0);
+        assert_eq!(cosine(&z, &z), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let a = SparseVector::from_pairs(vec![(TermId(3), 1.0), (TermId(3), 2.0)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.entries()[0].1, 3.0);
+    }
+
+    #[test]
+    fn zero_weights_dropped() {
+        let a = SparseVector::from_pairs(vec![(TermId(3), 0.0), (TermId(4), 1.0)]);
+        assert_eq!(a.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weight_panics() {
+        let _ = SparseVector::from_pairs(vec![(TermId(1), -1.0)]);
+    }
+
+    #[test]
+    fn dot_merge_matches_naive() {
+        let a = v(&[(0, 1.0), (2, 2.0), (4, 3.0)]);
+        let b = v(&[(1, 5.0), (2, 7.0), (4, 0.5)]);
+        assert!((a.dot(&b) - (2.0 * 7.0 + 3.0 * 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_text_uses_index_statistics() {
+        use crate::builder::IndexBuilder;
+        use crate::document::Document;
+        let mut b = IndexBuilder::new();
+        b.add(Document::new(0, "u0", "", "apple banana apple"));
+        b.add(Document::new(1, "u1", "", "banana cherry"));
+        let idx = b.build();
+        let va = SparseVector::from_text("apple banana apple", &idx);
+        let vb = SparseVector::from_text("banana cherry", &idx);
+        let sim = cosine(&va, &vb);
+        assert!(sim > 0.0 && sim < 1.0);
+        // apple (df=1) must outweigh banana (df=2) at the same tf.
+        let vap = SparseVector::from_text("apple", &idx);
+        let vba = SparseVector::from_text("banana", &idx);
+        assert!(vap.entries()[0].1 > vba.entries()[0].1);
+    }
+}

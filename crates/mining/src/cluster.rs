@@ -1,0 +1,223 @@
+//! Clustering query refinements by intent.
+//!
+//! §3.1 of the paper: "any other approach for deriving user intents from
+//! query logs (as an example, \[21, 23\]) could be used and easily
+//! integrated in our diversification framework" — \[23\] is Sadikov et
+//! al., *Clustering query refinements by user intent* (WWW 2010).
+//!
+//! Distinct reformulation strings frequently express the *same* intent
+//! ("apple iphone" / "apple iphone 4"); serving both as separate
+//! specializations splits one interpretation's probability mass and wastes
+//! result-list slots. This module merges specializations whose *clicked
+//! document sets* overlap (users clicking the same pages had the same
+//! intent — the click-graph half of Sadikov's model): single-link
+//! clustering over Jaccard similarity of click sets, with the summed
+//! probability assigned to each cluster's most probable representative.
+
+use crate::model::{SpecializationEntry, SpecializationModel};
+use serpdiv_index::DocId;
+use serpdiv_querylog::QueryLog;
+use std::collections::{HashMap, HashSet};
+
+/// Click-profile store: query text → set of clicked documents.
+#[derive(Debug, Default)]
+pub struct ClickProfiles {
+    clicks: HashMap<String, HashSet<DocId>>,
+}
+
+impl ClickProfiles {
+    /// Accumulate the clicked-document set of every query in `log`.
+    pub fn build(log: &QueryLog) -> Self {
+        let mut clicks: HashMap<String, HashSet<DocId>> = HashMap::new();
+        for r in log.records() {
+            if r.clicks.is_empty() {
+                continue;
+            }
+            if let Some(text) = log.query_text(r.query) {
+                clicks
+                    .entry(text.to_string())
+                    .or_default()
+                    .extend(r.clicks.iter().copied());
+            }
+        }
+        ClickProfiles { clicks }
+    }
+
+    /// Jaccard similarity of two queries' click sets (0 when either has
+    /// no recorded clicks).
+    pub fn jaccard(&self, a: &str, b: &str) -> f64 {
+        let (Some(sa), Some(sb)) = (self.clicks.get(a), self.clicks.get(b)) else {
+            return 0.0;
+        };
+        let inter = sa.intersection(sb).count();
+        let union = sa.len() + sb.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Number of queries with click profiles.
+    pub fn len(&self) -> usize {
+        self.clicks.len()
+    }
+
+    /// True when no clicks were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.clicks.is_empty()
+    }
+}
+
+/// Merge the specializations of `entry` whose click-set Jaccard reaches
+/// `threshold` (single-link). Each cluster keeps its most probable member
+/// as representative and receives the cluster's summed probability;
+/// output order is decreasing probability. Probabilities still sum to 1.
+pub fn cluster_entry(
+    entry: &SpecializationEntry,
+    profiles: &ClickProfiles,
+    threshold: f64,
+) -> SpecializationEntry {
+    let n = entry.specializations.len();
+    // Union-find over specializations.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let sim = profiles.jaccard(&entry.specializations[i].0, &entry.specializations[j].0);
+            if sim >= threshold {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[rj] = ri;
+                }
+            }
+        }
+    }
+    // Aggregate per cluster root: summed probability, best representative.
+    let mut clusters: HashMap<usize, (String, f64, f64)> = HashMap::new(); // root → (repr, repr_p, total_p)
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let (text, p) = &entry.specializations[i];
+        let slot = clusters
+            .entry(root)
+            .or_insert_with(|| (text.clone(), *p, 0.0));
+        if *p > slot.1 {
+            slot.0 = text.clone();
+            slot.1 = *p;
+        }
+        slot.2 += p;
+    }
+    let mut specializations: Vec<(String, f64)> = clusters
+        .into_values()
+        .map(|(repr, _, total)| (repr, total))
+        .collect();
+    specializations.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    SpecializationEntry {
+        query: entry.query.clone(),
+        specializations,
+    }
+}
+
+/// Apply [`cluster_entry`] to every entry of a model.
+pub fn cluster_model(
+    model: &SpecializationModel,
+    profiles: &ClickProfiles,
+    threshold: f64,
+) -> SpecializationModel {
+    let mut out = SpecializationModel::default();
+    for entry in model.iter() {
+        out.insert(cluster_entry(entry, profiles, threshold));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serpdiv_querylog::{LogRecord, UserId};
+
+    /// Log where "apple iphone" and "apple iphone 4" share clicks and
+    /// "apple fruit" clicks elsewhere.
+    fn profiles() -> ClickProfiles {
+        let mut log = QueryLog::new();
+        let mut t = 0u64;
+        let add = |log: &mut QueryLog, q: &str, clicks: Vec<u32>, t: &mut u64| {
+            let query = log.intern_query(q);
+            log.push(LogRecord {
+                query,
+                user: UserId(0),
+                time: *t,
+                results: clicks.iter().map(|&d| DocId(d)).collect(),
+                clicks: clicks.into_iter().map(DocId).collect(),
+            });
+            *t += 10;
+        };
+        add(&mut log, "apple iphone", vec![1, 2, 3], &mut t);
+        add(&mut log, "apple iphone 4", vec![2, 3], &mut t);
+        add(&mut log, "apple fruit", vec![8, 9], &mut t);
+        ClickProfiles::build(&log)
+    }
+
+    fn entry() -> SpecializationEntry {
+        SpecializationEntry {
+            query: "apple".into(),
+            specializations: vec![
+                ("apple iphone".into(), 0.5),
+                ("apple iphone 4".into(), 0.2),
+                ("apple fruit".into(), 0.3),
+            ],
+        }
+    }
+
+    #[test]
+    fn jaccard_values() {
+        let p = profiles();
+        assert!((p.jaccard("apple iphone", "apple iphone 4") - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.jaccard("apple iphone", "apple fruit"), 0.0);
+        assert_eq!(p.jaccard("apple iphone", "never seen"), 0.0);
+    }
+
+    #[test]
+    fn same_intent_refinements_merge() {
+        let p = profiles();
+        let clustered = cluster_entry(&entry(), &p, 0.5);
+        assert_eq!(clustered.specializations.len(), 2);
+        // The merged cluster keeps the most probable representative and
+        // the summed probability.
+        assert_eq!(clustered.specializations[0].0, "apple iphone");
+        assert!((clustered.specializations[0].1 - 0.7).abs() < 1e-12);
+        assert_eq!(clustered.specializations[1].0, "apple fruit");
+        let total: f64 = clustered.specializations.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_threshold_keeps_everything_separate() {
+        let p = profiles();
+        let clustered = cluster_entry(&entry(), &p, 0.9);
+        assert_eq!(clustered.specializations.len(), 3);
+    }
+
+    #[test]
+    fn model_level_clustering() {
+        let p = profiles();
+        let mut model = SpecializationModel::default();
+        model.insert(entry());
+        let clustered = cluster_model(&model, &p, 0.5);
+        assert_eq!(clustered.get("apple").unwrap().specializations.len(), 2);
+        assert_eq!(clustered.len(), 1);
+    }
+
+    #[test]
+    fn queries_without_clicks_never_merge() {
+        let p = ClickProfiles::default();
+        let clustered = cluster_entry(&entry(), &p, 0.1);
+        assert_eq!(clustered.specializations.len(), 3);
+    }
+}

@@ -1,0 +1,216 @@
+//! Algorithm 1 — `AmbiguousQueryDetect(q, A, f(), s)` — and Definition 1.
+//!
+//! ```text
+//! Algorithm 1 AmbiguousQueryDetect(q, A, f(), s)
+//!   1. Ŝq ← A(q)                       // candidate specializations
+//!   2. Sq ← { q′ ∈ Ŝq | f(q′) ≥ f(q)/s }   // popularity filter
+//!   3. If |Sq| ≥ 2 Then Return Sq Else Return ∅
+//! ```
+//!
+//! The probability of each specialization (Definition 1) is estimated by
+//! frequency normalization: `P(q′|q) = f(q′) / Σ_{r ∈ Sq} f(r)`.
+
+use serpdiv_querylog::{FreqTable, QueryId};
+
+/// A query recommendation algorithm `A` — anything that proposes related
+/// queries mined from the log (the paper: "any other approach for deriving
+/// user intents from query logs could be easily integrated").
+pub trait Recommender {
+    /// Up to `n` related queries for `q`, best first, with model scores.
+    fn recommend(&self, q: QueryId, n: usize) -> Vec<(QueryId, f64)>;
+}
+
+/// One detected specialization with its probability `P(q′|q)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Specialization {
+    /// The specialized query.
+    pub query: QueryId,
+    /// `P(q′|q)` per Definition 1; the specializations of one ambiguous
+    /// query sum to 1.
+    pub probability: f64,
+}
+
+/// Algorithm 1 wired to a recommender and a frequency table.
+#[derive(Debug)]
+pub struct AmbiguityDetector<'a, A: Recommender> {
+    recommender: &'a A,
+    freq: &'a FreqTable,
+    /// The popularity-filter divisor `s` of Algorithm 1 (`f(q′) ≥ f(q)/s`).
+    pub s: f64,
+    /// Maximum candidate specializations requested from `A`.
+    pub max_candidates: usize,
+}
+
+impl<'a, A: Recommender> AmbiguityDetector<'a, A> {
+    /// Detector with the given filter divisor `s` (larger `s` ⇒ laxer
+    /// filter ⇒ more specializations admitted).
+    pub fn new(recommender: &'a A, freq: &'a FreqTable, s: f64) -> Self {
+        assert!(s > 0.0, "the popularity divisor must be positive");
+        AmbiguityDetector {
+            recommender,
+            freq,
+            s,
+            max_candidates: 32,
+        }
+    }
+
+    /// Run Algorithm 1 on `q`. Returns `None` when `q` is not ambiguous
+    /// (fewer than two specializations survive the filter), otherwise the
+    /// specializations with their Definition-1 probabilities, in
+    /// decreasing-probability order.
+    pub fn detect(&self, q: QueryId) -> Option<Vec<Specialization>> {
+        // Step 1: Ŝq ← A(q).
+        let candidates = self.recommender.recommend(q, self.max_candidates);
+        // Step 2: popularity filter  f(q′) ≥ f(q)/s.
+        let fq = self.freq.freq(q) as f64;
+        let threshold = fq / self.s;
+        let kept: Vec<QueryId> = candidates
+            .into_iter()
+            .map(|(c, _)| c)
+            .filter(|&c| self.freq.freq(c) as f64 >= threshold)
+            .collect();
+        // Step 3: ambiguous iff at least two interpretations survive.
+        if kept.len() < 2 {
+            return None;
+        }
+        // Definition 1: P(q′|q) = f(q′) / Σ f(·).
+        let total: f64 = kept.iter().map(|&c| self.freq.freq(c) as f64).sum();
+        debug_assert!(total > 0.0, "filter admits only positive frequencies when f(q) > 0");
+        let mut specs: Vec<Specialization> = kept
+            .into_iter()
+            .map(|c| Specialization {
+                query: c,
+                probability: if total > 0.0 {
+                    self.freq.freq(c) as f64 / total
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        specs.sort_unstable_by(|a, b| {
+            b.probability
+                .total_cmp(&a.probability)
+                .then(a.query.cmp(&b.query))
+        });
+        Some(specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serpdiv_querylog::{LogRecord, QueryLog, UserId};
+
+    /// A recommender with a fixed table, for isolated Algorithm-1 tests.
+    struct Fixed(Vec<(QueryId, f64)>);
+
+    impl Recommender for Fixed {
+        fn recommend(&self, _q: QueryId, n: usize) -> Vec<(QueryId, f64)> {
+            self.0[..self.0.len().min(n)].to_vec()
+        }
+    }
+
+    /// Log with the given `(query, count)` pairs.
+    fn log_with_counts(counts: &[(&str, u64)]) -> QueryLog {
+        let mut log = QueryLog::new();
+        let mut t = 0;
+        for &(q, c) in counts {
+            let id = log.intern_query(q);
+            for _ in 0..c {
+                log.push(LogRecord {
+                    query: id,
+                    user: UserId(0),
+                    time: t,
+                    results: Vec::new(),
+                    clicks: Vec::new(),
+                });
+                t += 1;
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn detects_ambiguity_and_normalizes_probabilities() {
+        let log = log_with_counts(&[("apple", 100), ("apple iphone", 60), ("apple fruit", 40)]);
+        let freq = FreqTable::build(&log);
+        let apple = log.query_id("apple").unwrap();
+        let iphone = log.query_id("apple iphone").unwrap();
+        let fruit = log.query_id("apple fruit").unwrap();
+        let rec = Fixed(vec![(iphone, 1.0), (fruit, 0.5)]);
+        let det = AmbiguityDetector::new(&rec, &freq, 4.0);
+        let specs = det.detect(apple).expect("ambiguous");
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].query, iphone);
+        assert!((specs[0].probability - 0.6).abs() < 1e-12);
+        assert!((specs[1].probability - 0.4).abs() < 1e-12);
+        let total: f64 = specs.iter().map(|s| s.probability).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn popularity_filter_drops_rare_candidates() {
+        // f(apple)=100, s=4 ⇒ threshold 25; "apple tour" (f=5) is dropped.
+        let log = log_with_counts(&[
+            ("apple", 100),
+            ("apple iphone", 60),
+            ("apple fruit", 40),
+            ("apple tour", 5),
+        ]);
+        let freq = FreqTable::build(&log);
+        let ids: Vec<QueryId> = ["apple iphone", "apple fruit", "apple tour"]
+            .iter()
+            .map(|q| log.query_id(q).unwrap())
+            .collect();
+        let rec = Fixed(ids.iter().map(|&i| (i, 1.0)).collect());
+        let det = AmbiguityDetector::new(&rec, &freq, 4.0);
+        let specs = det.detect(log.query_id("apple").unwrap()).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert!(specs.iter().all(|s| s.query != ids[2]));
+    }
+
+    #[test]
+    fn single_surviving_specialization_is_not_ambiguous() {
+        let log = log_with_counts(&[("q", 50), ("q a", 40), ("q b", 1)]);
+        let freq = FreqTable::build(&log);
+        let rec = Fixed(vec![
+            (log.query_id("q a").unwrap(), 1.0),
+            (log.query_id("q b").unwrap(), 0.9),
+        ]);
+        let det = AmbiguityDetector::new(&rec, &freq, 2.0);
+        assert!(det.detect(log.query_id("q").unwrap()).is_none());
+    }
+
+    #[test]
+    fn no_candidates_is_not_ambiguous() {
+        let log = log_with_counts(&[("q", 10)]);
+        let freq = FreqTable::build(&log);
+        let rec = Fixed(vec![]);
+        let det = AmbiguityDetector::new(&rec, &freq, 2.0);
+        assert!(det.detect(log.query_id("q").unwrap()).is_none());
+    }
+
+    #[test]
+    fn lax_s_admits_more_specializations() {
+        let log = log_with_counts(&[("q", 100), ("q a", 50), ("q b", 10), ("q c", 4)]);
+        let freq = FreqTable::build(&log);
+        let ids: Vec<QueryId> = ["q a", "q b", "q c"]
+            .iter()
+            .map(|q| log.query_id(q).unwrap())
+            .collect();
+        let rec = Fixed(ids.iter().map(|&i| (i, 1.0)).collect());
+        let strict = AmbiguityDetector::new(&rec, &freq, 4.0); // threshold 25
+        let lax = AmbiguityDetector::new(&rec, &freq, 30.0); // threshold 3.3
+        assert!(strict.detect(log.query_id("q").unwrap()).is_none());
+        assert_eq!(lax.detect(log.query_id("q").unwrap()).unwrap().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_s_panics() {
+        let log = log_with_counts(&[("q", 1)]);
+        let freq = FreqTable::build(&log);
+        let rec = Fixed(vec![]);
+        let _ = AmbiguityDetector::new(&rec, &freq, 0.0);
+    }
+}

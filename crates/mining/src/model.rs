@@ -1,0 +1,219 @@
+//! The deployable specialization model.
+//!
+//! §4.1: "The only information we need are: the ambiguous queries, the list
+//! of their possible specializations mined from a long-term query log, \[and\]
+//! the probabilities associated with such specializations" (the per-
+//! specialization result lists `R_q′` live in `serpdiv-core::framework`,
+//! which also accounts for their §4.1 memory footprint).
+//!
+//! The model is mined offline by sweeping Algorithm 1 over every distinct
+//! query of the training log and is serializable (JSON) for deployment.
+
+use crate::detect::{AmbiguityDetector, Recommender};
+use serde::{Deserialize, Serialize};
+use serpdiv_querylog::{QueryId, QueryLog};
+use std::collections::HashMap;
+
+/// Specializations of one ambiguous query.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SpecializationEntry {
+    /// The ambiguous query text.
+    pub query: String,
+    /// `(specialization text, P(q′|q))`, decreasing probability.
+    pub specializations: Vec<(String, f64)>,
+}
+
+impl SpecializationEntry {
+    /// Number of specializations `|Sq|`.
+    pub fn len(&self) -> usize {
+        self.specializations.len()
+    }
+
+    /// True when no specialization is stored (never produced by mining).
+    pub fn is_empty(&self) -> bool {
+        self.specializations.is_empty()
+    }
+}
+
+/// The mined model: every ambiguous query of the log with its
+/// specializations and probabilities.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct SpecializationModel {
+    entries: HashMap<String, SpecializationEntry>,
+}
+
+impl SpecializationModel {
+    /// Mine the model: run Algorithm 1 (`detector`) over every distinct
+    /// query of `log` and keep the ambiguous ones (`Q̂` of Definition 1).
+    pub fn mine<A: Recommender>(log: &QueryLog, detector: &AmbiguityDetector<'_, A>) -> Self {
+        let mut entries = HashMap::new();
+        for i in 0..log.num_queries() {
+            let q = QueryId(i as u32);
+            let Some(specs) = detector.detect(q) else {
+                continue;
+            };
+            let text = log.query_text(q).expect("interned").to_string();
+            let specializations = specs
+                .iter()
+                .map(|s| {
+                    (
+                        log.query_text(s.query).expect("interned").to_string(),
+                        s.probability,
+                    )
+                })
+                .collect();
+            entries.insert(
+                text.clone(),
+                SpecializationEntry {
+                    query: text,
+                    specializations,
+                },
+            );
+        }
+        SpecializationModel { entries }
+    }
+
+    /// Insert (or replace) an entry — used by the personalization layer to
+    /// materialize per-user models.
+    pub fn insert(&mut self, entry: SpecializationEntry) {
+        self.entries.insert(entry.query.clone(), entry);
+    }
+
+    /// Look up the specializations of `query`; `None` means "not ambiguous:
+    /// serve the baseline ranking unchanged".
+    pub fn get(&self, query: &str) -> Option<&SpecializationEntry> {
+        self.entries.get(query)
+    }
+
+    /// Number of ambiguous queries in the model (`N` of §4.1).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no query was detected as ambiguous.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &SpecializationEntry> {
+        self.entries.values()
+    }
+
+    /// Largest `|Sq|` over the model (the `|S_q̂|` of the §4.1 bound).
+    pub fn max_specializations(&self) -> usize {
+        self.entries.values().map(|e| e.len()).max().unwrap_or(0)
+    }
+
+    /// In-memory footprint estimate in bytes (query-level part of §4.1).
+    pub fn byte_size(&self) -> usize {
+        self.entries
+            .values()
+            .map(|e| {
+                e.query.len()
+                    + e.specializations
+                        .iter()
+                        .map(|(s, _)| s.len() + std::mem::size_of::<f64>())
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serpdiv_querylog::{FreqTable, LogRecord, UserId};
+
+    /// Log: "apple" is refined to two popular specializations by many
+    /// users; "banana" is unambiguous.
+    fn training_log() -> QueryLog {
+        let mut log = QueryLog::new();
+        let mut t = 0u64;
+        let push = |log: &mut QueryLog, q: &str, u: u32, time: u64| {
+            let query = log.intern_query(q);
+            log.push(LogRecord {
+                query,
+                user: UserId(u),
+                time,
+                results: Vec::new(),
+                clicks: Vec::new(),
+            });
+        };
+        for u in 0..20u32 {
+            push(&mut log, "apple", u, t);
+            let spec = if u % 3 == 0 { "apple fruit" } else { "apple iphone" };
+            push(&mut log, spec, u, t + 30);
+            t += 3600 * 24;
+        }
+        for u in 0..5u32 {
+            push(&mut log, "banana", u, t);
+            push(&mut log, "banana bread", u, t + 30);
+            t += 3600 * 24;
+        }
+        log.sort_by_time();
+        log
+    }
+
+    fn mined(log: &QueryLog) -> SpecializationModel {
+        let sessions = serpdiv_querylog::split_sessions(log);
+        let shortcuts = crate::shortcuts::ShortcutsModel::train(log, &sessions, 16);
+        let freq = FreqTable::build(log);
+        let detector = AmbiguityDetector::new(&shortcuts, &freq, 10.0);
+        SpecializationModel::mine(log, &detector)
+    }
+
+    #[test]
+    fn mines_ambiguous_queries_only() {
+        let log = training_log();
+        let model = mined(&log);
+        let apple = model.get("apple").expect("apple is ambiguous");
+        assert_eq!(apple.len(), 2);
+        // banana has a single refinement ⇒ not ambiguous by Algorithm 1.
+        assert!(model.get("banana").is_none());
+        assert!(model.get("zebra").is_none());
+    }
+
+    #[test]
+    fn probabilities_reflect_popularity() {
+        let log = training_log();
+        let model = mined(&log);
+        let apple = model.get("apple").unwrap();
+        // iphone: 13 users of 20; fruit: 7 of 20.
+        assert_eq!(apple.specializations[0].0, "apple iphone");
+        let p: f64 = apple.specializations.iter().map(|(_, p)| p).sum();
+        assert!((p - 1.0).abs() < 1e-9);
+        assert!(apple.specializations[0].1 > apple.specializations[1].1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let log = training_log();
+        let model = mined(&log);
+        let json = model.to_json();
+        let back = SpecializationModel::from_json(&json).unwrap();
+        assert_eq!(back.len(), model.len());
+        assert_eq!(
+            back.get("apple").unwrap().specializations,
+            model.get("apple").unwrap().specializations
+        );
+    }
+
+    #[test]
+    fn footprint_accounting() {
+        let log = training_log();
+        let model = mined(&log);
+        assert!(model.byte_size() > 0);
+        assert_eq!(model.max_specializations(), 2);
+    }
+}

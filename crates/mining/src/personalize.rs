@@ -1,0 +1,226 @@
+//! Personalized specialization probabilities — the paper's future work (i).
+//!
+//! §6: "Future work will regard: i) the exploitation of users' search
+//! history for personalizing result diversification". The natural
+//! construction over this framework: a user's own refinement history
+//! defines per-user specialization counts, and the served distribution
+//! blends them with the global Definition-1 estimate,
+//!
+//! ```text
+//! P_u(q′|q) = (1−β)·P(q′|q) + β·f_u(q′)/Σ_{r∈Sq} f_u(r)
+//! ```
+//!
+//! with `β ∈ [0,1]` the personalization strength. A user who has never
+//! touched `q` gets the global distribution unchanged; a user who always
+//! refines "leopard" to "leopard tank" sees the tank interpretation's
+//! share grow accordingly — and hence more tank results in their
+//! diversified SERP (the quota `⌊k·P⌋` follows the probability).
+
+use crate::model::{SpecializationEntry, SpecializationModel};
+use serpdiv_querylog::{QueryLog, UserId};
+use std::collections::HashMap;
+
+/// Per-user refinement history: `(user, query text) → submission count`.
+#[derive(Debug, Default)]
+pub struct UserHistory {
+    counts: HashMap<(UserId, String), u64>,
+}
+
+impl UserHistory {
+    /// Accumulate per-user query counts from `log`.
+    pub fn build(log: &QueryLog) -> Self {
+        let mut counts: HashMap<(UserId, String), u64> = HashMap::new();
+        for r in log.records() {
+            if let Some(text) = log.query_text(r.query) {
+                *counts.entry((r.user, text.to_string())).or_insert(0) += 1;
+            }
+        }
+        UserHistory { counts }
+    }
+
+    /// How often `user` submitted `query`.
+    pub fn count(&self, user: UserId, query: &str) -> u64 {
+        self.counts.get(&(user, query.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Number of `(user, query)` pairs tracked.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no history was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+/// Personalization layer over a global [`SpecializationModel`].
+#[derive(Debug)]
+pub struct PersonalizedModel<'a> {
+    global: &'a SpecializationModel,
+    history: &'a UserHistory,
+    /// Blend weight β ∈ [0, 1]; 0 = global only.
+    pub beta: f64,
+}
+
+impl<'a> PersonalizedModel<'a> {
+    /// Blend `global` with `history` at strength `beta`.
+    ///
+    /// # Panics
+    /// Panics when `beta` is outside `[0, 1]`.
+    pub fn new(global: &'a SpecializationModel, history: &'a UserHistory, beta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&beta), "β must lie in [0,1]");
+        PersonalizedModel {
+            global,
+            history,
+            beta,
+        }
+    }
+
+    /// The specialization entry `user` should be served for `query`, or
+    /// `None` when the query is not ambiguous. Probabilities still sum
+    /// to 1 and the specializations are re-sorted by the blended value.
+    pub fn get(&self, user: UserId, query: &str) -> Option<SpecializationEntry> {
+        let entry = self.global.get(query)?;
+        let personal_total: u64 = entry
+            .specializations
+            .iter()
+            .map(|(s, _)| self.history.count(user, s))
+            .sum();
+        if personal_total == 0 || self.beta == 0.0 {
+            return Some(entry.clone());
+        }
+        let mut specializations: Vec<(String, f64)> = entry
+            .specializations
+            .iter()
+            .map(|(s, p_global)| {
+                let p_user = self.history.count(user, s) as f64 / personal_total as f64;
+                (s.clone(), (1.0 - self.beta) * p_global + self.beta * p_user)
+            })
+            .collect();
+        specializations
+            .sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Some(SpecializationEntry {
+            query: entry.query.clone(),
+            specializations,
+        })
+    }
+
+    /// Materialize the full per-user model (every ambiguous query with the
+    /// blended distribution) — a drop-in [`SpecializationModel`] for the
+    /// diversification pipeline, so a per-user SERP needs no pipeline
+    /// changes.
+    pub fn materialize(&self, user: UserId) -> SpecializationModel {
+        let mut model = SpecializationModel::default();
+        for entry in self.global.iter() {
+            if let Some(personal) = self.get(user, &entry.query) {
+                model.insert(personal);
+            }
+        }
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serpdiv_querylog::LogRecord;
+
+    fn global_model() -> SpecializationModel {
+        SpecializationModel::from_json(
+            r#"{"entries":{"apple":{"query":"apple","specializations":[
+                ["apple iphone",0.7],["apple fruit",0.3]]}}}"#,
+        )
+        .unwrap()
+    }
+
+    fn history_for(user: u32, query: &str, times: u64) -> (QueryLog, UserHistory) {
+        let mut log = QueryLog::new();
+        for t in 0..times {
+            let q = log.intern_query(query);
+            log.push(LogRecord {
+                query: q,
+                user: UserId(user),
+                time: t,
+                results: Vec::new(),
+                clicks: Vec::new(),
+            });
+        }
+        let h = UserHistory::build(&log);
+        (log, h)
+    }
+
+    #[test]
+    fn no_history_serves_global() {
+        let global = global_model();
+        let (_log, history) = history_for(1, "unrelated", 5);
+        let model = PersonalizedModel::new(&global, &history, 0.5);
+        let entry = model.get(UserId(1), "apple").unwrap();
+        assert_eq!(entry.specializations[0], ("apple iphone".into(), 0.7));
+    }
+
+    #[test]
+    fn personal_refinements_shift_the_distribution() {
+        let global = global_model();
+        // User 9 always refines to the fruit interpretation.
+        let (_log, history) = history_for(9, "apple fruit", 10);
+        let model = PersonalizedModel::new(&global, &history, 0.6);
+        let entry = model.get(UserId(9), "apple").unwrap();
+        // Blended: fruit = 0.4·0.3 + 0.6·1.0 = 0.72; iphone = 0.4·0.7 = 0.28.
+        assert_eq!(entry.specializations[0].0, "apple fruit");
+        assert!((entry.specializations[0].1 - 0.72).abs() < 1e-12);
+        let total: f64 = entry.specializations.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // A different user is unaffected.
+        let other = model.get(UserId(1), "apple").unwrap();
+        assert_eq!(other.specializations[0].0, "apple iphone");
+    }
+
+    #[test]
+    fn beta_zero_is_global_even_with_history() {
+        let global = global_model();
+        let (_log, history) = history_for(9, "apple fruit", 10);
+        let model = PersonalizedModel::new(&global, &history, 0.0);
+        let entry = model.get(UserId(9), "apple").unwrap();
+        assert_eq!(entry.specializations[0].0, "apple iphone");
+    }
+
+    #[test]
+    fn beta_one_is_pure_history() {
+        let global = global_model();
+        let (_log, history) = history_for(9, "apple fruit", 3);
+        let model = PersonalizedModel::new(&global, &history, 1.0);
+        let entry = model.get(UserId(9), "apple").unwrap();
+        assert!((entry.specializations[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_ambiguous_queries_stay_none() {
+        let global = global_model();
+        let (_log, history) = history_for(1, "apple", 2);
+        let model = PersonalizedModel::new(&global, &history, 0.5);
+        assert!(model.get(UserId(1), "banana").is_none());
+    }
+
+    #[test]
+    fn materialized_model_is_pipeline_ready() {
+        let global = global_model();
+        let (_log, history) = history_for(9, "apple fruit", 10);
+        let model = PersonalizedModel::new(&global, &history, 0.6);
+        let user_model = model.materialize(UserId(9));
+        assert_eq!(user_model.len(), global.len());
+        let entry = user_model.get("apple").unwrap();
+        assert_eq!(entry.specializations[0].0, "apple fruit");
+        // Serialization still works on the materialized model.
+        let back = SpecializationModel::from_json(&user_model.to_json()).unwrap();
+        assert_eq!(back.len(), user_model.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "β")]
+    fn invalid_beta_panics() {
+        let global = global_model();
+        let (_log, history) = history_for(1, "x", 1);
+        let _ = PersonalizedModel::new(&global, &history, 1.5);
+    }
+}

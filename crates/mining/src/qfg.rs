@@ -1,0 +1,272 @@
+//! The Query-Flow Graph (Boldi, Bonchi, Castillo, Donato, Gionis, Vigna —
+//! CIKM 2008).
+//!
+//! §3 of the paper: session splitting "consists of building a Markov Chain
+//! model of the query log and subsequently finding paths in the graph which
+//! are more likely to be followed by random surfers. As a result ... we
+//! obtain the set of logical user sessions."
+//!
+//! Nodes are distinct queries; a directed edge `q → q′` counts how often
+//! `q′` immediately follows `q` inside a physical (timeout) session. The
+//! *chaining probability* `P(q′|q) = w(q,q′) / Σ_r w(q,r)` estimates whether
+//! two consecutive submissions belong to the same search mission; walking
+//! each physical session and cutting at low-probability transitions yields
+//! the logical sessions.
+
+use crate::detect::Recommender;
+use serpdiv_querylog::{QueryId, QueryLog, Session};
+use std::collections::HashMap;
+
+/// The query-flow graph: a first-order Markov chain over distinct queries.
+#[derive(Debug, Default)]
+pub struct QueryFlowGraph {
+    /// `q → (q′ → count)`; kept as sorted vecs after `build`.
+    edges: HashMap<QueryId, Vec<(QueryId, u32)>>,
+    /// Out-degree mass per node.
+    out_totals: HashMap<QueryId, u64>,
+}
+
+impl QueryFlowGraph {
+    /// Build the graph from the physical `sessions` of `log`.
+    pub fn build(log: &QueryLog, sessions: &[Session]) -> Self {
+        let mut counts: HashMap<(QueryId, QueryId), u32> = HashMap::new();
+        for session in sessions {
+            for w in session.records.windows(2) {
+                let a = log.records()[w[0]].query;
+                let b = log.records()[w[1]].query;
+                if a != b {
+                    *counts.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut edges: HashMap<QueryId, Vec<(QueryId, u32)>> = HashMap::new();
+        let mut out_totals: HashMap<QueryId, u64> = HashMap::new();
+        for ((a, b), c) in counts {
+            edges.entry(a).or_default().push((b, c));
+            *out_totals.entry(a).or_insert(0) += u64::from(c);
+        }
+        // Deterministic order: by decreasing count, ties by id.
+        for list in edges.values_mut() {
+            list.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        }
+        QueryFlowGraph { edges, out_totals }
+    }
+
+    /// Number of nodes with outgoing edges.
+    pub fn num_nodes(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+
+    /// Reformulation count of the edge `q → q′`.
+    pub fn weight(&self, q: QueryId, q2: QueryId) -> u32 {
+        self.edges
+            .get(&q)
+            .and_then(|l| l.iter().find(|&&(b, _)| b == q2).map(|&(_, c)| c))
+            .unwrap_or(0)
+    }
+
+    /// Chaining probability `P(q′|q)`; 0 when `q` has no outgoing edges.
+    pub fn chaining_probability(&self, q: QueryId, q2: QueryId) -> f64 {
+        match self.out_totals.get(&q) {
+            Some(&total) if total > 0 => f64::from(self.weight(q, q2)) / total as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Successors of `q` ordered by decreasing count.
+    pub fn successors(&self, q: QueryId) -> &[(QueryId, u32)] {
+        self.edges.get(&q).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Split each physical session into *logical* sessions by cutting
+    /// transitions whose chaining probability falls below `threshold`.
+    ///
+    /// A transition observed only once in the whole log has low probability
+    /// by construction, so rare topic switches inside a physical session
+    /// are separated while common reformulation chains stay together.
+    pub fn extract_logical_sessions(
+        &self,
+        log: &QueryLog,
+        sessions: &[Session],
+        threshold: f64,
+    ) -> Vec<Session> {
+        let mut out = Vec::with_capacity(sessions.len());
+        for session in sessions {
+            let mut current: Vec<usize> = Vec::new();
+            for &idx in &session.records {
+                if let Some(&prev) = current.last() {
+                    let a = log.records()[prev].query;
+                    let b = log.records()[idx].query;
+                    let keep = a == b || self.chaining_probability(a, b) >= threshold;
+                    if !keep {
+                        out.push(Session {
+                            user: session.user,
+                            records: std::mem::take(&mut current),
+                        });
+                    }
+                }
+                current.push(idx);
+            }
+            if !current.is_empty() {
+                out.push(Session {
+                    user: session.user,
+                    records: current,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The query-flow graph doubles as a query recommender: the successors of
+/// `q`, scored by chaining probability, are exactly the reformulations
+/// users made — a drop-in alternative `A` for Algorithm 1 (the paper: "any
+/// other approach for deriving user intents from query logs could be ...
+/// easily integrated in our diversification framework").
+impl Recommender for QueryFlowGraph {
+    fn recommend(&self, q: QueryId, n: usize) -> Vec<(QueryId, f64)> {
+        self.successors(q)
+            .iter()
+            .take(n)
+            .map(|&(q2, _)| (q2, self.chaining_probability(q, q2)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serpdiv_querylog::{split_sessions, LogRecord, UserId};
+
+    /// Build a log where each tuple is (query, user, time).
+    fn log_with(entries: &[(&str, u32, u64)]) -> QueryLog {
+        let mut log = QueryLog::new();
+        for &(q, u, t) in entries {
+            let query = log.intern_query(q);
+            log.push(LogRecord {
+                query,
+                user: UserId(u),
+                time: t,
+                results: Vec::new(),
+                clicks: Vec::new(),
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn edge_counts_accumulate_across_users() {
+        let log = log_with(&[
+            ("apple", 1, 0),
+            ("apple iphone", 1, 60),
+            ("apple", 2, 1000),
+            ("apple iphone", 2, 1060),
+            ("apple", 3, 2000),
+            ("apple fruit", 3, 2050),
+        ]);
+        let sessions = split_sessions(&log);
+        let g = QueryFlowGraph::build(&log, &sessions);
+        let apple = log.query_id("apple").unwrap();
+        let iphone = log.query_id("apple iphone").unwrap();
+        let fruit = log.query_id("apple fruit").unwrap();
+        assert_eq!(g.weight(apple, iphone), 2);
+        assert_eq!(g.weight(apple, fruit), 1);
+        assert!((g.chaining_probability(apple, iphone) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.successors(apple)[0].0, iphone);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let log = log_with(&[("a", 1, 0), ("a", 1, 10), ("b", 1, 20)]);
+        let sessions = split_sessions(&log);
+        let g = QueryFlowGraph::build(&log, &sessions);
+        let a = log.query_id("a").unwrap();
+        assert_eq!(g.weight(a, a), 0);
+        assert_eq!(g.weight(a, log.query_id("b").unwrap()), 1);
+    }
+
+    #[test]
+    fn cross_session_pairs_do_not_count() {
+        let log = log_with(&[("a", 1, 0), ("b", 1, 10_000)]); // > timeout apart
+        let sessions = split_sessions(&log);
+        assert_eq!(sessions.len(), 2);
+        let g = QueryFlowGraph::build(&log, &sessions);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn logical_sessions_cut_low_probability_transitions() {
+        // "apple → apple iphone" is frequent (3 users), "apple → zebra"
+        // happens once: the latter transition must be cut.
+        let log = log_with(&[
+            ("apple", 1, 0),
+            ("apple iphone", 1, 30),
+            ("apple", 2, 500),
+            ("apple iphone", 2, 530),
+            ("apple", 3, 900),
+            ("apple iphone", 3, 930),
+            ("apple", 4, 1500),
+            ("zebra", 4, 1530),
+        ]);
+        let physical = split_sessions(&log);
+        let g = QueryFlowGraph::build(&log, &physical);
+        let logical = g.extract_logical_sessions(&log, &physical, 0.5);
+        // User 4's pair must be split; users 1–3 stay joined.
+        let user4: Vec<&Session> = logical.iter().filter(|s| s.user == UserId(4)).collect();
+        assert_eq!(user4.len(), 2);
+        let user1: Vec<&Session> = logical.iter().filter(|s| s.user == UserId(1)).collect();
+        assert_eq!(user1.len(), 1);
+        assert_eq!(user1[0].records.len(), 2);
+    }
+
+    #[test]
+    fn logical_sessions_preserve_all_records() {
+        let log = log_with(&[
+            ("a", 1, 0),
+            ("b", 1, 10),
+            ("c", 1, 20),
+            ("a", 2, 30),
+            ("b", 2, 45),
+        ]);
+        let physical = split_sessions(&log);
+        let g = QueryFlowGraph::build(&log, &physical);
+        let logical = g.extract_logical_sessions(&log, &physical, 0.9);
+        let mut all: Vec<usize> = logical.iter().flat_map(|s| s.records.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn qfg_as_recommender() {
+        use crate::detect::Recommender;
+        let log = log_with(&[
+            ("apple", 1, 0),
+            ("apple iphone", 1, 60),
+            ("apple", 2, 1000),
+            ("apple iphone", 2, 1060),
+            ("apple", 3, 2000),
+            ("apple fruit", 3, 2050),
+        ]);
+        let sessions = split_sessions(&log);
+        let g = QueryFlowGraph::build(&log, &sessions);
+        let apple = log.query_id("apple").unwrap();
+        let recs = g.recommend(apple, 10);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].0, log.query_id("apple iphone").unwrap());
+        assert!((recs[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.recommend(apple, 1).len(), 1);
+    }
+
+    #[test]
+    fn unknown_query_has_no_probability() {
+        let log = log_with(&[("a", 1, 0)]);
+        let sessions = split_sessions(&log);
+        let g = QueryFlowGraph::build(&log, &sessions);
+        assert_eq!(g.chaining_probability(QueryId(0), QueryId(99)), 0.0);
+    }
+}

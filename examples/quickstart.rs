@@ -1,0 +1,63 @@
+//! Quickstart: index a handful of documents, declare an ambiguous query's
+//! specializations, and diversify its results with OptSelect.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use serpdiv::core::{AlgorithmKind, DiversificationPipeline, PipelineParams, UtilityParams};
+use serpdiv::index::{Document, IndexBuilder, SearchEngine};
+use serpdiv::mining::SpecializationModel;
+
+fn main() {
+    // 1. Build a tiny web corpus: "jaguar" the car, the cat, the OS.
+    let mut builder = IndexBuilder::new();
+    let docs = [
+        ("car", "jaguar xk sports car engine roadster speed luxury coupe"),
+        ("car", "jaguar car dealership price leasing warranty motor drive"),
+        ("car", "classic jaguar etype restoration engine chrome motor club"),
+        ("cat", "jaguar big cat rainforest predator habitat prey jungle"),
+        ("cat", "jaguar cat conservation amazon wildlife spotted fur jungle"),
+        ("cat", "jaguar panther feline hunting territory south america jungle"),
+        ("os", "jaguar mac os x operating system release apple software update"),
+        ("os", "installing jaguar os x on older apple hardware software guide"),
+    ];
+    for (i, (kind, body)) in docs.iter().enumerate() {
+        builder.add(Document::new(
+            i as u32,
+            format!("http://example.org/{kind}/{i}"),
+            format!("jaguar {kind}"),
+            body.to_string(),
+        ));
+    }
+    let index = builder.build();
+    let engine = SearchEngine::new(&index);
+
+    // 2. The mined knowledge: "jaguar" is ambiguous with three popular
+    //    specializations (normally produced by serpdiv-mining from a query
+    //    log — see the `log_mining` example).
+    let model = SpecializationModel::from_json(
+        r#"{"entries":{"jaguar":{"query":"jaguar","specializations":[
+            ["jaguar car",0.5],["jaguar cat",0.3],["jaguar os",0.2]]}}}"#,
+    )
+    .expect("valid model");
+
+    // 3. Deploy the pipeline and compare the baseline with OptSelect.
+    let params = PipelineParams {
+        k_spec_results: 3,
+        utility: UtilityParams { threshold_c: 0.3 },
+        ..PipelineParams::default()
+    };
+    let pipeline = DiversificationPipeline::new(&engine, &model, params);
+
+    println!("query: \"jaguar\" — top 3 results\n");
+    for algo in [AlgorithmKind::Baseline, AlgorithmKind::OptSelect] {
+        let out = pipeline.diversify("jaguar", 8, 3, algo);
+        println!("{}:", out.algorithm);
+        for (rank, doc) in out.docs.iter().enumerate() {
+            let d = index.store().get(*doc).expect("stored");
+            println!("  {}. {} — {}", rank + 1, d.title, d.url);
+        }
+        println!();
+    }
+    println!("The baseline ranks by DPH relevance alone; OptSelect packs all");
+    println!("three interpretations into the first page (§1 of the paper).");
+}

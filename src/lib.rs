@@ -1,0 +1,43 @@
+//! # serpdiv — Efficient Diversification of Web Search Results
+//!
+//! Facade crate re-exporting the whole `serpdiv` workspace: a from-scratch
+//! Rust reproduction of *Capannini, Nardini, Perego, Silvestri — "Efficient
+//! Diversification of Web Search Results", VLDB 2011*.
+//!
+//! The workspace layers, bottom-up:
+//!
+//! * [`text`] — tokenizer, Porter stemmer, stopwords, term dictionary;
+//! * [`index`] — inverted index, DPH/BM25 ranking, snippets, TF-IDF vectors;
+//! * [`corpus`] — synthetic topical corpus + TREC-like topics/qrels
+//!   (the ClueWeb-B stand-in);
+//! * [`querylog`] — query-log records and AOL/MSN-like synthetic generators;
+//! * [`mining`] — query-flow graph, search-shortcuts recommender, and
+//!   Algorithm 1 (`AmbiguousQueryDetect`);
+//! * [`core`] — the diversification framework: results' utility (Def. 2),
+//!   **OptSelect** (Algorithm 2), IASelect, xQuAD, and MMR;
+//! * [`eval`] — α-NDCG, IA-P, NDCG and the Wilcoxon signed-rank test.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough and
+//! `crates/bench` for the binaries regenerating every table and figure of
+//! the paper.
+
+pub use serpdiv_core as core;
+pub use serpdiv_corpus as corpus;
+pub use serpdiv_eval as eval;
+pub use serpdiv_index as index;
+pub use serpdiv_mining as mining;
+pub use serpdiv_querylog as querylog;
+pub use serpdiv_text as text;
+
+/// Commonly used items, importable with `use serpdiv::prelude::*`.
+pub mod prelude {
+    pub use serpdiv_core::{
+        Diversifier, IaSelect, Mmr, OptSelect, UtilityMatrix, UtilityParams, XQuad,
+    };
+    pub use serpdiv_corpus::{Testbed, TestbedConfig};
+    pub use serpdiv_eval::{alpha_ndcg_at, ia_precision_at, Qrels};
+    pub use serpdiv_index::{Document, DocumentStore, IndexBuilder, SearchEngine};
+    pub use serpdiv_mining::{AmbiguityDetector, SpecializationModel};
+    pub use serpdiv_querylog::{LogConfig, QueryLog, QueryLogGenerator};
+    pub use serpdiv_text::Analyzer;
+}

@@ -1,0 +1,144 @@
+//! Property-based invariants of the diversification algorithms, exercised
+//! through the facade crate on randomly generated inputs.
+
+use proptest::prelude::*;
+use serpdiv::core::{
+    Diversifier, DiversifyInput, IaSelect, Mmr, OptSelect, UtilityMatrix, XQuad,
+};
+
+/// Random well-formed DiversifyInput: n ∈ [1,60], m ∈ [0,6].
+fn arb_input() -> impl Strategy<Value = DiversifyInput> {
+    (1usize..60, 0usize..6).prop_flat_map(|(n, m)| {
+        let values = prop::collection::vec(0.0f64..1.0, n * m);
+        let relevance = prop::collection::vec(0.0f64..1.0, n);
+        let probs = prop::collection::vec(0.1f64..1.0, m);
+        (values, relevance, probs).prop_map(move |(values, relevance, probs)| {
+            let total: f64 = probs.iter().sum();
+            let probs: Vec<f64> = if m == 0 {
+                Vec::new()
+            } else {
+                probs.iter().map(|p| p / total).collect()
+            };
+            DiversifyInput::new(probs, relevance, UtilityMatrix::from_values(n, m, values))
+        })
+    })
+}
+
+fn algorithms() -> Vec<Box<dyn Diversifier>> {
+    vec![
+        Box::new(OptSelect::new()),
+        Box::new(OptSelect::with_lambda(0.0)),
+        Box::new(OptSelect::with_lambda(1.0)),
+        Box::new(IaSelect::new()),
+        Box::new(XQuad::new()),
+        Box::new(XQuad::with_lambda(1.0)),
+        Box::new(Mmr::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every algorithm returns exactly min(k, n) distinct in-range indices.
+    #[test]
+    fn selections_are_well_formed(input in arb_input(), k in 0usize..80) {
+        let n = input.num_candidates();
+        for algo in algorithms() {
+            let s = algo.select(&input, k);
+            prop_assert_eq!(s.len(), k.min(n), "{} size", algo.name());
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), s.len(), "{} duplicates", algo.name());
+            prop_assert!(s.iter().all(|&i| i < n), "{} out of range", algo.name());
+        }
+    }
+
+    /// Determinism: two runs produce identical rankings.
+    #[test]
+    fn selections_are_deterministic(input in arb_input(), k in 1usize..40) {
+        for algo in algorithms() {
+            prop_assert_eq!(algo.select(&input, k), algo.select(&input, k));
+        }
+    }
+
+    /// k = n returns a permutation of all candidates.
+    #[test]
+    fn full_k_is_a_permutation(input in arb_input()) {
+        let n = input.num_candidates();
+        for algo in algorithms() {
+            let mut s = algo.select(&input, n);
+            s.sort_unstable();
+            let expected: Vec<usize> = (0..n).collect();
+            prop_assert_eq!(&s, &expected, "{}", algo.name());
+        }
+    }
+
+    /// OptSelect satisfies the MaxUtility coverage constraint whenever it
+    /// is satisfiable: for every specialization j,
+    /// |S ⋈ j| ≥ min(⌊k·P(j)⌋, coverage available).
+    #[test]
+    fn optselect_coverage_constraint(input in arb_input(), k in 1usize..40) {
+        let n = input.num_candidates();
+        let m = input.num_specializations();
+        let k = k.min(n);
+        // Constraint applies to the k most probable specializations.
+        if m == 0 || m > k {
+            return Ok(());
+        }
+        let s = OptSelect::with_lambda(1.0).select(&input, k);
+        for j in 0..m {
+            let quota = (k as f64 * input.spec_probs[j]).floor() as usize;
+            let available = input.utilities.coverage(j);
+            let got = s.iter().filter(|&&i| input.utilities.get(i, j) > 0.0).count();
+            // The quota is enforceable only up to the number of available
+            // useful docs, and competition among specializations can bind
+            // when quotas sum close to k; assert the guaranteed floor.
+            let floor = quota.min(available);
+            prop_assert!(
+                got >= floor.saturating_sub(
+                    // Slack: docs can count for several specializations,
+                    // and |S| = k caps the total. The Σ⌊k·P⌋ ≤ k bound
+                    // guarantees no slack is needed when every doc serves
+                    // a single specialization; multi-spec docs only help.
+                    0
+                ),
+                "spec {j}: got {got} < floor {floor} (quota {quota}, avail {available})"
+            );
+        }
+    }
+
+    /// The Eq. 4 objective of IASelect's greedy solution is monotone in k.
+    #[test]
+    fn iaselect_objective_monotone(input in arb_input()) {
+        let n = input.num_candidates();
+        let algo = IaSelect::new();
+        let full = algo.select(&input, n);
+        let objective = |sol: &[usize]| -> f64 {
+            (0..input.num_specializations())
+                .map(|j| {
+                    let unc: f64 = sol.iter().map(|&i| 1.0 - input.utilities.get(i, j)).product();
+                    input.spec_probs[j] * (1.0 - unc)
+                })
+                .sum()
+        };
+        let mut prev = 0.0;
+        for l in 1..=full.len() {
+            let v = objective(&full[..l]);
+            prop_assert!(v >= prev - 1e-9);
+            prev = v;
+        }
+    }
+
+    /// xQuAD with λ = 0 ranks purely by relevance.
+    #[test]
+    fn xquad_lambda_zero_is_relevance(input in arb_input(), k in 1usize..30) {
+        let s = XQuad::with_lambda(0.0).select(&input, k);
+        for w in s.windows(2) {
+            prop_assert!(
+                input.relevance[w[0]] >= input.relevance[w[1]] - 1e-12,
+                "not relevance-sorted"
+            );
+        }
+    }
+}

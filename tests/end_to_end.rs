@@ -1,0 +1,183 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! corpus generation → indexing → query-log simulation → mining →
+//! diversification → evaluation.
+
+use serpdiv::core::{
+    AlgorithmKind, DiversificationPipeline, PipelineParams, UtilityParams,
+};
+use serpdiv::corpus::{Testbed, TestbedConfig};
+use serpdiv::eval::{alpha_ndcg_at, ia_precision_at, ndcg_at};
+use serpdiv::index::SearchEngine;
+use serpdiv::mining::{AmbiguityDetector, QueryFlowGraph, ShortcutsModel, SpecializationModel};
+use serpdiv::querylog::{split_sessions, FreqTable, LogConfig, QueryLogGenerator};
+
+struct World {
+    testbed: Testbed,
+    model: SpecializationModel,
+}
+
+fn build_world() -> World {
+    let mut cfg = TestbedConfig::small();
+    cfg.num_topics = 6;
+    cfg.docs_per_subtopic = 12;
+    cfg.noise_docs = 150;
+    let testbed = Testbed::generate(cfg);
+    let generator = QueryLogGenerator::new(
+        LogConfig::aol_like(6_000),
+        &testbed.topics,
+        &testbed.background,
+    );
+    let (log, _) = generator.generate();
+    let physical = split_sessions(&log);
+    let qfg = QueryFlowGraph::build(&log, &physical);
+    let logical = qfg.extract_logical_sessions(&log, &physical, 0.001);
+    let shortcuts = ShortcutsModel::train(&log, &logical, 16);
+    let freq = FreqTable::build(&log);
+    let detector = AmbiguityDetector::new(&shortcuts, &freq, 20.0);
+    let model = SpecializationModel::mine(&log, &detector);
+    World { testbed, model }
+}
+
+#[test]
+fn full_stack_diversification_beats_baseline_on_alpha_ndcg() {
+    let world = build_world();
+    let index = world.testbed.build_index();
+    let engine = SearchEngine::new(&index);
+    let params = PipelineParams {
+        k_spec_results: 15,
+        utility: UtilityParams { threshold_c: 0.05 },
+        ..PipelineParams::default()
+    };
+    let pipeline = DiversificationPipeline::new(&engine, &world.model, params);
+
+    let (mut base_sum, mut opt_sum) = (0.0, 0.0);
+    let mut diversified_topics = 0usize;
+    for topic in &world.testbed.topics {
+        let base = pipeline.diversify(&topic.query, 500, 100, AlgorithmKind::Baseline);
+        let opt = pipeline.diversify(&topic.query, 500, 100, AlgorithmKind::OptSelect);
+        if opt.diversified {
+            diversified_topics += 1;
+        }
+        base_sum += alpha_ndcg_at(&base.docs, &world.testbed.qrels, topic.id, 0.5, 20);
+        opt_sum += alpha_ndcg_at(&opt.docs, &world.testbed.qrels, topic.id, 0.5, 20);
+    }
+    assert!(
+        diversified_topics >= 4,
+        "mining should cover most of the 6 topics, got {diversified_topics}"
+    );
+    assert!(
+        opt_sum >= base_sum * 0.98,
+        "OptSelect ({opt_sum:.3}) must not fall below the baseline ({base_sum:.3})"
+    );
+}
+
+#[test]
+fn all_diversifiers_return_valid_serps_across_topics() {
+    let world = build_world();
+    let index = world.testbed.build_index();
+    let engine = SearchEngine::new(&index);
+    let pipeline =
+        DiversificationPipeline::new(&engine, &world.model, PipelineParams::default());
+    for topic in &world.testbed.topics {
+        for algo in [
+            AlgorithmKind::Baseline,
+            AlgorithmKind::OptSelect,
+            AlgorithmKind::XQuad,
+            AlgorithmKind::IaSelect,
+            AlgorithmKind::Mmr,
+        ] {
+            let out = pipeline.diversify(&topic.query, 300, 50, algo);
+            assert!(!out.docs.is_empty(), "{algo:?} on topic {}", topic.id);
+            let mut ids: Vec<u32> = out.docs.iter().map(|d| d.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), out.docs.len(), "{algo:?} duplicates");
+        }
+    }
+}
+
+#[test]
+fn mined_probabilities_track_ground_truth_weights() {
+    let world = build_world();
+    let mut checked = 0usize;
+    for topic in &world.testbed.topics {
+        let Some(entry) = world.model.get(&topic.query) else {
+            continue;
+        };
+        // For each mined specialization that is a true subtopic query, the
+        // mined P(q'|q) should be within a loose band of the ground truth.
+        for (spec, p) in &entry.specializations {
+            if let Some(sub) = topic.subtopics.iter().find(|s| &s.query == spec) {
+                assert!(
+                    (p - sub.weight).abs() < 0.30,
+                    "topic {} spec {spec}: mined {p:.2} vs truth {:.2}",
+                    topic.id,
+                    sub.weight
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 8, "too few mined specializations matched: {checked}");
+}
+
+#[test]
+fn evaluation_metrics_are_consistent_across_the_stack() {
+    let world = build_world();
+    let index = world.testbed.build_index();
+    let engine = SearchEngine::new(&index);
+    let topic = &world.testbed.topics[0];
+    let ranking: Vec<_> = engine
+        .search(&topic.query, 50)
+        .into_iter()
+        .map(|h| h.doc)
+        .collect();
+    let qrels = &world.testbed.qrels;
+    for k in [5, 10, 20, 50] {
+        let a = alpha_ndcg_at(&ranking, qrels, topic.id, 0.5, k);
+        let i = ia_precision_at(&ranking, qrels, topic.id, k);
+        let n = ndcg_at(&ranking, qrels, topic.id, k);
+        assert!((0.0..=1.0).contains(&a));
+        assert!((0.0..=1.0).contains(&i));
+        assert!((0.0..=1.0).contains(&n));
+    }
+    // The retrieval baseline must find *something* relevant for its own
+    // topic query.
+    assert!(ndcg_at(&ranking, qrels, topic.id, 50) > 0.0);
+}
+
+#[test]
+fn model_survives_serialization_roundtrip_and_still_diversifies() {
+    let world = build_world();
+    let json = world.model.to_json();
+    let restored = SpecializationModel::from_json(&json).expect("roundtrip");
+    assert_eq!(restored.len(), world.model.len());
+
+    let index = world.testbed.build_index();
+    let engine = SearchEngine::new(&index);
+    let pipeline =
+        DiversificationPipeline::new(&engine, &restored, PipelineParams::default());
+    let topic = &world.testbed.topics[0];
+    let out = pipeline.diversify(&topic.query, 200, 20, AlgorithmKind::OptSelect);
+    assert_eq!(out.docs.len(), 20);
+}
+
+#[test]
+fn threshold_c_one_degenerates_to_baseline() {
+    // c = 1.0 zeroes every utility (Ũ ≤ 1): every diversifier must then
+    // reproduce (a permutation-free prefix of) the relevance ranking.
+    let world = build_world();
+    let index = world.testbed.build_index();
+    let engine = SearchEngine::new(&index);
+    let params = PipelineParams {
+        utility: UtilityParams { threshold_c: 1.1 },
+        ..PipelineParams::default()
+    };
+    let pipeline = DiversificationPipeline::new(&engine, &world.model, params);
+    let topic = &world.testbed.topics[0];
+    let base = pipeline.diversify(&topic.query, 200, 10, AlgorithmKind::Baseline);
+    let opt = pipeline.diversify(&topic.query, 200, 10, AlgorithmKind::OptSelect);
+    let xquad = pipeline.diversify(&topic.query, 200, 10, AlgorithmKind::XQuad);
+    assert_eq!(base.docs, opt.docs, "OptSelect at c>1 == baseline");
+    assert_eq!(base.docs, xquad.docs, "xQuAD at c>1 == baseline");
+}
