@@ -10,7 +10,9 @@ fn make_vector(seed: u64, nnz: usize, vocab: u32) -> SparseVector {
     // Simple LCG so the bench has no rand dependency in the hot path.
     let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state
     };
     SparseVector::from_pairs((0..nnz).map(|_| {
@@ -25,9 +27,13 @@ fn bench_cosine(c: &mut Criterion) {
     for &nnz in &[10usize, 50, 200] {
         let a = make_vector(1, nnz, 5_000);
         let b = make_vector(2, nnz, 5_000);
-        group.bench_with_input(BenchmarkId::from_parameter(nnz), &(a, b), |bench, (a, b)| {
-            bench.iter(|| cosine(a, b));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nnz),
+            &(a, b),
+            |bench, (a, b)| {
+                bench.iter(|| cosine(a, b));
+            },
+        );
     }
     group.finish();
 }
@@ -39,7 +45,11 @@ fn bench_utility_matrix(c: &mut Criterion) {
     // per-query workload shape.
     let candidates: Vec<SparseVector> = (0..500).map(|i| make_vector(i, 25, 5_000)).collect();
     let specs: Vec<Vec<SparseVector>> = (0..5)
-        .map(|s| (0..20).map(|r| make_vector(1_000 + s * 20 + r, 25, 5_000)).collect())
+        .map(|s| {
+            (0..20)
+                .map(|r| make_vector(1_000 + s * 20 + r, 25, 5_000))
+                .collect()
+        })
         .collect();
     group.bench_function("500x5x20", |b| {
         b.iter(|| UtilityMatrix::compute(&candidates, &specs, UtilityParams::default()));

@@ -7,7 +7,7 @@
 //! heap discipline loses nothing on the MaxUtility objective.
 
 use serpdiv_bench::{time_median_ms, SelectionWorkload, WorkloadConfig};
-use serpdiv_core::{DiversifyInput, Diversifier, OptSelect};
+use serpdiv_core::{Diversifier, DiversifyInput, OptSelect};
 use serpdiv_eval::report::ms;
 use serpdiv_eval::Table;
 

@@ -8,9 +8,7 @@
 //! testbed, plus MMR across its own λ for context.
 
 use serpdiv_bench::{Lab, LabConfig};
-use serpdiv_core::{
-    DiversificationPipeline, Diversifier, Mmr, OptSelect, PipelineParams, XQuad,
-};
+use serpdiv_core::{DiversificationPipeline, Diversifier, Mmr, OptSelect, PipelineParams, XQuad};
 use serpdiv_eval::report::f3;
 use serpdiv_eval::{alpha_ndcg_at, ia_precision_at, Table};
 use serpdiv_index::DocId;
@@ -46,7 +44,13 @@ fn main() {
         .testbed
         .topics
         .iter()
-        .map(|t| engine.search(&t.query, K).into_iter().map(|h| h.doc).collect())
+        .map(|t| {
+            engine
+                .search(&t.query, K)
+                .into_iter()
+                .map(|h| h.doc)
+                .collect()
+        })
         .collect();
 
     println!("\nLambda sweep (alpha-NDCG@20 / IA-P@20, threshold c = 0.05)\n");

@@ -114,8 +114,7 @@ fn main() {
             if k == 0 {
                 continue;
             }
-            let overall =
-                |i: usize| input.overall_utility(i, 1.0).max(0.0);
+            let overall = |i: usize| input.overall_utility(i, 1.0).max(0.0);
             let selected = optselect.select(&input, k);
             let num: f64 = selected.iter().map(|&i| overall(i)).sum();
             // Original list = candidate order (the baseline ranking).
@@ -133,10 +132,8 @@ fn main() {
     println!("\nFigure 1 reproduction — average utility ratio per number of specializations");
     println!("(paper: improvement factor between 5 and 10 across |Sq| for both logs)\n");
     let mut t = Table::new(&["|Sq|", "AOL ratio", "AOL n", "MSN ratio", "MSN n"]);
-    let all_keys: std::collections::BTreeSet<usize> = buckets
-        .iter()
-        .flat_map(|b| b.keys().copied())
-        .collect();
+    let all_keys: std::collections::BTreeSet<usize> =
+        buckets.iter().flat_map(|b| b.keys().copied()).collect();
     for key in all_keys {
         let cell = |li: usize| -> (String, String) {
             match buckets[li].get(&key) {

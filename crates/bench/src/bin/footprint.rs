@@ -33,8 +33,14 @@ fn main() {
     println!("\nSection 4.1 memory-feasibility reproduction\n");
     let mut t = Table::new(&["quantity", "value"]);
     t.row(vec!["N (ambiguous queries)".into(), n.to_string()]);
-    t.row(vec!["|S_q̂| (max specializations)".into(), max_specs.to_string()]);
-    t.row(vec!["|R_q̂′| (results per specialization)".into(), r.to_string()]);
+    t.row(vec![
+        "|S_q̂| (max specializations)".into(),
+        max_specs.to_string(),
+    ]);
+    t.row(vec![
+        "|R_q̂′| (results per specialization)".into(),
+        r.to_string(),
+    ]);
     t.row(vec!["L (avg snippet bytes)".into(), format!("{l:.1}")]);
     t.row(vec![
         "paper bound N·|S_q̂|·|R_q̂′|·L".into(),

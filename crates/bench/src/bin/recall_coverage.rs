@@ -48,8 +48,10 @@ fn main() {
             for w in s.records.windows(2) {
                 let a = lab.test.records()[w[0]].query;
                 let b = lab.test.records()[w[1]].query;
-                let (Some(QueryKind::Ambiguous { topic: t1 }), Some(QueryKind::Specialization { topic: t2, .. })) =
-                    (lab.truth.kind(a), lab.truth.kind(b))
+                let (
+                    Some(QueryKind::Ambiguous { topic: t1 }),
+                    Some(QueryKind::Specialization { topic: t2, .. }),
+                ) = (lab.truth.kind(a), lab.truth.kind(b))
                 else {
                     continue;
                 };

@@ -1,0 +1,193 @@
+//! `serve_bench` — throughput/latency benchmark of the serving engine.
+//!
+//! Builds the full offline stack (synthetic testbed → index → query log →
+//! mined specialization model → §4.1 store), then replays the *test* split
+//! of the query-log session stream against `serpdiv_serve::SearchEngine`
+//! through a worker pool at configurable concurrency, once per
+//! diversification algorithm, and reports QPS, p50/p95/p99 service
+//! latency, cache hit rate and the mean per-stage breakdown.
+//!
+//! Usage:
+//! ```text
+//! serve_bench [--sessions N] [--requests N] [--concurrency N] [--k N]
+//!             [--candidates N] [--no-cache]
+//! ```
+//! Defaults: 4000 sessions, 2000 requests, 8 workers, k=10, 100
+//! candidates, cache on.
+
+use serpdiv_bench::{Lab, LabConfig};
+use serpdiv_core::{AlgorithmKind, SpecializationStore};
+use serpdiv_index::SearchEngine as Retriever;
+use serpdiv_serve::{EngineConfig, QueryRequest, SearchEngine, WorkerPool};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    sessions: usize,
+    requests: usize,
+    concurrency: usize,
+    k: usize,
+    candidates: usize,
+    cache: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sessions: 4_000,
+        requests: 2_000,
+        concurrency: 8,
+        k: 10,
+        candidates: 100,
+        cache: true,
+    };
+    let usage = "usage: serve_bench [--sessions N] [--requests N] [--concurrency N] \
+                 [--k N] [--candidates N] [--no-cache]";
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> usize {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("error: {name} needs a numeric argument\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--sessions" => args.sessions = num("--sessions"),
+            "--requests" => args.requests = num("--requests"),
+            "--concurrency" => args.concurrency = num("--concurrency"),
+            "--k" => args.k = num("--k"),
+            "--candidates" => args.candidates = num("--candidates"),
+            "--no-cache" => args.cache = false,
+            other => {
+                eprintln!("error: unknown flag {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.requests == 0 {
+        eprintln!("error: --requests must be positive\n{usage}");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1e3
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "serve_bench — {} requests/algorithm over {} workers (k={}, |Rq|={}, cache {})",
+        args.requests,
+        args.concurrency,
+        args.k,
+        args.candidates,
+        if args.cache { "on" } else { "off" },
+    );
+
+    // Offline stack: corpus, index, log, mined model (70/30 split).
+    let t = Instant::now();
+    let mut config = LabConfig::small();
+    config.log.num_sessions = args.sessions;
+    let lab = Lab::build(config);
+    println!(
+        "offline stack: {} docs, {} log records, {} ambiguous queries mined ({:.1}s)",
+        lab.index.stats().num_docs,
+        lab.train.len() + lab.test.len(),
+        lab.model.len(),
+        t.elapsed().as_secs_f64(),
+    );
+
+    // Deployment: shared immutable index/model and one §4.1 store.
+    let t = Instant::now();
+    let params = serpdiv_core::PipelineParams::default();
+    let index = Arc::new(lab.index);
+    let model = Arc::new(lab.model);
+    let store = {
+        let retriever = Retriever::new(&index);
+        Arc::new(SpecializationStore::build(
+            &model,
+            &retriever,
+            params.k_spec_results,
+            params.snippet_window,
+        ))
+    };
+    println!(
+        "specialization store: {} specializations, {:.1} KiB ({:.2}s)\n",
+        store.len(),
+        store.byte_size() as f64 / 1024.0,
+        t.elapsed().as_secs_f64(),
+    );
+
+    // The replayed session stream: test-split queries in time order.
+    let queries: Vec<String> = lab
+        .test
+        .records()
+        .iter()
+        .map(|r| lab.test.query_text(r.query).expect("interned").to_string())
+        .collect();
+    assert!(!queries.is_empty(), "test split is empty; raise --sessions");
+
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}  mean stage µs (det/retr/util/sel)",
+        "algorithm", "QPS", "p50 ms", "p95 ms", "p99 ms", "hit%", "divers%",
+    );
+    for algo in [
+        AlgorithmKind::Baseline,
+        AlgorithmKind::OptSelect,
+        AlgorithmKind::IaSelect,
+        AlgorithmKind::XQuad,
+        AlgorithmKind::Mmr,
+    ] {
+        let engine = Arc::new(SearchEngine::with_store(
+            index.clone(),
+            model.clone(),
+            store.clone(),
+            EngineConfig {
+                n_candidates: args.candidates,
+                params,
+                cache_shards: 16,
+                cache_capacity: if args.cache { 8192 } else { 0 },
+            },
+        ));
+        let pool = WorkerPool::new(engine.clone(), args.concurrency);
+        let requests: Vec<QueryRequest> = (0..args.requests)
+            .map(|i| QueryRequest::new(queries[i % queries.len()].clone(), args.k, algo))
+            .collect();
+
+        let wall = Instant::now();
+        let responses = pool.serve_batch(requests);
+        let wall_s = wall.elapsed().as_secs_f64();
+
+        let mut totals: Vec<u64> = responses.iter().map(|r| r.timings.total_us).collect();
+        totals.sort_unstable();
+        let qps = responses.len() as f64 / wall_s;
+        let hit_rate = engine
+            .cache()
+            .map(|c| c.stats().hit_rate() * 100.0)
+            .unwrap_or(0.0);
+        let m = engine.metrics();
+        let computed = (m.diversified + m.passthrough).max(1);
+        let diversified_pct = 100.0 * responses.iter().filter(|r| r.diversified).count() as f64
+            / responses.len() as f64;
+        println!(
+            "{:<10} {:>9.0} {:>9.3} {:>9.3} {:>9.3} {:>7.1} {:>7.1}  {}/{}/{}/{}",
+            format!("{algo:?}"),
+            qps,
+            percentile(&totals, 50.0),
+            percentile(&totals, 95.0),
+            percentile(&totals, 99.0),
+            hit_rate,
+            diversified_pct,
+            m.stage_sums.detect_us / computed,
+            m.stage_sums.retrieve_us / computed,
+            m.stage_sums.utility_us / computed,
+            m.stage_sums.select_us / computed,
+        );
+    }
+    println!("\n(per-stage means are over computed — non-cache-hit — requests)");
+}

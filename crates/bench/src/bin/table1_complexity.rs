@@ -45,7 +45,10 @@ fn main() {
         for &n in &ns {
             let w = SelectionWorkload::generate(WorkloadConfig::table2(n), 3);
             let timed = time_median_ms(3, || {
-                w.queries.iter().map(|q| run_algo(name, q, k)).collect::<Vec<_>>()
+                w.queries
+                    .iter()
+                    .map(|q| run_algo(name, q, k))
+                    .collect::<Vec<_>>()
             });
             points.push((n as f64, timed.median_ms));
         }
@@ -66,7 +69,10 @@ fn main() {
         let mut points = Vec::new();
         for &k in &ks {
             let timed = time_median_ms(3, || {
-                w.queries.iter().map(|q| run_algo(name, q, k)).collect::<Vec<_>>()
+                w.queries
+                    .iter()
+                    .map(|q| run_algo(name, q, k))
+                    .collect::<Vec<_>>()
             });
             points.push((k as f64, timed.median_ms));
         }

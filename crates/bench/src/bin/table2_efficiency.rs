@@ -63,13 +63,25 @@ fn main() {
     let k = 1_000;
     let workload = SelectionWorkload::generate(WorkloadConfig::table2(n), 3);
     let t_opt = time_median_ms(3, || {
-        workload.queries.iter().map(|q| OptSelect::new().select(q, k)).collect::<Vec<_>>()
+        workload
+            .queries
+            .iter()
+            .map(|q| OptSelect::new().select(q, k))
+            .collect::<Vec<_>>()
     });
     let t_xq = time_median_ms(1, || {
-        workload.queries.iter().map(|q| XQuad::new().select(q, k)).collect::<Vec<_>>()
+        workload
+            .queries
+            .iter()
+            .map(|q| XQuad::new().select(q, k))
+            .collect::<Vec<_>>()
     });
     let t_ia = time_median_ms(1, || {
-        workload.queries.iter().map(|q| IaSelect::new().select(q, k)).collect::<Vec<_>>()
+        workload
+            .queries
+            .iter()
+            .map(|q| IaSelect::new().select(q, k))
+            .collect::<Vec<_>>()
     });
     println!(
         "speedup at |Rq|=100k, k=1000:  xQuAD/OptSelect = {:.0}x, IASelect/OptSelect = {:.0}x",

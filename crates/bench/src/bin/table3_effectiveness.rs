@@ -60,9 +60,9 @@ fn main() {
                 .into_iter()
                 .map(|h| h.doc)
                 .collect();
-            let input = pipeline.build_input(&t.query, N_CANDIDATES).map(|(b, i)| {
-                (b.into_iter().map(|h| h.doc).collect::<Vec<_>>(), i)
-            });
+            let input = pipeline
+                .build_input(&t.query, N_CANDIDATES)
+                .map(|(b, i)| (b.into_iter().map(|h| h.doc).collect::<Vec<_>>(), i));
             PerTopic {
                 topic: t.id,
                 baseline_docs,
@@ -122,7 +122,11 @@ fn main() {
                 per_topic_at20[i].0,
                 per_topic_at20[j].0,
                 r.p_value,
-                if r.significant_at(0.05) { "  (significant)" } else { "" }
+                if r.significant_at(0.05) {
+                    "  (significant)"
+                } else {
+                    ""
+                }
             );
         }
     }
@@ -130,12 +134,7 @@ fn main() {
 }
 
 /// The ranking a system produces for one topic at threshold `c`.
-fn ranking_for(
-    pt: &PerTopic,
-    kind: AlgorithmKind,
-    c: f64,
-    params: PipelineParams,
-) -> Vec<DocId> {
+fn ranking_for(pt: &PerTopic, kind: AlgorithmKind, c: f64, params: PipelineParams) -> Vec<DocId> {
     match &pt.input {
         None => pt.baseline_docs.clone(),
         Some((docs, input)) => {

@@ -83,11 +83,8 @@ impl Lab {
         let testbed = Testbed::generate(config.testbed.clone());
         let index = testbed.build_index();
 
-        let generator = QueryLogGenerator::new(
-            config.log.clone(),
-            &testbed.topics,
-            &testbed.background,
-        );
+        let generator =
+            QueryLogGenerator::new(config.log.clone(), &testbed.topics, &testbed.background);
         let (log, truth) = generator.generate();
         let (train, test) = log.split_train_test(config.train_fraction);
 

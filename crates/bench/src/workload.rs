@@ -90,7 +90,11 @@ impl SelectionWorkload {
             }
         }
         let relevance: Vec<f64> = (0..cfg.n).map(|_| rng.gen_range(0.0..1.0)).collect();
-        DiversifyInput::new(probs, relevance, UtilityMatrix::from_values(cfg.n, m, values))
+        DiversifyInput::new(
+            probs,
+            relevance,
+            UtilityMatrix::from_values(cfg.n, m, values),
+        )
     }
 }
 

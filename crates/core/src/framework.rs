@@ -20,12 +20,14 @@ use crate::optselect::OptSelect;
 use crate::utility::{UtilityMatrix, UtilityParams};
 use crate::xquad::XQuad;
 use crate::Diversifier;
-use serpdiv_index::{DocId, ScoredDoc, SearchEngine, SnippetGenerator, SparseVector};
-use serpdiv_mining::SpecializationModel;
+use serpdiv_index::{
+    DocId, InvertedIndex, ScoredDoc, SearchEngine, SnippetGenerator, SparseVector,
+};
+use serpdiv_mining::{SpecializationEntry, SpecializationModel};
 use std::collections::HashMap;
 
 /// Which algorithm the pipeline runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlgorithmKind {
     /// No diversification: the DPH ranking as-is.
     Baseline,
@@ -142,9 +144,11 @@ impl SpecializationStore {
     /// Average snippet length `L` in bytes (for comparing against the
     /// back-of-the-envelope bound).
     pub fn avg_snippet_len(&self) -> f64 {
-        let (sum, count) = self.entries.values().flatten().fold((0usize, 0usize), |(s, c), (_, l)| {
-            (s + l, c + 1)
-        });
+        let (sum, count) = self
+            .entries
+            .values()
+            .flatten()
+            .fold((0usize, 0usize), |(s, c), (_, l)| (s + l, c + 1));
         if count == 0 {
             0.0
         } else {
@@ -215,43 +219,14 @@ impl<'a> DiversificationPipeline<'a> {
         if baseline.is_empty() {
             return None;
         }
-        let index = self.engine.index();
-        let snippets = SnippetGenerator::with_window(self.params.snippet_window);
-        let qterms = index.analyze_query(query);
-
-        // Candidate surrogates.
-        let vectors: Vec<SparseVector> = baseline
-            .iter()
-            .map(|h| {
-                index
-                    .store()
-                    .get(h.doc)
-                    .map(|doc| {
-                        let snip = snippets.snippet(doc, &qterms, index.vocab());
-                        SparseVector::from_text(&snip, index)
-                    })
-                    .unwrap_or_default()
-            })
-            .collect();
-
-        // Specialization surrogate lists from the store.
-        let spec_probs: Vec<f64> = entry.specializations.iter().map(|&(_, p)| p).collect();
-        let spec_lists: Vec<Vec<SparseVector>> = entry
-            .specializations
-            .iter()
-            .map(|(spec, _)| {
-                self.store
-                    .surrogates(spec)
-                    .iter()
-                    .map(|(v, _)| v.clone())
-                    .collect()
-            })
-            .collect();
-
-        let utilities = UtilityMatrix::compute(&vectors, &spec_lists, self.params.utility);
-        let scores: Vec<f64> = baseline.iter().map(|h| h.score).collect();
-        let relevance = DiversifyInput::normalize_scores(&scores);
-        let input = DiversifyInput::new(spec_probs, relevance, utilities).with_vectors(vectors);
+        let input = assemble_input(
+            self.engine.index(),
+            entry,
+            &self.store,
+            &self.params,
+            query,
+            &baseline,
+        );
         Some((baseline, input))
     }
 
@@ -294,7 +269,7 @@ impl<'a> DiversificationPipeline<'a> {
 
 impl DiversificationPipeline<'_> {
     /// Diversify a batch of queries in parallel over `workers` threads
-    /// (crossbeam scoped threads; work is claimed query-at-a-time from an
+    /// (std scoped threads; work is claimed query-at-a-time from an
     /// atomic counter).
     ///
     /// §6 lists "a search architecture performing the diversification task
@@ -311,39 +286,87 @@ impl DiversificationPipeline<'_> {
     ) -> Vec<DiversifiedRanking> {
         let workers = workers.max(1).min(queries.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut per_worker: Vec<Vec<(usize, DiversifiedRanking)>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let next = &next;
-                        scope.spawn(move |_| {
-                            let mut mine = Vec::new();
-                            loop {
-                                let i = next
-                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if i >= queries.len() {
-                                    break;
-                                }
-                                mine.push((
-                                    i,
-                                    self.diversify(&queries[i], n_candidates, k, algo),
-                                ));
+        let mut per_worker: Vec<Vec<(usize, DiversifiedRanking)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
                             }
-                            mine
-                        })
+                            mine.push((i, self.diversify(&queries[i], n_candidates, k, algo)));
+                        }
+                        mine
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("diversification worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("diversification worker panicked"))
+                .collect()
+        });
         let mut indexed: Vec<(usize, DiversifiedRanking)> =
             per_worker.drain(..).flatten().collect();
         indexed.sort_by_key(|&(i, _)| i);
         indexed.into_iter().map(|(_, r)| r).collect()
     }
+}
+
+/// Assemble the [`DiversifyInput`] for one already-retrieved candidate set:
+/// snippet surrogates for the candidates, surrogate lists for `entry`'s
+/// specializations from the precomputed `store`, the utility matrix
+/// (Definition 2) and max-normalized relevance.
+///
+/// This is the utility-computation stage shared by the offline
+/// [`DiversificationPipeline`] and the online serving engine
+/// (`serpdiv-serve`), which times it separately from retrieval.
+pub fn assemble_input(
+    index: &InvertedIndex,
+    entry: &SpecializationEntry,
+    store: &SpecializationStore,
+    params: &PipelineParams,
+    query: &str,
+    baseline: &[ScoredDoc],
+) -> DiversifyInput {
+    let snippets = SnippetGenerator::with_window(params.snippet_window);
+    let qterms = index.analyze_query(query);
+
+    // Candidate surrogates.
+    let vectors: Vec<SparseVector> = baseline
+        .iter()
+        .map(|h| {
+            index
+                .store()
+                .get(h.doc)
+                .map(|doc| {
+                    let snip = snippets.snippet(doc, &qterms, index.vocab());
+                    SparseVector::from_text(&snip, index)
+                })
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Specialization surrogate lists from the store.
+    let spec_probs: Vec<f64> = entry.specializations.iter().map(|&(_, p)| p).collect();
+    let spec_lists: Vec<Vec<SparseVector>> = entry
+        .specializations
+        .iter()
+        .map(|(spec, _)| {
+            store
+                .surrogates(spec)
+                .iter()
+                .map(|(v, _)| v.clone())
+                .collect()
+        })
+        .collect();
+
+    let utilities = UtilityMatrix::compute(&vectors, &spec_lists, params.utility);
+    let scores: Vec<f64> = baseline.iter().map(|h| h.score).collect();
+    let relevance = DiversifyInput::normalize_scores(&scores);
+    DiversifyInput::new(spec_probs, relevance, utilities).with_vectors(vectors)
 }
 
 /// Dispatch an [`AlgorithmKind`] over a prepared input.

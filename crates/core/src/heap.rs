@@ -97,11 +97,7 @@ impl BoundedHeap {
     /// Drain into a vector sorted by decreasing score (ties by increasing
     /// item id).
     pub fn into_sorted_desc(self) -> Vec<(f64, usize)> {
-        let mut v: Vec<(f64, usize)> = self
-            .heap
-            .into_iter()
-            .map(|e| (e.score, e.item))
-            .collect();
+        let mut v: Vec<(f64, usize)> = self.heap.into_iter().map(|e| (e.score, e.item)).collect();
         v.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         v
     }

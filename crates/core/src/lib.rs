@@ -34,8 +34,8 @@ pub mod xquad;
 
 pub use candidates::DiversifyInput;
 pub use framework::{
-    run_algorithm, AlgorithmKind, DiversificationPipeline, DiversifiedRanking, PipelineParams,
-    SpecializationStore,
+    assemble_input, run_algorithm, AlgorithmKind, DiversificationPipeline, DiversifiedRanking,
+    PipelineParams, SpecializationStore,
 };
 pub use heap::BoundedHeap;
 pub use iaselect::IaSelect;

@@ -87,7 +87,11 @@ impl Diversifier for OptSelect {
             for (i, &r) in input.relevance.iter().enumerate() {
                 heap.push(r, i);
             }
-            return heap.into_sorted_desc().into_iter().map(|(_, i)| i).collect();
+            return heap
+                .into_sorted_desc()
+                .into_iter()
+                .map(|(_, i)| i)
+                .collect();
         }
 
         // Eq. 9 — one score per candidate, computed once.
@@ -131,9 +135,9 @@ impl Diversifier for OptSelect {
             .map(BoundedHeap::into_sorted_desc)
             .collect();
         let add = |i: usize,
-                       selected: &mut Vec<usize>,
-                       in_s: &mut Vec<bool>,
-                       coverage: &mut Vec<usize>| {
+                   selected: &mut Vec<usize>,
+                   in_s: &mut Vec<bool>,
+                   coverage: &mut Vec<usize>| {
             if in_s[i] {
                 return false;
             }

@@ -155,7 +155,9 @@ mod tests {
         // Smoke: n=200, m=5, k=20 runs and returns k distinct docs.
         let n = 200;
         let m = 5;
-        let values: Vec<f64> = (0..n * m).map(|x| ((x * 37) % 100) as f64 / 100.0).collect();
+        let values: Vec<f64> = (0..n * m)
+            .map(|x| ((x * 37) % 100) as f64 / 100.0)
+            .collect();
         let probs = vec![0.2; 5];
         let rel: Vec<f64> = (0..n).map(|i| (i % 97) as f64 / 96.0).collect();
         let inp = DiversifyInput::new(probs, rel, UtilityMatrix::from_values(n, m, values));

@@ -79,12 +79,7 @@ impl<'a> DocGenerator<'a> {
     }
 
     /// Generate the body of a document about `topic`'s subtopic `sub`.
-    pub fn subtopic_body<R: Rng + ?Sized>(
-        &self,
-        topic: &Topic,
-        sub: usize,
-        rng: &mut R,
-    ) -> String {
+    pub fn subtopic_body<R: Rng + ?Sized>(&self, topic: &Topic, sub: usize, rng: &mut R) -> String {
         let subtopic = &topic.subtopics[sub];
         let len = rng.gen_range(self.cfg.min_len..=self.cfg.max_len);
         let mut words: Vec<&str> = Vec::with_capacity(len);
@@ -204,7 +199,10 @@ mod tests {
         let t = topic();
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..10 {
-            let n = gen.subtopic_body(&t, 0, &mut rng).split_whitespace().count();
+            let n = gen
+                .subtopic_body(&t, 0, &mut rng)
+                .split_whitespace()
+                .count();
             assert!((10..=20).contains(&n));
         }
     }

@@ -82,10 +82,8 @@ mod tests {
         // both: .5·.5 + .5·.5 = .5 ; one: .5·1 + .5·0 = .5 — equal here,
         // but at k=1 vs deeper pools weighting matters; use weighted form.
         assert!((both - one).abs() < 1e-12);
-        let weighted_both =
-            ia_precision_weighted_at(&[DocId(0), DocId(2)], &q, 0, &[0.2, 0.8], 2);
-        let weighted_one =
-            ia_precision_weighted_at(&[DocId(0), DocId(1)], &q, 0, &[0.2, 0.8], 2);
+        let weighted_both = ia_precision_weighted_at(&[DocId(0), DocId(2)], &q, 0, &[0.2, 0.8], 2);
+        let weighted_one = ia_precision_weighted_at(&[DocId(0), DocId(1)], &q, 0, &[0.2, 0.8], 2);
         assert!(weighted_both > weighted_one);
     }
 

@@ -60,9 +60,7 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
     let mut i = 0;
     while i < n {
         let mut j = i;
-        while j + 1 < n
-            && (diffs[order[j + 1]].abs() - diffs[order[i]].abs()).abs() < 1e-15
-        {
+        while j + 1 < n && (diffs[order[j + 1]].abs() - diffs[order[i]].abs()).abs() < 1e-15 {
             j += 1;
         }
         // Tied block [i..=j] shares the midrank.
@@ -122,9 +120,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {

@@ -170,7 +170,12 @@ mod tests {
     fn postings_are_in_doc_order() {
         let mut b = IndexBuilder::new();
         for i in 0..50 {
-            b.add(Document::new(i, format!("u{i}"), "", "shared unique".to_string()));
+            b.add(Document::new(
+                i,
+                format!("u{i}"),
+                "",
+                "shared unique".to_string(),
+            ));
         }
         let idx = b.build();
         let t = idx.vocab().id("share").or_else(|| idx.vocab().id("shared"));

@@ -99,8 +99,7 @@ impl<'a, M: RankingModel> MaxScoreEngine<'a, M> {
                 continue;
             }
             let max_tf = self.index.max_tf(term);
-            let ub = self.model.score(max_tf, min_dl, stats, coll).max(0.0)
-                * f64::from(weight);
+            let ub = self.model.score(max_tf, min_dl, stats, coll).max(0.0) * f64::from(weight);
             let mut iter = postings.iter();
             let current = iter.next();
             cursors.push((
@@ -212,7 +211,12 @@ mod tests {
     fn index_from(bodies: &[&str]) -> InvertedIndex {
         let mut b = IndexBuilder::new();
         for (i, body) in bodies.iter().enumerate() {
-            b.add(Document::new(i as u32, format!("u{i}"), "", body.to_string()));
+            b.add(Document::new(
+                i as u32,
+                format!("u{i}"),
+                "",
+                body.to_string(),
+            ));
         }
         b.build()
     }

@@ -126,8 +126,18 @@ mod tests {
     fn fixture() -> (InvertedIndex, PositionalIndex) {
         let mut b = IndexBuilder::new();
         b.add(Document::new(0, "u0", "", "apple pie recipe with cinnamon"));
-        b.add(Document::new(1, "u1", "", "pie apple is not a phrase match"));
-        b.add(Document::new(2, "u2", "", "the apple pie and another apple pie"));
+        b.add(Document::new(
+            1,
+            "u1",
+            "",
+            "pie apple is not a phrase match",
+        ));
+        b.add(Document::new(
+            2,
+            "u2",
+            "",
+            "the apple pie and another apple pie",
+        ));
         b.add(Document::new(3, "u3", "", "apple sauce and pecan pie"));
         let idx = b.build();
         let pos = PositionalIndex::build(&idx);
@@ -156,7 +166,9 @@ mod tests {
     fn empty_and_unknown_phrases() {
         let (idx, pos) = fixture();
         assert!(pos.phrase_docs(&[]).is_empty());
-        assert!(pos.phrase_docs(&idx.analyze_query("zeppelin ride")).is_empty());
+        assert!(pos
+            .phrase_docs(&idx.analyze_query("zeppelin ride"))
+            .is_empty());
     }
 
     #[test]
@@ -183,7 +195,10 @@ mod tests {
         let hits = phrase_search(&engine, &pos, "apple pie", 10);
         let docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
         assert!(docs.contains(&DocId(0)) && docs.contains(&DocId(2)));
-        assert!(!docs.contains(&DocId(1)), "bag-of-words match must be excluded");
+        assert!(
+            !docs.contains(&DocId(1)),
+            "bag-of-words match must be excluded"
+        );
         for w in hits.windows(2) {
             assert!(w[0].score >= w[1].score);
         }

@@ -68,7 +68,10 @@ impl<'a> SearchEngine<'a> {
     }
 
     /// Engine with a custom ranking model.
-    pub fn with_model(index: &'a InvertedIndex, model: impl RankingModel + Send + Sync + 'a) -> Self {
+    pub fn with_model(
+        index: &'a InvertedIndex,
+        model: impl RankingModel + Send + Sync + 'a,
+    ) -> Self {
         SearchEngine {
             index,
             model: Box::new(model),
@@ -114,7 +117,10 @@ impl<'a> SearchEngine<'a> {
                 *acc.entry(posting.doc).or_insert(0.0) += s;
             }
         }
-        top_k(acc.into_iter().map(|(doc, score)| ScoredDoc { doc, score }), k)
+        top_k(
+            acc.into_iter().map(|(doc, score)| ScoredDoc { doc, score }),
+            k,
+        )
     }
 }
 
@@ -236,9 +242,18 @@ mod tests {
     #[test]
     fn top_k_ties_break_by_doc_id() {
         let items = vec![
-            ScoredDoc { doc: DocId(5), score: 1.0 },
-            ScoredDoc { doc: DocId(1), score: 1.0 },
-            ScoredDoc { doc: DocId(3), score: 1.0 },
+            ScoredDoc {
+                doc: DocId(5),
+                score: 1.0,
+            },
+            ScoredDoc {
+                doc: DocId(1),
+                score: 1.0,
+            },
+            ScoredDoc {
+                doc: DocId(3),
+                score: 1.0,
+            },
         ];
         let out = top_k(items.into_iter(), 2);
         assert_eq!(out[0].doc, DocId(1));

@@ -204,7 +204,12 @@ impl InvertedIndex {
             .iter()
             .map(|l| l.iter().map(|p| p.tf).max().unwrap_or(0))
             .collect();
-        let min_doc_len = doc_lens.iter().copied().filter(|&l| l > 0).min().unwrap_or(0);
+        let min_doc_len = doc_lens
+            .iter()
+            .copied()
+            .filter(|&l| l > 0)
+            .min()
+            .unwrap_or(0);
         Ok(InvertedIndex {
             vocab,
             postings,
@@ -231,9 +236,24 @@ mod tests {
 
     fn sample_index() -> InvertedIndex {
         let mut b = IndexBuilder::new();
-        b.add(Document::new(0, "http://a", "apple iphone", "apple announces new iphone chip"));
-        b.add(Document::new(1, "http://b", "apple pie", "bake an apple pie with cinnamon"));
-        b.add(Document::new(2, "http://c", "", "unrelated text about sailing boats"));
+        b.add(Document::new(
+            0,
+            "http://a",
+            "apple iphone",
+            "apple announces new iphone chip",
+        ));
+        b.add(Document::new(
+            1,
+            "http://b",
+            "apple pie",
+            "bake an apple pie with cinnamon",
+        ));
+        b.add(Document::new(
+            2,
+            "http://c",
+            "",
+            "unrelated text about sailing boats",
+        ));
         b.build()
     }
 
@@ -256,12 +276,14 @@ mod tests {
     #[test]
     fn roundtrip_preserves_stats_and_store() {
         let idx = sample_index();
-        let restored =
-            InvertedIndex::from_bytes(&idx.to_bytes(), Analyzer::english()).unwrap();
+        let restored = InvertedIndex::from_bytes(&idx.to_bytes(), Analyzer::english()).unwrap();
         assert_eq!(restored.stats(), idx.stats());
         assert_eq!(restored.num_terms(), idx.num_terms());
         assert_eq!(restored.store().len(), 3);
-        assert_eq!(restored.store().get(crate::DocId(1)).unwrap().title, "apple pie");
+        assert_eq!(
+            restored.store().get(crate::DocId(1)).unwrap().title,
+            "apple pie"
+        );
     }
 
     #[test]
@@ -292,8 +314,7 @@ mod tests {
     #[test]
     fn empty_index_roundtrips() {
         let idx = IndexBuilder::new().build();
-        let restored =
-            InvertedIndex::from_bytes(&idx.to_bytes(), Analyzer::english()).unwrap();
+        let restored = InvertedIndex::from_bytes(&idx.to_bytes(), Analyzer::english()).unwrap();
         assert_eq!(restored.stats().num_docs, 0);
         assert_eq!(restored.num_terms(), 0);
     }

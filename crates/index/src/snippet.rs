@@ -111,7 +111,12 @@ mod tests {
     #[test]
     fn window_centers_on_query_terms() {
         let filler = "lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod ";
-        let body = format!("{}{}apple iphone announcement today{}", filler.repeat(5), "", filler.repeat(5));
+        let body = format!(
+            "{}{}apple iphone announcement today{}",
+            filler.repeat(5),
+            "",
+            filler.repeat(5)
+        );
         let (doc, vocab, analyzer) = setup(&body);
         let q = analyzer.analyze_known("apple iphone", &vocab);
         let snip = SnippetGenerator::with_window(10).snippet(&doc, &q, &vocab);

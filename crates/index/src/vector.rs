@@ -34,8 +34,7 @@ impl SparseVector {
             assert!(w.is_finite() && w >= 0.0, "weights must be finite and ≥ 0");
             *map.entry(t).or_insert(0.0) += w;
         }
-        let mut entries: Vec<(TermId, f32)> =
-            map.into_iter().filter(|&(_, w)| w > 0.0).collect();
+        let mut entries: Vec<(TermId, f32)> = map.into_iter().filter(|&(_, w)| w > 0.0).collect();
         entries.sort_unstable_by_key(|&(t, _)| t);
         let norm = entries.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt();
         SparseVector { entries, norm }

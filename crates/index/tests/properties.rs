@@ -114,7 +114,6 @@ proptest! {
     }
 }
 
-
 proptest! {
     /// MaxScore doc-at-a-time retrieval returns exactly the same ranked
     /// list as term-at-a-time under BM25, on arbitrary corpora/queries.

@@ -39,6 +39,23 @@ pub struct AmbiguityDetector<'a, A: Recommender> {
     pub s: f64,
     /// Maximum candidate specializations requested from `A`.
     pub max_candidates: usize,
+    /// Candidates scoring below `min_score_ratio · best_score` in `A`'s
+    /// own ranking are dropped from `Sq` (after the popularity filter).
+    ///
+    /// This is a deliberate deviation from Algorithm 1 as printed, which
+    /// has only the popularity filter; set it to `0.0` to reproduce the
+    /// paper's letter. It defaults on because the synthetic logs (and real
+    /// ones) contain chance session adjacencies the popularity filter
+    /// cannot reject:
+    ///
+    /// The popularity filter compares *global* frequencies, so a one-off
+    /// session adjacency with a globally popular but unrelated query would
+    /// pass it — and, because `P(q′|q) ∝ f(q′)` (Definition 1), then
+    /// swallow most of the probability mass. The shortcuts model's scores
+    /// separate the two regimes by orders of magnitude (population-repeated
+    /// refinements vs. chance co-occurrences), so a small relative floor
+    /// removes the noise without touching genuine specializations.
+    pub min_score_ratio: f64,
 }
 
 impl<'a, A: Recommender> AmbiguityDetector<'a, A> {
@@ -51,6 +68,7 @@ impl<'a, A: Recommender> AmbiguityDetector<'a, A> {
             freq,
             s,
             max_candidates: 32,
+            min_score_ratio: 0.05,
         }
     }
 
@@ -64,10 +82,32 @@ impl<'a, A: Recommender> AmbiguityDetector<'a, A> {
         // Step 2: popularity filter  f(q′) ≥ f(q)/s.
         let fq = self.freq.freq(q) as f64;
         let threshold = fq / self.s;
-        let kept: Vec<QueryId> = candidates
+        let popular: Vec<(QueryId, f64)> = candidates
             .into_iter()
+            .filter(|&(c, _)| self.freq.freq(c) as f64 >= threshold)
+            .collect();
+        // Step 2b: relative score floor over the popularity survivors, so
+        // chance co-occurrences never enter Sq. Computing the floor after
+        // the popularity filter keeps a high-scored but globally rare
+        // candidate (which the filter discards anyway) from inflating the
+        // floor above every genuine specialization. The floor only makes
+        // sense for nonnegative score scales (co-occurrence counts); with
+        // a negative best score (e.g. a log-probability recommender) it is
+        // disabled rather than letting `ratio · best` land above every
+        // candidate.
+        let best_score = popular
+            .iter()
+            .map(|&(_, score)| score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let score_floor = if best_score > 0.0 {
+            self.min_score_ratio * best_score
+        } else {
+            f64::NEG_INFINITY
+        };
+        let kept: Vec<QueryId> = popular
+            .into_iter()
+            .filter(|&(_, score)| score >= score_floor)
             .map(|(c, _)| c)
-            .filter(|&c| self.freq.freq(c) as f64 >= threshold)
             .collect();
         // Step 3: ambiguous iff at least two interpretations survive.
         if kept.len() < 2 {
@@ -75,7 +115,10 @@ impl<'a, A: Recommender> AmbiguityDetector<'a, A> {
         }
         // Definition 1: P(q′|q) = f(q′) / Σ f(·).
         let total: f64 = kept.iter().map(|&c| self.freq.freq(c) as f64).sum();
-        debug_assert!(total > 0.0, "filter admits only positive frequencies when f(q) > 0");
+        debug_assert!(
+            total > 0.0,
+            "filter admits only positive frequencies when f(q) > 0"
+        );
         let mut specs: Vec<Specialization> = kept
             .into_iter()
             .map(|c| Specialization {
@@ -212,5 +255,78 @@ mod tests {
         let freq = FreqTable::build(&log);
         let rec = Fixed(vec![]);
         let _ = AmbiguityDetector::new(&rec, &freq, 0.0);
+    }
+
+    #[test]
+    fn score_floor_drops_chance_cooccurrences() {
+        // "noise" is globally popular (so it passes the popularity
+        // filter) but scored as a one-off by the recommender; the
+        // relative floor must remove it while keeping both genuine,
+        // strongly-scored refinements.
+        let log = log_with_counts(&[("q", 100), ("q a", 60), ("q b", 40), ("noise", 500)]);
+        let freq = FreqTable::build(&log);
+        let a = log.query_id("q a").unwrap();
+        let b = log.query_id("q b").unwrap();
+        let noise = log.query_id("noise").unwrap();
+        let rec = Fixed(vec![(a, 150.0), (b, 90.0), (noise, 1.0)]);
+        let det = AmbiguityDetector::new(&rec, &freq, 4.0);
+        let specs = det.detect(log.query_id("q").unwrap()).expect("ambiguous");
+        assert_eq!(specs.len(), 2);
+        assert!(specs.iter().all(|s| s.query != noise));
+        // Without the floor the popular one-off would dominate P(q′|q).
+        let mut lax = AmbiguityDetector::new(&rec, &freq, 4.0);
+        lax.min_score_ratio = 0.0;
+        let with_noise = lax.detect(log.query_id("q").unwrap()).unwrap();
+        assert_eq!(with_noise.len(), 3);
+        assert_eq!(with_noise[0].query, noise);
+    }
+
+    #[test]
+    fn score_floor_scales_with_the_ratio() {
+        let log = log_with_counts(&[("q", 100), ("q a", 60), ("q b", 40)]);
+        let freq = FreqTable::build(&log);
+        let a = log.query_id("q a").unwrap();
+        let b = log.query_id("q b").unwrap();
+        let rec = Fixed(vec![(a, 100.0), (b, 10.0)]);
+        // Default ratio 0.05 ⇒ floor 5: both kept.
+        let det = AmbiguityDetector::new(&rec, &freq, 4.0);
+        assert_eq!(det.detect(log.query_id("q").unwrap()).unwrap().len(), 2);
+        // Ratio 0.2 ⇒ floor 20: "q b" (score 10) is dropped, and a single
+        // survivor means not ambiguous.
+        let mut strict = AmbiguityDetector::new(&rec, &freq, 4.0);
+        strict.min_score_ratio = 0.2;
+        assert!(strict.detect(log.query_id("q").unwrap()).is_none());
+    }
+
+    #[test]
+    fn rare_high_scored_candidate_cannot_inflate_the_floor() {
+        // A candidate the popularity filter discards anyway must not raise
+        // the score floor above the genuine specializations.
+        let log = log_with_counts(&[("q", 100), ("q a", 60), ("q b", 40), ("q rare", 1)]);
+        let freq = FreqTable::build(&log);
+        let a = log.query_id("q a").unwrap();
+        let b = log.query_id("q b").unwrap();
+        let rare = log.query_id("q rare").unwrap();
+        // rare scores 1000 but has f=1 (< threshold 25 at s=4); the
+        // genuine specializations score 10 and 8.
+        let rec = Fixed(vec![(rare, 1000.0), (a, 10.0), (b, 8.0)]);
+        let det = AmbiguityDetector::new(&rec, &freq, 4.0);
+        let specs = det.detect(log.query_id("q").unwrap()).expect("ambiguous");
+        assert_eq!(specs.len(), 2);
+        assert!(specs.iter().all(|s| s.query != rare));
+    }
+
+    #[test]
+    fn negative_recommender_scores_disable_the_floor() {
+        // A log-probability recommender scores everything negative; the
+        // relative floor must not reject the entire candidate set.
+        let log = log_with_counts(&[("q", 100), ("q a", 60), ("q b", 40)]);
+        let freq = FreqTable::build(&log);
+        let a = log.query_id("q a").unwrap();
+        let b = log.query_id("q b").unwrap();
+        let rec = Fixed(vec![(a, -0.5), (b, -2.0)]);
+        let det = AmbiguityDetector::new(&rec, &freq, 4.0);
+        let specs = det.detect(log.query_id("q").unwrap()).expect("ambiguous");
+        assert_eq!(specs.len(), 2);
     }
 }

@@ -18,6 +18,7 @@
 
 pub mod cluster;
 pub mod detect;
+pub mod json;
 pub mod model;
 pub mod personalize;
 pub mod qfg;

@@ -10,6 +10,7 @@
 //! query of the training log and is serializable (JSON) for deployment.
 
 use crate::detect::{AmbiguityDetector, Recommender};
+use crate::json;
 use serde::{Deserialize, Serialize};
 use serpdiv_querylog::{QueryId, QueryLog};
 use std::collections::HashMap;
@@ -119,16 +120,121 @@ impl SpecializationModel {
             .sum()
     }
 
-    /// Serialize to JSON.
+    /// Serialize to JSON (the deployment wire format of §4.1):
+    /// `{"entries":{"<query>":{"query":"...","specializations":[["text",p],…]}}}`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model serialization cannot fail")
+        let mut out = String::with_capacity(64 + self.byte_size() * 2);
+        out.push_str("{\"entries\":{");
+        // Deterministic output: sort by query text.
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort();
+        for (i, key) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let entry = &self.entries[*key];
+            json::write_escaped(&mut out, key);
+            out.push_str(":{\"query\":");
+            json::write_escaped(&mut out, &entry.query);
+            out.push_str(",\"specializations\":[");
+            for (j, (spec, p)) in entry.specializations.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                json::write_escaped(&mut out, spec);
+                out.push(',');
+                json::write_number(&mut out, *p);
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
     }
 
-    /// Deserialize from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Deserialize from the JSON produced by [`SpecializationModel::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, ModelFormatError> {
+        let doc = json::parse(text)?;
+        let top = doc
+            .as_object()
+            .ok_or_else(|| bad("top-level value must be an object"))?;
+        let entries_val = top
+            .get("entries")
+            .ok_or_else(|| bad("missing \"entries\" key"))?;
+        let raw_entries = entries_val
+            .as_object()
+            .ok_or_else(|| bad("\"entries\" must be an object"))?;
+        let mut entries = HashMap::with_capacity(raw_entries.len());
+        for (key, val) in raw_entries {
+            let obj = val
+                .as_object()
+                .ok_or_else(|| bad(format!("entry {key:?} must be an object")))?;
+            let query = obj
+                .get("query")
+                .and_then(json::Value::as_str)
+                .ok_or_else(|| bad(format!("entry {key:?} needs a string \"query\"")))?
+                .to_string();
+            let raw_specs = obj
+                .get("specializations")
+                .and_then(json::Value::as_array)
+                .ok_or_else(|| bad(format!("entry {key:?} needs a \"specializations\" array")))?;
+            let mut specializations = Vec::with_capacity(raw_specs.len());
+            for pair in raw_specs {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| bad("each specialization must be a [text, p] pair"))?;
+                let spec = pair[0]
+                    .as_str()
+                    .ok_or_else(|| bad("specialization text must be a string"))?;
+                let p = pair[1]
+                    .as_f64()
+                    .ok_or_else(|| bad("specialization probability must be a number"))?;
+                specializations.push((spec.to_string(), p));
+            }
+            entries.insert(
+                key.clone(),
+                SpecializationEntry {
+                    query,
+                    specializations,
+                },
+            );
+        }
+        Ok(SpecializationModel { entries })
     }
 }
+
+/// Error decoding a serialized [`SpecializationModel`]: either malformed
+/// JSON or a document with the wrong shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelFormatError {
+    /// The text is not valid JSON.
+    Syntax(json::ParseError),
+    /// The JSON does not have the model's shape.
+    Shape(String),
+}
+
+fn bad(msg: impl Into<String>) -> ModelFormatError {
+    ModelFormatError::Shape(msg.into())
+}
+
+impl From<json::ParseError> for ModelFormatError {
+    fn from(e: json::ParseError) -> Self {
+        ModelFormatError::Syntax(e)
+    }
+}
+
+impl std::fmt::Display for ModelFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelFormatError::Syntax(e) => write!(f, "{e}"),
+            ModelFormatError::Shape(msg) => write!(f, "model format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelFormatError {}
 
 #[cfg(test)]
 mod tests {
@@ -152,7 +258,11 @@ mod tests {
         };
         for u in 0..20u32 {
             push(&mut log, "apple", u, t);
-            let spec = if u % 3 == 0 { "apple fruit" } else { "apple iphone" };
+            let spec = if u % 3 == 0 {
+                "apple fruit"
+            } else {
+                "apple iphone"
+            };
             push(&mut log, spec, u, t + 30);
             t += 3600 * 24;
         }

@@ -40,7 +40,10 @@ impl UserHistory {
 
     /// How often `user` submitted `query`.
     pub fn count(&self, user: UserId, query: &str) -> u64 {
-        self.counts.get(&(user, query.to_string())).copied().unwrap_or(0)
+        self.counts
+            .get(&(user, query.to_string()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Number of `(user, query)` pairs tracked.
@@ -98,8 +101,7 @@ impl<'a> PersonalizedModel<'a> {
                 (s.clone(), (1.0 - self.beta) * p_global + self.beta * p_user)
             })
             .collect();
-        specializations
-            .sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        specializations.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         Some(SpecializationEntry {
             query: entry.query.clone(),
             specializations,

@@ -134,12 +134,7 @@ mod tests {
 
     #[test]
     fn truncation_respected() {
-        let log = log_with(&[
-            ("q", 1, 0),
-            ("r1", 1, 10),
-            ("r2", 1, 20),
-            ("r3", 1, 30),
-        ]);
+        let log = log_with(&[("q", 1, 0), ("r1", 1, 10), ("r2", 1, 20), ("r3", 1, 30)]);
         let sessions = split_sessions(&log);
         let model = ShortcutsModel::train(&log, &sessions, 2);
         assert_eq!(model.suggest(log.query_id("q").unwrap()).len(), 2);

@@ -168,10 +168,10 @@ impl<'a> QueryLogGenerator<'a> {
             let user = UserId(rng.gen_range(0..cfg.num_users) as u32);
             let mut t = rng.gen_range(0..period.saturating_sub(600).max(1));
             let push = |log: &mut QueryLog,
-                            truth: &mut GroundTruth,
-                            text: &str,
-                            kind: QueryKind,
-                            time: u64| {
+                        truth: &mut GroundTruth,
+                        text: &str,
+                        kind: QueryKind,
+                        time: u64| {
                 let query = log.intern_query(text);
                 truth.record(query, kind);
                 log.push(LogRecord {
@@ -188,7 +188,13 @@ impl<'a> QueryLogGenerator<'a> {
                 for _ in 0..n {
                     let w1 = &self.noise_vocab[rng.gen_range(0..self.noise_vocab.len())];
                     let w2 = &self.noise_vocab[rng.gen_range(0..self.noise_vocab.len())];
-                    push(&mut log, &mut truth, &format!("{w1} {w2}"), QueryKind::Noise, t);
+                    push(
+                        &mut log,
+                        &mut truth,
+                        &format!("{w1} {w2}"),
+                        QueryKind::Noise,
+                        t,
+                    );
                     t += rng.gen_range(10..=180);
                 }
                 continue;
@@ -264,12 +270,7 @@ impl<'a> QueryLogGenerator<'a> {
     /// interpretations (the click-entropy signal of Clough et al., which
     /// the paper's related work discusses). Records of the same query
     /// share results but draw intents and clicks independently.
-    pub fn attach_results(
-        &self,
-        log: &mut QueryLog,
-        engine: &SearchEngine<'_>,
-        k: usize,
-    ) -> usize {
+    pub fn attach_results(&self, log: &mut QueryLog, engine: &SearchEngine<'_>, k: usize) -> usize {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xC11C);
         // Retrieve once per distinct query; keep result titles for the
         // intent preference.
@@ -302,21 +303,20 @@ impl<'a> QueryLogGenerator<'a> {
 
             // The user's intent: the title pattern of the pages they want.
             let query_text = &texts[qid.index()];
-            let intent_title: Option<String> = if let Some(topic) =
-                self.topics.iter().find(|t| &t.query == query_text)
-            {
-                // Ambiguous query: draw the hidden intent.
-                let sub = sample_subtopic(topic, &mut rng);
-                Some(topic.subtopics[sub].query.clone())
-            } else if self
-                .topics
-                .iter()
-                .any(|t| t.subtopics.iter().any(|s| &s.query == query_text))
-            {
-                Some(query_text.clone())
-            } else {
-                None
-            };
+            let intent_title: Option<String> =
+                if let Some(topic) = self.topics.iter().find(|t| &t.query == query_text) {
+                    // Ambiguous query: draw the hidden intent.
+                    let sub = sample_subtopic(topic, &mut rng);
+                    Some(topic.subtopics[sub].query.clone())
+                } else if self
+                    .topics
+                    .iter()
+                    .any(|t| t.subtopics.iter().any(|s| &s.query == query_text))
+                {
+                    Some(query_text.clone())
+                } else {
+                    None
+                };
 
             let mut clicks = Vec::new();
             for (pos, (doc, title)) in results.iter().enumerate() {

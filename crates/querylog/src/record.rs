@@ -88,7 +88,10 @@ impl QueryLog {
     /// Append a record. Records should be pushed in nondecreasing time
     /// order; [`QueryLog::sort_by_time`] restores the invariant otherwise.
     pub fn push(&mut self, record: LogRecord) {
-        debug_assert!(record.query.index() < self.queries.len(), "unknown query id");
+        debug_assert!(
+            record.query.index() < self.queries.len(),
+            "unknown query id"
+        );
         self.records.push(record);
     }
 

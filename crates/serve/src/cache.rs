@@ -1,0 +1,231 @@
+//! The sharded SERP result cache.
+//!
+//! Query streams are heavily skewed (Zipfian), so a result cache in front
+//! of the diversification pipeline absorbs most of the load — the paper's
+//! §4.1 observation that specialization results "are few, popular, and
+//! change slowly" applies to whole diversified SERPs as well. The cache is
+//! sharded by key hash so concurrent workers rarely contend on the same
+//! lock, and each shard evicts LRU.
+
+use crate::lru::LruCache;
+use crate::request::RankedResult;
+use parking_lot::Mutex;
+use serpdiv_core::AlgorithmKind;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache key: the full identity of a served SERP.
+pub type CacheKey = (String, usize, AlgorithmKind);
+
+/// The cached portion of a response.
+#[derive(Debug, Clone)]
+pub struct CachedSerp {
+    /// Ranked results (shared, so a hit clones an `Arc`, not the page).
+    pub results: Arc<Vec<RankedResult>>,
+    /// Whether diversification ran when the page was computed.
+    pub diversified: bool,
+    /// Algorithm name recorded at compute time.
+    pub algorithm: &'static str,
+}
+
+/// Cache observability counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the pipeline.
+    pub misses: u64,
+    /// Entries currently resident (across all shards).
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded LRU cache of `(query, k, algorithm) → SERP`.
+#[derive(Debug)]
+pub struct ShardedResultCache {
+    shards: Vec<Mutex<LruCache<CacheKey, CachedSerp>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedResultCache {
+    /// A cache of `shards` independent LRU shards holding at least
+    /// `capacity` entries in total (the per-shard capacity is rounded up,
+    /// so the real bound is `capacity.div_ceil(shards) · shards`).
+    ///
+    /// # Panics
+    /// Panics when `shards == 0` or `capacity == 0`.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(capacity > 0, "need nonzero capacity");
+        let per_shard = capacity.div_ceil(shards);
+        ShardedResultCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<LruCache<CacheKey, CachedSerp>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up a SERP, counting the outcome.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedSerp> {
+        let found = self.shard(key).lock().get(key).cloned();
+        match found {
+            Some(serp) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(serp)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a freshly computed SERP.
+    pub fn insert(&self, key: CacheKey, serp: CachedSerp) {
+        self.shard(&key).lock().insert(key, serp);
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+        }
+    }
+
+    /// Drop every cached SERP and reset the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serpdiv_index::DocId;
+
+    fn serp(n: usize) -> CachedSerp {
+        CachedSerp {
+            results: Arc::new(
+                (0..n)
+                    .map(|i| RankedResult {
+                        doc: DocId(i as u32),
+                        score: 1.0 / (i + 1) as f64,
+                        url: format!("http://x/{i}"),
+                        title: format!("doc {i}"),
+                    })
+                    .collect(),
+            ),
+            diversified: true,
+            algorithm: "OptSelect",
+        }
+    }
+
+    fn key(q: &str) -> CacheKey {
+        (q.to_string(), 10, AlgorithmKind::OptSelect)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = ShardedResultCache::new(4, 64);
+        assert!(cache.get(&key("apple")).is_none());
+        cache.insert(key("apple"), serp(3));
+        let hit = cache.get(&key("apple")).expect("hit");
+        assert_eq!(hit.results.len(), 3);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algorithm_is_part_of_the_key() {
+        let cache = ShardedResultCache::new(2, 16);
+        cache.insert(key("q"), serp(2));
+        assert!(cache
+            .get(&("q".to_string(), 10, AlgorithmKind::Mmr))
+            .is_none());
+        assert!(cache
+            .get(&("q".to_string(), 5, AlgorithmKind::OptSelect))
+            .is_none());
+        assert!(cache.get(&key("q")).is_some());
+    }
+
+    #[test]
+    fn capacity_bounds_occupancy() {
+        let cache = ShardedResultCache::new(4, 8); // 2 per shard
+        for i in 0..100 {
+            cache.insert(key(&format!("q{i}")), serp(1));
+        }
+        assert!(cache.stats().entries <= 8);
+        // Rounded up, never down: 12 entries over 8 shards gives each
+        // shard 2, for a real bound of 16 ≥ 12.
+        let uneven = ShardedResultCache::new(8, 12);
+        for i in 0..100 {
+            uneven.insert(key(&format!("q{i}")), serp(1));
+        }
+        let entries = uneven.stats().entries;
+        assert!(entries > 8 && entries <= 16, "got {entries}");
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let cache = Arc::new(ShardedResultCache::new(8, 128));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let k = key(&format!("q{}", (t * 7 + i) % 32));
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, serp(2));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 200);
+        assert!(stats.hits > 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let cache = ShardedResultCache::new(2, 8);
+        cache.insert(key("a"), serp(1));
+        cache.get(&key("a"));
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+}

@@ -1,0 +1,439 @@
+//! The serving engine: per-request wiring of the full diversification
+//! stack over shared immutable state.
+
+use crate::cache::{CachedSerp, ShardedResultCache};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::request::{QueryRequest, RankedResult, SearchResponse, StageTimings};
+use serpdiv_core::{
+    assemble_input, run_algorithm, AlgorithmKind, PipelineParams, SpecializationStore,
+};
+use serpdiv_index::{InvertedIndex, ScoredDoc, SearchEngine as Retriever};
+use serpdiv_mining::SpecializationModel;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Deployment-time configuration of a [`SearchEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// `|Rq|`: candidates retrieved per diversified query (paper §5
+    /// evaluates with a few hundred).
+    pub n_candidates: usize,
+    /// Diversification parameters (λ, threshold `c`, `|R_q′|`, snippet
+    /// window).
+    pub params: PipelineParams,
+    /// Result-cache shards (more shards ⇒ less lock contention).
+    pub cache_shards: usize,
+    /// Total result-cache entries across shards; 0 disables the cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            n_candidates: 100,
+            params: PipelineParams::default(),
+            cache_shards: 8,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// A deployed, thread-safe diversified-search engine.
+///
+/// Shares one immutable [`InvertedIndex`], [`SpecializationModel`] and
+/// [`SpecializationStore`] across every worker thread via `Arc` — no
+/// per-request cloning of index data. All per-request state lives on the
+/// request's own stack, so `&SearchEngine` is `Sync` and one instance
+/// serves arbitrary concurrency.
+pub struct SearchEngine {
+    index: Arc<InvertedIndex>,
+    model: Arc<SpecializationModel>,
+    store: Arc<SpecializationStore>,
+    cache: Option<ShardedResultCache>,
+    metrics: ServeMetrics,
+    config: EngineConfig,
+}
+
+impl SearchEngine {
+    /// Deploy the engine: builds the §4.1 [`SpecializationStore`] eagerly
+    /// (one retrieval + snippet pass per distinct specialization in
+    /// `model`) and an empty result cache.
+    pub fn deploy(
+        index: Arc<InvertedIndex>,
+        model: Arc<SpecializationModel>,
+        config: EngineConfig,
+    ) -> Self {
+        let store = {
+            let retriever = Retriever::new(&index);
+            Arc::new(SpecializationStore::build(
+                &model,
+                &retriever,
+                config.params.k_spec_results,
+                config.params.snippet_window,
+            ))
+        };
+        Self::with_store(index, model, store, config)
+    }
+
+    /// Deploy with an externally built (possibly shared) store.
+    pub fn with_store(
+        index: Arc<InvertedIndex>,
+        model: Arc<SpecializationModel>,
+        store: Arc<SpecializationStore>,
+        config: EngineConfig,
+    ) -> Self {
+        let cache = if config.cache_capacity > 0 {
+            Some(ShardedResultCache::new(
+                config.cache_shards.max(1),
+                config.cache_capacity,
+            ))
+        } else {
+            None
+        };
+        SearchEngine {
+            index,
+            model,
+            store,
+            cache,
+            metrics: ServeMetrics::default(),
+            config,
+        }
+    }
+
+    /// Serve one request through the full per-request lifecycle:
+    ///
+    /// 1. **cache** — `(query, k, algorithm)` probe;
+    /// 2. **detect** — specialization-model lookup (Algorithm 1 ran
+    ///    offline; online detection is a hash lookup, which is what makes
+    ///    diversification affordable inside the serving loop);
+    /// 3. **retrieve** — DPH top-`n` from the shared index;
+    /// 4. **utility** — snippet surrogates + `Ũ(d|R_q′)` against the
+    ///    precomputed store (§4.1);
+    /// 5. **select** — the requested diversifier re-ranks the page.
+    pub fn search(&self, req: QueryRequest) -> SearchResponse {
+        let start = Instant::now();
+        let key = req.cache_key();
+        if let Some(cache) = &self.cache {
+            if let Some(serp) = cache.get(&key) {
+                let timings = StageTimings {
+                    total_us: elapsed_us(start),
+                    ..StageTimings::default()
+                };
+                self.metrics.record(true, serp.diversified, timings);
+                return SearchResponse {
+                    query: req.query,
+                    algorithm: serp.algorithm,
+                    diversified: serp.diversified,
+                    cache_hit: true,
+                    results: serp.results,
+                    timings,
+                };
+            }
+        }
+
+        let response = self.compute(&req, start);
+        if let Some(cache) = &self.cache {
+            cache.insert(
+                key,
+                CachedSerp {
+                    results: response.results.clone(),
+                    diversified: response.diversified,
+                    algorithm: response.algorithm,
+                },
+            );
+        }
+        self.metrics
+            .record(false, response.diversified, response.timings);
+        response
+    }
+
+    /// The uncached pipeline.
+    fn compute(&self, req: &QueryRequest, start: Instant) -> SearchResponse {
+        let retriever = Retriever::new(&self.index);
+        let mut timings = StageTimings::default();
+
+        // Detect.
+        let t = Instant::now();
+        let entry = if req.algorithm == AlgorithmKind::Baseline {
+            None
+        } else {
+            self.model.get(&req.query)
+        };
+        timings.detect_us = elapsed_us(t);
+
+        let (docs, diversified, name): (Vec<ScoredDoc>, bool, &'static str) = match entry {
+            None => {
+                // Baseline passthrough: retrieve exactly k.
+                let t = Instant::now();
+                let hits = retriever.search(&req.query, req.k);
+                timings.retrieve_us = elapsed_us(t);
+                let name = if req.algorithm == AlgorithmKind::Baseline {
+                    "DPH"
+                } else {
+                    "DPH (passthrough)"
+                };
+                (hits, false, name)
+            }
+            Some(entry) => {
+                // Retrieve the candidate pool.
+                let t = Instant::now();
+                let n = self.config.n_candidates.max(req.k);
+                let baseline = retriever.search(&req.query, n);
+                timings.retrieve_us = elapsed_us(t);
+                if baseline.is_empty() {
+                    (Vec::new(), false, "DPH (passthrough)")
+                } else {
+                    // Utility.
+                    let t = Instant::now();
+                    let input = assemble_input(
+                        &self.index,
+                        entry,
+                        &self.store,
+                        &self.config.params,
+                        &req.query,
+                        &baseline,
+                    );
+                    timings.utility_us = elapsed_us(t);
+
+                    // Select.
+                    let t = Instant::now();
+                    let (indices, name) =
+                        run_algorithm(req.algorithm, &input, req.k, self.config.params);
+                    timings.select_us = elapsed_us(t);
+
+                    let docs = indices.into_iter().map(|i| baseline[i]).collect();
+                    (docs, true, name)
+                }
+            }
+        };
+
+        let results = Arc::new(self.materialize(&docs));
+        timings.total_us = elapsed_us(start);
+        SearchResponse {
+            query: req.query.clone(),
+            algorithm: name,
+            diversified,
+            cache_hit: false,
+            results,
+            timings,
+        }
+    }
+
+    /// Resolve scored docs into presentable results.
+    fn materialize(&self, docs: &[ScoredDoc]) -> Vec<RankedResult> {
+        docs.iter()
+            .map(|h| {
+                let (url, title) = self
+                    .index
+                    .store()
+                    .get(h.doc)
+                    .map(|d| (d.url.clone(), d.title.clone()))
+                    .unwrap_or_default();
+                RankedResult {
+                    doc: h.doc,
+                    score: h.score,
+                    url,
+                    title,
+                }
+            })
+            .collect()
+    }
+
+    /// The shared index.
+    pub fn index(&self) -> &Arc<InvertedIndex> {
+        &self.index
+    }
+
+    /// The deployed specialization model.
+    pub fn model(&self) -> &Arc<SpecializationModel> {
+        &self.model
+    }
+
+    /// The precomputed §4.1 store.
+    pub fn store(&self) -> &Arc<SpecializationStore> {
+        &self.store
+    }
+
+    /// The result cache (`None` when disabled by configuration).
+    pub fn cache(&self) -> Option<&ShardedResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Deployment configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Cumulative request metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    since.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serpdiv_index::{Document, IndexBuilder};
+
+    /// The two-interpretation "apple" world of the core framework tests.
+    fn deploy(config: EngineConfig) -> SearchEngine {
+        let mut b = IndexBuilder::new();
+        for i in 0..5u32 {
+            b.add(Document::new(
+                i,
+                format!("http://tech/{i}"),
+                "apple iphone",
+                "apple iphone smartphone review chip battery display camera",
+            ));
+        }
+        for i in 5..10u32 {
+            b.add(Document::new(
+                i,
+                format!("http://food/{i}"),
+                "apple fruit",
+                "apple fruit orchard sweet harvest vitamin juice recipe",
+            ));
+        }
+        for i in 10..15u32 {
+            b.add(Document::new(
+                i,
+                format!("http://misc/{i}"),
+                "",
+                "weather forecast rain cloud wind storm",
+            ));
+        }
+        let index = Arc::new(b.build());
+        let model = Arc::new(
+            SpecializationModel::from_json(
+                r#"{"entries":{"apple":{"query":"apple","specializations":[["apple iphone",0.6],["apple fruit",0.4]]}}}"#,
+            )
+            .unwrap(),
+        );
+        SearchEngine::deploy(index, model, config)
+    }
+
+    fn diversifying_config() -> EngineConfig {
+        EngineConfig {
+            n_candidates: 10,
+            params: PipelineParams {
+                utility: serpdiv_core::UtilityParams { threshold_c: 0.4 },
+                ..PipelineParams::default()
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn ambiguous_query_is_diversified_with_provenance() {
+        let engine = deploy(diversifying_config());
+        let out = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+        assert!(out.diversified);
+        assert!(!out.cache_hit);
+        assert_eq!(out.algorithm, "OptSelect");
+        assert_eq!(out.results.len(), 4);
+        let tech = out.results.iter().filter(|r| r.doc.0 < 5).count();
+        let food = out
+            .results
+            .iter()
+            .filter(|r| (5..10).contains(&r.doc.0))
+            .count();
+        assert!(tech >= 1 && food >= 1, "tech={tech} food={food}");
+        assert!(out.results.iter().all(|r| !r.url.is_empty()));
+        assert!(out.timings.total_us >= out.timings.select_us);
+    }
+
+    #[test]
+    fn repeated_request_hits_the_cache_with_identical_results() {
+        let engine = deploy(diversifying_config());
+        let req = QueryRequest::new("apple", 4, AlgorithmKind::OptSelect);
+        let first = engine.search(req.clone());
+        let second = engine.search(req);
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(first.results, second.results);
+        assert_eq!(first.algorithm, second.algorithm);
+        let stats = engine.cache().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        let m = engine.metrics();
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.cache_hits, 1);
+    }
+
+    #[test]
+    fn non_ambiguous_query_passes_through() {
+        let engine = deploy(diversifying_config());
+        let out = engine.search(QueryRequest::new(
+            "weather forecast",
+            3,
+            AlgorithmKind::OptSelect,
+        ));
+        assert!(!out.diversified);
+        assert_eq!(out.algorithm, "DPH (passthrough)");
+        assert_eq!(out.results.len(), 3);
+        assert_eq!(engine.metrics().passthrough, 1);
+    }
+
+    #[test]
+    fn baseline_algorithm_skips_detection() {
+        let engine = deploy(diversifying_config());
+        let out = engine.search(QueryRequest::new("apple", 5, AlgorithmKind::Baseline));
+        assert!(!out.diversified);
+        assert_eq!(out.algorithm, "DPH");
+        assert_eq!(out.results.len(), 5);
+    }
+
+    #[test]
+    fn unknown_query_yields_empty_page() {
+        let engine = deploy(diversifying_config());
+        let out = engine.search(QueryRequest::new("zeppelin", 5, AlgorithmKind::XQuad));
+        assert!(out.results.is_empty());
+        assert!(!out.diversified);
+    }
+
+    #[test]
+    fn all_algorithms_return_distinct_docs() {
+        let engine = deploy(diversifying_config());
+        for algo in [
+            AlgorithmKind::OptSelect,
+            AlgorithmKind::IaSelect,
+            AlgorithmKind::XQuad,
+            AlgorithmKind::Mmr,
+        ] {
+            let out = engine.search(QueryRequest::new("apple", 5, algo));
+            assert_eq!(out.results.len(), 5, "{algo:?}");
+            let mut ids: Vec<u32> = out.results.iter().map(|r| r.doc.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 5, "{algo:?} duplicates");
+        }
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let engine = deploy(EngineConfig {
+            cache_capacity: 0,
+            ..diversifying_config()
+        });
+        assert!(engine.cache().is_none());
+        let req = QueryRequest::new("apple", 4, AlgorithmKind::OptSelect);
+        let a = engine.search(req.clone());
+        let b = engine.search(req);
+        assert!(!a.cache_hit && !b.cache_hit);
+        assert_eq!(
+            a.results.iter().map(|r| r.doc).collect::<Vec<_>>(),
+            b.results.iter().map(|r| r.doc).collect::<Vec<_>>(),
+            "no cache still deterministic"
+        );
+    }
+
+    #[test]
+    fn store_is_prebuilt_at_deploy_time() {
+        let engine = deploy(diversifying_config());
+        assert_eq!(engine.store().len(), 2);
+        assert!(engine.store().byte_size() > 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # serpdiv-serve — concurrent diversified-search serving
+//!
+//! The paper's thesis (Capannini et al., VLDB 2011) is that OptSelect
+//! makes SERP diversification cheap enough to run *inside* the
+//! query-serving loop, provided the expensive knowledge is precomputed:
+//! the specialization model mined offline from the query log (§3) and the
+//! per-specialization result surrogates of §4.1. This crate is that
+//! serving loop.
+//!
+//! ## Layer diagram
+//!
+//! ```text
+//!                         ┌──────────────────────────┐
+//!  requests ─────────────▶│  WorkerPool (N threads)  │
+//!                         └───────────┬──────────────┘
+//!                                     ▼
+//!                         ┌──────────────────────────┐
+//!                         │  serve::SearchEngine     │
+//!                         │  ┌────────────────────┐  │
+//!                         │  │ ShardedResultCache │  │  (query,k,algo) → SERP
+//!                         │  └────────────────────┘  │
+//!                         └───────────┬──────────────┘
+//!          shared, immutable, Arc'd   ▼
+//!   ┌───────────────┬─────────────────┬────────────────────────┐
+//!   │ InvertedIndex │ Specialization- │ SpecializationStore    │
+//!   │ (index crate) │ Model (mining)  │ (§4.1, core crate)     │
+//!   └───────────────┴─────────────────┴────────────────────────┘
+//! ```
+//!
+//! ## Request lifecycle
+//!
+//! 1. **cache** — probe the sharded LRU result cache under the key
+//!    `(query, k, algorithm)`; a hit returns the SERP immediately;
+//! 2. **detect** — look the query up in the mined
+//!    [`SpecializationModel`](serpdiv_mining::SpecializationModel)
+//!    (Algorithm 1 ran offline; online ambiguity detection is one hash
+//!    lookup). A miss means "not ambiguous" and the DPH baseline is served
+//!    unchanged;
+//! 3. **retrieve** — DPH top-`n` candidates from the shared
+//!    [`InvertedIndex`](serpdiv_index::InvertedIndex);
+//! 4. **utility** — snippet surrogates for the candidates and the
+//!    `Ũ(d|R_q′)` matrix (Definition 2) against the precomputed
+//!    [`SpecializationStore`](serpdiv_core::SpecializationStore);
+//! 5. **select** — the per-request choice of diversifier (OptSelect /
+//!    IA-Select / xQuAD / MMR) re-ranks the page.
+//!
+//! Every stage is timed per request ([`StageTimings`]) and aggregated in
+//! the engine's [`metrics`](SearchEngine::metrics); the cache exports
+//! hit/miss counters. `serve_bench` (in `crates/bench`) replays a
+//! synthetic query-log session stream against this engine at configurable
+//! concurrency and reports QPS and latency percentiles per algorithm.
+
+pub mod cache;
+pub mod engine;
+pub mod lru;
+pub mod metrics;
+pub mod pool;
+pub mod request;
+
+pub use cache::{CacheKey, CacheStats, CachedSerp, ShardedResultCache};
+pub use engine::{EngineConfig, SearchEngine};
+pub use lru::LruCache;
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use pool::WorkerPool;
+pub use request::{QueryRequest, RankedResult, SearchResponse, StageTimings};
+
+// The per-request algorithm selector, re-exported so serving callers don't
+// need a direct `serpdiv-core` dependency.
+pub use serpdiv_core::AlgorithmKind;

@@ -1,0 +1,152 @@
+//! Serving-engine observability: lock-free request and stage counters.
+
+use crate::request::StageTimings;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative counters updated by every request (relaxed atomics — the
+/// counters are monotone and read only for reporting).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    diversified: AtomicU64,
+    passthrough: AtomicU64,
+    detect_us: AtomicU64,
+    retrieve_us: AtomicU64,
+    utility_us: AtomicU64,
+    select_us: AtomicU64,
+    total_us: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServeMetrics`] with derived averages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests served (hits + computed).
+    pub requests: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Computed requests where diversification ran.
+    pub diversified: u64,
+    /// Computed requests served as baseline passthrough.
+    pub passthrough: u64,
+    /// Cumulative per-stage microseconds (computed requests only).
+    pub stage_sums: StageTimings,
+    /// Mean end-to-end service time per request, microseconds.
+    pub mean_total_us: f64,
+}
+
+impl ServeMetrics {
+    /// Record one served request.
+    pub fn record(&self, cache_hit: bool, diversified: bool, timings: StageTimings) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else if diversified {
+            self.diversified.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.passthrough.fetch_add(1, Ordering::Relaxed);
+        }
+        self.detect_us
+            .fetch_add(timings.detect_us, Ordering::Relaxed);
+        self.retrieve_us
+            .fetch_add(timings.retrieve_us, Ordering::Relaxed);
+        self.utility_us
+            .fetch_add(timings.utility_us, Ordering::Relaxed);
+        self.select_us
+            .fetch_add(timings.select_us, Ordering::Relaxed);
+        self.total_us.fetch_add(timings.total_us, Ordering::Relaxed);
+    }
+
+    /// Copy out the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let total_us = self.total_us.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests,
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            diversified: self.diversified.load(Ordering::Relaxed),
+            passthrough: self.passthrough.load(Ordering::Relaxed),
+            stage_sums: StageTimings {
+                detect_us: self.detect_us.load(Ordering::Relaxed),
+                retrieve_us: self.retrieve_us.load(Ordering::Relaxed),
+                utility_us: self.utility_us.load(Ordering::Relaxed),
+                select_us: self.select_us.load(Ordering::Relaxed),
+                total_us,
+            },
+            mean_total_us: if requests == 0 {
+                0.0
+            } else {
+                total_us as f64 / requests as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_classifies() {
+        let m = ServeMetrics::default();
+        m.record(
+            false,
+            true,
+            StageTimings {
+                detect_us: 1,
+                retrieve_us: 2,
+                utility_us: 3,
+                select_us: 4,
+                total_us: 11,
+            },
+        );
+        m.record(
+            true,
+            true,
+            StageTimings {
+                total_us: 1,
+                ..Default::default()
+            },
+        );
+        m.record(
+            false,
+            false,
+            StageTimings {
+                total_us: 3,
+                ..Default::default()
+            },
+        );
+        let s = m.snapshot();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.diversified, 1);
+        assert_eq!(s.passthrough, 1);
+        assert_eq!(s.stage_sums.detect_us, 1);
+        assert_eq!(s.stage_sums.total_us, 15);
+        assert!((s.mean_total_us - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let m = ServeMetrics::default();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.record(
+                            false,
+                            true,
+                            StageTimings {
+                                total_us: 2,
+                                ..Default::default()
+                            },
+                        );
+                    }
+                });
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!(s.requests, 8000);
+        assert_eq!(s.stage_sums.total_us, 16_000);
+    }
+}

@@ -1,0 +1,218 @@
+//! The worker-pool executor: a fixed set of OS threads serving requests
+//! from a shared queue.
+//!
+//! Query serving is CPU-bound (retrieval + utility math), so a
+//! thread-per-core pool over a plain MPMC hand-off — `std::sync::mpsc`
+//! with the receiver behind a mutex — saturates the hardware without an
+//! async runtime. Workers share the engine through an `Arc`; the engine is
+//! immutable after deployment, so there is no cross-request locking outside
+//! the result cache's shards.
+
+use crate::engine::SearchEngine;
+use crate::request::{QueryRequest, SearchResponse};
+use parking_lot::Mutex;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+struct Job {
+    seq: usize,
+    req: QueryRequest,
+    reply: mpsc::Sender<(usize, SearchResponse)>,
+}
+
+/// A pool of serving threads over one shared [`SearchEngine`].
+pub struct WorkerPool {
+    queue: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` serving threads (at least one).
+    pub fn new(engine: Arc<SearchEngine>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let engine = engine.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("serpdiv-serve-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the dequeue, not the work.
+                        let job = match rx.lock().recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // queue closed: shut down
+                        };
+                        let response = engine.search(job.req);
+                        // A dropped reply receiver just means the client
+                        // stopped waiting; keep serving.
+                        let _ = job.reply.send((job.seq, response));
+                    })
+                    .expect("failed to spawn serving worker")
+            })
+            .collect();
+        WorkerPool {
+            queue: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Number of serving threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue one request; the response arrives on the returned channel.
+    /// Never blocks on the workers.
+    pub fn submit(&self, req: QueryRequest) -> mpsc::Receiver<(usize, SearchResponse)> {
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(0, req, reply);
+        rx
+    }
+
+    /// Serve a batch concurrently, returning responses in request order.
+    pub fn serve_batch(&self, requests: Vec<QueryRequest>) -> Vec<SearchResponse> {
+        let n = requests.len();
+        let (reply, rx) = mpsc::channel();
+        for (seq, req) in requests.into_iter().enumerate() {
+            self.enqueue(seq, req, reply.clone());
+        }
+        drop(reply);
+        let mut out: Vec<Option<SearchResponse>> = (0..n).map(|_| None).collect();
+        for (seq, response) in rx {
+            out[seq] = Some(response);
+        }
+        out.into_iter()
+            .map(|r| r.expect("a serving worker died before replying"))
+            .collect()
+    }
+
+    fn enqueue(&self, seq: usize, req: QueryRequest, reply: mpsc::Sender<(usize, SearchResponse)>) {
+        self.queue
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Job { seq, req, reply })
+            .expect("all serving workers have exited");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the queue so workers drain and exit, then join them.
+        self.queue.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use serpdiv_core::{AlgorithmKind, PipelineParams, UtilityParams};
+    use serpdiv_index::{Document, IndexBuilder};
+    use serpdiv_mining::SpecializationModel;
+
+    fn engine() -> Arc<SearchEngine> {
+        let mut b = IndexBuilder::new();
+        for i in 0..4u32 {
+            b.add(Document::new(
+                i,
+                format!("http://tech/{i}"),
+                "apple iphone",
+                "apple iphone smartphone review chip battery",
+            ));
+        }
+        for i in 4..8u32 {
+            b.add(Document::new(
+                i,
+                format!("http://food/{i}"),
+                "apple fruit",
+                "apple fruit orchard sweet harvest juice",
+            ));
+        }
+        let model = SpecializationModel::from_json(
+            r#"{"entries":{"apple":{"query":"apple","specializations":[["apple iphone",0.6],["apple fruit",0.4]]}}}"#,
+        )
+        .unwrap();
+        Arc::new(SearchEngine::deploy(
+            Arc::new(b.build()),
+            Arc::new(model),
+            EngineConfig {
+                n_candidates: 8,
+                params: PipelineParams {
+                    utility: UtilityParams { threshold_c: 0.4 },
+                    ..PipelineParams::default()
+                },
+                ..EngineConfig::default()
+            },
+        ))
+    }
+
+    #[test]
+    fn batch_preserves_request_order() {
+        let pool = WorkerPool::new(engine(), 4);
+        assert_eq!(pool.num_workers(), 4);
+        let reqs: Vec<QueryRequest> = (0..40)
+            .map(|i| {
+                if i % 2 == 0 {
+                    QueryRequest::new("apple", 4, AlgorithmKind::OptSelect)
+                } else {
+                    QueryRequest::new("apple fruit", 2, AlgorithmKind::Baseline)
+                }
+            })
+            .collect();
+        let responses = pool.serve_batch(reqs);
+        assert_eq!(responses.len(), 40);
+        for (i, r) in responses.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(r.query, "apple");
+                assert_eq!(r.results.len(), 4);
+            } else {
+                assert_eq!(r.query, "apple fruit");
+                assert_eq!(r.results.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_responses_match_direct_calls() {
+        let shared = engine();
+        let pool = WorkerPool::new(shared.clone(), 3);
+        let req = QueryRequest::new("apple", 4, AlgorithmKind::XQuad);
+        let direct = shared.search(req.clone());
+        let via_pool = pool.serve_batch(vec![req]).remove(0);
+        assert_eq!(
+            direct.results.iter().map(|r| r.doc).collect::<Vec<_>>(),
+            via_pool.results.iter().map(|r| r.doc).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn submit_single() {
+        let pool = WorkerPool::new(engine(), 2);
+        let rx = pool.submit(QueryRequest::new("apple", 3, AlgorithmKind::IaSelect));
+        let (seq, response) = rx.recv().expect("reply");
+        assert_eq!(seq, 0);
+        assert_eq!(response.results.len(), 3);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let pool = WorkerPool::new(engine(), 2);
+        assert!(pool.serve_batch(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(engine(), 2);
+        let _ = pool.serve_batch(vec![QueryRequest::new(
+            "apple",
+            2,
+            AlgorithmKind::OptSelect,
+        )]);
+        drop(pool); // must not hang
+    }
+}

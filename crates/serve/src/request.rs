@@ -1,0 +1,107 @@
+//! Request/response types of the serving API.
+
+use serpdiv_core::AlgorithmKind;
+use serpdiv_index::DocId;
+use std::sync::Arc;
+
+/// One search request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryRequest {
+    /// The raw user query.
+    pub query: String,
+    /// Size of the returned SERP (`k = |S|`).
+    pub k: usize,
+    /// Which diversifier re-ranks the page (per request, so one deployment
+    /// can serve A/B traffic across algorithms).
+    pub algorithm: AlgorithmKind,
+}
+
+impl QueryRequest {
+    /// Request `k` results for `query` diversified with `algorithm`.
+    pub fn new(query: impl Into<String>, k: usize, algorithm: AlgorithmKind) -> Self {
+        QueryRequest {
+            query: query.into(),
+            k,
+            algorithm,
+        }
+    }
+
+    /// The result-cache key of this request.
+    pub(crate) fn cache_key(&self) -> (String, usize, AlgorithmKind) {
+        (self.query.clone(), self.k, self.algorithm)
+    }
+}
+
+/// Wall-clock microseconds spent in each stage of the request lifecycle.
+///
+/// `total_us` is measured independently of the stage fields (it includes
+/// cache probing and response assembly), so it can slightly exceed their
+/// sum; a cache hit reports only `total_us`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Ambiguity detection: the specialization-model lookup.
+    pub detect_us: u64,
+    /// Baseline retrieval (DPH top-`n` over the inverted index).
+    pub retrieve_us: u64,
+    /// Utility computation: snippet surrogates + `Ũ(d|R_q′)` matrix.
+    pub utility_us: u64,
+    /// Diversifier selection.
+    pub select_us: u64,
+    /// End-to-end service time.
+    pub total_us: u64,
+}
+
+/// One ranked result of a served SERP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedResult {
+    /// The document.
+    pub doc: DocId,
+    /// Its baseline retrieval score (diversifiers permute, they do not
+    /// re-score).
+    pub score: f64,
+    /// Document URL.
+    pub url: String,
+    /// Document title.
+    pub title: String,
+}
+
+/// The served SERP with provenance and accounting.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// Echo of the request query.
+    pub query: String,
+    /// Name of the algorithm that produced the ranking (e.g. `"OptSelect"`,
+    /// or `"DPH (passthrough)"` when the query was not ambiguous).
+    pub algorithm: &'static str,
+    /// Whether diversification ran (false ⇒ baseline passthrough).
+    pub diversified: bool,
+    /// Whether the SERP came from the result cache.
+    pub cache_hit: bool,
+    /// The ranked page, best first, `min(k, n)` entries. Shared with the
+    /// result cache: a cache hit bumps a refcount instead of copying the
+    /// page.
+    pub results: Arc<Vec<RankedResult>>,
+    /// Per-stage latency accounting for this request.
+    pub timings: StageTimings,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_construction_and_key() {
+        let r = QueryRequest::new("apple", 10, AlgorithmKind::OptSelect);
+        assert_eq!(r.query, "apple");
+        assert_eq!(r.k, 10);
+        let (q, k, a) = r.cache_key();
+        assert_eq!((q.as_str(), k, a), ("apple", 10, AlgorithmKind::OptSelect));
+    }
+
+    #[test]
+    fn distinct_algorithms_key_differently() {
+        let a = QueryRequest::new("q", 5, AlgorithmKind::OptSelect).cache_key();
+        let b = QueryRequest::new("q", 5, AlgorithmKind::Mmr).cache_key();
+        assert_ne!(a, b);
+    }
+}

@@ -77,10 +77,7 @@ impl Analyzer {
 
     /// Analyze `text` and intern every produced term into `vocab`.
     pub fn analyze_interned(&self, text: &str, vocab: &mut Vocabulary) -> Vec<TermId> {
-        self.analyze(text)
-            .iter()
-            .map(|t| vocab.intern(t))
-            .collect()
+        self.analyze(text).iter().map(|t| vocab.intern(t)).collect()
     }
 
     /// Analyze `text`, resolving terms against an existing (read-only)

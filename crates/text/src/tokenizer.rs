@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn keeps_digits() {
-        assert_eq!(tokenize("trec 2009 web-track"), vec!["trec", "2009", "web", "track"]);
+        assert_eq!(
+            tokenize("trec 2009 web-track"),
+            vec!["trec", "2009", "web", "track"]
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ fn main() {
     // distribution per query. Ambiguous queries scatter clicks across
     // interpretations; specializations concentrate on one.
     let subtopic_entropy = |query: &str, topic: &serpdiv::corpus::Topic| -> f64 {
-        let Some(qid) = log.query_id(query) else { return 0.0 };
+        let Some(qid) = log.query_id(query) else {
+            return 0.0;
+        };
         let mut counts = std::collections::HashMap::new();
         let mut total = 0u64;
         for r in log.records().iter().filter(|r| r.query == qid) {

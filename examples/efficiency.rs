@@ -62,7 +62,9 @@ fn serpdiv_bench_workload(n: usize) -> serpdiv::core::DiversifyInput {
     // Deterministic pseudo-random utilities: each doc serves one spec.
     let mut state = 0x5EEDu64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as f64 / (1u64 << 31) as f64
     };
     let mut values = vec![0.0f64; n * m];

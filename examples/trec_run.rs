@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example trec_run`
 
-use serpdiv::core::{
-    AlgorithmKind, DiversificationPipeline, PipelineParams, UtilityParams,
-};
+use serpdiv::core::{AlgorithmKind, DiversificationPipeline, PipelineParams, UtilityParams};
 use serpdiv::corpus::{Testbed, TestbedConfig};
 use serpdiv::eval::{alpha_ndcg_at, ia_precision_at};
 use serpdiv::index::SearchEngine;

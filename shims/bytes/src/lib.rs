@@ -1,0 +1,216 @@
+//! Offline stand-in for the subset of the `bytes` crate this workspace
+//! uses: [`BytesMut`] as an append-only encode buffer, [`Bytes`] as the
+//! cheaply-cloneable frozen form, and the [`Buf`]/[`BufMut`] traits with
+//! the little-endian accessors the index serializer calls. Built on
+//! `Vec<u8>`/`Arc<[u8]>`; the on-the-wire layout is identical to the real
+//! crate because these are plain LE byte writes.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Write-side abstraction (append primitives).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Read-side abstraction over a shrinking byte window.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Drop the first `n` bytes of the window.
+    fn advance(&mut self, n: usize);
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        let v = u32::from_le_bytes(head.try_into().unwrap());
+        *self = rest;
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        let v = u64::from_le_bytes(head.try_into().unwrap());
+        *self = rest;
+        v
+    }
+}
+
+/// Growable byte buffer (encode side).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with `cap` reserved bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable, cheaply-cloneable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(self.data.into_boxed_slice()),
+        }
+    }
+
+    /// Copy out as a plain vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Immutable shared byte buffer; `Clone` is a reference-count bump.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes {
+            data: Arc::from(Vec::new().into_boxed_slice()),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xAB);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_slice(b"hi");
+        let frozen = buf.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 2);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r, b"hi");
+        r.advance(2);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_from_vec_and_clone_share() {
+        let b: Bytes = vec![1u8, 2, 3].into();
+        let c = b.clone();
+        assert_eq!(&b[..], &c[..]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(Bytes::default().is_empty());
+    }
+}

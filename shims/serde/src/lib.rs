@@ -1,0 +1,6 @@
+//! Offline stand-in for the `serde` facade: re-exports the no-op derive
+//! macros from the local `serde_derive` shim so `use serde::{Deserialize,
+//! Serialize}` plus `#[derive(...)]` compile without crates.io access.
+//! See `shims/serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

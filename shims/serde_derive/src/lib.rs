@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so the
+//! annotations deploy unchanged once the real `serde` is available, but the
+//! build environment has no crates.io access. Serialization that the code
+//! actually exercises (the specialization model's JSON, the index's binary
+//! format) is hand-written; these derive macros therefore only need to
+//! *accept* the annotations, including `#[serde(...)]` helper attributes,
+//! and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

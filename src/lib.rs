@@ -15,11 +15,14 @@
 //!   Algorithm 1 (`AmbiguousQueryDetect`);
 //! * [`core`] — the diversification framework: results' utility (Def. 2),
 //!   **OptSelect** (Algorithm 2), IASelect, xQuAD, and MMR;
-//! * [`eval`] — α-NDCG, IA-P, NDCG and the Wilcoxon signed-rank test.
+//! * [`eval`] — α-NDCG, IA-P, NDCG and the Wilcoxon signed-rank test;
+//! * [`serve`] — the concurrent serving engine: shared immutable
+//!   index/model/store, sharded LRU result cache, worker pool and
+//!   per-stage latency accounting.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `crates/bench` for the binaries regenerating every table and figure of
-//! the paper.
+//! the paper plus the `serve_bench` serving benchmark.
 
 pub use serpdiv_core as core;
 pub use serpdiv_corpus as corpus;
@@ -27,17 +30,24 @@ pub use serpdiv_eval as eval;
 pub use serpdiv_index as index;
 pub use serpdiv_mining as mining;
 pub use serpdiv_querylog as querylog;
+pub use serpdiv_serve as serve;
 pub use serpdiv_text as text;
 
 /// Commonly used items, importable with `use serpdiv::prelude::*`.
+///
+/// Note the two engines: [`serpdiv_index::SearchEngine`] is the low-level
+/// DPH retriever, while the serving engine lives at
+/// [`serve::SearchEngine`](serpdiv_serve::SearchEngine) (its request types
+/// are exported here).
 pub mod prelude {
     pub use serpdiv_core::{
-        Diversifier, IaSelect, Mmr, OptSelect, UtilityMatrix, UtilityParams, XQuad,
+        AlgorithmKind, Diversifier, IaSelect, Mmr, OptSelect, UtilityMatrix, UtilityParams, XQuad,
     };
     pub use serpdiv_corpus::{Testbed, TestbedConfig};
     pub use serpdiv_eval::{alpha_ndcg_at, ia_precision_at, Qrels};
     pub use serpdiv_index::{Document, DocumentStore, IndexBuilder, SearchEngine};
     pub use serpdiv_mining::{AmbiguityDetector, SpecializationModel};
     pub use serpdiv_querylog::{LogConfig, QueryLog, QueryLogGenerator};
+    pub use serpdiv_serve::{EngineConfig, QueryRequest, SearchResponse, WorkerPool};
     pub use serpdiv_text::Analyzer;
 }

@@ -2,9 +2,7 @@
 //! through the facade crate on randomly generated inputs.
 
 use proptest::prelude::*;
-use serpdiv::core::{
-    Diversifier, DiversifyInput, IaSelect, Mmr, OptSelect, UtilityMatrix, XQuad,
-};
+use serpdiv::core::{Diversifier, DiversifyInput, IaSelect, Mmr, OptSelect, UtilityMatrix, XQuad};
 
 /// Random well-formed DiversifyInput: n ∈ [1,60], m ∈ [0,6].
 fn arb_input() -> impl Strategy<Value = DiversifyInput> {

@@ -2,9 +2,7 @@
 //! corpus generation → indexing → query-log simulation → mining →
 //! diversification → evaluation.
 
-use serpdiv::core::{
-    AlgorithmKind, DiversificationPipeline, PipelineParams, UtilityParams,
-};
+use serpdiv::core::{AlgorithmKind, DiversificationPipeline, PipelineParams, UtilityParams};
 use serpdiv::corpus::{Testbed, TestbedConfig};
 use serpdiv::eval::{alpha_ndcg_at, ia_precision_at, ndcg_at};
 use serpdiv::index::SearchEngine;
@@ -76,8 +74,7 @@ fn all_diversifiers_return_valid_serps_across_topics() {
     let world = build_world();
     let index = world.testbed.build_index();
     let engine = SearchEngine::new(&index);
-    let pipeline =
-        DiversificationPipeline::new(&engine, &world.model, PipelineParams::default());
+    let pipeline = DiversificationPipeline::new(&engine, &world.model, PipelineParams::default());
     for topic in &world.testbed.topics {
         for algo in [
             AlgorithmKind::Baseline,
@@ -118,7 +115,10 @@ fn mined_probabilities_track_ground_truth_weights() {
             }
         }
     }
-    assert!(checked >= 8, "too few mined specializations matched: {checked}");
+    assert!(
+        checked >= 8,
+        "too few mined specializations matched: {checked}"
+    );
 }
 
 #[test]
@@ -155,8 +155,7 @@ fn model_survives_serialization_roundtrip_and_still_diversifies() {
 
     let index = world.testbed.build_index();
     let engine = SearchEngine::new(&index);
-    let pipeline =
-        DiversificationPipeline::new(&engine, &restored, PipelineParams::default());
+    let pipeline = DiversificationPipeline::new(&engine, &restored, PipelineParams::default());
     let topic = &world.testbed.topics[0];
     let out = pipeline.diversify(&topic.query, 200, 20, AlgorithmKind::OptSelect);
     assert_eq!(out.docs.len(), 20);
