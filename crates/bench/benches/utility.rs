@@ -2,7 +2,7 @@
 //! cosine over sparse surrogates and full utility-matrix assembly.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use serpdiv_core::{UtilityMatrix, UtilityParams};
+use serpdiv_core::{CompiledSpecStore, UtilityMatrix, UtilityParams};
 use serpdiv_index::{cosine, SparseVector};
 use serpdiv_text::TermId;
 
@@ -57,5 +57,38 @@ fn bench_utility_matrix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cosine, bench_utility_matrix);
+fn bench_utility_matrix_compiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("utility_matrix_compiled");
+    // Same workload shape as `utility_matrix`, through the inverted
+    // utility index (per-request scorer build included).
+    let candidates: Vec<SparseVector> = (0..500).map(|i| make_vector(i, 25, 5_000)).collect();
+    let specs: Vec<(String, Vec<SparseVector>)> = (0..5)
+        .map(|s| {
+            let list = (0..20)
+                .map(|r| make_vector(1_000 + s * 20 + r, 25, 5_000))
+                .collect();
+            (format!("spec{s}"), list)
+        })
+        .collect();
+    let compiled = CompiledSpecStore::build(
+        specs
+            .iter()
+            .map(|(name, list)| (name.as_str(), list.iter())),
+    );
+    let names: Vec<&str> = specs.iter().map(|(n, _)| n.as_str()).collect();
+    group.bench_function("500x5x20", |b| {
+        b.iter(|| {
+            let scorer = compiled.scorer(names.iter().copied());
+            scorer.matrix(&candidates, UtilityParams::default())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cosine,
+    bench_utility_matrix,
+    bench_utility_matrix_compiled
+);
 criterion_main!(benches);

@@ -1,23 +1,30 @@
 //! `serve_bench` — throughput/latency benchmark of the serving engine.
 //!
 //! Builds the full offline stack (synthetic testbed → index → query log →
-//! mined specialization model → §4.1 store), then replays the *test* split
-//! of the query-log session stream against `serpdiv_serve::SearchEngine`
-//! through a worker pool at configurable concurrency, once per
-//! diversification algorithm, and reports QPS, p50/p95/p99 service
-//! latency, cache hit rate and the mean per-stage breakdown.
+//! mined specialization model → §4.1 store → compiled inverted utility
+//! index), then replays the *test* split of the query-log session stream
+//! against `serpdiv_serve::SearchEngine` through a worker pool at
+//! configurable concurrency, once per diversification algorithm, and
+//! reports QPS, p50/p95/p99 service latency, cache hit rates and the mean
+//! per-stage breakdown.
+//!
+//! Besides the human-readable table, every run writes a machine-readable
+//! `BENCH_serve.json` (override with `--json PATH`) so CI and later PRs
+//! can track the perf trajectory.
 //!
 //! Usage:
 //! ```text
 //! serve_bench [--sessions N] [--requests N] [--concurrency N] [--k N]
-//!             [--candidates N] [--no-cache]
+//!             [--candidates N] [--no-cache] [--no-surrogate-cache]
+//!             [--json PATH]
 //! ```
 //! Defaults: 4000 sessions, 2000 requests, 8 workers, k=10, 100
-//! candidates, cache on.
+//! candidates, both caches on, JSON to `BENCH_serve.json`.
 
 use serpdiv_bench::{Lab, LabConfig};
-use serpdiv_core::{AlgorithmKind, SpecializationStore};
+use serpdiv_core::{AlgorithmKind, CompiledSpecStore, SpecializationStore};
 use serpdiv_index::SearchEngine as Retriever;
+use serpdiv_mining::json::{write_escaped, write_number};
 use serpdiv_serve::{EngineConfig, QueryRequest, SearchEngine, WorkerPool};
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,6 +36,8 @@ struct Args {
     k: usize,
     candidates: usize,
     cache: bool,
+    surrogate_cache: bool,
+    json_path: String,
 }
 
 fn parse_args() -> Args {
@@ -39,24 +48,28 @@ fn parse_args() -> Args {
         k: 10,
         candidates: 100,
         cache: true,
+        surrogate_cache: true,
+        json_path: "BENCH_serve.json".to_string(),
     };
     let usage = "usage: serve_bench [--sessions N] [--requests N] [--concurrency N] \
-                 [--k N] [--candidates N] [--no-cache]";
+                 [--k N] [--candidates N] [--no-cache] [--no-surrogate-cache] [--json PATH]";
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut num = |name: &str| -> usize {
-            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("error: {name} needs a numeric argument\n{usage}");
+        let mut next_str = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs an argument\n{usage}");
                 std::process::exit(2);
             })
         };
         match flag.as_str() {
-            "--sessions" => args.sessions = num("--sessions"),
-            "--requests" => args.requests = num("--requests"),
-            "--concurrency" => args.concurrency = num("--concurrency"),
-            "--k" => args.k = num("--k"),
-            "--candidates" => args.candidates = num("--candidates"),
+            "--sessions" => args.sessions = parse_num(&next_str("--sessions"), usage),
+            "--requests" => args.requests = parse_num(&next_str("--requests"), usage),
+            "--concurrency" => args.concurrency = parse_num(&next_str("--concurrency"), usage),
+            "--k" => args.k = parse_num(&next_str("--k"), usage),
+            "--candidates" => args.candidates = parse_num(&next_str("--candidates"), usage),
             "--no-cache" => args.cache = false,
+            "--no-surrogate-cache" => args.surrogate_cache = false,
+            "--json" => args.json_path = next_str("--json"),
             other => {
                 eprintln!("error: unknown flag {other}\n{usage}");
                 std::process::exit(2);
@@ -70,6 +83,13 @@ fn parse_args() -> Args {
     args
 }
 
+fn parse_num(v: &str, usage: &str) -> usize {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: expected a number, got {v:?}\n{usage}");
+        std::process::exit(2);
+    })
+}
+
 fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     if sorted_us.is_empty() {
         return 0.0;
@@ -78,15 +98,102 @@ fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1e3
 }
 
+/// Per-algorithm results destined for the JSON report.
+struct AlgoReport {
+    name: String,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    hit_rate_pct: f64,
+    surrogate_hit_rate_pct: f64,
+    diversified_pct: f64,
+    // Mean per-stage microseconds over computed requests.
+    detect_us: u64,
+    retrieve_us: u64,
+    surrogate_us: u64,
+    utility_us: u64,
+    select_us: u64,
+}
+
+fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoReport]) {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"config\": {");
+    let config = [
+        ("sessions", args.sessions as f64),
+        ("requests", args.requests as f64),
+        ("concurrency", args.concurrency as f64),
+        ("k", args.k as f64),
+        ("candidates", args.candidates as f64),
+        ("result_cache", f64::from(u8::from(args.cache))),
+        ("surrogate_cache", f64::from(u8::from(args.surrogate_cache))),
+    ];
+    for (i, (key, v)) in config.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        out.push_str(key);
+        out.push_str("\": ");
+        write_number(&mut out, *v);
+    }
+    out.push_str("},\n  \"offline\": {");
+    for (i, (key, v)) in offline.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        out.push_str(key);
+        out.push_str("\": ");
+        write_number(&mut out, *v);
+    }
+    out.push_str("},\n  \"algorithms\": [");
+    for (i, a) in algos.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"algorithm\": ");
+        write_escaped(&mut out, &a.name);
+        let fields = [
+            ("qps", a.qps),
+            ("p50_ms", a.p50_ms),
+            ("p95_ms", a.p95_ms),
+            ("p99_ms", a.p99_ms),
+            ("cache_hit_pct", a.hit_rate_pct),
+            ("surrogate_hit_pct", a.surrogate_hit_rate_pct),
+            ("diversified_pct", a.diversified_pct),
+            ("stage_detect_us", a.detect_us as f64),
+            ("stage_retrieve_us", a.retrieve_us as f64),
+            ("stage_surrogate_us", a.surrogate_us as f64),
+            ("stage_utility_us", a.utility_us as f64),
+            ("stage_select_us", a.select_us as f64),
+        ];
+        for (key, v) in fields {
+            out.push_str(", \"");
+            out.push_str(key);
+            out.push_str("\": ");
+            write_number(&mut out, v);
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let args = parse_args();
     println!(
-        "serve_bench — {} requests/algorithm over {} workers (k={}, |Rq|={}, cache {})",
+        "serve_bench — {} requests/algorithm over {} workers (k={}, |Rq|={}, cache {}, surrogate cache {})",
         args.requests,
         args.concurrency,
         args.k,
         args.candidates,
         if args.cache { "on" } else { "off" },
+        if args.surrogate_cache { "on" } else { "off" },
     );
 
     // Offline stack: corpus, index, log, mined model (70/30 split).
@@ -102,7 +209,8 @@ fn main() {
         t.elapsed().as_secs_f64(),
     );
 
-    // Deployment: shared immutable index/model and one §4.1 store.
+    // Deployment: shared immutable index/model, one §4.1 store, one
+    // compiled inverted utility index.
     let t = Instant::now();
     let params = serpdiv_core::PipelineParams::default();
     let index = Arc::new(lab.index);
@@ -116,12 +224,25 @@ fn main() {
             params.snippet_window,
         ))
     };
+    let compiled = Arc::new(CompiledSpecStore::compile(&store));
     println!(
-        "specialization store: {} specializations, {:.1} KiB ({:.2}s)\n",
+        "specialization store: {} specializations, {:.1} KiB raw, {:.1} KiB compiled \
+         ({} terms, {} postings) ({:.2}s)\n",
         store.len(),
         store.byte_size() as f64 / 1024.0,
+        compiled.byte_size() as f64 / 1024.0,
+        compiled.num_terms(),
+        compiled.num_postings(),
         t.elapsed().as_secs_f64(),
     );
+    let offline = [
+        ("docs", index.stats().num_docs as f64),
+        ("specializations", store.len() as f64),
+        ("store_bytes", store.byte_size() as f64),
+        ("compiled_bytes", compiled.byte_size() as f64),
+        ("compiled_terms", compiled.num_terms() as f64),
+        ("compiled_postings", compiled.num_postings() as f64),
+    ];
 
     // The replayed session stream: test-split queries in time order.
     let queries: Vec<String> = lab
@@ -133,9 +254,10 @@ fn main() {
     assert!(!queries.is_empty(), "test split is empty; raise --sessions");
 
     println!(
-        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}  mean stage µs (det/retr/util/sel)",
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}  mean stage µs (det/retr/surr/util/sel)",
         "algorithm", "QPS", "p50 ms", "p95 ms", "p99 ms", "hit%", "divers%",
     );
+    let mut reports = Vec::new();
     for algo in [
         AlgorithmKind::Baseline,
         AlgorithmKind::OptSelect,
@@ -143,15 +265,17 @@ fn main() {
         AlgorithmKind::XQuad,
         AlgorithmKind::Mmr,
     ] {
-        let engine = Arc::new(SearchEngine::with_store(
+        let engine = Arc::new(SearchEngine::with_compiled_store(
             index.clone(),
             model.clone(),
             store.clone(),
+            compiled.clone(),
             EngineConfig {
                 n_candidates: args.candidates,
                 params,
                 cache_shards: 16,
                 cache_capacity: if args.cache { 8192 } else { 0 },
+                surrogate_cache_capacity: if args.surrogate_cache { 32_768 } else { 0 },
             },
         ));
         let pool = WorkerPool::new(engine.clone(), args.concurrency);
@@ -170,24 +294,46 @@ fn main() {
             .cache()
             .map(|c| c.stats().hit_rate() * 100.0)
             .unwrap_or(0.0);
+        let surrogate_hit_rate = engine
+            .surrogate_cache()
+            .map(|c| c.stats().hit_rate() * 100.0)
+            .unwrap_or(0.0);
         let m = engine.metrics();
         let computed = (m.diversified + m.passthrough).max(1);
         let diversified_pct = 100.0 * responses.iter().filter(|r| r.diversified).count() as f64
             / responses.len() as f64;
-        println!(
-            "{:<10} {:>9.0} {:>9.3} {:>9.3} {:>9.3} {:>7.1} {:>7.1}  {}/{}/{}/{}",
-            format!("{algo:?}"),
+        let report = AlgoReport {
+            name: format!("{algo:?}"),
             qps,
-            percentile(&totals, 50.0),
-            percentile(&totals, 95.0),
-            percentile(&totals, 99.0),
-            hit_rate,
+            p50_ms: percentile(&totals, 50.0),
+            p95_ms: percentile(&totals, 95.0),
+            p99_ms: percentile(&totals, 99.0),
+            hit_rate_pct: hit_rate,
+            surrogate_hit_rate_pct: surrogate_hit_rate,
             diversified_pct,
-            m.stage_sums.detect_us / computed,
-            m.stage_sums.retrieve_us / computed,
-            m.stage_sums.utility_us / computed,
-            m.stage_sums.select_us / computed,
+            detect_us: m.stage_sums.detect_us / computed,
+            retrieve_us: m.stage_sums.retrieve_us / computed,
+            surrogate_us: m.stage_sums.surrogate_us / computed,
+            utility_us: m.stage_sums.utility_us / computed,
+            select_us: m.stage_sums.select_us / computed,
+        };
+        println!(
+            "{:<10} {:>9.0} {:>9.3} {:>9.3} {:>9.3} {:>7.1} {:>7.1}  {}/{}/{}/{}/{}",
+            report.name,
+            report.qps,
+            report.p50_ms,
+            report.p95_ms,
+            report.p99_ms,
+            report.hit_rate_pct,
+            report.diversified_pct,
+            report.detect_us,
+            report.retrieve_us,
+            report.surrogate_us,
+            report.utility_us,
+            report.select_us,
         );
+        reports.push(report);
     }
     println!("\n(per-stage means are over computed — non-cache-hit — requests)");
+    write_json(&args.json_path, &args, &offline, &reports);
 }

@@ -16,6 +16,7 @@
 
 use crate::utility::UtilityMatrix;
 use serpdiv_index::SparseVector;
+use std::sync::Arc;
 
 /// Input to a [`Diversifier`](crate::Diversifier).
 #[derive(Debug, Clone)]
@@ -28,8 +29,9 @@ pub struct DiversifyInput {
     /// `Ũ(d|R_q′)` matrix, `n × m`.
     pub utilities: UtilityMatrix,
     /// Snippet surrogate vectors (candidate order), for similarity-based
-    /// baselines; `None` when only the paper's algorithms run.
-    pub vectors: Option<Vec<SparseVector>>,
+    /// baselines; `None` when only the paper's algorithms run. `Arc`'d so
+    /// serving layers can share memoized surrogates without copying.
+    pub vectors: Option<Vec<Arc<SparseVector>>>,
 }
 
 impl DiversifyInput {
@@ -73,7 +75,7 @@ impl DiversifyInput {
     ///
     /// # Panics
     /// Panics when the vector count differs from the candidate count.
-    pub fn with_vectors(mut self, vectors: Vec<SparseVector>) -> Self {
+    pub fn with_vectors(mut self, vectors: Vec<Arc<SparseVector>>) -> Self {
         assert_eq!(vectors.len(), self.num_candidates());
         self.vectors = Some(vectors);
         self

@@ -17,6 +17,7 @@ use crate::candidates::DiversifyInput;
 use crate::iaselect::IaSelect;
 use crate::mmr::Mmr;
 use crate::optselect::OptSelect;
+use crate::specindex::CompiledSpecStore;
 use crate::utility::{UtilityMatrix, UtilityParams};
 use crate::xquad::XQuad;
 use crate::Diversifier;
@@ -25,6 +26,7 @@ use serpdiv_index::{
 };
 use serpdiv_mining::{SpecializationEntry, SpecializationModel};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which algorithm the pipeline runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,6 +56,12 @@ pub struct PipelineParams {
     pub utility: UtilityParams,
     /// Snippet window in tokens (document surrogates).
     pub snippet_window: usize,
+    /// Candidate-set size from which utility-matrix rows are computed in
+    /// parallel (scoped threads, one row-chunk each; results are identical
+    /// to the sequential path). Typical serving requests (`n ≈ 100`) stay
+    /// sequential; batch/offline callers with thousands of candidates
+    /// cross this threshold. `usize::MAX` disables parallelism.
+    pub utility_parallel_threshold: usize,
 }
 
 impl Default for PipelineParams {
@@ -64,6 +72,7 @@ impl Default for PipelineParams {
             mmr_lambda: 0.5,
             utility: UtilityParams::default(),
             snippet_window: 30,
+            utility_parallel_threshold: 1024,
         }
     }
 }
@@ -114,6 +123,13 @@ impl SpecializationStore {
     /// The ranked surrogates of `spec` (empty slice when unknown).
     pub fn surrogates(&self, spec: &str) -> &[(SparseVector, usize)] {
         self.entries.get(spec).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate `(specialization, ranked surrogates)` pairs (arbitrary
+    /// order) — the compilation input of
+    /// [`CompiledSpecStore::compile`](crate::specindex::CompiledSpecStore::compile).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[(SparseVector, usize)])> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 
     /// Number of distinct specializations stored.
@@ -174,12 +190,14 @@ pub struct DiversificationPipeline<'a> {
     engine: &'a SearchEngine<'a>,
     model: &'a SpecializationModel,
     store: SpecializationStore,
+    compiled: CompiledSpecStore,
     params: PipelineParams,
 }
 
 impl<'a> DiversificationPipeline<'a> {
-    /// Deploy the pipeline: builds the [`SpecializationStore`] eagerly
-    /// (this is the offline deployment step of §4.1).
+    /// Deploy the pipeline: builds the [`SpecializationStore`] eagerly and
+    /// compiles it into the inverted utility index (both are one-off
+    /// offline deployment steps of §4.1).
     pub fn new(
         engine: &'a SearchEngine<'a>,
         model: &'a SpecializationModel,
@@ -187,10 +205,12 @@ impl<'a> DiversificationPipeline<'a> {
     ) -> Self {
         let store =
             SpecializationStore::build(model, engine, params.k_spec_results, params.snippet_window);
+        let compiled = CompiledSpecStore::compile(&store);
         DiversificationPipeline {
             engine,
             model,
             store,
+            compiled,
             params,
         }
     }
@@ -198,6 +218,12 @@ impl<'a> DiversificationPipeline<'a> {
     /// The underlying store (footprint experiments).
     pub fn store(&self) -> &SpecializationStore {
         &self.store
+    }
+
+    /// The compiled inverted utility index the request path scores
+    /// against.
+    pub fn compiled(&self) -> &CompiledSpecStore {
+        &self.compiled
     }
 
     /// The pipeline parameters.
@@ -222,7 +248,7 @@ impl<'a> DiversificationPipeline<'a> {
         let input = assemble_input(
             self.engine.index(),
             entry,
-            &self.store,
+            &self.compiled,
             &self.params,
             query,
             &baseline,
@@ -315,15 +341,98 @@ impl DiversificationPipeline<'_> {
     }
 }
 
-/// Assemble the [`DiversifyInput`] for one already-retrieved candidate set:
-/// snippet surrogates for the candidates, surrogate lists for `entry`'s
-/// specializations from the precomputed `store`, the utility matrix
-/// (Definition 2) and max-normalized relevance.
+/// Compute the snippet surrogate vector of one candidate document: fetch
+/// the doc, extract the query-biased snippet, TF-IDF-vectorize it (a
+/// missing doc yields the zero vector). The single definition of
+/// surrogate construction — both the batch helper below and the serving
+/// layer's `(doc, query-terms)` cache go through it, so cached and
+/// uncached paths cannot diverge.
+pub fn candidate_surrogate(
+    index: &InvertedIndex,
+    doc: DocId,
+    qterms: &[serpdiv_text::TermId],
+    snippets: &SnippetGenerator,
+) -> SparseVector {
+    index
+        .store()
+        .get(doc)
+        .map(|doc| {
+            let snip = snippets.snippet(doc, qterms, index.vocab());
+            SparseVector::from_text(&snip, index)
+        })
+        .unwrap_or_default()
+}
+
+/// Compute the snippet surrogate vector of every candidate in `baseline`
+/// (the per-request `Rq` surrogates of Definition 2). Returned as `Arc`s
+/// so serving layers can memoize them per `(doc, query-terms)` and share
+/// one vector across requests without copying.
+pub fn candidate_surrogates(
+    index: &InvertedIndex,
+    query: &str,
+    baseline: &[ScoredDoc],
+    snippet_window: usize,
+) -> Vec<Arc<SparseVector>> {
+    let snippets = SnippetGenerator::with_window(snippet_window);
+    let qterms = index.analyze_query(query);
+    baseline
+        .iter()
+        .map(|h| Arc::new(candidate_surrogate(index, h.doc, &qterms, &snippets)))
+        .collect()
+}
+
+/// Assemble the [`DiversifyInput`] from already-computed candidate
+/// surrogates: borrow the compiled inverted index (zero surrogate-list
+/// cloning), score every candidate row with one sparse accumulation, and
+/// max-normalize the baseline relevance. Rows go parallel past
+/// [`PipelineParams::utility_parallel_threshold`].
+pub fn assemble_input_from_surrogates(
+    entry: &SpecializationEntry,
+    compiled: &CompiledSpecStore,
+    params: &PipelineParams,
+    vectors: Vec<Arc<SparseVector>>,
+    baseline: &[ScoredDoc],
+) -> DiversifyInput {
+    let spec_probs: Vec<f64> = entry.specializations.iter().map(|&(_, p)| p).collect();
+    let scorer = compiled.scorer(entry.specializations.iter().map(|(s, _)| s.as_str()));
+    let utilities = if vectors.len() >= params.utility_parallel_threshold {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        scorer.matrix_parallel(&vectors, params.utility, threads)
+    } else {
+        scorer.matrix(&vectors, params.utility)
+    };
+    let scores: Vec<f64> = baseline.iter().map(|h| h.score).collect();
+    let relevance = DiversifyInput::normalize_scores(&scores);
+    DiversifyInput::new(spec_probs, relevance, utilities).with_vectors(vectors)
+}
+
+/// Assemble the [`DiversifyInput`] for one already-retrieved candidate
+/// set: snippet surrogates for the candidates, then utility rows against
+/// the compiled specialization index (Definition 2) and max-normalized
+/// relevance.
 ///
 /// This is the utility-computation stage shared by the offline
 /// [`DiversificationPipeline`] and the online serving engine
-/// (`serpdiv-serve`), which times it separately from retrieval.
+/// (`serpdiv-serve`), which memoizes the surrogate step and times both
+/// halves separately.
 pub fn assemble_input(
+    index: &InvertedIndex,
+    entry: &SpecializationEntry,
+    compiled: &CompiledSpecStore,
+    params: &PipelineParams,
+    query: &str,
+    baseline: &[ScoredDoc],
+) -> DiversifyInput {
+    let vectors = candidate_surrogates(index, query, baseline, params.snippet_window);
+    assemble_input_from_surrogates(entry, compiled, params, vectors, baseline)
+}
+
+/// The pre-compilation reference path: per-specialization surrogate lists
+/// cloned out of the raw store and the utility matrix computed by naive
+/// pairwise cosines ([`UtilityMatrix::compute`]). Kept as the equivalence
+/// oracle for the compiled fast path (`tests/utility_equivalence.rs`); no
+/// serving code calls it.
+pub fn assemble_input_naive(
     index: &InvertedIndex,
     entry: &SpecializationEntry,
     store: &SpecializationStore,
@@ -331,25 +440,7 @@ pub fn assemble_input(
     query: &str,
     baseline: &[ScoredDoc],
 ) -> DiversifyInput {
-    let snippets = SnippetGenerator::with_window(params.snippet_window);
-    let qterms = index.analyze_query(query);
-
-    // Candidate surrogates.
-    let vectors: Vec<SparseVector> = baseline
-        .iter()
-        .map(|h| {
-            index
-                .store()
-                .get(h.doc)
-                .map(|doc| {
-                    let snip = snippets.snippet(doc, &qterms, index.vocab());
-                    SparseVector::from_text(&snip, index)
-                })
-                .unwrap_or_default()
-        })
-        .collect();
-
-    // Specialization surrogate lists from the store.
+    let vectors = candidate_surrogates(index, query, baseline, params.snippet_window);
     let spec_probs: Vec<f64> = entry.specializations.iter().map(|&(_, p)| p).collect();
     let spec_lists: Vec<Vec<SparseVector>> = entry
         .specializations
@@ -362,7 +453,6 @@ pub fn assemble_input(
                 .collect()
         })
         .collect();
-
     let utilities = UtilityMatrix::compute(&vectors, &spec_lists, params.utility);
     let scores: Vec<f64> = baseline.iter().map(|h| h.score).collect();
     let relevance = DiversifyInput::normalize_scores(&scores);

@@ -15,7 +15,11 @@
 //! Shared substrate:
 //!
 //! * [`utility`] — the paper's **results' utility** (Definition 2) with
-//!   harmonic-number normalization and the threshold `c` of §5,
+//!   memoized harmonic-number normalization and the threshold `c` of §5,
+//! * [`specindex`] — the compiled specialization store: surrogate lists
+//!   folded into per-specialization weight rows and inverted into a
+//!   `TermId → [(spec, weight)]` index, so a request scores each candidate
+//!   against all its specializations with one sparse accumulation,
 //! * [`candidates`] — the [`DiversifyInput`] bundle (`P(q′|q)`, `P(d|q)`,
 //!   the `Ũ(d|R_q′)` matrix, optional surrogate vectors),
 //! * [`heap`] — the bounded top-`m` heaps of Algorithm 2,
@@ -29,18 +33,21 @@ pub mod heap;
 pub mod iaselect;
 pub mod mmr;
 pub mod optselect;
+pub mod specindex;
 pub mod utility;
 pub mod xquad;
 
 pub use candidates::DiversifyInput;
 pub use framework::{
-    assemble_input, run_algorithm, AlgorithmKind, DiversificationPipeline, DiversifiedRanking,
-    PipelineParams, SpecializationStore,
+    assemble_input, assemble_input_from_surrogates, assemble_input_naive, candidate_surrogate,
+    candidate_surrogates, run_algorithm, AlgorithmKind, DiversificationPipeline,
+    DiversifiedRanking, PipelineParams, SpecializationStore,
 };
 pub use heap::BoundedHeap;
 pub use iaselect::IaSelect;
 pub use mmr::Mmr;
 pub use optselect::OptSelect;
+pub use specindex::{CompiledSpecStore, UtilityScorer};
 pub use utility::{harmonic, UtilityMatrix, UtilityParams};
 pub use xquad::XQuad;
 

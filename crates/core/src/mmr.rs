@@ -126,9 +126,9 @@ mod tests {
     fn input_with_vectors() -> DiversifyInput {
         let u = UtilityMatrix::from_values(3, 1, vec![0.5, 0.5, 0.5]);
         DiversifyInput::new(vec![1.0], vec![1.0, 0.98, 0.6], u).with_vectors(vec![
-            v(&[(1, 1.0), (2, 1.0)]),
-            v(&[(1, 1.0), (2, 0.9)]),
-            v(&[(9, 1.0)]),
+            std::sync::Arc::new(v(&[(1, 1.0), (2, 1.0)])),
+            std::sync::Arc::new(v(&[(1, 1.0), (2, 0.9)])),
+            std::sync::Arc::new(v(&[(9, 1.0)])),
         ])
     }
 

@@ -1,0 +1,516 @@
+//! Compiled specialization store — the inverted utility index.
+//!
+//! The naive utility stage (Definition 2, Eq. 1) evaluates, per request,
+//! one cosine for every (candidate, specialization-result) pair:
+//! `O(n · m · |R_q′|)` sorted merges over sparse surrogates. This module
+//! compiles the §4.1 specialization store *once, offline* so the whole
+//! per-candidate row falls out of a single sparse accumulation:
+//!
+//! ```text
+//! Ũ(d|R_q′) = (1/H_{|R′|}) Σ_r cos(d, d′_r)/r
+//!           = (1/‖d‖) Σ_{t ∈ d} d_t · w_q′(t)
+//! where  w_q′(t) = Σ_r d′_{r,t} / (‖d′_r‖ · r · H_{|R′|})
+//! ```
+//!
+//! i.e. unit-normalize every surrogate, fold the `1/rank` discount and the
+//! harmonic normalizer directly into the term weights, and sum the ranked
+//! list into one *folded vector* per specialization. Stacking the folded
+//! vectors term-major yields a classic inverted index
+//! `TermId → [(spec, weight)]` — the same term-at-a-time accumulator
+//! discipline the DPH retrieval stage already uses — so scoring one
+//! candidate against every specialization costs
+//! `O(Σ_{t ∈ d} |postings(t)|)` instead of `n·m` merge-joins.
+//!
+//! Request-time scoring goes through a [`UtilityScorer`]: a borrowed view
+//! that gathers the postings of the query's *active* specializations
+//! (usually a handful out of the whole store) into one small sorted
+//! accumulator index. Building it is `O(Σ nnz(folded))` and is amortized
+//! over the `n ≈ 100` candidates of the request; no surrogate list is
+//! cloned anywhere on the hot path.
+//!
+//! All folded weights are `f64`, so the compiled path reproduces the naive
+//! double-precision oracle ([`UtilityMatrix::compute`]) up to mere
+//! re-association of the same sum (≈1e-12), which the equivalence suite
+//! (`tests/utility_equivalence.rs`) asserts at 1e-9.
+
+use crate::framework::SpecializationStore;
+use crate::utility::{harmonic, UtilityMatrix, UtilityParams};
+use serpdiv_index::SparseVector;
+use serpdiv_text::TermId;
+use std::borrow::Borrow;
+use std::collections::HashMap;
+
+/// The offline-compiled, immutable specialization index.
+///
+/// Holds, for every specialization in the deployed store:
+/// * its *folded vector* — the ranked surrogate list collapsed into one
+///   sparse `(TermId, f64)` row with rank discount, surrogate norms and
+///   the `1/H_{|R′|}` normalizer pre-applied;
+/// * a global term-major inverted map `TermId → [(spec, weight)]` over all
+///   folded vectors, for scoring a candidate against the whole store.
+#[derive(Debug, Default)]
+pub struct CompiledSpecStore {
+    /// specialization text → dense id (assignment order: sorted by name,
+    /// so ids are reproducible across processes).
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+    /// `|R_q′|` per specialization (diagnostics; empty lists stay 0-utility).
+    list_lens: Vec<usize>,
+    /// Folded vector per specialization, entries sorted by term id.
+    folded: Vec<Vec<(TermId, f64)>>,
+    /// Global inverted map: sorted distinct terms …
+    terms: Vec<TermId>,
+    /// … with `term_ranges[k]` delimiting `postings[start..end]` for
+    /// `terms[k]`; postings are `(spec_id, weight)` sorted by spec id.
+    term_ranges: Vec<(u32, u32)>,
+    postings: Vec<(u32, f64)>,
+}
+
+impl CompiledSpecStore {
+    /// Compile the raw §4.1 [`SpecializationStore`] (this is the one-off
+    /// deployment step; nothing here runs per request).
+    pub fn compile(store: &SpecializationStore) -> Self {
+        Self::build(
+            store
+                .iter()
+                .map(|(name, list)| (name, list.iter().map(|(v, _)| v))),
+        )
+    }
+
+    /// Build from `(name, ranked surrogates)` pairs (rank 1 first).
+    /// Duplicate names keep the first list.
+    pub fn build<'a, S, L>(specs: S) -> Self
+    where
+        S: IntoIterator<Item = (&'a str, L)>,
+        L: IntoIterator<Item = &'a SparseVector>,
+    {
+        // Collect and sort by name so spec ids are deterministic no matter
+        // the iteration order of the backing map.
+        let mut collected: Vec<(&str, Vec<&SparseVector>)> = specs
+            .into_iter()
+            .map(|(name, list)| (name, list.into_iter().collect()))
+            .collect();
+        collected.sort_by(|a, b| a.0.cmp(b.0));
+        collected.dedup_by(|a, b| a.0 == b.0);
+
+        let mut ids = HashMap::with_capacity(collected.len());
+        let mut names = Vec::with_capacity(collected.len());
+        let mut list_lens = Vec::with_capacity(collected.len());
+        let mut folded = Vec::with_capacity(collected.len());
+        for (name, ranked) in collected {
+            let id = names.len() as u32;
+            ids.insert(name.to_string(), id);
+            names.push(name.to_string());
+            list_lens.push(ranked.len());
+            folded.push(fold_ranked_list(&ranked));
+        }
+
+        // Transpose spec-major folded vectors into the term-major map.
+        let triples: Vec<(TermId, u32, f64)> = folded
+            .iter()
+            .enumerate()
+            .flat_map(|(s, entries)| entries.iter().map(move |&(t, w)| (t, s as u32, w)))
+            .collect();
+        let (terms, term_ranges, postings) = invert(triples);
+
+        CompiledSpecStore {
+            ids,
+            names,
+            list_lens,
+            folded,
+            terms,
+            term_ranges,
+            postings,
+        }
+    }
+
+    /// Number of compiled specializations.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing was compiled.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Dense id of a specialization (`None` when unknown).
+    pub fn spec_id(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// Name of specialization `id`.
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// `|R_q′|` the specialization was folded from.
+    pub fn list_len(&self, id: u32) -> usize {
+        self.list_lens[id as usize]
+    }
+
+    /// Distinct terms in the global inverted map.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total postings across all terms.
+    pub fn num_postings(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Approximate compiled footprint in bytes (folded vectors + inverted
+    /// map + name table) — compare against the raw store's
+    /// [`SpecializationStore::byte_size`].
+    pub fn byte_size(&self) -> usize {
+        let folded: usize = self
+            .folded
+            .iter()
+            .map(|f| f.len() * std::mem::size_of::<(TermId, f64)>())
+            .sum();
+        let names: usize = self.names.iter().map(|n| n.len() + 16).sum();
+        folded
+            + names
+            + self.terms.len() * std::mem::size_of::<TermId>()
+            + self.term_ranges.len() * std::mem::size_of::<(u32, u32)>()
+            + self.postings.len() * std::mem::size_of::<(u32, f64)>()
+    }
+
+    /// Build the request-time scoring view over the given specializations,
+    /// in column order. Unknown names yield all-zero columns (exactly the
+    /// naive path's behavior for specs missing from the store).
+    pub fn scorer<'a>(&self, specs: impl IntoIterator<Item = &'a str>) -> UtilityScorer {
+        let cols: Vec<Option<u32>> = specs.into_iter().map(|s| self.spec_id(s)).collect();
+        let mut triples: Vec<(TermId, u32, f64)> = Vec::new();
+        for (col, id) in cols.iter().enumerate() {
+            if let Some(id) = id {
+                for &(t, w) in &self.folded[*id as usize] {
+                    triples.push((t, col as u32, w));
+                }
+            }
+        }
+        let (terms, term_ranges, postings) = invert(triples);
+        UtilityScorer {
+            m: cols.len(),
+            terms,
+            term_ranges,
+            postings,
+        }
+    }
+
+    /// Score one candidate against **every** specialization in the store
+    /// via the global inverted map — one sparse accumulation, complexity
+    /// `O(Σ_{t ∈ cand} |postings(t)|)`. Returns the normalized, thresholded
+    /// utility per spec id.
+    pub fn score_all(&self, candidate: &SparseVector, params: UtilityParams) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.len()];
+        let norm = f64::from(candidate.norm());
+        if norm > 0.0 {
+            for &(t, w) in candidate.entries() {
+                if let Ok(k) = self.terms.binary_search(&t) {
+                    let (start, end) = self.term_ranges[k];
+                    for &(s, fw) in &self.postings[start as usize..end as usize] {
+                        acc[s as usize] += f64::from(w) * fw;
+                    }
+                }
+            }
+        }
+        for u in &mut acc {
+            *u = finalize(*u, norm, params);
+        }
+        acc
+    }
+}
+
+/// Group `(term, column, weight)` triples into the term-major postings
+/// layout shared by the global map and the per-request scorer: sorted
+/// distinct `terms`, parallel `term_ranges` delimiting each term's slice
+/// of `postings`, postings sorted by column within a term.
+#[allow(clippy::type_complexity)]
+fn invert(mut triples: Vec<(TermId, u32, f64)>) -> (Vec<TermId>, Vec<(u32, u32)>, Vec<(u32, f64)>) {
+    triples.sort_unstable_by_key(|a| (a.0, a.1));
+    let mut terms = Vec::new();
+    let mut term_ranges: Vec<(u32, u32)> = Vec::new();
+    let mut postings = Vec::with_capacity(triples.len());
+    for (t, c, w) in triples {
+        if terms.last() != Some(&t) {
+            terms.push(t);
+            term_ranges.push((postings.len() as u32, postings.len() as u32));
+        }
+        postings.push((c, w));
+        term_ranges.last_mut().unwrap().1 = postings.len() as u32;
+    }
+    (terms, term_ranges, postings)
+}
+
+/// Fold one ranked surrogate list into a single sparse row:
+/// `w(t) = Σ_r d′_{r,t} / (‖d′_r‖ · r · H_{|R′|})`, entries sorted by term.
+/// Per term, rank contributions are accumulated in ascending-rank order so
+/// the folding is deterministic.
+fn fold_ranked_list(ranked: &[&SparseVector]) -> Vec<(TermId, f64)> {
+    let h = harmonic(ranked.len());
+    if h == 0.0 {
+        return Vec::new();
+    }
+    let mut acc: HashMap<TermId, f64> = HashMap::new();
+    for (r, v) in ranked.iter().enumerate() {
+        let norm = f64::from(v.norm());
+        if norm == 0.0 {
+            continue; // zero surrogates have cosine 0 with everything
+        }
+        let scale = 1.0 / (norm * (r + 1) as f64 * h);
+        for &(t, w) in v.entries() {
+            *acc.entry(t).or_insert(0.0) += f64::from(w) * scale;
+        }
+    }
+    let mut entries: Vec<(TermId, f64)> = acc.into_iter().collect();
+    entries.sort_unstable_by_key(|&(t, _)| t);
+    entries
+}
+
+#[inline]
+fn finalize(acc: f64, norm: f64, params: UtilityParams) -> f64 {
+    if norm == 0.0 {
+        return 0.0;
+    }
+    // The naive oracle clamps each cosine into [0,1]; folded accumulation
+    // can only drift past 1 by float noise, so clamping the final value
+    // preserves the [0,1] contract of UtilityMatrix.
+    let u = (acc / norm).clamp(0.0, 1.0);
+    if u < params.threshold_c {
+        0.0
+    } else {
+        u
+    }
+}
+
+/// Request-time scoring view: the active specializations' folded postings
+/// gathered into one small sorted accumulator index (columns = the order
+/// the specs were passed to [`CompiledSpecStore::scorer`]).
+#[derive(Debug)]
+pub struct UtilityScorer {
+    m: usize,
+    terms: Vec<TermId>,
+    term_ranges: Vec<(u32, u32)>,
+    postings: Vec<(u32, f64)>,
+}
+
+impl UtilityScorer {
+    /// Number of columns (active specializations).
+    pub fn num_specializations(&self) -> usize {
+        self.m
+    }
+
+    /// Score one candidate into `out` (`out.len() == m`): zero, accumulate
+    /// term-at-a-time, normalize by the candidate norm, clamp, threshold.
+    pub fn score_into(&self, candidate: &SparseVector, out: &mut [f64], params: UtilityParams) {
+        debug_assert_eq!(out.len(), self.m);
+        out.fill(0.0);
+        let norm = f64::from(candidate.norm());
+        if norm == 0.0 || self.m == 0 {
+            return;
+        }
+        for &(t, w) in candidate.entries() {
+            if let Ok(k) = self.terms.binary_search(&t) {
+                let (start, end) = self.term_ranges[k];
+                for &(c, fw) in &self.postings[start as usize..end as usize] {
+                    out[c as usize] += f64::from(w) * fw;
+                }
+            }
+        }
+        for u in out {
+            *u = finalize(*u, norm, params);
+        }
+    }
+
+    /// The full `n × m` [`UtilityMatrix`] over `candidates`, one sparse
+    /// accumulation per row. `candidates` may hold owned, borrowed or
+    /// `Arc`'d vectors.
+    pub fn matrix<V: Borrow<SparseVector>>(
+        &self,
+        candidates: &[V],
+        params: UtilityParams,
+    ) -> UtilityMatrix {
+        let n = candidates.len();
+        let mut values = vec![0.0f64; n * self.m];
+        for (cand, row) in candidates
+            .iter()
+            .zip(values.chunks_exact_mut(self.m.max(1)))
+        {
+            self.score_into(cand.borrow(), row, params);
+        }
+        UtilityMatrix::from_values(n, self.m, values)
+    }
+
+    /// [`matrix`](Self::matrix) with rows computed in parallel over
+    /// `threads` scoped threads (row-disjoint chunks, so the result is
+    /// identical to the sequential one). Falls back to sequential when the
+    /// candidate set is small or `threads ≤ 1`.
+    pub fn matrix_parallel<V: Borrow<SparseVector> + Sync>(
+        &self,
+        candidates: &[V],
+        params: UtilityParams,
+        threads: usize,
+    ) -> UtilityMatrix {
+        let n = candidates.len();
+        let threads = threads.min(n.max(1));
+        if threads <= 1 || n < 2 || self.m == 0 {
+            return self.matrix(candidates, params);
+        }
+        let mut values = vec![0.0f64; n * self.m];
+        let rows_per = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in values.chunks_mut(rows_per * self.m).enumerate() {
+                let cands = &candidates[chunk_idx * rows_per..];
+                scope.spawn(move || {
+                    for (cand, row) in cands.iter().zip(chunk.chunks_exact_mut(self.m)) {
+                        self.score_into(cand.borrow(), row, params);
+                    }
+                });
+            }
+        });
+        UtilityMatrix::from_values(n, self.m, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::normalized_utility;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)))
+    }
+
+    fn store() -> (Vec<(String, Vec<SparseVector>)>, CompiledSpecStore) {
+        let lists = vec![
+            (
+                "iphone".to_string(),
+                vec![v(&[(1, 2.0), (2, 1.0)]), v(&[(1, 1.0), (3, 4.0)])],
+            ),
+            (
+                "fruit".to_string(),
+                vec![v(&[(4, 1.0)]), v(&[(4, 2.0), (5, 1.0)]), v(&[(5, 3.0)])],
+            ),
+            ("empty".to_string(), Vec::new()),
+        ];
+        let compiled = CompiledSpecStore::build(
+            lists
+                .iter()
+                .map(|(name, list)| (name.as_str(), list.iter())),
+        );
+        (lists, compiled)
+    }
+
+    #[test]
+    fn compiles_ids_and_shapes() {
+        let (_, c) = store();
+        assert_eq!(c.len(), 3);
+        // Ids are assigned in sorted-name order.
+        assert_eq!(c.spec_id("empty"), Some(0));
+        assert_eq!(c.spec_id("fruit"), Some(1));
+        assert_eq!(c.spec_id("iphone"), Some(2));
+        assert_eq!(c.spec_id("unknown"), None);
+        assert_eq!(c.name(1), "fruit");
+        assert_eq!(c.list_len(1), 3);
+        assert_eq!(c.list_len(0), 0);
+        assert!(c.num_terms() >= 5);
+        assert!(c.num_postings() >= c.num_terms());
+        assert!(c.byte_size() > 0);
+    }
+
+    #[test]
+    fn scorer_matches_naive_oracle() {
+        let (lists, c) = store();
+        let params = UtilityParams::default();
+        let cands = [
+            v(&[(1, 1.0), (4, 2.0)]),
+            v(&[(2, 3.0), (3, 1.0), (5, 0.5)]),
+            v(&[(9, 1.0)]),          // matches nothing
+            SparseVector::default(), // zero candidate
+        ];
+        let scorer = c.scorer(["iphone", "fruit", "empty", "unknown"]);
+        assert_eq!(scorer.num_specializations(), 4);
+        let fast = scorer.matrix(&cands, params);
+        for (i, cand) in cands.iter().enumerate() {
+            for (j, name) in ["iphone", "fruit", "empty", "unknown"].iter().enumerate() {
+                let list = lists
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, l)| l.as_slice())
+                    .unwrap_or(&[]);
+                let naive = normalized_utility(cand, list, params);
+                assert!(
+                    (fast.get(i, j) - naive).abs() < 1e-12,
+                    "cell ({i},{j}): fast {} vs naive {naive}",
+                    fast.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_all_agrees_with_per_request_scorer() {
+        let (_, c) = store();
+        let params = UtilityParams { threshold_c: 0.1 };
+        let cand = v(&[(1, 1.0), (4, 1.0), (5, 2.0)]);
+        let all = c.score_all(&cand, params);
+        let scorer = c.scorer(["empty", "fruit", "iphone"]);
+        let mut row = vec![0.0; 3];
+        scorer.score_into(&cand, &mut row, params);
+        assert_eq!(all, row, "spec-id order == sorted-name order here");
+    }
+
+    #[test]
+    fn threshold_is_applied() {
+        let (_, c) = store();
+        let cand = v(&[(1, 1.0), (4, 1.0)]);
+        let loose = c.score_all(&cand, UtilityParams { threshold_c: 0.0 });
+        let strict = c.score_all(&cand, UtilityParams { threshold_c: 0.99 });
+        assert!(loose.iter().any(|&u| u > 0.0));
+        assert!(strict.iter().all(|&u| u == 0.0 || u >= 0.99));
+    }
+
+    #[test]
+    fn parallel_matrix_is_identical_to_sequential() {
+        let (_, c) = store();
+        let params = UtilityParams::default();
+        let cands: Vec<SparseVector> = (0..97)
+            .map(|i| {
+                v(&[
+                    (1 + (i % 5) as u32, 1.0 + i as f32 * 0.01),
+                    (4, 0.5),
+                    (7 + (i % 3) as u32, 2.0),
+                ])
+            })
+            .collect();
+        let scorer = c.scorer(["iphone", "fruit"]);
+        let seq = scorer.matrix(&cands, params);
+        for threads in [2, 3, 8, 200] {
+            let par = scorer.matrix_parallel(&cands, params, threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn duplicate_spec_names_keep_first_list() {
+        let a = [v(&[(1, 1.0)])];
+        let b = [v(&[(2, 1.0)])];
+        let c = CompiledSpecStore::build(vec![("x", a.iter()), ("x", b.iter())]);
+        assert_eq!(c.len(), 1);
+        let u = c.score_all(&v(&[(1, 1.0)]), UtilityParams::default());
+        assert!(u[0] > 0.9, "first list (term 1) won: {u:?}");
+    }
+
+    #[test]
+    fn empty_store_scores_nothing() {
+        let c = CompiledSpecStore::build(Vec::<(&str, std::iter::Empty<&SparseVector>)>::new());
+        assert!(c.is_empty());
+        assert!(c
+            .score_all(&v(&[(1, 1.0)]), UtilityParams::default())
+            .is_empty());
+        let scorer = c.scorer(["ghost"]);
+        let m = scorer.matrix(&[v(&[(1, 1.0)])], UtilityParams::default());
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+}

@@ -16,11 +16,41 @@
 //! below a threshold `c` — Table 3 sweeps `c` over nine values.
 
 use serde::{Deserialize, Serialize};
-use serpdiv_index::{cosine, SparseVector};
+use serpdiv_index::{cosine64, SparseVector};
+use std::sync::OnceLock;
+
+/// Size of the memoized prefix of harmonic numbers. `|R_q′|` is 20 in the
+/// paper and rarely above a few hundred in any configuration; 4096 covers
+/// every realistic list length with a 32 KiB table.
+const HARMONIC_TABLE: usize = 4096;
+
+fn harmonic_table() -> &'static [f64; HARMONIC_TABLE + 1] {
+    static TABLE: OnceLock<Box<[f64; HARMONIC_TABLE + 1]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = Box::new([0.0f64; HARMONIC_TABLE + 1]);
+        for i in 1..=HARMONIC_TABLE {
+            // Same ascending recurrence as the direct sum, so memoized
+            // values are bitwise-identical to the unmemoized ones.
+            t[i] = t[i - 1] + 1.0 / i as f64;
+        }
+        t
+    })
+}
 
 /// `H_n = Σ_{i=1..n} 1/i`; `H_0 = 0`.
+///
+/// Memoized: the first [`HARMONIC_TABLE`] values come from a
+/// once-initialized table (the utility stage asks for `H_{|R_q′|}` for
+/// every candidate × specialization cell); larger arguments extend the
+/// table's last entry by the remaining terms, preserving the ascending
+/// summation order of the direct definition.
 pub fn harmonic(n: usize) -> f64 {
-    (1..=n).map(|i| 1.0 / i as f64).sum()
+    let table = harmonic_table();
+    if n <= HARMONIC_TABLE {
+        table[n]
+    } else {
+        (HARMONIC_TABLE + 1..=n).fold(table[HARMONIC_TABLE], |h, i| h + 1.0 / i as f64)
+    }
 }
 
 /// Parameters of the utility computation.
@@ -40,11 +70,16 @@ impl Default for UtilityParams {
 
 /// Raw utility `U(d|R_q′)` of a candidate surrogate against the ranked
 /// result list of one specialization (Eq. 1).
+///
+/// Cosines are evaluated in double precision ([`cosine64`]) so this naive
+/// per-pair evaluation is the *reference oracle* for the compiled fast
+/// path ([`crate::specindex`]), which computes the algebraically identical
+/// sum in a different association order.
 pub fn utility(candidate: &SparseVector, spec_results: &[SparseVector]) -> f64 {
     spec_results
         .iter()
         .enumerate()
-        .map(|(i, d2)| f64::from(cosine(candidate, d2)) / (i + 1) as f64)
+        .map(|(i, d2)| cosine64(candidate, d2) / (i + 1) as f64)
         .sum()
 }
 
@@ -72,13 +107,30 @@ pub struct UtilityMatrix {
     n: usize,
     m: usize,
     values: Vec<f64>,
+    /// `coverage[j] = |{i : values[i][j] > 0}|` — precomputed at
+    /// construction because selection algorithms (and the property suite)
+    /// probe it per specialization per round.
+    coverage: Vec<usize>,
+}
+
+fn count_coverage(n: usize, m: usize, values: &[f64]) -> Vec<usize> {
+    let mut coverage = vec![0usize; m];
+    for row in values.chunks_exact(m.max(1)).take(n) {
+        for (c, &v) in coverage.iter_mut().zip(row) {
+            if v > 0.0 {
+                *c += 1;
+            }
+        }
+    }
+    coverage
 }
 
 impl UtilityMatrix {
     /// Compute the matrix from candidate surrogates and each
-    /// specialization's ranked surrogate list.
-    pub fn compute(
-        candidates: &[SparseVector],
+    /// specialization's ranked surrogate list. `candidates` may hold
+    /// owned, borrowed or `Arc`'d vectors.
+    pub fn compute<V: std::borrow::Borrow<SparseVector>>(
+        candidates: &[V],
         spec_results: &[Vec<SparseVector>],
         params: UtilityParams,
     ) -> Self {
@@ -87,10 +139,16 @@ impl UtilityMatrix {
         let mut values = Vec::with_capacity(n * m);
         for cand in candidates {
             for spec in spec_results {
-                values.push(normalized_utility(cand, spec, params));
+                values.push(normalized_utility(cand.borrow(), spec, params));
             }
         }
-        UtilityMatrix { n, m, values }
+        let coverage = count_coverage(n, m, &values);
+        UtilityMatrix {
+            n,
+            m,
+            values,
+            coverage,
+        }
     }
 
     /// Build directly from precomputed values (row-major `n × m`).
@@ -103,7 +161,13 @@ impl UtilityMatrix {
             values.iter().all(|v| (0.0..=1.0).contains(v)),
             "normalized utilities must lie in [0,1]"
         );
-        UtilityMatrix { n, m, values }
+        let coverage = count_coverage(n, m, &values);
+        UtilityMatrix {
+            n,
+            m,
+            values,
+            coverage,
+        }
     }
 
     /// Number of candidates (rows).
@@ -130,9 +194,10 @@ impl UtilityMatrix {
     }
 
     /// Number of candidates with positive utility for specialization `j` —
-    /// `|Rq ⋈ q′|` in the MaxUtility Diversify(k) constraint.
+    /// `|Rq ⋈ q′|` in the MaxUtility Diversify(k) constraint. `O(1)`: the
+    /// counts are computed once at construction.
     pub fn coverage(&self, j: usize) -> usize {
-        (0..self.n).filter(|&i| self.get(i, j) > 0.0).count()
+        self.coverage[j]
     }
 
     /// Apply (or tighten) a threshold after construction.
@@ -142,6 +207,7 @@ impl UtilityMatrix {
                 *v = 0.0;
             }
         }
+        self.coverage = count_coverage(self.n, self.m, &self.values);
         self
     }
 }
@@ -161,6 +227,22 @@ mod tests {
         assert_eq!(harmonic(1), 1.0);
         assert!((harmonic(2) - 1.5).abs() < 1e-12);
         assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_memoization_matches_direct_sum() {
+        // Table region and the lazy extension past it must both agree with
+        // the ascending direct sum, bitwise.
+        for n in [
+            1usize,
+            20,
+            HARMONIC_TABLE,
+            HARMONIC_TABLE + 1,
+            HARMONIC_TABLE + 37,
+        ] {
+            let direct = (1..=n).fold(0.0f64, |h, i| h + 1.0 / i as f64);
+            assert_eq!(harmonic(n), direct, "n={n}");
+        }
     }
 
     #[test]
@@ -227,6 +309,8 @@ mod tests {
     fn with_threshold_tightens() {
         let m = UtilityMatrix::from_values(1, 3, vec![0.1, 0.5, 0.9]).with_threshold(0.4);
         assert_eq!(m.row(0), &[0.0, 0.5, 0.9]);
+        // Precomputed coverage counts must track the thresholding.
+        assert_eq!((m.coverage(0), m.coverage(1), m.coverage(2)), (0, 1, 1));
     }
 
     #[test]

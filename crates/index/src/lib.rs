@@ -55,4 +55,4 @@ pub use maxscore::MaxScoreEngine;
 pub use positions::{phrase_search, PositionalIndex};
 pub use search::{RankingModel, ScoredDoc, SearchEngine};
 pub use snippet::SnippetGenerator;
-pub use vector::{cosine, SparseVector};
+pub use vector::{cosine, cosine64, SparseVector};

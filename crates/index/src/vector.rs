@@ -101,6 +101,28 @@ impl SparseVector {
         acc
     }
 
+    /// Dot product accumulated in `f64` — same merge as [`dot`](Self::dot)
+    /// but each product and the running sum are double precision, so
+    /// utility computations that fold many dot products stay comparable
+    /// across algebraically equivalent evaluation orders.
+    pub fn dot64(&self, other: &SparseVector) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.entries, &other.entries);
+        let mut acc = 0.0f64;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += f64::from(a[i].1) * f64::from(b[j].1);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
     /// Approximate in-memory footprint in bytes (for the §4.1 memory
     /// feasibility experiment).
     pub fn byte_size(&self) -> usize {
@@ -116,6 +138,17 @@ pub fn cosine(a: &SparseVector, b: &SparseVector) -> f32 {
     }
     let c = a.dot(b) / (a.norm() * b.norm());
     // Guard floating error so callers can rely on the [0,1] contract.
+    c.clamp(0.0, 1.0)
+}
+
+/// Double-precision cosine in `[0, 1]` — the reference similarity for the
+/// utility stage, where the compiled fast path re-associates the same sum
+/// and the two must agree to ~1e-12 rather than f32's ~1e-7.
+pub fn cosine64(a: &SparseVector, b: &SparseVector) -> f64 {
+    if a.is_zero() || b.is_zero() {
+        return 0.0;
+    }
+    let c = a.dot64(b) / (f64::from(a.norm()) * f64::from(b.norm()));
     c.clamp(0.0, 1.0)
 }
 
@@ -179,6 +212,18 @@ mod tests {
         let a = v(&[(0, 1.0), (2, 2.0), (4, 3.0)]);
         let b = v(&[(1, 5.0), (2, 7.0), (4, 0.5)]);
         assert!((a.dot(&b) - (2.0 * 7.0 + 3.0 * 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot64_and_cosine64_match_f32_versions() {
+        let a = v(&[(0, 1.5), (2, 2.0), (7, 3.0)]);
+        let b = v(&[(2, 7.0), (7, 0.5), (9, 4.0)]);
+        assert!((a.dot64(&b) - f64::from(a.dot(&b))).abs() < 1e-5);
+        assert!((cosine64(&a, &b) - f64::from(cosine(&a, &b))).abs() < 1e-6);
+        // The cached norm is f32, so self-similarity is 1 up to f32 eps.
+        assert!((cosine64(&a, &a) - 1.0).abs() < 1e-6);
+        let z = SparseVector::default();
+        assert_eq!(cosine64(&z, &a), 0.0);
     }
 
     #[test]

@@ -4,10 +4,14 @@
 use crate::cache::{CachedSerp, ShardedResultCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::request::{QueryRequest, RankedResult, SearchResponse, StageTimings};
+use crate::surrogates::SurrogateCache;
 use serpdiv_core::{
-    assemble_input, run_algorithm, AlgorithmKind, PipelineParams, SpecializationStore,
+    assemble_input_from_surrogates, run_algorithm, AlgorithmKind, CompiledSpecStore,
+    PipelineParams, SpecializationStore,
 };
-use serpdiv_index::{InvertedIndex, ScoredDoc, SearchEngine as Retriever};
+use serpdiv_index::{
+    InvertedIndex, ScoredDoc, SearchEngine as Retriever, SnippetGenerator, SparseVector,
+};
 use serpdiv_mining::SpecializationModel;
 use std::sync::Arc;
 use std::time::Instant;
@@ -25,6 +29,9 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// Total result-cache entries across shards; 0 disables the cache.
     pub cache_capacity: usize,
+    /// Total candidate-surrogate cache entries (keyed `(doc, query
+    /// terms)`), sharded like the result cache; 0 disables it.
+    pub surrogate_cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -34,6 +41,7 @@ impl Default for EngineConfig {
             params: PipelineParams::default(),
             cache_shards: 8,
             cache_capacity: 4096,
+            surrogate_cache_capacity: 32_768,
         }
     }
 }
@@ -49,7 +57,9 @@ pub struct SearchEngine {
     index: Arc<InvertedIndex>,
     model: Arc<SpecializationModel>,
     store: Arc<SpecializationStore>,
+    compiled: Arc<CompiledSpecStore>,
     cache: Option<ShardedResultCache>,
+    surrogates: Option<SurrogateCache>,
     metrics: ServeMetrics,
     config: EngineConfig,
 }
@@ -57,7 +67,8 @@ pub struct SearchEngine {
 impl SearchEngine {
     /// Deploy the engine: builds the §4.1 [`SpecializationStore`] eagerly
     /// (one retrieval + snippet pass per distinct specialization in
-    /// `model`) and an empty result cache.
+    /// `model`), compiles it into the inverted utility index, and starts
+    /// with empty caches.
     pub fn deploy(
         index: Arc<InvertedIndex>,
         model: Arc<SpecializationModel>,
@@ -75,11 +86,26 @@ impl SearchEngine {
         Self::with_store(index, model, store, config)
     }
 
-    /// Deploy with an externally built (possibly shared) store.
+    /// Deploy with an externally built (possibly shared) store; compiles
+    /// the inverted utility index from it.
     pub fn with_store(
         index: Arc<InvertedIndex>,
         model: Arc<SpecializationModel>,
         store: Arc<SpecializationStore>,
+        config: EngineConfig,
+    ) -> Self {
+        let compiled = Arc::new(CompiledSpecStore::compile(&store));
+        Self::with_compiled_store(index, model, store, compiled, config)
+    }
+
+    /// Deploy with both the raw store and an externally compiled index
+    /// (lets several engines — e.g. one per benchmarked algorithm — share
+    /// one compilation).
+    pub fn with_compiled_store(
+        index: Arc<InvertedIndex>,
+        model: Arc<SpecializationModel>,
+        store: Arc<SpecializationStore>,
+        compiled: Arc<CompiledSpecStore>,
         config: EngineConfig,
     ) -> Self {
         let cache = if config.cache_capacity > 0 {
@@ -90,11 +116,21 @@ impl SearchEngine {
         } else {
             None
         };
+        let surrogates = if config.surrogate_cache_capacity > 0 {
+            Some(SurrogateCache::new(
+                config.cache_shards.max(1),
+                config.surrogate_cache_capacity,
+            ))
+        } else {
+            None
+        };
         SearchEngine {
             index,
             model,
             store,
+            compiled,
             cache,
+            surrogates,
             metrics: ServeMetrics::default(),
             config,
         }
@@ -183,14 +219,20 @@ impl SearchEngine {
                 if baseline.is_empty() {
                     (Vec::new(), false, "DPH (passthrough)")
                 } else {
-                    // Utility.
+                    // Surrogates: snippet vectors per candidate, memoized
+                    // by (doc, query-terms) when the cache is enabled.
                     let t = Instant::now();
-                    let input = assemble_input(
-                        &self.index,
+                    let vectors = self.surrogate_vectors(&req.query, &baseline);
+                    timings.surrogate_us = elapsed_us(t);
+
+                    // Utility: sparse accumulation against the compiled
+                    // specialization index.
+                    let t = Instant::now();
+                    let input = assemble_input_from_surrogates(
                         entry,
-                        &self.store,
+                        &self.compiled,
                         &self.config.params,
-                        &req.query,
+                        vectors,
                         &baseline,
                     );
                     timings.utility_us = elapsed_us(t);
@@ -217,6 +259,29 @@ impl SearchEngine {
             results,
             timings,
         }
+    }
+
+    /// The candidate snippet surrogates for one request, through the
+    /// `(doc, query-terms)` cache when enabled.
+    fn surrogate_vectors(&self, query: &str, baseline: &[ScoredDoc]) -> Vec<Arc<SparseVector>> {
+        let Some(cache) = &self.surrogates else {
+            return serpdiv_core::candidate_surrogates(
+                &self.index,
+                query,
+                baseline,
+                self.config.params.snippet_window,
+            );
+        };
+        let qterms = Arc::new(self.index.analyze_query(query));
+        let snippets = SnippetGenerator::with_window(self.config.params.snippet_window);
+        baseline
+            .iter()
+            .map(|h| {
+                cache.get_or_compute((h.doc, qterms.clone()), || {
+                    serpdiv_core::candidate_surrogate(&self.index, h.doc, &qterms, &snippets)
+                })
+            })
+            .collect()
     }
 
     /// Resolve scored docs into presentable results.
@@ -254,9 +319,19 @@ impl SearchEngine {
         &self.store
     }
 
+    /// The compiled inverted utility index.
+    pub fn compiled(&self) -> &Arc<CompiledSpecStore> {
+        &self.compiled
+    }
+
     /// The result cache (`None` when disabled by configuration).
     pub fn cache(&self) -> Option<&ShardedResultCache> {
         self.cache.as_ref()
+    }
+
+    /// The candidate-surrogate cache (`None` when disabled).
+    pub fn surrogate_cache(&self) -> Option<&SurrogateCache> {
+        self.surrogates.as_ref()
     }
 
     /// Deployment configuration.
@@ -435,5 +510,45 @@ mod tests {
         let engine = deploy(diversifying_config());
         assert_eq!(engine.store().len(), 2);
         assert!(engine.store().byte_size() > 0);
+        // The compiled inverted index is built from the same store.
+        assert_eq!(engine.compiled().len(), 2);
+        assert!(engine.compiled().num_terms() > 0);
+    }
+
+    #[test]
+    fn surrogate_cache_amortizes_repeated_queries() {
+        // Result cache off, surrogate cache on: the second identical
+        // request recomputes the SERP but hits the surrogate cache for
+        // every candidate.
+        let engine = deploy(EngineConfig {
+            cache_capacity: 0,
+            ..diversifying_config()
+        });
+        let req = QueryRequest::new("apple", 4, AlgorithmKind::OptSelect);
+        let a = engine.search(req.clone());
+        let stats = engine.surrogate_cache().unwrap().stats();
+        assert_eq!(stats.hits, 0);
+        let misses_after_first = stats.misses;
+        assert!(misses_after_first > 0);
+        let b = engine.search(req);
+        let stats = engine.surrogate_cache().unwrap().stats();
+        assert_eq!(stats.misses, misses_after_first, "no new surrogate work");
+        assert_eq!(stats.hits, misses_after_first);
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn surrogate_cache_can_be_disabled_without_changing_results() {
+        let with = deploy(diversifying_config());
+        let without = deploy(EngineConfig {
+            surrogate_cache_capacity: 0,
+            ..diversifying_config()
+        });
+        assert!(without.surrogate_cache().is_none());
+        for algo in [AlgorithmKind::OptSelect, AlgorithmKind::Mmr] {
+            let a = with.search(QueryRequest::new("apple", 5, algo));
+            let b = without.search(QueryRequest::new("apple", 5, algo));
+            assert_eq!(a.results, b.results, "{algo:?}");
+        }
     }
 }

@@ -38,10 +38,14 @@
 //!    unchanged;
 //! 3. **retrieve** — DPH top-`n` candidates from the shared
 //!    [`InvertedIndex`](serpdiv_index::InvertedIndex);
-//! 4. **utility** — snippet surrogates for the candidates and the
-//!    `Ũ(d|R_q′)` matrix (Definition 2) against the precomputed
+//! 4. **surrogate** — snippet surrogate vectors for the candidates,
+//!    memoized per `(doc, query-terms)` in the sharded [`SurrogateCache`];
+//! 5. **utility** — the `Ũ(d|R_q′)` matrix (Definition 2), one sparse
+//!    term-at-a-time accumulation per candidate against the
+//!    [`CompiledSpecStore`](serpdiv_core::CompiledSpecStore) — the
+//!    offline-compiled inverted form of the §4.1
 //!    [`SpecializationStore`](serpdiv_core::SpecializationStore);
-//! 5. **select** — the per-request choice of diversifier (OptSelect /
+//! 6. **select** — the per-request choice of diversifier (OptSelect /
 //!    IA-Select / xQuAD / MMR) re-ranks the page.
 //!
 //! Every stage is timed per request ([`StageTimings`]) and aggregated in
@@ -56,6 +60,7 @@ pub mod lru;
 pub mod metrics;
 pub mod pool;
 pub mod request;
+pub mod surrogates;
 
 pub use cache::{CacheKey, CacheStats, CachedSerp, ShardedResultCache};
 pub use engine::{EngineConfig, SearchEngine};
@@ -63,6 +68,7 @@ pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use pool::WorkerPool;
 pub use request::{QueryRequest, RankedResult, SearchResponse, StageTimings};
+pub use surrogates::{SurrogateCache, SurrogateKey};
 
 // The per-request algorithm selector, re-exported so serving callers don't
 // need a direct `serpdiv-core` dependency.

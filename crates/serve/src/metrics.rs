@@ -13,6 +13,7 @@ pub struct ServeMetrics {
     passthrough: AtomicU64,
     detect_us: AtomicU64,
     retrieve_us: AtomicU64,
+    surrogate_us: AtomicU64,
     utility_us: AtomicU64,
     select_us: AtomicU64,
     total_us: AtomicU64,
@@ -50,6 +51,8 @@ impl ServeMetrics {
             .fetch_add(timings.detect_us, Ordering::Relaxed);
         self.retrieve_us
             .fetch_add(timings.retrieve_us, Ordering::Relaxed);
+        self.surrogate_us
+            .fetch_add(timings.surrogate_us, Ordering::Relaxed);
         self.utility_us
             .fetch_add(timings.utility_us, Ordering::Relaxed);
         self.select_us
@@ -69,6 +72,7 @@ impl ServeMetrics {
             stage_sums: StageTimings {
                 detect_us: self.detect_us.load(Ordering::Relaxed),
                 retrieve_us: self.retrieve_us.load(Ordering::Relaxed),
+                surrogate_us: self.surrogate_us.load(Ordering::Relaxed),
                 utility_us: self.utility_us.load(Ordering::Relaxed),
                 select_us: self.select_us.load(Ordering::Relaxed),
                 total_us,
@@ -95,6 +99,7 @@ mod tests {
             StageTimings {
                 detect_us: 1,
                 retrieve_us: 2,
+                surrogate_us: 5,
                 utility_us: 3,
                 select_us: 4,
                 total_us: 11,
@@ -122,6 +127,7 @@ mod tests {
         assert_eq!(s.diversified, 1);
         assert_eq!(s.passthrough, 1);
         assert_eq!(s.stage_sums.detect_us, 1);
+        assert_eq!(s.stage_sums.surrogate_us, 5);
         assert_eq!(s.stage_sums.total_us, 15);
         assert!((s.mean_total_us - 5.0).abs() < 1e-12);
     }

@@ -43,7 +43,10 @@ pub struct StageTimings {
     pub detect_us: u64,
     /// Baseline retrieval (DPH top-`n` over the inverted index).
     pub retrieve_us: u64,
-    /// Utility computation: snippet surrogates + `Ũ(d|R_q′)` matrix.
+    /// Candidate snippet-surrogate construction (or surrogate-cache hits).
+    pub surrogate_us: u64,
+    /// Utility computation: the `Ũ(d|R_q′)` matrix against the compiled
+    /// specialization index.
     pub utility_us: u64,
     /// Diversifier selection.
     pub select_us: u64,

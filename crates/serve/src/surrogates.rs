@@ -1,0 +1,186 @@
+//! The candidate-surrogate cache.
+//!
+//! Building a candidate's snippet surrogate (snippet extraction +
+//! tokenize/stem + TF-IDF weighting) is the per-document cost of the
+//! utility stage, and it is fully determined by `(document, query terms)`
+//! — the same document retrieved again for the same analyzed query always
+//! yields the same vector. Under a Zipfian query stream the same
+//! `(doc, terms)` pairs recur constantly (repeated queries, and head
+//! documents shared across related queries), so a sharded LRU in front of
+//! surrogate construction amortizes the snippet→vector work the way the
+//! result cache amortizes whole SERPs — while still serving *uncached*
+//! SERPs, which is what makes it effective even for the traffic the result
+//! cache misses.
+//!
+//! Values are `Arc<SparseVector>`: a hit is a refcount bump, and the
+//! vector is shared zero-copy with the diversification input (and MMR).
+
+use crate::cache::CacheStats;
+use crate::lru::LruCache;
+use parking_lot::Mutex;
+use serpdiv_index::{DocId, SparseVector};
+use serpdiv_text::TermId;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache key: the document plus the analyzed query terms the snippet was
+/// extracted for. The term list is `Arc`'d so one allocation is shared by
+/// all candidates of a request; hashing/equality go through the contents,
+/// so equal term lists from different requests still collide (that's the
+/// point).
+pub type SurrogateKey = (DocId, Arc<Vec<TermId>>);
+
+/// Sharded LRU cache of `(doc, query-terms) → snippet surrogate`.
+#[derive(Debug)]
+pub struct SurrogateCache {
+    shards: Vec<Mutex<LruCache<SurrogateKey, Arc<SparseVector>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SurrogateCache {
+    /// A cache of `shards` LRU shards holding at least `capacity` entries
+    /// in total (per-shard capacity rounds up).
+    ///
+    /// # Panics
+    /// Panics when `shards == 0` or `capacity == 0`.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(capacity > 0, "need nonzero capacity");
+        let per_shard = capacity.div_ceil(shards);
+        SurrogateCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &SurrogateKey) -> &Mutex<LruCache<SurrogateKey, Arc<SparseVector>>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Fetch the surrogate for `key`, computing and inserting it on a
+    /// miss. `compute` runs outside the shard lock, so a slow surrogate
+    /// build never blocks other workers' lookups (two racing misses both
+    /// compute; the deterministic construction makes either result
+    /// correct).
+    pub fn get_or_compute(
+        &self,
+        key: SurrogateKey,
+        compute: impl FnOnce() -> SparseVector,
+    ) -> Arc<SparseVector> {
+        let shard = self.shard(&key);
+        if let Some(v) = shard.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(compute());
+        shard.lock().insert(key, v.clone());
+        v
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+        }
+    }
+
+    /// Drop every cached surrogate and reset the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(doc: u32, terms: &[u32]) -> SurrogateKey {
+        (
+            DocId(doc),
+            Arc::new(terms.iter().map(|&t| TermId(t)).collect()),
+        )
+    }
+
+    fn vector(seed: f32) -> SparseVector {
+        SparseVector::from_pairs([(TermId(1), seed)])
+    }
+
+    #[test]
+    fn computes_once_then_hits() {
+        let cache = SurrogateCache::new(4, 64);
+        let mut calls = 0;
+        let a = cache.get_or_compute(key(7, &[1, 2]), || {
+            calls += 1;
+            vector(1.0)
+        });
+        let b = cache.get_or_compute(key(7, &[1, 2]), || {
+            calls += 1;
+            vector(2.0)
+        });
+        assert_eq!(calls, 1, "second lookup must hit");
+        assert!(Arc::ptr_eq(&a, &b), "hit returns the shared vector");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn key_is_doc_and_term_contents() {
+        let cache = SurrogateCache::new(2, 16);
+        cache.get_or_compute(key(1, &[5]), || vector(1.0));
+        // Same doc, different query terms → different snippet → miss.
+        cache.get_or_compute(key(1, &[6]), || vector(2.0));
+        // Different doc, same terms → miss.
+        cache.get_or_compute(key(2, &[5]), || vector(3.0));
+        // Equal contents through a *different* Arc → hit.
+        let hit = cache.get_or_compute(key(1, &[5]), || vector(9.0));
+        assert_eq!(hit.entries()[0].1, 1.0);
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_bounds_and_clear() {
+        let cache = SurrogateCache::new(2, 4);
+        for d in 0..100 {
+            cache.get_or_compute(key(d, &[1]), || vector(d as f32 + 1.0));
+        }
+        assert!(cache.stats().entries <= 4);
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = Arc::new(SurrogateCache::new(8, 256));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        let d = (t * 13 + i) % 32;
+                        let got = cache.get_or_compute(key(d, &[1, 2]), || vector(d as f32 + 1.0));
+                        assert_eq!(got.entries()[0].1, d as f32 + 1.0);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 200);
+        assert!(stats.hits > 0);
+    }
+}

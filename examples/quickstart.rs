@@ -93,9 +93,10 @@ fn main() {
             println!("  {}. {} — {}", rank + 1, result.title, result.url);
         }
         println!(
-            "  ({} µs: retrieve {} + utility {} + select {})\n",
+            "  ({} µs: retrieve {} + surrogates {} + utility {} + select {})\n",
             response.timings.total_us,
             response.timings.retrieve_us,
+            response.timings.surrogate_us,
             response.timings.utility_us,
             response.timings.select_us,
         );

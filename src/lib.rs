@@ -13,12 +13,13 @@
 //! * [`querylog`] — query-log records and AOL/MSN-like synthetic generators;
 //! * [`mining`] — query-flow graph, search-shortcuts recommender, and
 //!   Algorithm 1 (`AmbiguousQueryDetect`);
-//! * [`core`] — the diversification framework: results' utility (Def. 2),
-//!   **OptSelect** (Algorithm 2), IASelect, xQuAD, and MMR;
+//! * [`core`] — the diversification framework: results' utility (Def. 2)
+//!   with its compiled inverted-index fast path, **OptSelect**
+//!   (Algorithm 2), IASelect, xQuAD, and MMR;
 //! * [`eval`] — α-NDCG, IA-P, NDCG and the Wilcoxon signed-rank test;
 //! * [`serve`] — the concurrent serving engine: shared immutable
-//!   index/model/store, sharded LRU result cache, worker pool and
-//!   per-stage latency accounting.
+//!   index/model/store, sharded LRU result and candidate-surrogate
+//!   caches, worker pool and per-stage latency accounting.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `crates/bench` for the binaries regenerating every table and figure of
@@ -41,7 +42,8 @@ pub use serpdiv_text as text;
 /// are exported here).
 pub mod prelude {
     pub use serpdiv_core::{
-        AlgorithmKind, Diversifier, IaSelect, Mmr, OptSelect, UtilityMatrix, UtilityParams, XQuad,
+        AlgorithmKind, CompiledSpecStore, Diversifier, IaSelect, Mmr, OptSelect, UtilityMatrix,
+        UtilityParams, XQuad,
     };
     pub use serpdiv_corpus::{Testbed, TestbedConfig};
     pub use serpdiv_eval::{alpha_ndcg_at, ia_precision_at, Qrels};

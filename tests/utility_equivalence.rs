@@ -1,0 +1,278 @@
+//! Equivalence suite for the compiled utility fast path.
+//!
+//! The inverted utility index (`serpdiv::core::CompiledSpecStore`) must be
+//! numerically indistinguishable from the naive Definition-2 oracle
+//! (`UtilityMatrix::compute`): every matrix cell within 1e-9, and the
+//! final rankings of all four diversifiers identical, both on a
+//! deterministic end-to-end fixture and (under `--features
+//! property-tests`) on randomized surrogate worlds.
+
+use serpdiv::core::{
+    assemble_input, assemble_input_naive, run_algorithm, AlgorithmKind, CompiledSpecStore,
+    DiversifyInput, PipelineParams, SpecializationStore, UtilityMatrix, UtilityParams,
+};
+use serpdiv::index::{Document, IndexBuilder, SearchEngine, SparseVector};
+use serpdiv::mining::SpecializationModel;
+use serpdiv::text::TermId;
+
+const ALGOS: [AlgorithmKind; 4] = [
+    AlgorithmKind::OptSelect,
+    AlgorithmKind::IaSelect,
+    AlgorithmKind::XQuad,
+    AlgorithmKind::Mmr,
+];
+
+fn assert_matrices_match(fast: &UtilityMatrix, naive: &UtilityMatrix, context: &str) {
+    assert_eq!(fast.num_candidates(), naive.num_candidates(), "{context}");
+    assert_eq!(
+        fast.num_specializations(),
+        naive.num_specializations(),
+        "{context}"
+    );
+    for i in 0..fast.num_candidates() {
+        for j in 0..fast.num_specializations() {
+            let (f, n) = (fast.get(i, j), naive.get(i, j));
+            assert!(
+                (f - n).abs() < 1e-9,
+                "{context}: cell ({i},{j}) fast {f} vs naive {n}"
+            );
+        }
+    }
+    for j in 0..fast.num_specializations() {
+        assert_eq!(
+            fast.coverage(j),
+            naive.coverage(j),
+            "{context}: coverage {j}"
+        );
+    }
+}
+
+fn assert_rankings_match(fast: &DiversifyInput, naive: &DiversifyInput, context: &str) {
+    let params = PipelineParams::default();
+    for algo in ALGOS {
+        let (a, name) = run_algorithm(algo, fast, 10, params);
+        let (b, _) = run_algorithm(algo, naive, 10, params);
+        assert_eq!(a, b, "{context}: {name} ranking diverged");
+    }
+}
+
+/// Deterministic end-to-end fixture: the two-interpretation "apple" world
+/// driven through the real pipeline stages, fast path vs naive oracle.
+#[test]
+fn end_to_end_fixture_fast_path_matches_naive() {
+    let mut b = IndexBuilder::new();
+    for i in 0..6u32 {
+        b.add(Document::new(
+            i,
+            format!("http://tech/{i}"),
+            "apple iphone",
+            "apple iphone smartphone review chip battery display camera app store",
+        ));
+    }
+    for i in 6..12u32 {
+        b.add(Document::new(
+            i,
+            format!("http://food/{i}"),
+            "apple fruit",
+            "apple fruit orchard sweet harvest vitamin juice recipe cider tree",
+        ));
+    }
+    for i in 12..16u32 {
+        b.add(Document::new(
+            i,
+            format!("http://misc/{i}"),
+            "",
+            "weather forecast rain cloud wind storm",
+        ));
+    }
+    let index = b.build();
+    let model = SpecializationModel::from_json(
+        r#"{"entries":{"apple":{"query":"apple","specializations":[["apple iphone",0.6],["apple fruit",0.4]]}}}"#,
+    )
+    .unwrap();
+    let engine = SearchEngine::new(&index);
+
+    for threshold_c in [0.0, 0.3] {
+        let params = PipelineParams {
+            utility: UtilityParams { threshold_c },
+            ..PipelineParams::default()
+        };
+        let store = SpecializationStore::build(
+            &model,
+            &engine,
+            params.k_spec_results,
+            params.snippet_window,
+        );
+        let compiled = CompiledSpecStore::compile(&store);
+        let entry = model.get("apple").unwrap();
+        let baseline = engine.search("apple", 12);
+        assert!(!baseline.is_empty());
+
+        let fast = assemble_input(&index, entry, &compiled, &params, "apple", &baseline);
+        let naive = assemble_input_naive(&index, entry, &store, &params, "apple", &baseline);
+        let ctx = format!("c={threshold_c}");
+        assert_matrices_match(&fast.utilities, &naive.utilities, &ctx);
+        assert_eq!(fast.relevance, naive.relevance, "{ctx}");
+        assert_eq!(fast.spec_probs, naive.spec_probs, "{ctx}");
+        assert_rankings_match(&fast, &naive, &ctx);
+        // The fixture must actually exercise positive utilities.
+        assert!(
+            (0..fast.utilities.num_specializations()).any(|j| fast.utilities.coverage(j) > 0),
+            "{ctx}: degenerate fixture"
+        );
+    }
+}
+
+/// Synthetic-vector fixture exercising edge shapes the end-to-end world
+/// cannot hit: zero candidates, empty surrogate lists, unknown specs.
+#[test]
+fn synthetic_fixture_including_edge_shapes() {
+    let v =
+        |pairs: &[(u32, f32)]| SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)));
+    let lists: Vec<(String, Vec<SparseVector>)> = vec![
+        (
+            "a".into(),
+            vec![v(&[(1, 2.0), (3, 1.0)]), v(&[(1, 1.0), (4, 2.5)])],
+        ),
+        ("b".into(), vec![v(&[(2, 1.0)]), SparseVector::default()]),
+        ("empty".into(), Vec::new()),
+    ];
+    let compiled = CompiledSpecStore::build(
+        lists
+            .iter()
+            .map(|(name, list)| (name.as_str(), list.iter())),
+    );
+    let candidates = [
+        v(&[(1, 1.0), (2, 2.0)]),
+        v(&[(3, 4.0), (4, 0.1)]),
+        SparseVector::default(),
+        v(&[(99, 1.0)]),
+    ];
+    // Column order includes an unknown spec and repeats are allowed.
+    let names = ["b", "ghost", "a", "empty"];
+    let params = UtilityParams::default();
+    let scorer = compiled.scorer(names.iter().copied());
+    let fast = scorer.matrix(&candidates, params);
+    let naive_lists: Vec<Vec<SparseVector>> = names
+        .iter()
+        .map(|n| {
+            lists
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, l)| l.clone())
+                .unwrap_or_default()
+        })
+        .collect();
+    let naive = UtilityMatrix::compute(&candidates, &naive_lists, params);
+    assert_matrices_match(&fast, &naive, "synthetic fixture");
+}
+
+/// Randomized equivalence sweep (deterministic LCG, no external deps),
+/// gated like the other property suites.
+#[cfg(feature = "property-tests")]
+mod randomized {
+    use super::*;
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn random_vector(rng: &mut Lcg, max_nnz: u64, vocab: u64) -> SparseVector {
+        let nnz = rng.below(max_nnz + 1);
+        SparseVector::from_pairs((0..nnz).map(|_| {
+            let t = rng.below(vocab) as u32;
+            let w = rng.below(1000) as f32 / 50.0 + 0.01;
+            (TermId(t), w)
+        }))
+    }
+
+    /// 40 random worlds: utilities within 1e-9 of the oracle and
+    /// identical rankings across all four diversifiers.
+    #[test]
+    fn random_worlds_match_oracle_and_rankings() {
+        let mut rng = Lcg(0x5eed_cafe);
+        for world in 0..40 {
+            let n = 1 + rng.below(40) as usize;
+            let m = 1 + rng.below(6) as usize;
+            let lists: Vec<(String, Vec<SparseVector>)> = (0..m)
+                .map(|s| {
+                    let r = rng.below(21) as usize; // 0..=20, empties included
+                    (
+                        format!("s{s}"),
+                        (0..r).map(|_| random_vector(&mut rng, 30, 120)).collect(),
+                    )
+                })
+                .collect();
+            let candidates: Vec<SparseVector> =
+                (0..n).map(|_| random_vector(&mut rng, 30, 120)).collect();
+            let compiled = CompiledSpecStore::build(
+                lists
+                    .iter()
+                    .map(|(name, list)| (name.as_str(), list.iter())),
+            );
+            let params = UtilityParams::default();
+            let names: Vec<&str> = lists.iter().map(|(n, _)| n.as_str()).collect();
+            let scorer = compiled.scorer(names.iter().copied());
+            let fast = scorer.matrix(&candidates, params);
+            let naive_lists: Vec<Vec<SparseVector>> =
+                lists.iter().map(|(_, l)| l.clone()).collect();
+            let naive = UtilityMatrix::compute(&candidates, &naive_lists, params);
+            let ctx = format!("world {world} (n={n}, m={m})");
+            assert_matrices_match(&fast, &naive, &ctx);
+
+            // Same selection behaviour on both matrices.
+            let probs: Vec<f64> = {
+                let raw: Vec<f64> = (0..m).map(|_| 1.0 + rng.below(9) as f64).collect();
+                let total: f64 = raw.iter().sum();
+                raw.into_iter().map(|p| p / total).collect()
+            };
+            let relevance: Vec<f64> = (0..n).map(|_| rng.below(1000) as f64 / 999.0).collect();
+            let fast_in = DiversifyInput::new(probs.clone(), relevance.clone(), fast);
+            let naive_in = DiversifyInput::new(probs, relevance, naive);
+            assert_rankings_match(&fast_in, &naive_in, &ctx);
+        }
+    }
+
+    /// Parallel row computation is bit-identical to sequential on random
+    /// inputs.
+    #[test]
+    fn random_parallel_rows_bitwise_equal() {
+        let mut rng = Lcg(0xfeed_f00d);
+        let lists: Vec<(String, Vec<SparseVector>)> = (0..5)
+            .map(|s| {
+                (
+                    format!("s{s}"),
+                    (0..15).map(|_| random_vector(&mut rng, 25, 200)).collect(),
+                )
+            })
+            .collect();
+        let candidates: Vec<SparseVector> =
+            (0..333).map(|_| random_vector(&mut rng, 25, 200)).collect();
+        let compiled = CompiledSpecStore::build(
+            lists
+                .iter()
+                .map(|(name, list)| (name.as_str(), list.iter())),
+        );
+        let names: Vec<&str> = lists.iter().map(|(n, _)| n.as_str()).collect();
+        let scorer = compiled.scorer(names.iter().copied());
+        let params = UtilityParams { threshold_c: 0.05 };
+        let seq = scorer.matrix(&candidates, params);
+        for threads in [2, 5, 16] {
+            assert_eq!(
+                seq,
+                scorer.matrix_parallel(&candidates, params, threads),
+                "threads={threads}"
+            );
+        }
+    }
+}
