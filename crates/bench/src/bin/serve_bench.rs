@@ -15,15 +15,20 @@
 //! Usage:
 //! ```text
 //! serve_bench [--sessions N] [--requests N] [--concurrency N] [--k N]
-//!             [--candidates N] [--no-cache] [--no-surrogate-cache]
-//!             [--json PATH]
+//!             [--candidates N] [--shards N[,N...]] [--no-cache]
+//!             [--no-surrogate-cache] [--json PATH]
 //! ```
 //! Defaults: 4000 sessions, 2000 requests, 8 workers, k=10, 100
-//! candidates, both caches on, JSON to `BENCH_serve.json`.
+//! candidates, 1 index shard, both caches on, JSON to `BENCH_serve.json`.
+//!
+//! `--shards` takes a comma-separated list (e.g. `--shards 1,2,4,8`) and
+//! replays the whole per-algorithm suite once per shard count, emitting
+//! every `(shards, algorithm)` pair into the JSON report so the
+//! shard-scaling curve is machine-readable.
 
 use serpdiv_bench::{Lab, LabConfig};
 use serpdiv_core::{AlgorithmKind, CompiledSpecStore, SpecializationStore};
-use serpdiv_index::SearchEngine as Retriever;
+use serpdiv_index::{Retriever, SearchEngine as DphEngine, ShardedIndex};
 use serpdiv_mining::json::{write_escaped, write_number};
 use serpdiv_serve::{EngineConfig, QueryRequest, SearchEngine, WorkerPool};
 use std::sync::Arc;
@@ -35,6 +40,7 @@ struct Args {
     concurrency: usize,
     k: usize,
     candidates: usize,
+    shards: Vec<usize>,
     cache: bool,
     surrogate_cache: bool,
     json_path: String,
@@ -47,12 +53,14 @@ fn parse_args() -> Args {
         concurrency: 8,
         k: 10,
         candidates: 100,
+        shards: vec![1],
         cache: true,
         surrogate_cache: true,
         json_path: "BENCH_serve.json".to_string(),
     };
     let usage = "usage: serve_bench [--sessions N] [--requests N] [--concurrency N] \
-                 [--k N] [--candidates N] [--no-cache] [--no-surrogate-cache] [--json PATH]";
+                 [--k N] [--candidates N] [--shards N[,N...]] [--no-cache] \
+                 [--no-surrogate-cache] [--json PATH]";
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut next_str = |name: &str| -> String {
@@ -67,6 +75,14 @@ fn parse_args() -> Args {
             "--concurrency" => args.concurrency = parse_num(&next_str("--concurrency"), usage),
             "--k" => args.k = parse_num(&next_str("--k"), usage),
             "--candidates" => args.candidates = parse_num(&next_str("--candidates"), usage),
+            "--shards" => {
+                // split(',') yields at least one element and parse_num
+                // rejects empty/invalid ones, so the list is never empty.
+                args.shards = next_str("--shards")
+                    .split(',')
+                    .map(|v| parse_num(v, usage).max(1))
+                    .collect();
+            }
             "--no-cache" => args.cache = false,
             "--no-surrogate-cache" => args.surrogate_cache = false,
             "--json" => args.json_path = next_str("--json"),
@@ -98,9 +114,10 @@ fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1e3
 }
 
-/// Per-algorithm results destined for the JSON report.
+/// Per-`(shard count, algorithm)` results destined for the JSON report.
 struct AlgoReport {
     name: String,
+    shards: usize,
     qps: f64,
     p50_ms: f64,
     p95_ms: f64,
@@ -108,6 +125,9 @@ struct AlgoReport {
     hit_rate_pct: f64,
     surrogate_hit_rate_pct: f64,
     diversified_pct: f64,
+    /// Median retrieve-stage microseconds over computed requests — the
+    /// shard-scaling signal.
+    retrieve_p50_us: f64,
     // Mean per-stage microseconds over computed requests.
     detect_us: u64,
     retrieve_us: u64,
@@ -137,7 +157,14 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
         out.push_str("\": ");
         write_number(&mut out, *v);
     }
-    out.push_str("},\n  \"offline\": {");
+    out.push_str(", \"shards\": [");
+    for (i, s) in args.shards.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_number(&mut out, *s as f64);
+    }
+    out.push_str("]},\n  \"offline\": {");
     for (i, (key, v)) in offline.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
@@ -155,6 +182,7 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
         out.push_str("\n    {\"algorithm\": ");
         write_escaped(&mut out, &a.name);
         let fields = [
+            ("shards", a.shards as f64),
             ("qps", a.qps),
             ("p50_ms", a.p50_ms),
             ("p95_ms", a.p95_ms),
@@ -162,6 +190,7 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
             ("cache_hit_pct", a.hit_rate_pct),
             ("surrogate_hit_pct", a.surrogate_hit_rate_pct),
             ("diversified_pct", a.diversified_pct),
+            ("stage_retrieve_p50_us", a.retrieve_p50_us),
             ("stage_detect_us", a.detect_us as f64),
             ("stage_retrieve_us", a.retrieve_us as f64),
             ("stage_surrogate_us", a.surrogate_us as f64),
@@ -187,11 +216,12 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
 fn main() {
     let args = parse_args();
     println!(
-        "serve_bench — {} requests/algorithm over {} workers (k={}, |Rq|={}, cache {}, surrogate cache {})",
+        "serve_bench — {} requests/algorithm over {} workers (k={}, |Rq|={}, shards {:?}, cache {}, surrogate cache {})",
         args.requests,
         args.concurrency,
         args.k,
         args.candidates,
+        args.shards,
         if args.cache { "on" } else { "off" },
         if args.surrogate_cache { "on" } else { "off" },
     );
@@ -216,10 +246,10 @@ fn main() {
     let index = Arc::new(lab.index);
     let model = Arc::new(lab.model);
     let store = {
-        let retriever = Retriever::new(&index);
+        let engine = DphEngine::new(&index);
         Arc::new(SpecializationStore::build(
             &model,
-            &retriever,
+            &engine,
             params.k_spec_results,
             params.snippet_window,
         ))
@@ -253,86 +283,112 @@ fn main() {
         .collect();
     assert!(!queries.is_empty(), "test split is empty; raise --sessions");
 
-    println!(
-        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}  mean stage µs (det/retr/surr/util/sel)",
-        "algorithm", "QPS", "p50 ms", "p95 ms", "p99 ms", "hit%", "divers%",
-    );
     let mut reports = Vec::new();
-    for algo in [
-        AlgorithmKind::Baseline,
-        AlgorithmKind::OptSelect,
-        AlgorithmKind::IaSelect,
-        AlgorithmKind::XQuad,
-        AlgorithmKind::Mmr,
-    ] {
-        let engine = Arc::new(SearchEngine::with_compiled_store(
-            index.clone(),
-            model.clone(),
-            store.clone(),
-            compiled.clone(),
-            EngineConfig {
-                n_candidates: args.candidates,
-                params,
-                cache_shards: 16,
-                cache_capacity: if args.cache { 8192 } else { 0 },
-                surrogate_cache_capacity: if args.surrogate_cache { 32_768 } else { 0 },
-            },
-        ));
-        let pool = WorkerPool::new(engine.clone(), args.concurrency);
-        let requests: Vec<QueryRequest> = (0..args.requests)
-            .map(|i| QueryRequest::new(queries[i % queries.len()].clone(), args.k, algo))
-            .collect();
-
-        let wall = Instant::now();
-        let responses = pool.serve_batch(requests);
-        let wall_s = wall.elapsed().as_secs_f64();
-
-        let mut totals: Vec<u64> = responses.iter().map(|r| r.timings.total_us).collect();
-        totals.sort_unstable();
-        let qps = responses.len() as f64 / wall_s;
-        let hit_rate = engine
-            .cache()
-            .map(|c| c.stats().hit_rate() * 100.0)
-            .unwrap_or(0.0);
-        let surrogate_hit_rate = engine
-            .surrogate_cache()
-            .map(|c| c.stats().hit_rate() * 100.0)
-            .unwrap_or(0.0);
-        let m = engine.metrics();
-        let computed = (m.diversified + m.passthrough).max(1);
-        let diversified_pct = 100.0 * responses.iter().filter(|r| r.diversified).count() as f64
-            / responses.len() as f64;
-        let report = AlgoReport {
-            name: format!("{algo:?}"),
-            qps,
-            p50_ms: percentile(&totals, 50.0),
-            p95_ms: percentile(&totals, 95.0),
-            p99_ms: percentile(&totals, 99.0),
-            hit_rate_pct: hit_rate,
-            surrogate_hit_rate_pct: surrogate_hit_rate,
-            diversified_pct,
-            detect_us: m.stage_sums.detect_us / computed,
-            retrieve_us: m.stage_sums.retrieve_us / computed,
-            surrogate_us: m.stage_sums.surrogate_us / computed,
-            utility_us: m.stage_sums.utility_us / computed,
-            select_us: m.stage_sums.select_us / computed,
+    for &shards in &args.shards {
+        // One retriever per shard count, shared by every algorithm's
+        // engine (partitioning is a deploy-time cost, paid once).
+        let t = Instant::now();
+        let retriever: Arc<dyn Retriever> = if shards > 1 {
+            Arc::new(ShardedIndex::build(index.clone(), shards))
+        } else {
+            index.clone()
         };
         println!(
-            "{:<10} {:>9.0} {:>9.3} {:>9.3} {:>9.3} {:>7.1} {:>7.1}  {}/{}/{}/{}/{}",
-            report.name,
-            report.qps,
-            report.p50_ms,
-            report.p95_ms,
-            report.p99_ms,
-            report.hit_rate_pct,
-            report.diversified_pct,
-            report.detect_us,
-            report.retrieve_us,
-            report.surrogate_us,
-            report.utility_us,
-            report.select_us,
+            "\n=== {shards} index shard(s) (partitioned in {:.2}s) ===",
+            t.elapsed().as_secs_f64()
         );
-        reports.push(report);
+        println!(
+            "{:<10} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}  mean stage µs (det/retr/surr/util/sel)",
+            "algorithm", "QPS", "p50 ms", "p95 ms", "p99 ms", "hit%", "divers%",
+        );
+        for algo in [
+            AlgorithmKind::Baseline,
+            AlgorithmKind::OptSelect,
+            AlgorithmKind::IaSelect,
+            AlgorithmKind::XQuad,
+            AlgorithmKind::Mmr,
+        ] {
+            let engine = Arc::new(SearchEngine::with_retriever(
+                index.clone(),
+                retriever.clone(),
+                model.clone(),
+                store.clone(),
+                compiled.clone(),
+                EngineConfig {
+                    n_candidates: args.candidates,
+                    params,
+                    cache_shards: 16,
+                    cache_capacity: if args.cache { 8192 } else { 0 },
+                    surrogate_cache_capacity: if args.surrogate_cache { 32_768 } else { 0 },
+                    index_shards: shards,
+                    deadline_us: 0,
+                },
+            ));
+            let pool = WorkerPool::new(engine.clone(), args.concurrency);
+            let requests: Vec<QueryRequest> = (0..args.requests)
+                .map(|i| QueryRequest::new(queries[i % queries.len()].clone(), args.k, algo))
+                .collect();
+
+            let wall = Instant::now();
+            let responses = pool.serve_batch(requests);
+            let wall_s = wall.elapsed().as_secs_f64();
+
+            let mut totals: Vec<u64> = responses.iter().map(|r| r.timings.total_us).collect();
+            totals.sort_unstable();
+            let mut retrieves: Vec<u64> = responses
+                .iter()
+                .filter(|r| !r.cache_hit)
+                .map(|r| r.timings.retrieve_us)
+                .collect();
+            retrieves.sort_unstable();
+            let qps = responses.len() as f64 / wall_s;
+            let hit_rate = engine
+                .cache()
+                .map(|c| c.stats().hit_rate() * 100.0)
+                .unwrap_or(0.0);
+            let surrogate_hit_rate = engine
+                .surrogate_cache()
+                .map(|c| c.stats().hit_rate() * 100.0)
+                .unwrap_or(0.0);
+            let m = engine.metrics();
+            let computed = (m.diversified + m.passthrough).max(1);
+            let diversified_pct = 100.0 * responses.iter().filter(|r| r.diversified).count() as f64
+                / responses.len() as f64;
+            let report = AlgoReport {
+                name: format!("{algo:?}"),
+                shards,
+                qps,
+                p50_ms: percentile(&totals, 50.0),
+                p95_ms: percentile(&totals, 95.0),
+                p99_ms: percentile(&totals, 99.0),
+                hit_rate_pct: hit_rate,
+                surrogate_hit_rate_pct: surrogate_hit_rate,
+                diversified_pct,
+                retrieve_p50_us: percentile(&retrieves, 50.0) * 1e3,
+                detect_us: m.stage_sums.detect_us / computed,
+                retrieve_us: m.stage_sums.retrieve_us / computed,
+                surrogate_us: m.stage_sums.surrogate_us / computed,
+                utility_us: m.stage_sums.utility_us / computed,
+                select_us: m.stage_sums.select_us / computed,
+            };
+            println!(
+                "{:<10} {:>9.0} {:>9.3} {:>9.3} {:>9.3} {:>7.1} {:>7.1}  {}/{}/{}/{}/{} (retr p50 {:.0}µs)",
+                report.name,
+                report.qps,
+                report.p50_ms,
+                report.p95_ms,
+                report.p99_ms,
+                report.hit_rate_pct,
+                report.diversified_pct,
+                report.detect_us,
+                report.retrieve_us,
+                report.surrogate_us,
+                report.utility_us,
+                report.select_us,
+                report.retrieve_p50_us,
+            );
+            reports.push(report);
+        }
     }
     println!("\n(per-stage means are over computed — non-cache-hit — requests)");
     write_json(&args.json_path, &args, &offline, &reports);

@@ -1,0 +1,98 @@
+//! Microbenchmark isolating per-shard scatter-gather overhead (dev aid).
+
+use serpdiv_bench::{Lab, LabConfig};
+use serpdiv_index::{Retriever, SearchEngine, ShardedIndex};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let lab = Lab::build(LabConfig::small());
+    let index = Arc::new(lab.index);
+    let queries: Vec<String> = lab
+        .test
+        .records()
+        .iter()
+        .take(200)
+        .map(|r| lab.test.query_text(r.query).expect("interned").to_string())
+        .collect();
+
+    let reps = 50;
+    let engine = SearchEngine::new(&index);
+    let t = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        for q in &queries {
+            sink += engine.search(q, 10).len();
+        }
+    }
+    println!(
+        "unsharded      {:>8.1} ns/query (sink {sink})",
+        t.elapsed().as_nanos() as f64 / (reps * queries.len()) as f64
+    );
+
+    // Pre-analyzed terms: isolates analysis cost from scoring cost.
+    let terms: Vec<Vec<serpdiv_text::TermId>> =
+        queries.iter().map(|q| index.analyze_query(q)).collect();
+    let t = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        for q in &queries {
+            sink += index.analyze_query(q).len();
+        }
+    }
+    println!(
+        "analyze only   {:>8.1} ns/query (sink {sink})",
+        t.elapsed().as_nanos() as f64 / (reps * queries.len()) as f64
+    );
+    let t = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        for ts in &terms {
+            sink += engine.search_terms(ts, 10).len();
+        }
+    }
+    println!(
+        "unsharded terms{:>8.1} ns/query (sink {sink})",
+        t.elapsed().as_nanos() as f64 / (reps * queries.len()) as f64
+    );
+    let sharded1 = ShardedIndex::build(index.clone(), 1);
+    let t = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        for ts in &terms {
+            sink += sharded1.retrieve_terms(ts, 10).len();
+        }
+    }
+    println!(
+        "sharded1 terms {:>8.1} ns/query (sink {sink})",
+        t.elapsed().as_nanos() as f64 / (reps * queries.len()) as f64
+    );
+
+    for shards in [1, 2, 4] {
+        let sharded = ShardedIndex::build(index.clone(), shards);
+        let t = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..reps {
+            for q in &queries {
+                sink += sharded.retrieve(q, 10).len();
+            }
+        }
+        println!(
+            "sharded x{shards}     {:>8.1} ns/query (sink {sink})",
+            t.elapsed().as_nanos() as f64 / (reps * queries.len()) as f64
+        );
+        // Sparse fallback for comparison.
+        let sparse = ShardedIndex::build(index.clone(), shards).with_dense_accumulator_limit(0);
+        let t = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..reps {
+            for q in &queries {
+                sink += sparse.retrieve(q, 10).len();
+            }
+        }
+        println!(
+            "sparse  x{shards}     {:>8.1} ns/query (sink {sink})",
+            t.elapsed().as_nanos() as f64 / (reps * queries.len()) as f64
+        );
+    }
+}

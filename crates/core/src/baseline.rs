@@ -1,0 +1,48 @@
+//! The baseline "diversifier": the DPH ranking served unchanged.
+//!
+//! Folding the no-op into the [`Diversifier`] trait lets every dispatch
+//! site — [`run_algorithm`](crate::framework::run_algorithm), batch
+//! drivers, the serving select stage — treat all five
+//! [`AlgorithmKind`](crate::framework::AlgorithmKind)s uniformly as trait
+//! objects instead of special-casing the passthrough.
+
+use crate::candidates::DiversifyInput;
+use crate::Diversifier;
+
+/// Serves the candidate order as-is (the input's candidate axis *is* the
+/// baseline ranking `Rq`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineRanking;
+
+impl Diversifier for BaselineRanking {
+    fn name(&self) -> &'static str {
+        "DPH"
+    }
+
+    fn select(&self, input: &DiversifyInput, k: usize) -> Vec<usize> {
+        (0..input.num_candidates().min(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::UtilityMatrix;
+
+    fn input(n: usize) -> DiversifyInput {
+        DiversifyInput::new(
+            vec![1.0],
+            vec![1.0; n],
+            UtilityMatrix::from_values(n, 1, vec![0.0; n]),
+        )
+    }
+
+    #[test]
+    fn first_k_in_order() {
+        let b = BaselineRanking;
+        assert_eq!(b.select(&input(5), 3), vec![0, 1, 2]);
+        assert_eq!(b.select(&input(2), 10), vec![0, 1]);
+        assert!(b.select(&input(4), 0).is_empty());
+        assert_eq!(b.name(), "DPH");
+    }
+}

@@ -43,6 +43,28 @@ pub enum AlgorithmKind {
     Mmr,
 }
 
+impl AlgorithmKind {
+    /// Instantiate the [`Diversifier`] this kind names, parameterized by
+    /// `params` — the single construction point behind every dispatch
+    /// site (`run_algorithm`, batch drivers, the serving select stage).
+    ///
+    /// ```
+    /// use serpdiv_core::{AlgorithmKind, PipelineParams};
+    ///
+    /// let diversifier = AlgorithmKind::OptSelect.diversifier(&PipelineParams::default());
+    /// assert_eq!(diversifier.name(), "OptSelect");
+    /// ```
+    pub fn diversifier(self, params: &PipelineParams) -> Box<dyn Diversifier + Send + Sync> {
+        match self {
+            AlgorithmKind::Baseline => Box::new(crate::baseline::BaselineRanking),
+            AlgorithmKind::OptSelect => Box::new(OptSelect::with_lambda(params.lambda)),
+            AlgorithmKind::IaSelect => Box::new(IaSelect::new()),
+            AlgorithmKind::XQuad => Box::new(XQuad::with_lambda(params.lambda)),
+            AlgorithmKind::Mmr => Box::new(Mmr::with_lambda(params.mmr_lambda)),
+        }
+    }
+}
+
 /// Pipeline parameters (defaults follow §5's experimental setup).
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineParams {
@@ -265,6 +287,29 @@ impl<'a> DiversificationPipeline<'a> {
         k: usize,
         algo: AlgorithmKind,
     ) -> DiversifiedRanking {
+        self.diversify_with(
+            query,
+            n_candidates,
+            k,
+            algo,
+            &*algo.diversifier(&self.params),
+        )
+    }
+
+    /// [`diversify`](Self::diversify) with a caller-provided
+    /// [`Diversifier`] instance, so batch drivers construct the trait
+    /// object once and share it across queries (and worker threads).
+    /// `diversifier` should be `algo.diversifier(&params)` — `algo` still
+    /// decides the fast paths (a `Baseline` request skips ambiguity
+    /// detection entirely and retrieves exactly `k`).
+    pub fn diversify_with(
+        &self,
+        query: &str,
+        n_candidates: usize,
+        k: usize,
+        algo: AlgorithmKind,
+        diversifier: &(dyn Diversifier + Sync),
+    ) -> DiversifiedRanking {
         let passthrough = |algorithm| {
             let docs = self
                 .engine
@@ -284,11 +329,11 @@ impl<'a> DiversificationPipeline<'a> {
         let Some((baseline, input)) = self.build_input(query, n_candidates) else {
             return passthrough("DPH (passthrough)");
         };
-        let (indices, name) = run_algorithm(algo, &input, k, self.params);
+        let indices = diversifier.select(&input, k);
         DiversifiedRanking {
             docs: indices.into_iter().map(|i| baseline[i].doc).collect(),
             diversified: true,
-            algorithm: name,
+            algorithm: diversifier.name(),
         }
     }
 }
@@ -312,10 +357,13 @@ impl DiversificationPipeline<'_> {
     ) -> Vec<DiversifiedRanking> {
         let workers = workers.max(1).min(queries.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
+        // One trait object shared by reference across all workers.
+        let diversifier = algo.diversifier(&self.params);
         let mut per_worker: Vec<Vec<(usize, DiversifiedRanking)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
+                    let diversifier = &*diversifier;
                     scope.spawn(move || {
                         let mut mine = Vec::new();
                         loop {
@@ -323,7 +371,16 @@ impl DiversificationPipeline<'_> {
                             if i >= queries.len() {
                                 break;
                             }
-                            mine.push((i, self.diversify(&queries[i], n_candidates, k, algo)));
+                            mine.push((
+                                i,
+                                self.diversify_with(
+                                    &queries[i],
+                                    n_candidates,
+                                    k,
+                                    algo,
+                                    diversifier,
+                                ),
+                            ));
                         }
                         mine
                     })
@@ -466,30 +523,8 @@ pub fn run_algorithm(
     k: usize,
     params: PipelineParams,
 ) -> (Vec<usize>, &'static str) {
-    match algo {
-        AlgorithmKind::Baseline => {
-            // Baseline over a prepared input: the first k candidates (the
-            // input's candidate order is the baseline ranking).
-            let n = input.num_candidates();
-            ((0..n.min(k)).collect(), "DPH")
-        }
-        AlgorithmKind::OptSelect => {
-            let a = OptSelect::with_lambda(params.lambda);
-            (a.select(input, k), a.name())
-        }
-        AlgorithmKind::IaSelect => {
-            let a = IaSelect::new();
-            (a.select(input, k), a.name())
-        }
-        AlgorithmKind::XQuad => {
-            let a = XQuad::with_lambda(params.lambda);
-            (a.select(input, k), a.name())
-        }
-        AlgorithmKind::Mmr => {
-            let a = Mmr::with_lambda(params.mmr_lambda);
-            (a.select(input, k), a.name())
-        }
-    }
+    let diversifier = algo.diversifier(&params);
+    (diversifier.select(input, k), diversifier.name())
 }
 
 #[cfg(test)]

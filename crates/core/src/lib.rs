@@ -27,6 +27,7 @@
 //!   retrieval → snippets → utilities → selection, plus the §4.1
 //!   precomputed store and its memory accounting.
 
+pub mod baseline;
 pub mod candidates;
 pub mod framework;
 pub mod heap;
@@ -37,6 +38,7 @@ pub mod specindex;
 pub mod utility;
 pub mod xquad;
 
+pub use baseline::BaselineRanking;
 pub use candidates::DiversifyInput;
 pub use framework::{
     assemble_input, assemble_input_from_surrogates, assemble_input_naive, candidate_surrogate,
@@ -54,6 +56,30 @@ pub use xquad::XQuad;
 /// A diversification algorithm: given the per-candidate relevance and
 /// per-specialization utilities, choose and order `k` of the `n`
 /// candidates.
+///
+/// All five [`AlgorithmKind`]s (including the [`BaselineRanking`] no-op)
+/// implement this trait, and every dispatch site — [`run_algorithm`],
+/// [`DiversificationPipeline::diversify_batch`], the serving select stage
+/// — goes through trait objects built by [`AlgorithmKind::diversifier`].
+///
+/// # Example
+///
+/// ```
+/// use serpdiv_core::{AlgorithmKind, Diversifier, DiversifyInput, PipelineParams, UtilityMatrix};
+///
+/// // Two candidates, two specializations: candidate 0 covers only spec 0,
+/// // candidate 1 only spec 1 — a diversified top-2 must keep both.
+/// let input = DiversifyInput::new(
+///     vec![0.5, 0.5],
+///     vec![1.0, 0.9],
+///     UtilityMatrix::from_values(2, 2, vec![1.0, 0.0, 0.0, 1.0]),
+/// );
+/// let diversifier: Box<dyn Diversifier + Send + Sync> =
+///     AlgorithmKind::OptSelect.diversifier(&PipelineParams::default());
+/// let mut picks = diversifier.select(&input, 2);
+/// picks.sort_unstable();
+/// assert_eq!(picks, vec![0, 1]);
+/// ```
 pub trait Diversifier {
     /// Human-readable algorithm name (used by the bench tables).
     fn name(&self) -> &'static str;

@@ -14,6 +14,10 @@
 //! * [`index`] — the immutable inverted index and collection statistics,
 //! * [`dph`] / [`bm25`] — ranking models,
 //! * [`search`] — top-`k` query evaluation,
+//! * [`retriever`] — the [`Retriever`] trait every evaluation strategy
+//!   (TAAT DPH, MaxScore, sharded scatter-gather) implements,
+//! * [`sharded`] — [`ShardedIndex`]: deploy-time document partitioning
+//!   with parallel per-shard scoring and a bit-identical k-way merge,
 //! * [`snippet`] — query-biased snippet extraction (document surrogates),
 //! * [`vector`] — sparse TF-IDF vectors and the cosine similarity that
 //!   powers the paper's distance `δ(d₁,d₂) = 1 − cosine(d₁,d₂)` (Eq. 2).
@@ -41,8 +45,10 @@ pub mod index;
 pub mod maxscore;
 pub mod positions;
 pub mod postings;
+pub mod retriever;
 pub mod search;
 pub mod serialize;
+pub mod sharded;
 pub mod snippet;
 pub mod vector;
 
@@ -53,6 +59,8 @@ pub use dph::Dph;
 pub use index::{CollectionStats, InvertedIndex, TermStats};
 pub use maxscore::MaxScoreEngine;
 pub use positions::{phrase_search, PositionalIndex};
-pub use search::{RankingModel, ScoredDoc, SearchEngine};
+pub use retriever::Retriever;
+pub use search::{query_weights, RankingModel, ScoredDoc, SearchEngine};
+pub use sharded::ShardedIndex;
 pub use snippet::SnippetGenerator;
 pub use vector::{cosine, cosine64, SparseVector};

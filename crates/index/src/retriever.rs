@@ -1,0 +1,122 @@
+//! The retrieval abstraction of the serving stack.
+//!
+//! Everything above the index layer (the diversification pipeline, the
+//! serving engine, the benches) needs exactly one capability from it:
+//! *top-`k` documents for a query*. [`Retriever`] names that capability so
+//! callers can swap evaluation strategies — term-at-a-time DPH
+//! ([`SearchEngine`]), document-at-a-time MaxScore pruning
+//! ([`MaxScoreEngine`]), or the deploy-time partitioned
+//! [`ShardedIndex`](crate::sharded::ShardedIndex) that scores shards in
+//! parallel and scatter-gathers the union top-`k` — without touching the
+//! call sites.
+//!
+//! # Example
+//!
+//! ```
+//! use serpdiv_index::{Document, IndexBuilder, Retriever, ShardedIndex};
+//! use std::sync::Arc;
+//!
+//! let mut builder = IndexBuilder::new();
+//! builder.add(Document::new(0, "http://a", "apple iphone", "apple announces a new iphone"));
+//! builder.add(Document::new(1, "http://b", "apple pie", "apple pie recipe with apples"));
+//! let index = Arc::new(builder.build());
+//!
+//! // The plain index retrieves with DPH; a sharded deployment partitions
+//! // the documents and merges per-shard top-k — same trait, same results.
+//! let unsharded: &dyn Retriever = index.as_ref();
+//! let sharded = ShardedIndex::build(index.clone(), 2);
+//! assert_eq!(unsharded.retrieve("apple", 2), sharded.retrieve("apple", 2));
+//! ```
+
+use crate::index::InvertedIndex;
+use crate::maxscore::MaxScoreEngine;
+use crate::search::{RankingModel, ScoredDoc, SearchEngine};
+use serpdiv_text::TermId;
+
+/// A top-`k` retrieval strategy over an indexed collection.
+///
+/// Implementations must be deterministic: equal queries return equal
+/// rankings, with ties broken by ascending document id. `Send + Sync` is a
+/// supertrait because retrievers are shared by reference across serving
+/// worker threads.
+pub trait Retriever: Send + Sync {
+    /// Top-`k` documents for a raw query string (analysis included).
+    fn retrieve(&self, query: &str, k: usize) -> Vec<ScoredDoc>;
+
+    /// Top-`k` documents for pre-analyzed query terms.
+    fn retrieve_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc>;
+}
+
+/// The default retriever: term-at-a-time DPH over the whole collection
+/// (one logical shard).
+impl Retriever for InvertedIndex {
+    fn retrieve(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
+        SearchEngine::new(self).search(query, k)
+    }
+
+    fn retrieve_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
+        SearchEngine::new(self).search_terms(terms, k)
+    }
+}
+
+impl Retriever for SearchEngine<'_> {
+    fn retrieve(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
+        self.search(query, k)
+    }
+
+    fn retrieve_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
+        self.search_terms(terms, k)
+    }
+}
+
+impl<M: RankingModel + Send + Sync> Retriever for MaxScoreEngine<'_, M> {
+    fn retrieve(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
+        self.search(query, k)
+    }
+
+    fn retrieve_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
+        self.search_terms(terms, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::document::Document;
+
+    fn index() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new(0, "u0", "apple iphone", "apple iphone chip"));
+        b.add(Document::new(1, "u1", "apple fruit", "apple fruit sweet"));
+        b.add(Document::new(2, "u2", "pie", "apple pie cinnamon"));
+        b.build()
+    }
+
+    #[test]
+    fn index_and_engine_retrievers_agree() {
+        let idx = index();
+        let engine = SearchEngine::new(&idx);
+        let a = Retriever::retrieve(&idx, "apple", 3);
+        let b = Retriever::retrieve(&engine, "apple", 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn maxscore_is_a_retriever() {
+        let idx = index();
+        let engine = MaxScoreEngine::new(&idx, crate::bm25::Bm25::new());
+        let hits = Retriever::retrieve(&engine, "apple pie", 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].doc.0, 2);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let idx = index();
+        let dyn_ret: &dyn Retriever = &idx;
+        assert_eq!(dyn_ret.retrieve("apple", 10).len(), 3);
+        assert!(dyn_ret.retrieve("zeppelin", 10).is_empty());
+    }
+}

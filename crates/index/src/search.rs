@@ -93,35 +93,72 @@ impl<'a> SearchEngine<'a> {
     ///
     /// Duplicate query terms contribute multiplicatively (bag-of-words), as
     /// in Terrier: the per-term score is weighted by the query-term count.
+    /// Terms are processed in ascending [`TermId`] order, so per-document
+    /// floating-point accumulation is bit-for-bit reproducible — the
+    /// property the sharded scatter-gather path
+    /// ([`ShardedIndex`](crate::sharded::ShardedIndex)) relies on to be
+    /// bit-identical to this engine.
     pub fn search_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
         if terms.is_empty() || k == 0 {
             return Vec::new();
         }
-        let coll = self.index.stats();
-        // Query-term multiplicity.
-        let mut qtf: HashMap<TermId, u32> = HashMap::with_capacity(terms.len());
-        for &t in terms {
-            *qtf.entry(t).or_insert(0) += 1;
-        }
-        // Term-at-a-time accumulation.
+        // Term-at-a-time accumulation in deterministic term order.
         let mut acc: HashMap<DocId, f64> = HashMap::new();
-        for (&term, &weight) in &qtf {
-            let (Some(postings), Some(ts)) =
-                (self.index.postings(term), self.index.term_stats(term))
-            else {
-                continue;
-            };
-            for posting in postings.iter() {
-                let dl = self.index.doc_len(posting.doc).unwrap_or(0);
-                let s = self.model.score(posting.tf, dl, ts, coll) * f64::from(weight);
-                *acc.entry(posting.doc).or_insert(0.0) += s;
-            }
-        }
+        accumulate_term_contributions(
+            self.index,
+            |t| self.index.postings(t),
+            &query_weights(terms),
+            &*self.model,
+            |doc, s| *acc.entry(doc).or_insert(0.0) += s,
+        );
         top_k(
             acc.into_iter().map(|(doc, score)| ScoredDoc { doc, score }),
             k,
         )
     }
+}
+
+/// The term-at-a-time scoring loop: feed the weighted model contribution
+/// of every posting of every query term into `sink`, in the order given
+/// by `weights` (canonically ascending term id, see [`query_weights`]).
+///
+/// This is the **single definition** of per-document score accumulation —
+/// the unsharded engine and both per-shard scorer forms
+/// ([`ShardedIndex`](crate::sharded::ShardedIndex)) call it with
+/// different postings sources and accumulator sinks; the bit-identical
+/// scatter-gather guarantee depends on them sharing this loop.
+pub(crate) fn accumulate_term_contributions<'p>(
+    index: &InvertedIndex,
+    mut postings_of: impl FnMut(TermId) -> Option<&'p crate::postings::PostingsList>,
+    weights: &[(TermId, u32)],
+    model: &dyn RankingModel,
+    mut sink: impl FnMut(DocId, f64),
+) {
+    let coll = index.stats();
+    for &(term, weight) in weights {
+        let (Some(postings), Some(ts)) = (postings_of(term), index.term_stats(term)) else {
+            continue;
+        };
+        for posting in postings.iter() {
+            let dl = index.doc_len(posting.doc).unwrap_or(0);
+            let s = model.score(posting.tf, dl, ts, coll) * f64::from(weight);
+            sink(posting.doc, s);
+        }
+    }
+}
+
+/// Collapse analyzed query terms into `(term, multiplicity)` pairs sorted
+/// by ascending term id — the canonical term-processing order shared by
+/// the TAAT engine and the per-shard scorers, so both accumulate each
+/// document's score in the same floating-point order.
+pub fn query_weights(terms: &[TermId]) -> Vec<(TermId, u32)> {
+    let mut qtf: HashMap<TermId, u32> = HashMap::with_capacity(terms.len());
+    for &t in terms {
+        *qtf.entry(t).or_insert(0) += 1;
+    }
+    let mut weights: Vec<(TermId, u32)> = qtf.into_iter().collect();
+    weights.sort_unstable_by_key(|&(t, _)| t);
+    weights
 }
 
 /// Select the `k` highest-scoring entries, ordered by decreasing score

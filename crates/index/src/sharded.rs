@@ -1,0 +1,609 @@
+//! Deploy-time document partitioning with scatter-gather retrieval.
+//!
+//! Horizontal partitioning is the standard route to serving large
+//! collections "as fast as the hardware allows": split the documents into
+//! `N` shards, score every shard in parallel, and merge the per-shard
+//! top-`k` lists. [`ShardedIndex`] implements that over an existing
+//! [`InvertedIndex`] without re-analyzing anything — at build time each
+//! term's postings are split into per-shard compressed lists covering
+//! contiguous global doc-id ranges, while the vocabulary, the document
+//! store, the per-document lengths and (crucially) the **collection-wide
+//! statistics stay global and shared**.
+//!
+//! # Bit-identical ranking
+//!
+//! Scoring a document only reads global quantities — its own length, the
+//! term's global [`TermStats`](crate::index::TermStats) and the global
+//! [`CollectionStats`](crate::index::CollectionStats) — so a document's
+//! score is the same no matter which shard scores it. Both the unsharded
+//! [`SearchEngine`](crate::search::SearchEngine) and the per-shard scorers
+//! accumulate query terms in ascending term-id order
+//! ([`query_weights`]), so even the floating-point summation order is
+//! identical. The scatter-gather merge is a k-way heap merge ordered by
+//! `(score desc, doc id asc)` — the same total order as the unsharded
+//! bounded-heap selection — which makes the final ranking **bit-identical**
+//! to the single-shard result for every shard count (asserted by the
+//! `sharded_equivalence` suite for shard counts 1/2/4/7).
+
+use crate::document::DocId;
+use crate::dph::Dph;
+use crate::index::InvertedIndex;
+use crate::postings::{PostingsBuilder, PostingsList};
+use crate::retriever::Retriever;
+use crate::search::{accumulate_term_contributions, query_weights, top_k, RankingModel, ScoredDoc};
+use serpdiv_text::TermId;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+/// One document partition: the shard-local slice of every term's postings.
+#[derive(Debug)]
+struct Shard {
+    /// Indexed by [`TermId`]; list `t` holds exactly the postings of term
+    /// `t` whose doc ids fall in this shard's range.
+    postings: Vec<PostingsList>,
+    /// First global doc id of this shard's contiguous range.
+    base: u32,
+    /// Number of doc ids in the range (the last shard may cover fewer
+    /// real documents).
+    len: usize,
+}
+
+/// Largest shard doc-range for which scoring uses a dense accumulator
+/// array instead of a hash map (512 KiB of `f64` per scoring pass). A
+/// *contiguous* shard range is what makes the dense form affordable — the
+/// per-query array is `N/num_shards` slots, not `N` — and it removes all
+/// per-posting hashing from the hot loop.
+const DENSE_ACCUMULATOR_LIMIT: usize = 1 << 16;
+
+/// A horizontally partitioned view of an [`InvertedIndex`] with parallel
+/// scatter-gather retrieval.
+///
+/// Built once at deploy time; immutable and `Sync` afterwards, so one
+/// instance serves arbitrary concurrency (each request spawns a scoped
+/// scoring pass over the shards).
+#[derive(Debug)]
+pub struct ShardedIndex {
+    index: Arc<InvertedIndex>,
+    shards: Vec<Shard>,
+    /// Documents per shard: shard of `doc` = `doc.index() / chunk`.
+    chunk: usize,
+    /// Minimum estimated matching postings before a query is worth
+    /// scoring in parallel (see [`Self::with_parallel_threshold`]).
+    parallel_threshold: u64,
+    /// Scatter worker cap, resolved at build time (one per hardware
+    /// thread by default).
+    scoring_workers: usize,
+    /// Largest shard range scored with the dense accumulator.
+    dense_limit: usize,
+}
+
+impl ShardedIndex {
+    /// Partition `index` into `num_shards` contiguous doc-id ranges,
+    /// scored with the paper's DPH model (`num_shards` is clamped to at
+    /// least 1; shards beyond the document count stay empty and cost
+    /// nothing at query time).
+    pub fn build(index: Arc<InvertedIndex>, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let num_docs = index.stats().num_docs as usize;
+        let chunk = num_docs.div_ceil(num_shards).max(1);
+        let num_terms = index.num_terms();
+        let mut shard_postings: Vec<Vec<PostingsList>> = (0..num_shards)
+            .map(|_| Vec::with_capacity(num_terms))
+            .collect();
+        // Global postings are in increasing doc order, so each shard's
+        // slice arrives in increasing order too and re-compresses cleanly.
+        let mut builders: Vec<PostingsBuilder> = Vec::new();
+        for t in 0..num_terms {
+            builders.clear();
+            builders.resize_with(num_shards, PostingsBuilder::new);
+            if let Some(postings) = index.postings(TermId(t as u32)) {
+                for p in postings.iter() {
+                    builders[(p.doc.index() / chunk).min(num_shards - 1)].push(p.doc, p.tf);
+                }
+            }
+            for (s, b) in builders.drain(..).enumerate() {
+                shard_postings[s].push(b.build());
+            }
+        }
+        ShardedIndex {
+            index,
+            shards: shard_postings
+                .into_iter()
+                .enumerate()
+                .map(|(s, postings)| {
+                    let base = (s * chunk) as u32;
+                    Shard {
+                        postings,
+                        base,
+                        len: num_docs.saturating_sub(s * chunk).min(chunk),
+                    }
+                })
+                .collect(),
+            chunk,
+            parallel_threshold: 16_384,
+            // Resolved once: available_parallelism is a syscall, far too
+            // expensive for the per-query path.
+            scoring_workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            dense_limit: DENSE_ACCUMULATOR_LIMIT,
+        }
+    }
+
+    /// Override the dense-accumulator cutoff (default
+    /// [`DENSE_ACCUMULATOR_LIMIT`]): shards whose doc range exceeds it are
+    /// scored with the hash-map fallback. `0` forces the sparse form
+    /// everywhere. The ranking is identical either way.
+    pub fn with_dense_accumulator_limit(mut self, limit: usize) -> Self {
+        self.dense_limit = limit;
+        self
+    }
+
+    /// Override the scatter worker count (default: one per hardware
+    /// thread, capped at the shard count). Useful when the process runs
+    /// under a CPU quota the runtime cannot see, or to force the parallel
+    /// path in tests.
+    pub fn with_scoring_workers(mut self, workers: usize) -> Self {
+        self.scoring_workers = workers.max(1);
+        self
+    }
+
+    /// Tune when scatter scoring goes parallel: queries whose estimated
+    /// matching-postings count (Σ document frequency over query terms)
+    /// falls below `threshold` are scored shard-after-shard on the calling
+    /// thread — for small collections or selective queries, per-request
+    /// thread hand-off costs more than the scoring it saves. `0` forces
+    /// parallel scoring whenever more than one hardware thread is
+    /// available; `u64::MAX` forces sequential. The ranking is identical
+    /// either way.
+    ///
+    /// The parallel path currently spawns scoped threads per query; under
+    /// a serving pool that already saturates every core, raise the
+    /// threshold (or cap [`Self::with_scoring_workers`]) so only queries
+    /// whose traversal dwarfs thread start-up go parallel — a persistent
+    /// scatter pool is the planned successor.
+    pub fn with_parallel_threshold(mut self, threshold: u64) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+
+    /// The shared underlying index (global statistics, vocabulary,
+    /// document store).
+    pub fn index(&self) -> &Arc<InvertedIndex> {
+        &self.index
+    }
+
+    /// Number of document partitions.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Documents assigned to each shard (the last shard may hold fewer).
+    pub fn docs_per_shard(&self) -> usize {
+        self.chunk
+    }
+
+    /// Total compressed size of the partitioned postings, in bytes
+    /// (compare with [`InvertedIndex::postings_byte_size`]; partitioning
+    /// costs a few bytes of delta-restart overhead per shard boundary).
+    pub fn postings_byte_size(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.postings.iter())
+            .map(|p| p.byte_size())
+            .sum()
+    }
+
+    /// Score one shard: term-at-a-time accumulation over the shard-local
+    /// postings with **global** statistics, in the canonical ascending
+    /// term order — bit-identical per-document scores to the unsharded
+    /// engine — then the shard-local top `k`.
+    ///
+    /// Accumulation is dense (an `f64` array plus a touched bitmap over
+    /// the shard's contiguous doc range — zero hashing in the hot loop)
+    /// whenever the range fits [`DENSE_ACCUMULATOR_LIMIT`]; giant shards
+    /// fall back to the hash-map form. Both accumulate each document's
+    /// term contributions in the same order, so scores are bit-identical.
+    fn score_shard(
+        &self,
+        shard: &Shard,
+        weights: &[(TermId, u32)],
+        model: &(dyn RankingModel + Send + Sync),
+        k: usize,
+    ) -> Vec<ScoredDoc> {
+        if shard.len <= self.dense_limit {
+            self.score_shard_dense(shard, weights, model, k)
+        } else {
+            self.score_shard_sparse(shard, weights, model, k)
+        }
+    }
+
+    /// Dense accumulation over the shard's contiguous doc-id range.
+    ///
+    /// The accumulator array and touched bitmap live in a thread-local
+    /// scratch that is cleaned (touched entries only) and reused across
+    /// shards and requests — on the sequential path (long-lived serving
+    /// workers) steady-state scoring allocates nothing but the returned
+    /// top-`k`. Scoped scatter threads are born per query, so the
+    /// parallel path pays one scratch allocation per worker per query —
+    /// amortized against the large traversals that path is gated on, and
+    /// removed for good once the persistent scatter pool (ROADMAP) lands.
+    fn score_shard_dense(
+        &self,
+        shard: &Shard,
+        weights: &[(TermId, u32)],
+        model: &(dyn RankingModel + Send + Sync),
+        k: usize,
+    ) -> Vec<ScoredDoc> {
+        thread_local! {
+            /// (accumulator, touched bitmap); invariant: all-zero between
+            /// uses.
+            static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<u64>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        SCRATCH.with(|cell| {
+            let (acc, touched) = &mut *cell.borrow_mut();
+            if acc.len() < shard.len {
+                acc.resize(shard.len, 0.0);
+            }
+            let words = shard.len.div_ceil(64);
+            if touched.len() < words {
+                touched.resize(words, 0);
+            }
+            accumulate_term_contributions(
+                &self.index,
+                |t| shard.postings.get(t.index()),
+                weights,
+                model,
+                |doc, s| {
+                    let i = doc.index() - shard.base as usize;
+                    acc[i] += s;
+                    touched[i / 64] |= 1 << (i % 64);
+                },
+            );
+            let result = top_k(
+                touched[..words].iter().enumerate().flat_map(|(w, &bits)| {
+                    let (acc, base) = (&*acc, shard.base);
+                    let mut bits = bits;
+                    std::iter::from_fn(move || {
+                        if bits == 0 {
+                            return None;
+                        }
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let i = w * 64 + b;
+                        Some(ScoredDoc {
+                            doc: DocId(base + i as u32),
+                            score: acc[i],
+                        })
+                    })
+                }),
+                k,
+            );
+            // Restore the all-zero invariant, touching only dirty slots.
+            for w in 0..words {
+                let mut bits = touched[w];
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    acc[w * 64 + b] = 0.0;
+                }
+                touched[w] = 0;
+            }
+            result
+        })
+    }
+
+    /// Hash-map accumulation for shards whose doc range is too large for
+    /// a per-query dense array.
+    fn score_shard_sparse(
+        &self,
+        shard: &Shard,
+        weights: &[(TermId, u32)],
+        model: &(dyn RankingModel + Send + Sync),
+        k: usize,
+    ) -> Vec<ScoredDoc> {
+        let mut acc: HashMap<DocId, f64> = HashMap::new();
+        accumulate_term_contributions(
+            &self.index,
+            |t| shard.postings.get(t.index()),
+            weights,
+            model,
+            |doc, s| *acc.entry(doc).or_insert(0.0) += s,
+        );
+        top_k(
+            acc.into_iter().map(|(doc, score)| ScoredDoc { doc, score }),
+            k,
+        )
+    }
+
+    /// Scatter: score every shard — in parallel when the hardware and the
+    /// estimated work justify it — then gather: k-way merge of the
+    /// per-shard top-`k` lists.
+    fn scatter_gather(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
+        if terms.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let weights = query_weights(terms);
+        let model = Dph::new();
+        // One worker per hardware thread (resolved at build time), capped
+        // at the shard count.
+        let workers = self.scoring_workers.min(self.shards.len());
+        // Estimated matching postings: Σ doc_freq over the query terms.
+        let estimated: u64 = weights
+            .iter()
+            .filter_map(|&(t, _)| self.index.term_stats(t))
+            .map(|ts| ts.doc_freq)
+            .sum();
+        let per_shard: Vec<Vec<ScoredDoc>> = if workers <= 1 || estimated < self.parallel_threshold
+        {
+            // Sequential scatter: no thread hand-off — the right call on
+            // one hardware thread or when the postings traversal is
+            // cheaper than spawning.
+            self.shards
+                .iter()
+                .map(|shard| self.score_shard(shard, &weights, &model, k))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let mut gathered: Vec<(usize, Vec<ScoredDoc>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let (next, weights, model) = (&next, &weights, &model);
+                        scope.spawn(move || {
+                            let mut mine = Vec::new();
+                            loop {
+                                let s = next.fetch_add(1, AtomicOrdering::Relaxed);
+                                let Some(shard) = self.shards.get(s) else {
+                                    break;
+                                };
+                                mine.push((s, self.score_shard(shard, weights, model, k)));
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard scoring worker panicked"))
+                    .collect()
+            });
+            gathered.sort_unstable_by_key(|&(s, _)| s);
+            gathered.into_iter().map(|(_, hits)| hits).collect()
+        };
+        merge_top_k(per_shard, k)
+    }
+}
+
+impl Retriever for ShardedIndex {
+    fn retrieve(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
+        let terms = self.index.analyze_query(query);
+        self.scatter_gather(&terms, k)
+    }
+
+    fn retrieve_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
+        self.scatter_gather(terms, k)
+    }
+}
+
+/// Head of one per-shard list inside the gather heap, ordered so the
+/// max-heap pops by `(score desc, doc id asc)` — the exact total order of
+/// [`top_k`].
+struct MergeEntry {
+    score: f64,
+    doc: DocId,
+    list: usize,
+    pos: usize,
+}
+
+impl PartialEq for MergeEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for MergeEntry {}
+
+impl Ord for MergeEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.doc.cmp(&self.doc))
+    }
+}
+
+impl PartialOrd for MergeEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Gather step: k-way merge of per-shard rankings (each already sorted by
+/// `(score desc, doc asc)`) into the global top `k` in the same order.
+/// Each shard holds its global-top-k members in its local top-k, so
+/// merging the heads is exhaustive.
+fn merge_top_k(lists: Vec<Vec<ScoredDoc>>, k: usize) -> Vec<ScoredDoc> {
+    let mut heap: BinaryHeap<MergeEntry> = lists
+        .iter()
+        .enumerate()
+        .filter_map(|(list, hits)| {
+            hits.first().map(|h| MergeEntry {
+                score: h.score,
+                doc: h.doc,
+                list,
+                pos: 0,
+            })
+        })
+        .collect();
+    let mut out = Vec::with_capacity(k.min(lists.iter().map(Vec::len).sum()));
+    while out.len() < k {
+        let Some(head) = heap.pop() else { break };
+        out.push(ScoredDoc {
+            doc: head.doc,
+            score: head.score,
+        });
+        if let Some(next) = lists[head.list].get(head.pos + 1) {
+            heap.push(MergeEntry {
+                score: next.score,
+                doc: next.doc,
+                list: head.list,
+                pos: head.pos + 1,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::document::Document;
+    use crate::search::SearchEngine;
+
+    /// 30 docs over a small shared vocabulary, including exact duplicates
+    /// (score ties) spread across shard boundaries.
+    fn index() -> Arc<InvertedIndex> {
+        let texts = [
+            "apple iphone smartphone chip",
+            "apple fruit orchard sweet",
+            "apple pie cinnamon recipe",
+            "weather storm rain wind",
+            "apple iphone smartphone chip", // duplicate of 0 → tie
+        ];
+        let mut b = IndexBuilder::new();
+        for i in 0..30u32 {
+            b.add(Document::new(
+                i,
+                format!("http://d/{i}"),
+                "",
+                texts[i as usize % texts.len()],
+            ));
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn matches_unsharded_oracle_exactly() {
+        let idx = index();
+        let oracle = SearchEngine::new(&idx);
+        for shards in [1, 2, 4, 7, 30, 64] {
+            let sharded = ShardedIndex::build(idx.clone(), shards);
+            for query in ["apple", "apple iphone", "weather storm", "apple apple pie"] {
+                for k in [1, 3, 10, 100] {
+                    let expect = oracle.search(query, k);
+                    let got = sharded.retrieve(query, k);
+                    assert_eq!(expect.len(), got.len(), "{query} k={k} shards={shards}");
+                    for (e, g) in expect.iter().zip(&got) {
+                        assert_eq!(e.doc, g.doc, "{query} k={k} shards={shards}");
+                        assert_eq!(
+                            e.score.to_bits(),
+                            g.score.to_bits(),
+                            "{query} k={k} shards={shards}: {} vs {}",
+                            e.score,
+                            g.score
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let idx = index();
+        let sharded = ShardedIndex::build(idx, 4);
+        assert!(sharded.retrieve("", 10).is_empty());
+        assert!(sharded.retrieve("apple", 0).is_empty());
+        assert!(sharded.retrieve("zeppelin", 10).is_empty());
+        assert_eq!(sharded.num_shards(), 4);
+    }
+
+    #[test]
+    fn sparse_fallback_is_bit_identical_to_dense() {
+        let idx = index();
+        let dense = ShardedIndex::build(idx.clone(), 3);
+        let sparse = ShardedIndex::build(idx.clone(), 3).with_dense_accumulator_limit(0);
+        let oracle = SearchEngine::new(&idx);
+        for query in ["apple", "apple iphone chip", "weather storm rain"] {
+            let expect = oracle.search(query, 12);
+            for (label, got) in [
+                ("dense", dense.retrieve(query, 12)),
+                ("sparse", sparse.retrieve(query, 12)),
+            ] {
+                assert_eq!(expect.len(), got.len(), "{label} {query}");
+                for (e, g) in expect.iter().zip(&got) {
+                    assert_eq!(e.doc, g.doc, "{label} {query}");
+                    assert_eq!(e.score.to_bits(), g.score.to_bits(), "{label} {query}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_parallel_path_is_still_bit_identical() {
+        let idx = index();
+        let oracle = SearchEngine::new(&idx);
+        // Force the scoped-thread scatter path regardless of the host's
+        // core count or the query's size.
+        let sharded = ShardedIndex::build(idx.clone(), 4)
+            .with_scoring_workers(3)
+            .with_parallel_threshold(0);
+        for query in ["apple", "apple iphone smartphone", "storm"] {
+            let expect = oracle.search(query, 10);
+            let got = sharded.retrieve(query, 10);
+            assert_eq!(expect.len(), got.len(), "{query}");
+            for (e, g) in expect.iter().zip(&got) {
+                assert_eq!(e.doc, g.doc, "{query}");
+                assert_eq!(e.score.to_bits(), g.score.to_bits(), "{query}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let idx = index();
+        let sharded = ShardedIndex::build(idx, 0);
+        assert_eq!(sharded.num_shards(), 1);
+        assert_eq!(sharded.retrieve("apple", 5).len(), 5);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let idx = Arc::new(IndexBuilder::new().build());
+        let sharded = ShardedIndex::build(idx, 3);
+        assert!(sharded.retrieve("apple", 5).is_empty());
+    }
+
+    #[test]
+    fn partition_covers_all_postings() {
+        let idx = index();
+        let sharded = ShardedIndex::build(idx.clone(), 4);
+        // Every posting of every term lands in exactly one shard.
+        for t in 0..idx.num_terms() {
+            let term = TermId(t as u32);
+            let global: Vec<_> = idx.postings(term).unwrap().iter().collect();
+            let mut scattered: Vec<_> = sharded
+                .shards
+                .iter()
+                .flat_map(|s| s.postings[term.index()].iter())
+                .collect();
+            scattered.sort_by_key(|p| p.doc);
+            assert_eq!(global, scattered);
+        }
+    }
+
+    #[test]
+    fn merge_handles_ties_across_lists() {
+        let d = |id, score| ScoredDoc {
+            doc: DocId(id),
+            score,
+        };
+        let merged = merge_top_k(vec![vec![d(3, 1.0), d(1, 0.5)], vec![d(2, 1.0)], vec![]], 3);
+        assert_eq!(
+            merged.iter().map(|h| h.doc.0).collect::<Vec<_>>(),
+            vec![2, 3, 1],
+            "equal scores must order by ascending doc id"
+        );
+    }
+}

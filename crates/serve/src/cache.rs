@@ -11,12 +11,82 @@ use crate::lru::LruCache;
 use crate::request::RankedResult;
 use parking_lot::Mutex;
 use serpdiv_core::AlgorithmKind;
+use std::borrow::Borrow;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cache key: the full identity of a served SERP.
 pub type CacheKey = (String, usize, AlgorithmKind);
+
+/// A borrowed view of a [`CacheKey`], so lookups can probe the map with
+/// request-owned parts (`&str` query) instead of allocating an owned
+/// `String` per probe. The owned key is built only on insert.
+///
+/// `Hash` must visit exactly the fields the owned tuple's derived `Hash`
+/// visits, in the same order — that is what makes
+/// `HashMap<CacheKey, _>::get::<dyn KeyView>` sound.
+trait KeyView {
+    fn query(&self) -> &str;
+    fn page_size(&self) -> usize;
+    fn algorithm(&self) -> AlgorithmKind;
+}
+
+impl KeyView for CacheKey {
+    fn query(&self) -> &str {
+        &self.0
+    }
+    fn page_size(&self) -> usize {
+        self.1
+    }
+    fn algorithm(&self) -> AlgorithmKind {
+        self.2
+    }
+}
+
+/// The borrowed probe: one request's key parts by reference.
+struct KeyParts<'a> {
+    query: &'a str,
+    k: usize,
+    algorithm: AlgorithmKind,
+}
+
+impl KeyView for KeyParts<'_> {
+    fn query(&self) -> &str {
+        self.query
+    }
+    fn page_size(&self) -> usize {
+        self.k
+    }
+    fn algorithm(&self) -> AlgorithmKind {
+        self.algorithm
+    }
+}
+
+impl Hash for dyn KeyView + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Mirrors the derived tuple Hash: String delegates to str.
+        self.query().hash(state);
+        self.page_size().hash(state);
+        self.algorithm().hash(state);
+    }
+}
+
+impl PartialEq for dyn KeyView + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.query() == other.query()
+            && self.page_size() == other.page_size()
+            && self.algorithm() == other.algorithm()
+    }
+}
+
+impl Eq for dyn KeyView + '_ {}
+
+impl<'a> Borrow<dyn KeyView + 'a> for CacheKey {
+    fn borrow(&self) -> &(dyn KeyView + 'a) {
+        self
+    }
+}
 
 /// The cached portion of a response.
 #[derive(Debug, Clone)]
@@ -80,15 +150,25 @@ impl ShardedResultCache {
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<LruCache<CacheKey, CachedSerp>> {
+    fn shard(&self, key: &(dyn KeyView + '_)) -> &Mutex<LruCache<CacheKey, CachedSerp>> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
-    /// Look up a SERP, counting the outcome.
-    pub fn get(&self, key: &CacheKey) -> Option<CachedSerp> {
-        let found = self.shard(key).lock().get(key).cloned();
+    /// Look up a SERP by its identity parts, counting the outcome. The
+    /// probe borrows the query — no allocation on either hit or miss.
+    pub fn get(&self, query: &str, k: usize, algorithm: AlgorithmKind) -> Option<CachedSerp> {
+        let probe = KeyParts {
+            query,
+            k,
+            algorithm,
+        };
+        let found = self
+            .shard(&probe)
+            .lock()
+            .get_by(&probe as &dyn KeyView)
+            .cloned();
         match found {
             Some(serp) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -101,9 +181,10 @@ impl ShardedResultCache {
         }
     }
 
-    /// Store a freshly computed SERP.
+    /// Store a freshly computed SERP (the one place an owned key is
+    /// allocated).
     pub fn insert(&self, key: CacheKey, serp: CachedSerp) {
-        self.shard(&key).lock().insert(key, serp);
+        self.shard(&key as &dyn KeyView).lock().insert(key, serp);
     }
 
     /// Number of shards.
@@ -159,9 +240,11 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let cache = ShardedResultCache::new(4, 64);
-        assert!(cache.get(&key("apple")).is_none());
+        assert!(cache.get("apple", 10, AlgorithmKind::OptSelect).is_none());
         cache.insert(key("apple"), serp(3));
-        let hit = cache.get(&key("apple")).expect("hit");
+        let hit = cache
+            .get("apple", 10, AlgorithmKind::OptSelect)
+            .expect("hit");
         assert_eq!(hit.results.len(), 3);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
@@ -172,13 +255,37 @@ mod tests {
     fn algorithm_is_part_of_the_key() {
         let cache = ShardedResultCache::new(2, 16);
         cache.insert(key("q"), serp(2));
-        assert!(cache
-            .get(&("q".to_string(), 10, AlgorithmKind::Mmr))
-            .is_none());
-        assert!(cache
-            .get(&("q".to_string(), 5, AlgorithmKind::OptSelect))
-            .is_none());
-        assert!(cache.get(&key("q")).is_some());
+        assert!(cache.get("q", 10, AlgorithmKind::Mmr).is_none());
+        assert!(cache.get("q", 5, AlgorithmKind::OptSelect).is_none());
+        assert!(cache.get("q", 10, AlgorithmKind::OptSelect).is_some());
+    }
+
+    #[test]
+    fn borrowed_probe_hashes_like_the_owned_key() {
+        // The dyn-KeyView Hash must mirror the derived tuple Hash bit for
+        // bit, or shard selection and map lookups silently diverge.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        for (q, k, a) in [
+            ("apple", 10, AlgorithmKind::OptSelect),
+            ("", 0, AlgorithmKind::Baseline),
+            ("longer query with spaces", 77, AlgorithmKind::Mmr),
+        ] {
+            let owned: CacheKey = (q.to_string(), k, a);
+            let mut h1 = DefaultHasher::new();
+            owned.hash(&mut h1);
+            let mut h2 = DefaultHasher::new();
+            let parts = KeyParts {
+                query: q,
+                k,
+                algorithm: a,
+            };
+            (&parts as &dyn KeyView).hash(&mut h2);
+            assert_eq!(h1.finish(), h2.finish(), "{q:?}");
+            let mut h3 = DefaultHasher::new();
+            Borrow::<dyn KeyView>::borrow(&owned).hash(&mut h3);
+            assert_eq!(h1.finish(), h3.finish(), "{q:?} owned view");
+        }
     }
 
     #[test]
@@ -207,7 +314,7 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..200 {
                         let k = key(&format!("q{}", (t * 7 + i) % 32));
-                        if cache.get(&k).is_none() {
+                        if cache.get(&k.0, k.1, k.2).is_none() {
                             cache.insert(k, serp(2));
                         }
                     }
@@ -223,7 +330,7 @@ mod tests {
     fn clear_resets() {
         let cache = ShardedResultCache::new(2, 8);
         cache.insert(key("a"), serp(1));
-        cache.get(&key("a"));
+        cache.get("a", 10, AlgorithmKind::OptSelect);
         cache.clear();
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));

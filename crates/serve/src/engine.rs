@@ -1,16 +1,17 @@
-//! The serving engine: per-request wiring of the full diversification
-//! stack over shared immutable state.
+//! The serving engine: a thin driver over the stage pipeline, sharing
+//! immutable deployment state across worker threads.
 
 use crate::cache::{CachedSerp, ShardedResultCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::request::{QueryRequest, RankedResult, SearchResponse, StageTimings};
+use crate::stages::{default_stage_chain, PipelineContext, Stage, StageOutcome};
 use crate::surrogates::SurrogateCache;
 use serpdiv_core::{
-    assemble_input_from_surrogates, run_algorithm, AlgorithmKind, CompiledSpecStore,
-    PipelineParams, SpecializationStore,
+    AlgorithmKind, CompiledSpecStore, Diversifier, PipelineParams, SpecializationStore,
 };
 use serpdiv_index::{
-    InvertedIndex, ScoredDoc, SearchEngine as Retriever, SnippetGenerator, SparseVector,
+    InvertedIndex, Retriever, ScoredDoc, SearchEngine as DphEngine, ShardedIndex, SnippetGenerator,
+    SparseVector,
 };
 use serpdiv_mining::SpecializationModel;
 use std::sync::Arc;
@@ -32,6 +33,15 @@ pub struct EngineConfig {
     /// Total candidate-surrogate cache entries (keyed `(doc, query
     /// terms)`), sharded like the result cache; 0 disables it.
     pub surrogate_cache_capacity: usize,
+    /// Document partitions of the retrieval layer: 1 serves from the
+    /// plain index, ≥ 2 deploys a [`ShardedIndex`] that scores shards in
+    /// parallel and scatter-gathers a bit-identical top-k.
+    pub index_shards: usize,
+    /// Per-request compute budget in microseconds, enforced before the
+    /// select stage: when exhausted, the diversifier is skipped and the
+    /// baseline ranking is served (`"DPH (degraded)"`). 0 disables the
+    /// deadline.
+    pub deadline_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -42,22 +52,43 @@ impl Default for EngineConfig {
             cache_shards: 8,
             cache_capacity: 4096,
             surrogate_cache_capacity: 32_768,
+            index_shards: 1,
+            deadline_us: 0,
         }
     }
 }
 
+/// The five algorithm kinds, in the order the engine's pre-built
+/// diversifier table is laid out.
+const ALGORITHMS: [AlgorithmKind; 5] = [
+    AlgorithmKind::Baseline,
+    AlgorithmKind::OptSelect,
+    AlgorithmKind::IaSelect,
+    AlgorithmKind::XQuad,
+    AlgorithmKind::Mmr,
+];
+
 /// A deployed, thread-safe diversified-search engine.
 ///
-/// Shares one immutable [`InvertedIndex`], [`SpecializationModel`] and
-/// [`SpecializationStore`] across every worker thread via `Arc` — no
-/// per-request cloning of index data. All per-request state lives on the
-/// request's own stack, so `&SearchEngine` is `Sync` and one instance
-/// serves arbitrary concurrency.
+/// Shares one immutable [`InvertedIndex`], [`Retriever`],
+/// [`SpecializationModel`] and [`SpecializationStore`] across every worker
+/// thread via `Arc` — no per-request cloning of index data. All
+/// per-request state lives in a [`PipelineContext`] on the request's own
+/// stack, so `&SearchEngine` is `Sync` and one instance serves arbitrary
+/// concurrency.
+///
+/// The uncached path is a chain of [`Stage`] units (Detect → Retrieve →
+/// Surrogate → Utility → Select by default); [`SearchEngine::search`] is
+/// only the cache probe plus the stage-driver loop.
 pub struct SearchEngine {
     index: Arc<InvertedIndex>,
+    retriever: Arc<dyn Retriever>,
     model: Arc<SpecializationModel>,
     store: Arc<SpecializationStore>,
     compiled: Arc<CompiledSpecStore>,
+    stages: Vec<Box<dyn Stage>>,
+    /// Pre-built diversifier trait objects, aligned with [`ALGORITHMS`].
+    diversifiers: Vec<Box<dyn Diversifier + Send + Sync>>,
     cache: Option<ShardedResultCache>,
     surrogates: Option<SurrogateCache>,
     metrics: ServeMetrics,
@@ -75,10 +106,10 @@ impl SearchEngine {
         config: EngineConfig,
     ) -> Self {
         let store = {
-            let retriever = Retriever::new(&index);
+            let engine = DphEngine::new(&index);
             Arc::new(SpecializationStore::build(
                 &model,
-                &retriever,
+                &engine,
                 config.params.k_spec_results,
                 config.params.snippet_window,
             ))
@@ -100,9 +131,37 @@ impl SearchEngine {
 
     /// Deploy with both the raw store and an externally compiled index
     /// (lets several engines — e.g. one per benchmarked algorithm — share
-    /// one compilation).
+    /// one compilation). Builds the retrieval layer from
+    /// [`EngineConfig::index_shards`]: the plain index at 1, a
+    /// [`ShardedIndex`] otherwise.
     pub fn with_compiled_store(
         index: Arc<InvertedIndex>,
+        model: Arc<SpecializationModel>,
+        store: Arc<SpecializationStore>,
+        compiled: Arc<CompiledSpecStore>,
+        config: EngineConfig,
+    ) -> Self {
+        let retriever: Arc<dyn Retriever> = if config.index_shards > 1 {
+            Arc::new(ShardedIndex::build(index.clone(), config.index_shards))
+        } else {
+            index.clone()
+        };
+        Self::with_retriever(index, retriever, model, store, compiled, config)
+    }
+
+    /// Deploy with an explicit retrieval layer — the constructor every
+    /// other one funnels into. Lets callers share one (expensive-to-build)
+    /// [`ShardedIndex`] across several engines, or plug in a custom
+    /// [`Retriever`] implementation.
+    ///
+    /// With an explicit retriever, [`EngineConfig::index_shards`] is *not*
+    /// consulted to build anything — it only echoes through
+    /// [`SearchEngine::config`] for reporting, so keep it consistent with
+    /// the retriever you pass (e.g. the shard count of the shared
+    /// `ShardedIndex`).
+    pub fn with_retriever(
+        index: Arc<InvertedIndex>,
+        retriever: Arc<dyn Retriever>,
         model: Arc<SpecializationModel>,
         store: Arc<SpecializationStore>,
         compiled: Arc<CompiledSpecStore>,
@@ -126,9 +185,15 @@ impl SearchEngine {
         };
         SearchEngine {
             index,
+            retriever,
             model,
             store,
             compiled,
+            stages: default_stage_chain(),
+            diversifiers: ALGORITHMS
+                .iter()
+                .map(|&a| a.diversifier(&config.params))
+                .collect(),
             cache,
             surrogates,
             metrics: ServeMetrics::default(),
@@ -136,31 +201,32 @@ impl SearchEngine {
         }
     }
 
-    /// Serve one request through the full per-request lifecycle:
-    ///
-    /// 1. **cache** — `(query, k, algorithm)` probe;
-    /// 2. **detect** — specialization-model lookup (Algorithm 1 ran
-    ///    offline; online detection is a hash lookup, which is what makes
-    ///    diversification affordable inside the serving loop);
-    /// 3. **retrieve** — DPH top-`n` from the shared index;
-    /// 4. **utility** — snippet surrogates + `Ũ(d|R_q′)` against the
-    ///    precomputed store (§4.1);
-    /// 5. **select** — the requested diversifier re-ranks the page.
+    /// Replace the stage chain (builder-style, before the engine is
+    /// shared). The default is [`default_stage_chain`]; custom chains
+    /// insert, reorder or replace stages without touching the driver.
+    pub fn with_stage_chain(mut self, stages: Vec<Box<dyn Stage>>) -> Self {
+        assert!(!stages.is_empty(), "the stage chain cannot be empty");
+        self.stages = stages;
+        self
+    }
+
+    /// Serve one request: probe the result cache, then drive the stage
+    /// chain (see [`crate::stages`] for the lifecycle).
     pub fn search(&self, req: QueryRequest) -> SearchResponse {
         let start = Instant::now();
-        let key = req.cache_key();
         if let Some(cache) = &self.cache {
-            if let Some(serp) = cache.get(&key) {
+            if let Some(serp) = cache.get(&req.query, req.k, req.algorithm) {
                 let timings = StageTimings {
                     total_us: elapsed_us(start),
                     ..StageTimings::default()
                 };
-                self.metrics.record(true, serp.diversified, timings);
+                self.metrics.record(true, serp.diversified, false, timings);
                 return SearchResponse {
                     query: req.query,
                     algorithm: serp.algorithm,
                     diversified: serp.diversified,
                     cache_hit: true,
+                    degraded: false,
                     results: serp.results,
                     timings,
                 };
@@ -168,102 +234,61 @@ impl SearchEngine {
         }
 
         let response = self.compute(&req, start);
-        if let Some(cache) = &self.cache {
-            cache.insert(
-                key,
-                CachedSerp {
-                    results: response.results.clone(),
-                    diversified: response.diversified,
-                    algorithm: response.algorithm,
-                },
-            );
+        // Degraded pages are a budget accident of this request, not the
+        // canonical SERP — never cache them.
+        if !response.degraded {
+            if let Some(cache) = &self.cache {
+                cache.insert(
+                    req.cache_key(),
+                    CachedSerp {
+                        results: response.results.clone(),
+                        diversified: response.diversified,
+                        algorithm: response.algorithm,
+                    },
+                );
+            }
         }
-        self.metrics
-            .record(false, response.diversified, response.timings);
+        self.metrics.record(
+            false,
+            response.diversified,
+            response.degraded,
+            response.timings,
+        );
         response
     }
 
-    /// The uncached pipeline.
+    /// The uncached path: drive the stage chain over one
+    /// [`PipelineContext`], timing each stage into its accounting bucket.
     fn compute(&self, req: &QueryRequest, start: Instant) -> SearchResponse {
-        let retriever = Retriever::new(&self.index);
-        let mut timings = StageTimings::default();
-
-        // Detect.
-        let t = Instant::now();
-        let entry = if req.algorithm == AlgorithmKind::Baseline {
-            None
-        } else {
-            self.model.get(&req.query)
-        };
-        timings.detect_us = elapsed_us(t);
-
-        let (docs, diversified, name): (Vec<ScoredDoc>, bool, &'static str) = match entry {
-            None => {
-                // Baseline passthrough: retrieve exactly k.
-                let t = Instant::now();
-                let hits = retriever.search(&req.query, req.k);
-                timings.retrieve_us = elapsed_us(t);
-                let name = if req.algorithm == AlgorithmKind::Baseline {
-                    "DPH"
-                } else {
-                    "DPH (passthrough)"
-                };
-                (hits, false, name)
+        let mut ctx = PipelineContext::new(req, start);
+        for stage in &self.stages {
+            let t = Instant::now();
+            let outcome = stage.run(self, &mut ctx);
+            ctx.timings.add(stage.kind(), elapsed_us(t));
+            if outcome == StageOutcome::Finish {
+                break;
             }
-            Some(entry) => {
-                // Retrieve the candidate pool.
-                let t = Instant::now();
-                let n = self.config.n_candidates.max(req.k);
-                let baseline = retriever.search(&req.query, n);
-                timings.retrieve_us = elapsed_us(t);
-                if baseline.is_empty() {
-                    (Vec::new(), false, "DPH (passthrough)")
-                } else {
-                    // Surrogates: snippet vectors per candidate, memoized
-                    // by (doc, query-terms) when the cache is enabled.
-                    let t = Instant::now();
-                    let vectors = self.surrogate_vectors(&req.query, &baseline);
-                    timings.surrogate_us = elapsed_us(t);
-
-                    // Utility: sparse accumulation against the compiled
-                    // specialization index.
-                    let t = Instant::now();
-                    let input = assemble_input_from_surrogates(
-                        entry,
-                        &self.compiled,
-                        &self.config.params,
-                        vectors,
-                        &baseline,
-                    );
-                    timings.utility_us = elapsed_us(t);
-
-                    // Select.
-                    let t = Instant::now();
-                    let (indices, name) =
-                        run_algorithm(req.algorithm, &input, req.k, self.config.params);
-                    timings.select_us = elapsed_us(t);
-
-                    let docs = indices.into_iter().map(|i| baseline[i]).collect();
-                    (docs, true, name)
-                }
-            }
-        };
-
-        let results = Arc::new(self.materialize(&docs));
-        timings.total_us = elapsed_us(start);
+        }
+        let results = Arc::new(self.materialize(&ctx.page));
+        ctx.timings.total_us = elapsed_us(start);
         SearchResponse {
             query: req.query.clone(),
-            algorithm: name,
-            diversified,
+            algorithm: ctx.algorithm,
+            diversified: ctx.diversified,
             cache_hit: false,
+            degraded: ctx.degraded,
             results,
-            timings,
+            timings: ctx.timings,
         }
     }
 
     /// The candidate snippet surrogates for one request, through the
     /// `(doc, query-terms)` cache when enabled.
-    fn surrogate_vectors(&self, query: &str, baseline: &[ScoredDoc]) -> Vec<Arc<SparseVector>> {
+    pub(crate) fn surrogate_vectors(
+        &self,
+        query: &str,
+        baseline: &[ScoredDoc],
+    ) -> Vec<Arc<SparseVector>> {
         let Some(cache) = &self.surrogates else {
             return serpdiv_core::candidate_surrogates(
                 &self.index,
@@ -309,6 +334,11 @@ impl SearchEngine {
         &self.index
     }
 
+    /// The deployed retrieval layer (plain, sharded, or custom).
+    pub fn retriever(&self) -> &dyn Retriever {
+        &*self.retriever
+    }
+
     /// The deployed specialization model.
     pub fn model(&self) -> &Arc<SpecializationModel> {
         &self.model
@@ -322,6 +352,22 @@ impl SearchEngine {
     /// The compiled inverted utility index.
     pub fn compiled(&self) -> &Arc<CompiledSpecStore> {
         &self.compiled
+    }
+
+    /// The pre-built [`Diversifier`] for `kind` (trait objects are
+    /// constructed once at deploy time and shared by every request).
+    pub fn diversifier_for(&self, kind: AlgorithmKind) -> &(dyn Diversifier + Send + Sync) {
+        // Exhaustive match: adding an AlgorithmKind without extending
+        // ALGORITHMS is a compile error here, not a serving-time panic.
+        let i = match kind {
+            AlgorithmKind::Baseline => 0,
+            AlgorithmKind::OptSelect => 1,
+            AlgorithmKind::IaSelect => 2,
+            AlgorithmKind::XQuad => 3,
+            AlgorithmKind::Mmr => 4,
+        };
+        debug_assert_eq!(ALGORITHMS[i], kind);
+        &*self.diversifiers[i]
     }
 
     /// The result cache (`None` when disabled by configuration).
@@ -408,6 +454,7 @@ mod tests {
         let out = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
         assert!(out.diversified);
         assert!(!out.cache_hit);
+        assert!(!out.degraded);
         assert_eq!(out.algorithm, "OptSelect");
         assert_eq!(out.results.len(), 4);
         let tech = out.results.iter().filter(|r| r.doc.0 < 5).count();
@@ -550,5 +597,138 @@ mod tests {
             let b = without.search(QueryRequest::new("apple", 5, algo));
             assert_eq!(a.results, b.results, "{algo:?}");
         }
+    }
+
+    #[test]
+    fn sharded_engine_serves_identical_pages() {
+        let unsharded = deploy(diversifying_config());
+        for shards in [2, 4, 7] {
+            let sharded = deploy(EngineConfig {
+                index_shards: shards,
+                ..diversifying_config()
+            });
+            for (query, algo) in [
+                ("apple", AlgorithmKind::OptSelect),
+                ("apple", AlgorithmKind::Mmr),
+                ("apple", AlgorithmKind::Baseline),
+                ("weather forecast", AlgorithmKind::OptSelect),
+            ] {
+                let a = unsharded.search(QueryRequest::new(query, 5, algo));
+                let b = sharded.search(QueryRequest::new(query, 5, algo));
+                assert_eq!(a.results, b.results, "{query} {algo:?} shards={shards}");
+                assert_eq!(a.algorithm, b.algorithm);
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_deadline_degrades_to_baseline_passthrough() {
+        // A 1 µs budget is always exhausted by the time select runs.
+        let engine = deploy(EngineConfig {
+            deadline_us: 1,
+            ..diversifying_config()
+        });
+        let out = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+        assert!(out.degraded);
+        assert!(!out.diversified);
+        assert_eq!(out.algorithm, "DPH (degraded)");
+        assert_eq!(out.results.len(), 4);
+        // The degraded page is the baseline ranking prefix.
+        let baseline = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::Baseline));
+        assert_eq!(
+            out.results.iter().map(|r| r.doc).collect::<Vec<_>>(),
+            baseline.results.iter().map(|r| r.doc).collect::<Vec<_>>()
+        );
+        // Degraded pages are not cached: a repeat recomputes (and degrades
+        // again) instead of hitting the cache.
+        let again = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+        assert!(!again.cache_hit);
+        assert!(again.degraded);
+        assert_eq!(engine.metrics().degraded, 2);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_degrade() {
+        let engine = deploy(EngineConfig {
+            deadline_us: 60_000_000,
+            ..diversifying_config()
+        });
+        let out = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+        assert!(!out.degraded);
+        assert!(out.diversified);
+        assert_eq!(out.algorithm, "OptSelect");
+        assert_eq!(engine.metrics().degraded, 0);
+    }
+
+    #[test]
+    fn select_without_utility_stage_degrades_instead_of_panicking() {
+        use crate::stages::{DetectStage, RetrieveStage, SelectStage};
+        // A custom chain that skips the surrogate and utility stages: the
+        // select stage has no input and must fall back to the baseline
+        // prefix rather than killing the worker.
+        let engine = deploy(EngineConfig {
+            cache_capacity: 0,
+            ..diversifying_config()
+        })
+        .with_stage_chain(vec![
+            Box::new(DetectStage),
+            Box::new(RetrieveStage),
+            Box::new(SelectStage),
+        ]);
+        let out = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+        assert!(!out.diversified);
+        assert_eq!(out.algorithm, "DPH (passthrough)");
+        assert_eq!(out.results.len(), 4);
+    }
+
+    #[test]
+    fn utility_without_surrogate_stage_degrades_instead_of_panicking() {
+        use crate::stages::{DetectStage, RetrieveStage, SelectStage, UtilityStage};
+        // Utility present but surrogates skipped: the vector/candidate
+        // mismatch must degrade to the baseline prefix, not panic.
+        let engine = deploy(EngineConfig {
+            cache_capacity: 0,
+            ..diversifying_config()
+        })
+        .with_stage_chain(vec![
+            Box::new(DetectStage),
+            Box::new(RetrieveStage),
+            Box::new(UtilityStage),
+            Box::new(SelectStage),
+        ]);
+        let out = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+        assert!(!out.diversified);
+        assert_eq!(out.algorithm, "DPH (passthrough)");
+        assert_eq!(out.results.len(), 4);
+    }
+
+    #[test]
+    fn custom_stage_chain_plugs_in_without_touching_the_driver() {
+        use crate::stages::{StageKind, StageOutcome};
+
+        /// Serves every request as an empty page.
+        struct RefuseAll;
+        impl Stage for RefuseAll {
+            fn kind(&self) -> StageKind {
+                StageKind::Detect
+            }
+            fn run<'a>(
+                &self,
+                _engine: &'a SearchEngine,
+                ctx: &mut PipelineContext<'a>,
+            ) -> StageOutcome {
+                ctx.algorithm = "refused";
+                StageOutcome::Finish
+            }
+        }
+
+        let engine = deploy(EngineConfig {
+            cache_capacity: 0,
+            ..diversifying_config()
+        })
+        .with_stage_chain(vec![Box::new(RefuseAll)]);
+        let out = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+        assert_eq!(out.algorithm, "refused");
+        assert!(out.results.is_empty());
     }
 }

@@ -19,40 +19,60 @@
 //!                         │  ┌────────────────────┐  │
 //!                         │  │ ShardedResultCache │  │  (query,k,algo) → SERP
 //!                         │  └────────────────────┘  │
+//!                         │   stage chain (driver):  │
+//!                         │   Detect → Retrieve →    │
+//!                         │   Surrogate → Utility →  │
+//!                         │   Select                 │
 //!                         └───────────┬──────────────┘
 //!          shared, immutable, Arc'd   ▼
-//!   ┌───────────────┬─────────────────┬────────────────────────┐
-//!   │ InvertedIndex │ Specialization- │ SpecializationStore    │
-//!   │ (index crate) │ Model (mining)  │ (§4.1, core crate)     │
-//!   └───────────────┴─────────────────┴────────────────────────┘
+//!   ┌───────────────────────┬─────────────────┬──────────────────────┐
+//!   │ dyn Retriever         │ Specialization- │ SpecializationStore  │
+//!   │  InvertedIndex (1     │ Model (mining)  │ + CompiledSpecStore  │
+//!   │  shard) or Sharded-   │                 │ (§4.1, core crate)   │
+//!   │  Index (scatter-      │                 │                      │
+//!   │  gather over N)       │                 │                      │
+//!   └───────────────────────┴─────────────────┴──────────────────────┘
 //! ```
 //!
 //! ## Request lifecycle
 //!
-//! 1. **cache** — probe the sharded LRU result cache under the key
-//!    `(query, k, algorithm)`; a hit returns the SERP immediately;
-//! 2. **detect** — look the query up in the mined
-//!    [`SpecializationModel`](serpdiv_mining::SpecializationModel)
+//! The cached fast path probes the sharded LRU result cache under
+//! `(query, k, algorithm)` — with a borrowed key, no allocation — and
+//! returns the shared SERP on a hit. The uncached path is a chain of
+//! [`Stage`] units driven by a thin loop (see [`stages`]):
+//!
+//! 1. **detect** ([`stages::DetectStage`]) — look the query up in the
+//!    mined [`SpecializationModel`](serpdiv_mining::SpecializationModel)
 //!    (Algorithm 1 ran offline; online ambiguity detection is one hash
 //!    lookup). A miss means "not ambiguous" and the DPH baseline is served
 //!    unchanged;
-//! 3. **retrieve** — DPH top-`n` candidates from the shared
-//!    [`InvertedIndex`](serpdiv_index::InvertedIndex);
-//! 4. **surrogate** — snippet surrogate vectors for the candidates,
-//!    memoized per `(doc, query-terms)` in the sharded [`SurrogateCache`];
-//! 5. **utility** — the `Ũ(d|R_q′)` matrix (Definition 2), one sparse
-//!    term-at-a-time accumulation per candidate against the
-//!    [`CompiledSpecStore`](serpdiv_core::CompiledSpecStore) — the
-//!    offline-compiled inverted form of the §4.1
+//! 2. **retrieve** ([`stages::RetrieveStage`]) — top-`n` candidates
+//!    through the deployed [`Retriever`](serpdiv_index::Retriever): the
+//!    plain [`InvertedIndex`](serpdiv_index::InvertedIndex) or a
+//!    [`ShardedIndex`](serpdiv_index::ShardedIndex) scoring document
+//!    partitions in parallel with a bit-identical scatter-gather merge
+//!    ([`EngineConfig::index_shards`]);
+//! 3. **surrogate** ([`stages::SurrogateStage`]) — snippet surrogate
+//!    vectors for the candidates, memoized per `(doc, query-terms)` in the
+//!    sharded [`SurrogateCache`];
+//! 4. **utility** ([`stages::UtilityStage`]) — the `Ũ(d|R_q′)` matrix
+//!    (Definition 2), one sparse term-at-a-time accumulation per candidate
+//!    against the [`CompiledSpecStore`](serpdiv_core::CompiledSpecStore) —
+//!    the offline-compiled inverted form of the §4.1
 //!    [`SpecializationStore`](serpdiv_core::SpecializationStore);
-//! 6. **select** — the per-request choice of diversifier (OptSelect /
-//!    IA-Select / xQuAD / MMR) re-ranks the page.
+//! 5. **select** ([`stages::SelectStage`]) — the per-request choice of
+//!    diversifier (OptSelect / IA-Select / xQuAD / MMR, pre-built
+//!    [`Diversifier`](serpdiv_core::Diversifier) trait objects) re-ranks
+//!    the page — unless the per-request budget
+//!    ([`EngineConfig::deadline_us`]) is exhausted, in which case the
+//!    stage degrades to the baseline ranking (`"DPH (degraded)"`).
 //!
 //! Every stage is timed per request ([`StageTimings`]) and aggregated in
 //! the engine's [`metrics`](SearchEngine::metrics); the cache exports
-//! hit/miss counters. `serve_bench` (in `crates/bench`) replays a
-//! synthetic query-log session stream against this engine at configurable
-//! concurrency and reports QPS and latency percentiles per algorithm.
+//! hit/miss counters and degradations are counted separately.
+//! `serve_bench` (in `crates/bench`) replays a synthetic query-log session
+//! stream against this engine at configurable concurrency and shard
+//! counts and reports QPS and latency percentiles per algorithm.
 
 pub mod cache;
 pub mod engine;
@@ -60,6 +80,7 @@ pub mod lru;
 pub mod metrics;
 pub mod pool;
 pub mod request;
+pub mod stages;
 pub mod surrogates;
 
 pub use cache::{CacheKey, CacheStats, CachedSerp, ShardedResultCache};
@@ -68,6 +89,10 @@ pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use pool::WorkerPool;
 pub use request::{QueryRequest, RankedResult, SearchResponse, StageTimings};
+pub use stages::{
+    default_stage_chain, DetectStage, PipelineContext, RetrieveStage, SelectStage, Stage,
+    StageKind, StageOutcome, SurrogateStage, UtilityStage,
+};
 pub use surrogates::{SurrogateCache, SurrogateKey};
 
 // The per-request algorithm selector, re-exported so serving callers don't

@@ -6,6 +6,7 @@
 //! per-operation allocation after the slab reaches capacity (evicted slots
 //! are reused in place).
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -62,6 +63,19 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Look up `key`, marking it most recently used on a hit.
     pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.get_by(key)
+    }
+
+    /// [`get`](Self::get) through any borrowed form of the key (the
+    /// `HashMap::get` contract: `Q`'s `Hash`/`Eq` must agree with `K`'s),
+    /// so composite owned keys can be probed without allocating them —
+    /// e.g. the result cache probes `(String, usize, AlgorithmKind)`
+    /// entries with a `&str`-backed view.
+    pub fn get_by<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         let idx = *self.map.get(key)?;
         self.move_to_front(idx);
         Some(&self.slots[idx].value)

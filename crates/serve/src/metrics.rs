@@ -11,6 +11,7 @@ pub struct ServeMetrics {
     cache_hits: AtomicU64,
     diversified: AtomicU64,
     passthrough: AtomicU64,
+    degraded: AtomicU64,
     detect_us: AtomicU64,
     retrieve_us: AtomicU64,
     surrogate_us: AtomicU64,
@@ -30,6 +31,9 @@ pub struct MetricsSnapshot {
     pub diversified: u64,
     /// Computed requests served as baseline passthrough.
     pub passthrough: u64,
+    /// Passthrough requests caused by an exhausted select-stage budget
+    /// (a subset of `passthrough`).
+    pub degraded: u64,
     /// Cumulative per-stage microseconds (computed requests only).
     pub stage_sums: StageTimings,
     /// Mean end-to-end service time per request, microseconds.
@@ -38,7 +42,13 @@ pub struct MetricsSnapshot {
 
 impl ServeMetrics {
     /// Record one served request.
-    pub fn record(&self, cache_hit: bool, diversified: bool, timings: StageTimings) {
+    pub fn record(
+        &self,
+        cache_hit: bool,
+        diversified: bool,
+        degraded: bool,
+        timings: StageTimings,
+    ) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         if cache_hit {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -46,6 +56,9 @@ impl ServeMetrics {
             self.diversified.fetch_add(1, Ordering::Relaxed);
         } else {
             self.passthrough.fetch_add(1, Ordering::Relaxed);
+            if degraded {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.detect_us
             .fetch_add(timings.detect_us, Ordering::Relaxed);
@@ -69,6 +82,7 @@ impl ServeMetrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             diversified: self.diversified.load(Ordering::Relaxed),
             passthrough: self.passthrough.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
             stage_sums: StageTimings {
                 detect_us: self.detect_us.load(Ordering::Relaxed),
                 retrieve_us: self.retrieve_us.load(Ordering::Relaxed),
@@ -96,6 +110,7 @@ mod tests {
         m.record(
             false,
             true,
+            false,
             StageTimings {
                 detect_us: 1,
                 retrieve_us: 2,
@@ -108,6 +123,7 @@ mod tests {
         m.record(
             true,
             true,
+            false,
             StageTimings {
                 total_us: 1,
                 ..Default::default()
@@ -116,6 +132,7 @@ mod tests {
         m.record(
             false,
             false,
+            true,
             StageTimings {
                 total_us: 3,
                 ..Default::default()
@@ -126,6 +143,7 @@ mod tests {
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.diversified, 1);
         assert_eq!(s.passthrough, 1);
+        assert_eq!(s.degraded, 1);
         assert_eq!(s.stage_sums.detect_us, 1);
         assert_eq!(s.stage_sums.surrogate_us, 5);
         assert_eq!(s.stage_sums.total_us, 15);
@@ -142,6 +160,7 @@ mod tests {
                         m.record(
                             false,
                             true,
+                            false,
                             StageTimings {
                                 total_us: 2,
                                 ..Default::default()

@@ -1,5 +1,6 @@
 //! Request/response types of the serving API.
 
+use crate::stages::StageKind;
 use serpdiv_core::AlgorithmKind;
 use serpdiv_index::DocId;
 use std::sync::Arc;
@@ -26,7 +27,10 @@ impl QueryRequest {
         }
     }
 
-    /// The result-cache key of this request.
+    /// The owned result-cache key of this request (allocates — built only
+    /// when a freshly computed SERP is inserted; lookups probe with
+    /// borrowed parts instead, see
+    /// [`ShardedResultCache::get`](crate::cache::ShardedResultCache::get)).
     pub(crate) fn cache_key(&self) -> (String, usize, AlgorithmKind) {
         (self.query.clone(), self.k, self.algorithm)
     }
@@ -52,6 +56,22 @@ pub struct StageTimings {
     pub select_us: u64,
     /// End-to-end service time.
     pub total_us: u64,
+}
+
+impl StageTimings {
+    /// Charge `us` microseconds to the bucket of `kind` (the stage-driver
+    /// accounting hook; a stage may run more than once per request, so
+    /// buckets accumulate).
+    pub fn add(&mut self, kind: StageKind, us: u64) {
+        let bucket = match kind {
+            StageKind::Detect => &mut self.detect_us,
+            StageKind::Retrieve => &mut self.retrieve_us,
+            StageKind::Surrogate => &mut self.surrogate_us,
+            StageKind::Utility => &mut self.utility_us,
+            StageKind::Select => &mut self.select_us,
+        };
+        *bucket += us;
+    }
 }
 
 /// One ranked result of a served SERP.
@@ -80,6 +100,10 @@ pub struct SearchResponse {
     pub diversified: bool,
     /// Whether the SERP came from the result cache.
     pub cache_hit: bool,
+    /// Whether the select-stage budget was exhausted and the page fell
+    /// back to the baseline ranking (never true on cache hits; degraded
+    /// pages are not cached).
+    pub degraded: bool,
     /// The ranked page, best first, `min(k, n)` entries. Shared with the
     /// result cache: a cache hit bumps a refcount instead of copying the
     /// page.

@@ -1,0 +1,295 @@
+//! The stage-oriented request pipeline.
+//!
+//! The uncached request lifecycle is a chain of composable [`Stage`] units
+//! — **Detect → Retrieve → Surrogate → Utility → Select** — driven by a
+//! thin loop in [`SearchEngine`]: each stage reads and advances one
+//! [`PipelineContext`], the driver times it, and a stage can short-circuit
+//! the rest of the chain ([`StageOutcome::Finish`]) when the request is
+//! already answerable (baseline passthrough, empty retrieval, exhausted
+//! budget). New serving scenarios plug in as new stages (or stage
+//! reorderings) without touching the driver; deadline degradation in
+//! [`SelectStage`] is the worked example.
+//!
+//! # Example: a custom stage
+//!
+//! ```
+//! use serpdiv_serve::{PipelineContext, SearchEngine, Stage, StageKind, StageOutcome};
+//!
+//! /// Refuses pages larger than 50 results (quota enforcement).
+//! struct ClampK;
+//!
+//! impl Stage for ClampK {
+//!     fn kind(&self) -> StageKind {
+//!         StageKind::Detect
+//!     }
+//!
+//!     fn run<'a>(
+//!         &self,
+//!         _engine: &'a SearchEngine,
+//!         ctx: &mut PipelineContext<'a>,
+//!     ) -> StageOutcome {
+//!         if ctx.request.k > 50 {
+//!             ctx.algorithm = "rejected (k too large)";
+//!             return StageOutcome::Finish;
+//!         }
+//!         StageOutcome::Continue
+//!     }
+//! }
+//! ```
+
+use crate::engine::SearchEngine;
+use crate::request::{QueryRequest, StageTimings};
+use serpdiv_core::{assemble_input_from_surrogates, AlgorithmKind, DiversifyInput};
+use serpdiv_index::{ScoredDoc, SparseVector};
+use serpdiv_mining::SpecializationEntry;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What the driver does after a stage returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// Proceed to the next stage in the chain.
+    Continue,
+    /// The response is complete — skip every remaining stage.
+    Finish,
+}
+
+/// Which latency-accounting bucket a stage's wall time lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Ambiguity detection (specialization-model lookup).
+    Detect,
+    /// Baseline retrieval through the deployed [`Retriever`].
+    ///
+    /// [`Retriever`]: serpdiv_index::Retriever
+    Retrieve,
+    /// Candidate snippet-surrogate construction.
+    Surrogate,
+    /// Utility-matrix computation against the compiled store.
+    Utility,
+    /// Diversifier selection (or budget-degraded passthrough).
+    Select,
+}
+
+/// Mutable per-request state threaded through the stage chain.
+///
+/// Stages communicate exclusively through this context; the driver owns
+/// the timing and the final response assembly.
+pub struct PipelineContext<'a> {
+    /// The request being served.
+    pub request: &'a QueryRequest,
+    /// When the engine accepted the request (budgets measure against it).
+    pub started: Instant,
+    /// Detected specialization entry (`None` ⇒ not ambiguous, or a
+    /// `Baseline` request that skips detection).
+    pub entry: Option<&'a SpecializationEntry>,
+    /// The retrieved candidate pool `Rq` (baseline ranking order).
+    pub candidates: Vec<ScoredDoc>,
+    /// Snippet-surrogate vectors, one per candidate.
+    pub vectors: Vec<Arc<SparseVector>>,
+    /// The assembled diversification input (utility matrix etc.).
+    pub input: Option<DiversifyInput>,
+    /// The final ranked page.
+    pub page: Vec<ScoredDoc>,
+    /// Whether diversification ran.
+    pub diversified: bool,
+    /// Whether the select budget forced a baseline fallback.
+    pub degraded: bool,
+    /// Name of the algorithm that produced the page.
+    pub algorithm: &'static str,
+    /// Per-stage wall time, filled in by the driver.
+    pub timings: StageTimings,
+}
+
+impl<'a> PipelineContext<'a> {
+    /// Fresh context for one request.
+    pub fn new(request: &'a QueryRequest, started: Instant) -> Self {
+        PipelineContext {
+            request,
+            started,
+            entry: None,
+            candidates: Vec::new(),
+            vectors: Vec::new(),
+            input: None,
+            page: Vec::new(),
+            diversified: false,
+            degraded: false,
+            algorithm: "DPH",
+            timings: StageTimings::default(),
+        }
+    }
+
+    /// Microseconds since the engine accepted the request.
+    pub fn elapsed_us(&self) -> u64 {
+        self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+}
+
+/// One unit of the request pipeline.
+///
+/// Stages are deployed once per engine and shared across worker threads,
+/// so they hold no per-request state (`Send + Sync`); everything mutable
+/// lives in the [`PipelineContext`].
+pub trait Stage: Send + Sync {
+    /// The accounting bucket this stage's wall time is charged to.
+    fn kind(&self) -> StageKind;
+
+    /// Advance `ctx` by one stage.
+    fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome;
+}
+
+/// The standard five-stage chain of the paper's pipeline.
+pub fn default_stage_chain() -> Vec<Box<dyn Stage>> {
+    vec![
+        Box::new(DetectStage),
+        Box::new(RetrieveStage),
+        Box::new(SurrogateStage),
+        Box::new(UtilityStage),
+        Box::new(SelectStage),
+    ]
+}
+
+/// Ambiguity detection: one hash lookup in the mined
+/// [`SpecializationModel`](serpdiv_mining::SpecializationModel).
+/// `Baseline` requests skip detection entirely.
+pub struct DetectStage;
+
+impl Stage for DetectStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Detect
+    }
+
+    fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome {
+        if ctx.request.algorithm == AlgorithmKind::Baseline {
+            ctx.algorithm = "DPH";
+        } else {
+            ctx.entry = engine.model().get(&ctx.request.query);
+            if ctx.entry.is_none() {
+                ctx.algorithm = "DPH (passthrough)";
+            }
+        }
+        StageOutcome::Continue
+    }
+}
+
+/// Baseline retrieval through the deployed [`Retriever`]
+/// (single index or sharded scatter-gather — the stage cannot tell).
+/// Non-ambiguous queries retrieve exactly `k` and finish the pipeline;
+/// ambiguous ones retrieve the candidate pool `n = max(n_candidates, k)`.
+///
+/// [`Retriever`]: serpdiv_index::Retriever
+pub struct RetrieveStage;
+
+impl Stage for RetrieveStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Retrieve
+    }
+
+    fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome {
+        let query = &ctx.request.query;
+        if ctx.entry.is_none() {
+            // Passthrough: the page is the baseline top-k.
+            ctx.page = engine.retriever().retrieve(query, ctx.request.k);
+            return StageOutcome::Finish;
+        }
+        let n = engine.config().n_candidates.max(ctx.request.k);
+        ctx.candidates = engine.retriever().retrieve(query, n);
+        if ctx.candidates.is_empty() {
+            ctx.algorithm = "DPH (passthrough)";
+            StageOutcome::Finish
+        } else {
+            StageOutcome::Continue
+        }
+    }
+}
+
+/// Snippet-surrogate vectors for every candidate, memoized per
+/// `(doc, query-terms)` when the surrogate cache is enabled.
+pub struct SurrogateStage;
+
+impl Stage for SurrogateStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Surrogate
+    }
+
+    fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome {
+        ctx.vectors = engine.surrogate_vectors(&ctx.request.query, &ctx.candidates);
+        StageOutcome::Continue
+    }
+}
+
+/// The `Ũ(d|R_q′)` utility rows (Definition 2): one sparse accumulation
+/// per candidate against the compiled specialization index.
+pub struct UtilityStage;
+
+impl Stage for UtilityStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Utility
+    }
+
+    fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome {
+        // No detected entry, or surrogates missing/mismatched (possible
+        // in custom chains that drop or reorder earlier stages): nothing
+        // sound to score — leave `ctx.input` empty and let the select
+        // stage fall back to the baseline prefix.
+        let Some(entry) = ctx.entry else {
+            return StageOutcome::Continue;
+        };
+        if ctx.vectors.len() != ctx.candidates.len() {
+            return StageOutcome::Continue;
+        }
+        let vectors = std::mem::take(&mut ctx.vectors);
+        ctx.input = Some(assemble_input_from_surrogates(
+            entry,
+            engine.compiled(),
+            &engine.config().params,
+            vectors,
+            &ctx.candidates,
+        ));
+        StageOutcome::Continue
+    }
+}
+
+/// Diversifier selection with per-request budget enforcement.
+///
+/// When the engine's `deadline_us` is set and already exhausted by the
+/// time this stage runs, the stage **degrades to baseline passthrough**:
+/// the page is the first `k` candidates of the baseline ranking, served
+/// immediately (`"DPH (degraded)"`), and the response/metrics record the
+/// degradation. Otherwise the request's [`AlgorithmKind`] re-ranks the
+/// page through the engine's pre-built [`Diversifier`] trait objects.
+///
+/// [`Diversifier`]: serpdiv_core::Diversifier
+pub struct SelectStage;
+
+impl Stage for SelectStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Select
+    }
+
+    fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome {
+        let k = ctx.request.k;
+        let deadline = engine.config().deadline_us;
+        if deadline > 0 && ctx.elapsed_us() >= deadline {
+            ctx.page = ctx.candidates.iter().take(k).copied().collect();
+            ctx.algorithm = "DPH (degraded)";
+            ctx.degraded = true;
+            ctx.diversified = false;
+            return StageOutcome::Finish;
+        }
+        // No assembled input (custom chains may skip the utility stage):
+        // serve the baseline prefix rather than panicking a worker.
+        let Some(input) = ctx.input.take() else {
+            ctx.page = ctx.candidates.iter().take(k).copied().collect();
+            ctx.algorithm = "DPH (passthrough)";
+            ctx.diversified = false;
+            return StageOutcome::Finish;
+        };
+        let diversifier = engine.diversifier_for(ctx.request.algorithm);
+        let indices = diversifier.select(&input, k);
+        ctx.page = indices.into_iter().map(|i| ctx.candidates[i]).collect();
+        ctx.diversified = true;
+        ctx.algorithm = diversifier.name();
+        StageOutcome::Finish
+    }
+}

@@ -7,7 +7,10 @@
 //! The workspace layers, bottom-up:
 //!
 //! * [`text`] — tokenizer, Porter stemmer, stopwords, term dictionary;
-//! * [`index`] — inverted index, DPH/BM25 ranking, snippets, TF-IDF vectors;
+//! * [`index`] — inverted index, DPH/BM25 ranking, snippets, TF-IDF
+//!   vectors, and the [`Retriever`](serpdiv_index::Retriever) layer with
+//!   sharded scatter-gather retrieval
+//!   ([`ShardedIndex`](serpdiv_index::ShardedIndex));
 //! * [`corpus`] — synthetic topical corpus + TREC-like topics/qrels
 //!   (the ClueWeb-B stand-in);
 //! * [`querylog`] — query-log records and AOL/MSN-like synthetic generators;
@@ -17,9 +20,10 @@
 //!   with its compiled inverted-index fast path, **OptSelect**
 //!   (Algorithm 2), IASelect, xQuAD, and MMR;
 //! * [`eval`] — α-NDCG, IA-P, NDCG and the Wilcoxon signed-rank test;
-//! * [`serve`] — the concurrent serving engine: shared immutable
-//!   index/model/store, sharded LRU result and candidate-surrogate
-//!   caches, worker pool and per-stage latency accounting.
+//! * [`serve`] — the concurrent serving engine: a stage pipeline (Detect →
+//!   Retrieve → Surrogate → Utility → Select) over shared immutable
+//!   index/model/store, sharded LRU result and candidate-surrogate caches,
+//!   worker pool, per-stage latency accounting and deadline degradation.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `crates/bench` for the binaries regenerating every table and figure of
@@ -47,7 +51,9 @@ pub mod prelude {
     };
     pub use serpdiv_corpus::{Testbed, TestbedConfig};
     pub use serpdiv_eval::{alpha_ndcg_at, ia_precision_at, Qrels};
-    pub use serpdiv_index::{Document, DocumentStore, IndexBuilder, SearchEngine};
+    pub use serpdiv_index::{
+        Document, DocumentStore, IndexBuilder, Retriever, SearchEngine, ShardedIndex,
+    };
     pub use serpdiv_mining::{AmbiguityDetector, SpecializationModel};
     pub use serpdiv_querylog::{LogConfig, QueryLog, QueryLogGenerator};
     pub use serpdiv_serve::{EngineConfig, QueryRequest, SearchResponse, WorkerPool};

@@ -1,0 +1,198 @@
+//! Scatter-gather correctness: `ShardedIndex` retrieval must be
+//! **bit-identical** — same doc ids, same `f64` score bits, same order —
+//! to the unsharded `SearchEngine` oracle, for every shard count.
+//!
+//! Three layers of evidence:
+//! * a hand-built fixture with deliberate score ties straddling shard
+//!   boundaries (the merge's tie-break is the part most likely to drift),
+//! * an LCG-randomized corpus/query sweep over shard counts {1, 2, 4, 7},
+//! * an end-to-end check that a sharded serving engine returns the same
+//!   pages as an unsharded one for every diversification algorithm.
+
+use serpdiv::index::{
+    Document, IndexBuilder, InvertedIndex, Retriever, ScoredDoc, SearchEngine, ShardedIndex,
+};
+use std::sync::Arc;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn assert_bit_identical(expect: &[ScoredDoc], got: &[ScoredDoc], context: &str) {
+    assert_eq!(expect.len(), got.len(), "{context}: length");
+    for (i, (e, g)) in expect.iter().zip(got).enumerate() {
+        assert_eq!(e.doc, g.doc, "{context}: doc at rank {i}");
+        assert_eq!(
+            e.score.to_bits(),
+            g.score.to_bits(),
+            "{context}: score bits at rank {i} ({} vs {})",
+            e.score,
+            g.score
+        );
+    }
+}
+
+/// Tiny deterministic generator (same discipline as the other suites: no
+/// external rand dependency, reproducible failures).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next() as usize) % items.len()]
+    }
+}
+
+/// Fixture with exact duplicate documents (ties) placed so that every
+/// shard count in the sweep splits at least one tie group across shards.
+fn tie_heavy_index() -> Arc<InvertedIndex> {
+    let texts = [
+        "apple iphone smartphone chip battery",
+        "apple fruit orchard sweet harvest",
+        "apple pie cinnamon recipe baking",
+        "storm wind rain forecast cloud",
+    ];
+    let mut b = IndexBuilder::new();
+    // 28 docs: doc i and doc i+4 share the same text → identical length,
+    // identical tf → identical DPH score for any query.
+    for i in 0..28u32 {
+        b.add(Document::new(
+            i,
+            format!("http://tie/{i}"),
+            "",
+            texts[i as usize % texts.len()],
+        ));
+    }
+    Arc::new(b.build())
+}
+
+#[test]
+fn tie_heavy_fixture_is_bit_identical_across_shard_counts() {
+    let index = tie_heavy_index();
+    let oracle = SearchEngine::new(&index);
+    let queries = [
+        "apple",
+        "apple iphone",
+        "apple pie recipe",
+        "storm rain",
+        "apple apple fruit", // duplicate query term (multiplicity weighting)
+        "chip orchard cinnamon cloud",
+    ];
+    for &shards in &SHARD_COUNTS {
+        let sharded = ShardedIndex::build(index.clone(), shards);
+        assert_eq!(sharded.num_shards(), shards);
+        for query in queries {
+            for k in [1, 2, 7, 13, 28, 100] {
+                let expect = oracle.search(query, k);
+                let got = sharded.retrieve(query, k);
+                assert_bit_identical(&expect, &got, &format!("{query:?} k={k} shards={shards}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn randomized_corpora_and_queries_are_bit_identical() {
+    let vocab = [
+        "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india",
+        "juliet", "kilo", "lima",
+    ];
+    let mut rng = Lcg(0x5eed_cafe);
+    for round in 0..5 {
+        // Random corpus: 40–139 docs of 3–12 words from a 12-word
+        // vocabulary — dense term overlap, frequent score ties.
+        let num_docs = 40 + (rng.next() % 100) as u32;
+        let mut b = IndexBuilder::new();
+        for i in 0..num_docs {
+            let len = 3 + (rng.next() % 10) as usize;
+            let body = (0..len)
+                .map(|_| *rng.pick(&vocab))
+                .collect::<Vec<_>>()
+                .join(" ");
+            b.add(Document::new(i, format!("http://r/{i}"), "", body));
+        }
+        let index = Arc::new(b.build());
+        let oracle = SearchEngine::new(&index);
+        for &shards in &SHARD_COUNTS {
+            let sharded = ShardedIndex::build(index.clone(), shards);
+            for q in 0..8 {
+                let qlen = 1 + (rng.next() % 4) as usize;
+                let query = (0..qlen)
+                    .map(|_| *rng.pick(&vocab))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let k = 1 + (rng.next() % 20) as usize;
+                let expect = oracle.search(&query, k);
+                let got = sharded.retrieve(&query, k);
+                assert_bit_identical(
+                    &expect,
+                    &got,
+                    &format!("round={round} q#{q} {query:?} k={k} shards={shards}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn retrieve_terms_matches_retrieve() {
+    let index = tie_heavy_index();
+    let sharded = ShardedIndex::build(index.clone(), 4);
+    let terms = index.analyze_query("apple pie");
+    assert_bit_identical(
+        &sharded.retrieve("apple pie", 10),
+        &sharded.retrieve_terms(&terms, 10),
+        "terms vs raw query",
+    );
+}
+
+#[test]
+fn sharded_serving_pages_match_unsharded() {
+    use serpdiv::core::AlgorithmKind;
+    use serpdiv::mining::SpecializationModel;
+    use serpdiv::serve::{EngineConfig, QueryRequest, SearchEngine as ServeEngine};
+
+    let index = tie_heavy_index();
+    let model = Arc::new(
+        SpecializationModel::from_json(
+            r#"{"entries":{"apple":{"query":"apple","specializations":[["apple iphone",0.5],["apple fruit",0.5]]}}}"#,
+        )
+        .unwrap(),
+    );
+    let config = EngineConfig {
+        n_candidates: 20,
+        cache_capacity: 0,
+        ..EngineConfig::default()
+    };
+    let unsharded = ServeEngine::deploy(index.clone(), model.clone(), config);
+    for shards in [2, 4, 7] {
+        let sharded = ServeEngine::deploy(
+            index.clone(),
+            model.clone(),
+            EngineConfig {
+                index_shards: shards,
+                ..config
+            },
+        );
+        for algo in [
+            AlgorithmKind::Baseline,
+            AlgorithmKind::OptSelect,
+            AlgorithmKind::IaSelect,
+            AlgorithmKind::XQuad,
+            AlgorithmKind::Mmr,
+        ] {
+            for query in ["apple", "storm rain", "zeppelin"] {
+                let a = unsharded.search(QueryRequest::new(query, 6, algo));
+                let b = sharded.search(QueryRequest::new(query, 6, algo));
+                assert_eq!(a.results, b.results, "{query:?} {algo:?} shards={shards}");
+                assert_eq!(a.algorithm, b.algorithm, "{query:?} {algo:?}");
+                assert_eq!(a.diversified, b.diversified, "{query:?} {algo:?}");
+            }
+        }
+    }
+}
