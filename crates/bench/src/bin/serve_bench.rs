@@ -28,7 +28,7 @@
 
 use serpdiv_bench::{Lab, LabConfig};
 use serpdiv_core::{AlgorithmKind, CompiledSpecStore, SpecializationStore};
-use serpdiv_index::{Retriever, SearchEngine as DphEngine, ShardedIndex};
+use serpdiv_index::{ForwardIndex, Retriever, SearchEngine as DphEngine, ShardedIndex};
 use serpdiv_mining::json::{write_escaped, write_number};
 use serpdiv_serve::{EngineConfig, QueryRequest, SearchEngine, WorkerPool};
 use std::sync::Arc;
@@ -128,6 +128,9 @@ struct AlgoReport {
     /// Median retrieve-stage microseconds over computed requests — the
     /// shard-scaling signal.
     retrieve_p50_us: f64,
+    /// Median surrogate-stage microseconds over computed requests — the
+    /// compiled-forward-index signal.
+    surrogate_p50_us: f64,
     // Mean per-stage microseconds over computed requests.
     detect_us: u64,
     retrieve_us: u64,
@@ -191,6 +194,7 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
             ("surrogate_hit_pct", a.surrogate_hit_rate_pct),
             ("diversified_pct", a.diversified_pct),
             ("stage_retrieve_p50_us", a.retrieve_p50_us),
+            ("stage_surrogate_p50_us", a.surrogate_p50_us),
             ("stage_detect_us", a.detect_us as f64),
             ("stage_retrieve_us", a.retrieve_us as f64),
             ("stage_surrogate_us", a.surrogate_us as f64),
@@ -255,21 +259,30 @@ fn main() {
         ))
     };
     let compiled = Arc::new(CompiledSpecStore::compile(&store));
+    // One compiled forward index and one interned presentation table
+    // shared by every engine (like the store and the retriever, a
+    // deploy-time cost paid once).
+    let t_fwd = Instant::now();
+    let forward = Arc::new(ForwardIndex::build(&index));
+    let presentation = SearchEngine::intern_presentation(&index);
     println!(
         "specialization store: {} specializations, {:.1} KiB raw, {:.1} KiB compiled \
-         ({} terms, {} postings) ({:.2}s)\n",
+         ({} terms, {} postings) ({:.2}s); forward index {:.1} KiB ({:.2}s)\n",
         store.len(),
         store.byte_size() as f64 / 1024.0,
         compiled.byte_size() as f64 / 1024.0,
         compiled.num_terms(),
         compiled.num_postings(),
         t.elapsed().as_secs_f64(),
+        forward.byte_size() as f64 / 1024.0,
+        t_fwd.elapsed().as_secs_f64(),
     );
     let offline = [
         ("docs", index.stats().num_docs as f64),
         ("specializations", store.len() as f64),
         ("store_bytes", store.byte_size() as f64),
         ("compiled_bytes", compiled.byte_size() as f64),
+        ("forward_bytes", forward.byte_size() as f64),
         ("compiled_terms", compiled.num_terms() as f64),
         ("compiled_postings", compiled.num_postings() as f64),
     ];
@@ -308,22 +321,27 @@ fn main() {
             AlgorithmKind::XQuad,
             AlgorithmKind::Mmr,
         ] {
-            let engine = Arc::new(SearchEngine::with_retriever(
-                index.clone(),
-                retriever.clone(),
-                model.clone(),
-                store.clone(),
-                compiled.clone(),
-                EngineConfig {
-                    n_candidates: args.candidates,
-                    params,
-                    cache_shards: 16,
-                    cache_capacity: if args.cache { 8192 } else { 0 },
-                    surrogate_cache_capacity: if args.surrogate_cache { 32_768 } else { 0 },
-                    index_shards: shards,
-                    deadline_us: 0,
-                },
-            ));
+            let engine = Arc::new(
+                SearchEngine::with_retriever_and_forward(
+                    index.clone(),
+                    retriever.clone(),
+                    model.clone(),
+                    store.clone(),
+                    compiled.clone(),
+                    Some(forward.clone()),
+                    EngineConfig {
+                        n_candidates: args.candidates,
+                        params,
+                        cache_shards: 16,
+                        cache_capacity: if args.cache { 8192 } else { 0 },
+                        surrogate_cache_capacity: if args.surrogate_cache { 32_768 } else { 0 },
+                        index_shards: shards,
+                        deadline_us: 0,
+                        forward_index: true,
+                    },
+                )
+                .with_presentation(presentation.clone()),
+            );
             let pool = WorkerPool::new(engine.clone(), args.concurrency);
             let requests: Vec<QueryRequest> = (0..args.requests)
                 .map(|i| QueryRequest::new(queries[i % queries.len()].clone(), args.k, algo))
@@ -341,6 +359,15 @@ fn main() {
                 .map(|r| r.timings.retrieve_us)
                 .collect();
             retrieves.sort_unstable();
+            // Diversified requests only: passthroughs finish at the
+            // retrieve stage, and their structural 0µs surrogate samples
+            // would dilute the compiled-path signal.
+            let mut surrogates_us: Vec<u64> = responses
+                .iter()
+                .filter(|r| !r.cache_hit && r.diversified)
+                .map(|r| r.timings.surrogate_us)
+                .collect();
+            surrogates_us.sort_unstable();
             let qps = responses.len() as f64 / wall_s;
             let hit_rate = engine
                 .cache()
@@ -365,6 +392,7 @@ fn main() {
                 surrogate_hit_rate_pct: surrogate_hit_rate,
                 diversified_pct,
                 retrieve_p50_us: percentile(&retrieves, 50.0) * 1e3,
+                surrogate_p50_us: percentile(&surrogates_us, 50.0) * 1e3,
                 detect_us: m.stage_sums.detect_us / computed,
                 retrieve_us: m.stage_sums.retrieve_us / computed,
                 surrogate_us: m.stage_sums.surrogate_us / computed,
@@ -372,7 +400,7 @@ fn main() {
                 select_us: m.stage_sums.select_us / computed,
             };
             println!(
-                "{:<10} {:>9.0} {:>9.3} {:>9.3} {:>9.3} {:>7.1} {:>7.1}  {}/{}/{}/{}/{} (retr p50 {:.0}µs)",
+                "{:<10} {:>9.0} {:>9.3} {:>9.3} {:>9.3} {:>7.1} {:>7.1}  {}/{}/{}/{}/{} (retr p50 {:.0}µs, surr p50 {:.0}µs)",
                 report.name,
                 report.qps,
                 report.p50_ms,
@@ -386,6 +414,7 @@ fn main() {
                 report.utility_us,
                 report.select_us,
                 report.retrieve_p50_us,
+                report.surrogate_p50_us,
             );
             reports.push(report);
         }

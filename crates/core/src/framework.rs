@@ -22,7 +22,7 @@ use crate::utility::{UtilityMatrix, UtilityParams};
 use crate::xquad::XQuad;
 use crate::Diversifier;
 use serpdiv_index::{
-    DocId, InvertedIndex, ScoredDoc, SearchEngine, SnippetGenerator, SparseVector,
+    DocId, ForwardIndex, InvertedIndex, ScoredDoc, SearchEngine, SnippetGenerator, SparseVector,
 };
 use serpdiv_mining::{SpecializationEntry, SpecializationModel};
 use std::collections::HashMap;
@@ -213,12 +213,14 @@ pub struct DiversificationPipeline<'a> {
     model: &'a SpecializationModel,
     store: SpecializationStore,
     compiled: CompiledSpecStore,
+    forward: ForwardIndex,
     params: PipelineParams,
 }
 
 impl<'a> DiversificationPipeline<'a> {
-    /// Deploy the pipeline: builds the [`SpecializationStore`] eagerly and
-    /// compiles it into the inverted utility index (both are one-off
+    /// Deploy the pipeline: builds the [`SpecializationStore`] eagerly,
+    /// compiles it into the inverted utility index, and compiles the
+    /// [`ForwardIndex`] for zero-string snippet surrogates (all one-off
     /// offline deployment steps of §4.1).
     pub fn new(
         engine: &'a SearchEngine<'a>,
@@ -228,11 +230,13 @@ impl<'a> DiversificationPipeline<'a> {
         let store =
             SpecializationStore::build(model, engine, params.k_spec_results, params.snippet_window);
         let compiled = CompiledSpecStore::compile(&store);
+        let forward = ForwardIndex::build(engine.index());
         DiversificationPipeline {
             engine,
             model,
             store,
             compiled,
+            forward,
             params,
         }
     }
@@ -246,6 +250,11 @@ impl<'a> DiversificationPipeline<'a> {
     /// against.
     pub fn compiled(&self) -> &CompiledSpecStore {
         &self.compiled
+    }
+
+    /// The compiled forward index the surrogate stage scans.
+    pub fn forward(&self) -> &ForwardIndex {
+        &self.forward
     }
 
     /// The pipeline parameters.
@@ -269,6 +278,7 @@ impl<'a> DiversificationPipeline<'a> {
         }
         let input = assemble_input(
             self.engine.index(),
+            &self.forward,
             entry,
             &self.compiled,
             &self.params,
@@ -398,13 +408,30 @@ impl DiversificationPipeline<'_> {
     }
 }
 
-/// Compute the snippet surrogate vector of one candidate document: fetch
-/// the doc, extract the query-biased snippet, TF-IDF-vectorize it (a
-/// missing doc yields the zero vector). The single definition of
-/// surrogate construction — both the batch helper below and the serving
-/// layer's `(doc, query-terms)` cache go through it, so cached and
-/// uncached paths cannot diverge.
+/// Compute the snippet surrogate vector of one candidate document over
+/// the compiled [`ForwardIndex`]: best-window selection on the
+/// precompiled `TermId` stream and direct TF-IDF emission — no snippet
+/// `String`, no re-tokenization, no re-stemming (a document unknown to
+/// the forward index yields the zero vector). This is the request-path
+/// definition of surrogate construction; both the batch helper below and
+/// the serving layer's `(doc, query-terms)` cache go through it. The
+/// text path is kept as [`candidate_surrogate_naive`], the equivalence
+/// oracle (`tests/surrogate_equivalence.rs` proves the two bit-identical).
 pub fn candidate_surrogate(
+    forward: &ForwardIndex,
+    doc: DocId,
+    qterms: &[serpdiv_text::TermId],
+    snippets: &SnippetGenerator,
+) -> SparseVector {
+    snippets.surrogate(forward, doc, qterms)
+}
+
+/// The text-path oracle for [`candidate_surrogate`]: fetch the doc,
+/// extract the query-biased snippet string, TF-IDF-vectorize it (a
+/// missing doc yields the zero vector). No serving code calls it; it
+/// anchors the equivalence suite and serves engines deployed without a
+/// forward index.
+pub fn candidate_surrogate_naive(
     index: &InvertedIndex,
     doc: DocId,
     qterms: &[serpdiv_text::TermId],
@@ -421,10 +448,29 @@ pub fn candidate_surrogate(
 }
 
 /// Compute the snippet surrogate vector of every candidate in `baseline`
-/// (the per-request `Rq` surrogates of Definition 2). Returned as `Arc`s
-/// so serving layers can memoize them per `(doc, query-terms)` and share
-/// one vector across requests without copying.
+/// through the compiled forward index (the per-request `Rq` surrogates of
+/// Definition 2). Returned as `Arc`s so serving layers can memoize them
+/// per `(doc, query-terms)` and share one vector across requests without
+/// copying.
 pub fn candidate_surrogates(
+    index: &InvertedIndex,
+    forward: &ForwardIndex,
+    query: &str,
+    baseline: &[ScoredDoc],
+    snippet_window: usize,
+) -> Vec<Arc<SparseVector>> {
+    let snippets = SnippetGenerator::with_window(snippet_window);
+    let qterms = index.analyze_query(query);
+    baseline
+        .iter()
+        .map(|h| Arc::new(candidate_surrogate(forward, h.doc, &qterms, &snippets)))
+        .collect()
+}
+
+/// [`candidate_surrogates`] through the text-path oracle
+/// ([`candidate_surrogate_naive`]) — for deployments without a compiled
+/// forward index, and for the equivalence suite.
+pub fn candidate_surrogates_naive(
     index: &InvertedIndex,
     query: &str,
     baseline: &[ScoredDoc],
@@ -434,7 +480,7 @@ pub fn candidate_surrogates(
     let qterms = index.analyze_query(query);
     baseline
         .iter()
-        .map(|h| Arc::new(candidate_surrogate(index, h.doc, &qterms, &snippets)))
+        .map(|h| Arc::new(candidate_surrogate_naive(index, h.doc, &qterms, &snippets)))
         .collect()
 }
 
@@ -464,9 +510,9 @@ pub fn assemble_input_from_surrogates(
 }
 
 /// Assemble the [`DiversifyInput`] for one already-retrieved candidate
-/// set: snippet surrogates for the candidates, then utility rows against
-/// the compiled specialization index (Definition 2) and max-normalized
-/// relevance.
+/// set: compiled snippet surrogates for the candidates (forward-index
+/// `TermId` scan, no string work), then utility rows against the compiled
+/// specialization index (Definition 2) and max-normalized relevance.
 ///
 /// This is the utility-computation stage shared by the offline
 /// [`DiversificationPipeline`] and the online serving engine
@@ -474,21 +520,23 @@ pub fn assemble_input_from_surrogates(
 /// halves separately.
 pub fn assemble_input(
     index: &InvertedIndex,
+    forward: &ForwardIndex,
     entry: &SpecializationEntry,
     compiled: &CompiledSpecStore,
     params: &PipelineParams,
     query: &str,
     baseline: &[ScoredDoc],
 ) -> DiversifyInput {
-    let vectors = candidate_surrogates(index, query, baseline, params.snippet_window);
+    let vectors = candidate_surrogates(index, forward, query, baseline, params.snippet_window);
     assemble_input_from_surrogates(entry, compiled, params, vectors, baseline)
 }
 
-/// The pre-compilation reference path: per-specialization surrogate lists
-/// cloned out of the raw store and the utility matrix computed by naive
-/// pairwise cosines ([`UtilityMatrix::compute`]). Kept as the equivalence
-/// oracle for the compiled fast path (`tests/utility_equivalence.rs`); no
-/// serving code calls it.
+/// The pre-compilation reference path: text-path snippet surrogates,
+/// per-specialization surrogate lists cloned out of the raw store and the
+/// utility matrix computed by naive pairwise cosines
+/// ([`UtilityMatrix::compute`]). Kept as the equivalence oracle for the
+/// compiled fast paths (`tests/utility_equivalence.rs`,
+/// `tests/surrogate_equivalence.rs`); no serving code calls it.
 pub fn assemble_input_naive(
     index: &InvertedIndex,
     entry: &SpecializationEntry,
@@ -497,7 +545,7 @@ pub fn assemble_input_naive(
     query: &str,
     baseline: &[ScoredDoc],
 ) -> DiversifyInput {
-    let vectors = candidate_surrogates(index, query, baseline, params.snippet_window);
+    let vectors = candidate_surrogates_naive(index, query, baseline, params.snippet_window);
     let spec_probs: Vec<f64> = entry.specializations.iter().map(|&(_, p)| p).collect();
     let spec_lists: Vec<Vec<SparseVector>> = entry
         .specializations

@@ -42,8 +42,9 @@ pub use baseline::BaselineRanking;
 pub use candidates::DiversifyInput;
 pub use framework::{
     assemble_input, assemble_input_from_surrogates, assemble_input_naive, candidate_surrogate,
-    candidate_surrogates, run_algorithm, AlgorithmKind, DiversificationPipeline,
-    DiversifiedRanking, PipelineParams, SpecializationStore,
+    candidate_surrogate_naive, candidate_surrogates, candidate_surrogates_naive, run_algorithm,
+    AlgorithmKind, DiversificationPipeline, DiversifiedRanking, PipelineParams,
+    SpecializationStore,
 };
 pub use heap::BoundedHeap;
 pub use iaselect::IaSelect;

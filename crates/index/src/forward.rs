@@ -1,0 +1,647 @@
+//! The compiled forward index: zero-string snippet surrogates.
+//!
+//! §4 of the paper puts every expensive text operation in the *offline*
+//! deployment phase so the serving loop only touches precompiled integer
+//! data. The snippet-surrogate stage was the last place the request path
+//! still ran the full analysis pipeline: every cache miss re-tokenized and
+//! re-stemmed the whole document body, rescanned each candidate window
+//! with linear probes, joined the winner back into a `String` and then
+//! tokenized *that* a second time to vectorize it.
+//!
+//! [`ForwardIndex`] moves all of it to build time. Each document body is
+//! tokenized and analyzed **once** into a compact per-document stream of
+//! [`TermId`]s in which stopword/out-of-vocabulary positions are kept as a
+//! sentinel ([`STOP`]) — raw-token positions are preserved, so the
+//! query-biased window semantics of
+//! [`SnippetGenerator`](crate::snippet::SnippetGenerator) are unchanged.
+//! Alongside the stream the index precomputes each document's title
+//! term-frequency vector and caches the per-term IDF weight
+//! `ln(1 + N/df)` used by [`SparseVector::from_text`].
+//!
+//! At request time, [`ForwardIndex::surrogate`] selects the best window
+//! with an incremental O(n) slide (counts added/removed at the edges, a
+//! tiny per-query-term counter array instead of `Vec::contains` rescans)
+//! and emits the surrogate [`SparseVector`] straight from `TermId`s and
+//! cached IDF weights — no snippet `String`, no re-tokenization, no
+//! re-stemming anywhere on the hot path. The result is **bit-identical**
+//! to the text oracle (`SnippetGenerator::snippet` +
+//! `SparseVector::from_text`); `tests/surrogate_equivalence.rs` proves it.
+//!
+//! # Example
+//!
+//! ```
+//! use serpdiv_index::{Document, ForwardIndex, IndexBuilder, SnippetGenerator, SparseVector};
+//!
+//! let mut builder = IndexBuilder::new();
+//! builder.add(Document::new(0, "http://a", "Apple iPhone", "apple announces the new iphone"));
+//! let index = builder.build();
+//! let forward = ForwardIndex::build(&index);
+//!
+//! let qterms = index.analyze_query("iphone");
+//! let compiled = forward.surrogate(serpdiv_index::DocId(0), &qterms, 30);
+//! // Identical to the offline text path:
+//! let snippets = SnippetGenerator::with_window(30);
+//! let doc = index.store().get(serpdiv_index::DocId(0)).unwrap();
+//! let snippet = snippets.snippet(doc, &qterms, index.vocab());
+//! assert_eq!(compiled, SparseVector::from_text(&snippet, &index));
+//! ```
+
+use crate::document::DocId;
+use crate::index::InvertedIndex;
+use crate::serialize::DecodeError;
+use crate::vector::SparseVector;
+use bytes::{Buf, BufMut, BytesMut};
+use serpdiv_text::TermId;
+
+/// Sentinel marking a body position whose raw token analyzed to nothing
+/// usable (stopword, or out-of-vocabulary). Kept in the stream so window
+/// offsets still count *raw* tokens, exactly like the text path.
+pub const STOP: u32 = u32::MAX;
+
+const MAGIC: u32 = 0x5E9D_F0D1;
+const VERSION: u32 = 1;
+
+/// Deploy-time compiled forward index over a collection's documents.
+///
+/// One flat `TermId` stream holds every document body (offset-indexed),
+/// one flat `(term, tf)` list holds every title vector, and a dense table
+/// caches the per-term IDF weight. Built once from an [`InvertedIndex`]
+/// (whose analyzer must match the snippet generator's — both default to
+/// the English pipeline everywhere in this workspace), then shared
+/// immutably by all serving threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardIndex {
+    /// Concatenated per-document body token streams ([`STOP`] sentinels
+    /// preserve raw positions).
+    tokens: Vec<u32>,
+    /// Per-document offsets into `tokens`; `len = num_docs + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated per-document title `(term, tf)` entries, sorted by
+    /// term id within each document.
+    title_terms: Vec<(u32, u32)>,
+    /// Per-document offsets into `title_terms`; `len = num_docs + 1`.
+    title_offsets: Vec<u32>,
+    /// `ln(1 + N/df)` per term id — the exact `f32` factor
+    /// [`SparseVector::from_text`] computes from the index statistics.
+    idf: Vec<f32>,
+}
+
+impl ForwardIndex {
+    /// Compile the forward index from `index`: tokenize + analyze each
+    /// document body once, precompute title term frequencies and per-term
+    /// IDF weights. This is an offline deployment step (one full pass
+    /// over the document store).
+    pub fn build(index: &InvertedIndex) -> Self {
+        let vocab = index.vocab();
+        let analyzer = index.analyzer();
+        assert!(
+            (vocab.len() as u64) < u64::from(u32::MAX),
+            "vocabulary too large for the u32 sentinel encoding"
+        );
+        let store = index.store();
+        let mut tokens: Vec<u32> = Vec::new();
+        let mut offsets: Vec<u32> = Vec::with_capacity(store.len() + 1);
+        let mut title_terms: Vec<(u32, u32)> = Vec::new();
+        let mut title_offsets: Vec<u32> = Vec::with_capacity(store.len() + 1);
+        offsets.push(0);
+        title_offsets.push(0);
+        let mut title_scratch: Vec<u32> = Vec::new();
+        for doc in store.iter() {
+            // Body stream: the same per-raw-token normalization the text
+            // oracle applies (analyze the token, keep the first produced
+            // term if the vocabulary knows it).
+            for raw in serpdiv_text::tokenize(&doc.body) {
+                let norm = analyzer
+                    .analyze(&raw)
+                    .first()
+                    .and_then(|term| vocab.id(term));
+                tokens.push(norm.map_or(STOP, |t| t.0));
+            }
+            offsets.push(u32::try_from(tokens.len()).expect("forward stream exceeds u32 offsets"));
+
+            // Title tf vector: full analysis of the raw title, unknown
+            // terms dropped — what `from_text` sees for the title prefix.
+            title_scratch.clear();
+            title_scratch.extend(
+                analyzer
+                    .analyze_known(&doc.title, vocab)
+                    .iter()
+                    .map(|t| t.0),
+            );
+            title_scratch.sort_unstable();
+            let mut i = 0;
+            while i < title_scratch.len() {
+                let term = title_scratch[i];
+                let mut tf = 0u32;
+                while i < title_scratch.len() && title_scratch[i] == term {
+                    tf += 1;
+                    i += 1;
+                }
+                title_terms.push((term, tf));
+            }
+            title_offsets
+                .push(u32::try_from(title_terms.len()).expect("title entries exceed u32 offsets"));
+        }
+
+        // Cached IDF factors, computed with the exact `f32` expression of
+        // `SparseVector::from_text` so weights stay bit-identical.
+        let n = index.stats().num_docs as f32;
+        let idf = (0..vocab.len())
+            .map(|t| {
+                let df = index
+                    .term_stats(TermId(t as u32))
+                    .map(|s| s.doc_freq as f32)
+                    .unwrap_or(0.0)
+                    .max(1.0);
+                (1.0 + n / df).ln()
+            })
+            .collect();
+
+        ForwardIndex {
+            tokens,
+            offsets,
+            title_terms,
+            title_offsets,
+            idf,
+        }
+    }
+
+    /// Number of compiled documents.
+    pub fn num_docs(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The compiled body token stream of `doc` (empty for unknown docs).
+    pub fn doc_tokens(&self, doc: DocId) -> &[u32] {
+        let i = doc.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.tokens[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The precomputed title `(term, tf)` entries of `doc`, sorted by
+    /// term id (empty for unknown docs).
+    pub fn title_tf(&self, doc: DocId) -> &[(u32, u32)] {
+        let i = doc.index();
+        if i + 1 >= self.title_offsets.len() {
+            return &[];
+        }
+        &self.title_terms[self.title_offsets[i] as usize..self.title_offsets[i + 1] as usize]
+    }
+
+    /// The cached IDF weight `ln(1 + N/df)` of `term` (0 for unknown
+    /// terms — they cannot occur in a compiled stream anyway).
+    pub fn idf(&self, term: TermId) -> f32 {
+        self.idf.get(term.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Select the query-biased window of `doc`'s body: the `(start, len)`
+    /// raw-token span (in the same coordinates as the text path) covering
+    /// the most distinct query terms, ties broken by total query-term
+    /// occurrences, then by earliest position. `len` is
+    /// `min(window, body len)` — `(0, 0)` for an empty body.
+    ///
+    /// One incremental O(n) slide: entering/leaving edge tokens update a
+    /// small per-query-term counter array; no window is ever rescanned.
+    pub fn best_window(&self, doc: DocId, query_terms: &[TermId], window: usize) -> (usize, usize) {
+        best_window_over(self.doc_tokens(doc), query_terms, window)
+    }
+
+    /// The snippet-surrogate TF-IDF vector of `doc` for `query_terms`,
+    /// computed entirely over compiled data: best window selection on the
+    /// `TermId` stream, term frequencies merged with the precomputed
+    /// title vector, weights from the cached IDF table. Bit-identical to
+    /// `SparseVector::from_text(SnippetGenerator::snippet(..), index)`;
+    /// unknown documents yield the zero vector.
+    pub fn surrogate(&self, doc: DocId, query_terms: &[TermId], window: usize) -> SparseVector {
+        if doc.index() >= self.num_docs() {
+            return SparseVector::default();
+        }
+        let tokens = self.doc_tokens(doc);
+        let (start, len) = best_window_over(tokens, query_terms, window);
+
+        // Term frequencies of the window: sort the (few) window terms and
+        // count runs — no hashing.
+        let mut win: Vec<u32> = tokens[start..start + len]
+            .iter()
+            .copied()
+            .filter(|&t| t != STOP)
+            .collect();
+        win.sort_unstable();
+
+        // Merge window counts with the sorted title tf entries.
+        let title = self.title_tf(doc);
+        let mut pairs: Vec<(TermId, f32)> = Vec::with_capacity(win.len() + title.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < win.len() || j < title.len() {
+            let wt = win.get(i).copied();
+            let tt = title.get(j).map(|&(t, _)| t);
+            let term = match (wt, tt) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => unreachable!(),
+            };
+            let mut tf = 0u32;
+            while i < win.len() && win[i] == term {
+                tf += 1;
+                i += 1;
+            }
+            if j < title.len() && title[j].0 == term {
+                tf += title[j].1;
+                j += 1;
+            }
+            // The exact weight expression of `SparseVector::from_text`.
+            let w = (1.0 + (tf as f32).ln()) * self.idf[term as usize];
+            pairs.push((TermId(term), w));
+        }
+        SparseVector::from_sorted_pairs(pairs)
+    }
+
+    /// Approximate in-memory footprint in bytes (reported by the benches
+    /// next to the index and compiled-store footprints).
+    pub fn byte_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.tokens.len() * std::mem::size_of::<u32>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.title_terms.len() * std::mem::size_of::<(u32, u32)>()
+            + self.title_offsets.len() * std::mem::size_of::<u32>()
+            + self.idf.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Serialize to a binary buffer (deploy-time artifact, loaded next to
+    /// the inverted index — see [`crate::serialize`] for the index side).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.num_docs() as u32);
+        for &o in &self.offsets {
+            buf.put_u32_le(o);
+        }
+        buf.put_u32_le(self.tokens.len() as u32);
+        for &t in &self.tokens {
+            buf.put_u32_le(t);
+        }
+        for &o in &self.title_offsets {
+            buf.put_u32_le(o);
+        }
+        buf.put_u32_le(self.title_terms.len() as u32);
+        for &(t, tf) in &self.title_terms {
+            buf.put_u32_le(t);
+            buf.put_u32_le(tf);
+        }
+        buf.put_u32_le(self.idf.len() as u32);
+        for &w in &self.idf {
+            buf.put_u32_le(w.to_bits());
+        }
+        buf.to_vec()
+    }
+
+    /// Decode a buffer produced by [`ForwardIndex::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self, DecodeError> {
+        let mut buf = data;
+        let need = |buf: &&[u8], n: usize| -> Result<(), DecodeError> {
+            if buf.remaining() < n {
+                Err(DecodeError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        need(&buf, 12)?;
+        if buf.get_u32_le() != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let num_docs = buf.get_u32_le() as usize;
+        let read_u32s = |buf: &mut &[u8], n: usize| -> Result<Vec<u32>, DecodeError> {
+            if buf.remaining() < n * 4 {
+                return Err(DecodeError::Truncated);
+            }
+            Ok((0..n).map(|_| buf.get_u32_le()).collect())
+        };
+        let offsets = read_u32s(&mut buf, num_docs + 1)?;
+        need(&buf, 4)?;
+        let n_tokens = buf.get_u32_le() as usize;
+        let tokens = read_u32s(&mut buf, n_tokens)?;
+        let title_offsets = read_u32s(&mut buf, num_docs + 1)?;
+        need(&buf, 4)?;
+        let n_title = buf.get_u32_le() as usize;
+        if buf.remaining() < n_title * 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let title_terms: Vec<(u32, u32)> = (0..n_title)
+            .map(|_| (buf.get_u32_le(), buf.get_u32_le()))
+            .collect();
+        need(&buf, 4)?;
+        let n_idf = buf.get_u32_le() as usize;
+        if buf.remaining() < n_idf * 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let idf: Vec<f32> = (0..n_idf)
+            .map(|_| f32::from_bits(buf.get_u32_le()))
+            .collect();
+
+        // Structural validation: a well-framed but corrupt artifact must
+        // fail here, not panic a serving worker on its first request.
+        let check = |ok: bool, what: &'static str| {
+            if ok {
+                Ok(())
+            } else {
+                Err(DecodeError::Corrupt(what))
+            }
+        };
+        let monotone_to = |offs: &[u32], end: usize| {
+            offs.first() == Some(&0)
+                && offs.windows(2).all(|w| w[0] <= w[1])
+                && offs.last().is_some_and(|&l| l as usize == end)
+        };
+        check(monotone_to(&offsets, tokens.len()), "body offsets")?;
+        check(
+            monotone_to(&title_offsets, title_terms.len()),
+            "title offsets",
+        )?;
+        check(
+            tokens
+                .iter()
+                .all(|&t| t == STOP || (t as usize) < idf.len()),
+            "body term ids",
+        )?;
+        check(
+            title_terms
+                .iter()
+                .all(|&(t, tf)| (t as usize) < idf.len() && tf > 0),
+            "title entries",
+        )?;
+        check(idf.iter().all(|w| w.is_finite() && *w >= 0.0), "idf table")?;
+
+        Ok(ForwardIndex {
+            tokens,
+            offsets,
+            title_terms,
+            title_offsets,
+            idf,
+        })
+    }
+}
+
+/// The incremental sliding-window scan over one compiled token stream.
+/// Same selection rule as the text oracle: maximize
+/// `(distinct query terms, total query-term hits)`, earliest start wins
+/// ties (strict-greater updates while scanning left to right).
+fn best_window_over(tokens: &[u32], query_terms: &[TermId], window: usize) -> (usize, usize) {
+    if tokens.is_empty() {
+        return (0, 0);
+    }
+    // No .max(1): the oracle lets a zero window collapse the snippet to
+    // the title alone, and bit-identity matters more than a lower bound
+    // (SnippetGenerator construction clamps its window to ≥ 1 anyway).
+    let w = window.min(tokens.len());
+    if w == 0 || query_terms.is_empty() {
+        // Every zero-width window scores (0, 0): earliest start wins.
+        return (0, w);
+    }
+    // Deduplicate the (few) query terms so `distinct` counts term ids,
+    // exactly like the oracle's scratch list.
+    let mut q: Vec<u32> = Vec::with_capacity(query_terms.len());
+    for t in query_terms {
+        if !q.contains(&t.0) {
+            q.push(t.0);
+        }
+    }
+    let mut counts = vec![0u32; q.len()];
+    let mut distinct = 0usize;
+    let mut total = 0usize;
+    macro_rules! edge {
+        ($tok:expr, add) => {
+            if $tok != STOP {
+                if let Some(i) = q.iter().position(|&t| t == $tok) {
+                    counts[i] += 1;
+                    total += 1;
+                    if counts[i] == 1 {
+                        distinct += 1;
+                    }
+                }
+            }
+        };
+        ($tok:expr, remove) => {
+            if $tok != STOP {
+                if let Some(i) = q.iter().position(|&t| t == $tok) {
+                    counts[i] -= 1;
+                    total -= 1;
+                    if counts[i] == 0 {
+                        distinct -= 1;
+                    }
+                }
+            }
+        };
+    }
+    for &tok in &tokens[..w] {
+        edge!(tok, add);
+    }
+    let mut best = (distinct, total);
+    let mut best_start = 0usize;
+    for start in 1..=(tokens.len() - w) {
+        edge!(tokens[start - 1], remove);
+        edge!(tokens[start + w - 1], add);
+        if (distinct, total) > best {
+            best = (distinct, total);
+            best_start = start;
+        }
+    }
+    (best_start, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::document::Document;
+    use crate::snippet::SnippetGenerator;
+
+    fn build_world() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new(
+            0,
+            "http://a",
+            "Apple iPhone",
+            "the apple iphone is announced today with a new chip and the camera",
+        ));
+        b.add(Document::new(1, "http://b", "Empty body", ""));
+        b.add(Document::new(
+            2,
+            "http://c",
+            "",
+            "orchard harvest apple cider",
+        ));
+        b.add(Document::new(3, "http://d", "Stopwords", "the of and is"));
+        b.build()
+    }
+
+    #[test]
+    fn stream_preserves_raw_positions_with_sentinels() {
+        let index = build_world();
+        let f = ForwardIndex::build(&index);
+        assert_eq!(f.num_docs(), 4);
+        // Raw body of doc 0 has 13 tokens; stopwords become sentinels.
+        let tokens = f.doc_tokens(DocId(0));
+        assert_eq!(tokens.len(), 13);
+        assert_eq!(tokens[0], STOP); // "the"
+        let appl = index.vocab().id("appl").unwrap();
+        assert_eq!(tokens[1], appl.0);
+        // All-stopword body: all sentinels, positions intact.
+        assert!(f.doc_tokens(DocId(3)).iter().all(|&t| t == STOP));
+        assert_eq!(f.doc_tokens(DocId(3)).len(), 4);
+        // Empty body / unknown doc.
+        assert!(f.doc_tokens(DocId(1)).is_empty());
+        assert!(f.doc_tokens(DocId(99)).is_empty());
+    }
+
+    #[test]
+    fn title_tf_matches_full_analysis() {
+        let index = build_world();
+        let f = ForwardIndex::build(&index);
+        let title = f.title_tf(DocId(0));
+        let appl = index.vocab().id("appl").unwrap();
+        let iphon = index.vocab().id("iphon").unwrap();
+        let mut expected = vec![(appl.0, 1), (iphon.0, 1)];
+        expected.sort_unstable();
+        assert_eq!(title, expected.as_slice());
+        assert!(f.title_tf(DocId(2)).is_empty());
+    }
+
+    #[test]
+    fn surrogate_matches_text_oracle() {
+        let index = build_world();
+        let f = ForwardIndex::build(&index);
+        let snippets = SnippetGenerator::with_window(5);
+        for query in ["apple", "apple camera", "chip", "orchard cider", ""] {
+            let qterms = index.analyze_query(query);
+            for doc in 0..4u32 {
+                let doc = DocId(doc);
+                let d = index.store().get(doc).unwrap();
+                let naive =
+                    SparseVector::from_text(&snippets.snippet(d, &qterms, index.vocab()), &index);
+                let compiled = f.surrogate(doc, &qterms, 5);
+                assert_eq!(compiled, naive, "doc {doc:?} query {query:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_doc_yields_zero_vector() {
+        let index = build_world();
+        let f = ForwardIndex::build(&index);
+        assert!(f.surrogate(DocId(77), &[], 30).is_zero());
+    }
+
+    #[test]
+    fn incremental_window_matches_bruteforce() {
+        // Direct check of the slide against a per-start rescan.
+        let q = [TermId(1), TermId(2)];
+        let tokens = [STOP, 1, STOP, 1, 2, STOP, 2, 2, 1, STOP, 1];
+        for w in 1..=tokens.len() + 2 {
+            let (fast_start, fast_len) = best_window_over(&tokens, &q, w);
+            // Brute force.
+            let eff = w.min(tokens.len());
+            let mut best = (0usize, 0usize);
+            let mut best_start = 0usize;
+            for start in 0..=(tokens.len() - eff) {
+                let mut distinct: Vec<u32> = Vec::new();
+                let mut total = 0;
+                for &t in &tokens[start..start + eff] {
+                    if q.iter().any(|&x| x.0 == t) {
+                        total += 1;
+                        if !distinct.contains(&t) {
+                            distinct.push(t);
+                        }
+                    }
+                }
+                if (distinct.len(), total) > best {
+                    best = (distinct.len(), total);
+                    best_start = start;
+                }
+            }
+            assert_eq!((fast_start, fast_len), (best_start, eff), "window {w}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_serialization() {
+        let index = build_world();
+        let f = ForwardIndex::build(&index);
+        let bytes = f.to_bytes();
+        let restored = ForwardIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(restored, f);
+        // Decoding garbage fails cleanly.
+        assert_eq!(
+            ForwardIndex::from_bytes(&[0u8; 16]).unwrap_err(),
+            DecodeError::BadMagic
+        );
+        for cut in [0, 6, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                ForwardIndex::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert_eq!(
+            ForwardIndex::from_bytes(&bad).unwrap_err(),
+            DecodeError::BadVersion(9)
+        );
+    }
+
+    #[test]
+    fn structurally_corrupt_buffers_fail_at_decode() {
+        let index = build_world();
+        let f = ForwardIndex::build(&index);
+        let bytes = f.to_bytes();
+        // First offset (right after magic/version/num_docs) made
+        // non-zero: offsets no longer start at 0.
+        let mut bad = bytes.clone();
+        bad[12] = 0xff;
+        assert_eq!(
+            ForwardIndex::from_bytes(&bad).unwrap_err(),
+            DecodeError::Corrupt("body offsets")
+        );
+        // A token patched to a term id outside the idf table (but not
+        // the STOP sentinel): the stream references a term that does
+        // not exist.
+        let token_base = 12 + (f.num_docs() + 1) * 4 + 4;
+        let mut bad = bytes.clone();
+        bad[token_base..token_base + 4].copy_from_slice(&0x7fff_ffffu32.to_le_bytes());
+        assert_eq!(
+            ForwardIndex::from_bytes(&bad).unwrap_err(),
+            DecodeError::Corrupt("body term ids")
+        );
+    }
+
+    #[test]
+    fn zero_window_collapses_to_title_like_the_oracle() {
+        let index = build_world();
+        let f = ForwardIndex::build(&index);
+        let qterms = index.analyze_query("apple");
+        // Oracle with window 0: empty body part, title-only vector.
+        assert_eq!(f.best_window(DocId(0), &qterms, 0), (0, 0));
+        assert_eq!(
+            f.surrogate(DocId(0), &qterms, 0),
+            SparseVector::from_text("Apple iPhone", &index)
+        );
+        assert_eq!(f.best_window(DocId(0), &[], 0), (0, 0));
+    }
+
+    #[test]
+    fn byte_size_is_positive_and_grows() {
+        let index = build_world();
+        let f = ForwardIndex::build(&index);
+        assert!(f.byte_size() > 0);
+        let empty = ForwardIndex::build(&IndexBuilder::new().build());
+        assert!(empty.byte_size() < f.byte_size());
+        assert_eq!(empty.num_docs(), 0);
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`sharded`] — [`ShardedIndex`]: deploy-time document partitioning
 //!   with parallel per-shard scoring and a bit-identical k-way merge,
 //! * [`snippet`] — query-biased snippet extraction (document surrogates),
+//! * [`forward`] — [`ForwardIndex`]: the deploy-time compiled forward
+//!   index (per-document `TermId` streams + cached IDF) that emits
+//!   snippet surrogates with zero string work on the request path,
 //! * [`vector`] — sparse TF-IDF vectors and the cosine similarity that
 //!   powers the paper's distance `δ(d₁,d₂) = 1 − cosine(d₁,d₂)` (Eq. 2).
 //!
@@ -41,6 +44,7 @@ pub mod builder;
 pub mod cache;
 pub mod document;
 pub mod dph;
+pub mod forward;
 pub mod index;
 pub mod maxscore;
 pub mod positions;
@@ -56,6 +60,7 @@ pub use builder::IndexBuilder;
 pub use cache::CachingEngine;
 pub use document::{DocId, Document, DocumentStore};
 pub use dph::Dph;
+pub use forward::ForwardIndex;
 pub use index::{CollectionStats, InvertedIndex, TermStats};
 pub use maxscore::MaxScoreEngine;
 pub use positions::{phrase_search, PositionalIndex};

@@ -37,6 +37,10 @@ pub enum DecodeError {
     Truncated,
     /// A string field is not valid UTF-8.
     BadUtf8,
+    /// The buffer framed correctly but its contents are structurally
+    /// invalid (non-monotone offsets, out-of-range term ids, …); the
+    /// payload names the failed check.
+    Corrupt(&'static str),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -46,6 +50,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadVersion(v) => write!(f, "unsupported index version {v}"),
             DecodeError::Truncated => write!(f, "truncated index buffer"),
             DecodeError::BadUtf8 => write!(f, "invalid utf-8 in index buffer"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt index buffer ({what})"),
         }
     }
 }

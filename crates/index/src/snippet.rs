@@ -9,8 +9,21 @@
 //! keeps the window covering the most *distinct* query terms (ties broken
 //! by total query-term occurrences, then by earliest position — the classic
 //! query-biased summarisation heuristic of Tombros & Sanderson).
+//!
+//! Two paths produce the same surrogate:
+//!
+//! * [`SnippetGenerator::snippet`] — the **text oracle**: re-analyzes the
+//!   raw body per request and returns the window as a `String` (callers
+//!   vectorize it with [`SparseVector::from_text`](crate::SparseVector)).
+//!   Kept as the reference implementation and for human-readable display.
+//! * [`SnippetGenerator::surrogate`] — the **compiled hot path**: selects
+//!   the window over a [`ForwardIndex`](crate::ForwardIndex) `TermId`
+//!   stream and emits the TF-IDF vector directly, with no string work.
+//!   Bit-identical output (`tests/surrogate_equivalence.rs`).
 
 use crate::document::Document;
+use crate::forward::ForwardIndex;
+use crate::vector::SparseVector;
 use serpdiv_text::{Analyzer, TermId, Vocabulary};
 
 /// Configurable query-biased snippet generator.
@@ -53,6 +66,45 @@ impl SnippetGenerator {
         if raw_tokens.is_empty() {
             return doc.title.clone();
         }
+        let (best_start, window) = self.scan_window(&raw_tokens, query_terms, vocab);
+        let body_part = raw_tokens[best_start..best_start + window].join(" ");
+        if doc.title.is_empty() {
+            body_part
+        } else {
+            format!("{} {}", doc.title, body_part)
+        }
+    }
+
+    /// The `(start, len)` raw-token window [`snippet`](Self::snippet)
+    /// would extract for `doc` — `(0, 0)` for an empty body. Exposed so
+    /// the equivalence suite can compare the text oracle's choice against
+    /// [`ForwardIndex::best_window`] directly.
+    pub fn best_window_text(
+        &self,
+        doc: &Document,
+        query_terms: &[TermId],
+        vocab: &Vocabulary,
+    ) -> (usize, usize) {
+        let raw_tokens: Vec<String> = serpdiv_text::tokenize(&doc.body);
+        if raw_tokens.is_empty() {
+            return (0, 0);
+        }
+        self.scan_window(&raw_tokens, query_terms, vocab)
+    }
+
+    /// The per-start rescan over raw tokens (the oracle's selection rule).
+    /// An empty query short-circuits to the prefix window *before* any
+    /// normalization work — the fallback needs no analysis at all.
+    fn scan_window(
+        &self,
+        raw_tokens: &[String],
+        query_terms: &[TermId],
+        vocab: &Vocabulary,
+    ) -> (usize, usize) {
+        let window = self.window.min(raw_tokens.len());
+        if query_terms.is_empty() {
+            return (0, window);
+        }
         // Normal-form of each raw token (same pipeline as indexing); tokens
         // that are stopwords map to None.
         let normalized: Vec<Option<TermId>> = raw_tokens
@@ -63,35 +115,42 @@ impl SnippetGenerator {
             })
             .collect();
 
-        let window = self.window.min(raw_tokens.len());
         let mut best_start = 0usize;
         let mut best_key = (0usize, 0usize); // (distinct coverage, total hits)
-        if !query_terms.is_empty() {
-            let mut distinct_scratch: Vec<TermId> = Vec::new();
-            for start in 0..=(raw_tokens.len() - window) {
-                let mut total = 0usize;
-                distinct_scratch.clear();
-                for norm in normalized[start..start + window].iter().flatten() {
-                    if query_terms.contains(norm) {
-                        total += 1;
-                        if !distinct_scratch.contains(norm) {
-                            distinct_scratch.push(*norm);
-                        }
+        let mut distinct_scratch: Vec<TermId> = Vec::new();
+        for start in 0..=(raw_tokens.len() - window) {
+            let mut total = 0usize;
+            distinct_scratch.clear();
+            for norm in normalized[start..start + window].iter().flatten() {
+                if query_terms.contains(norm) {
+                    total += 1;
+                    if !distinct_scratch.contains(norm) {
+                        distinct_scratch.push(*norm);
                     }
                 }
-                let key = (distinct_scratch.len(), total);
-                if key > best_key {
-                    best_key = key;
-                    best_start = start;
-                }
+            }
+            let key = (distinct_scratch.len(), total);
+            if key > best_key {
+                best_key = key;
+                best_start = start;
             }
         }
-        let body_part = raw_tokens[best_start..best_start + window].join(" ");
-        if doc.title.is_empty() {
-            body_part
-        } else {
-            format!("{} {}", doc.title, body_part)
-        }
+        (best_start, window)
+    }
+
+    /// The compiled-path surrogate: window selection and TF-IDF emission
+    /// entirely over `forward`'s precompiled `TermId` streams, using this
+    /// generator's window size. See [`ForwardIndex::surrogate`]; the
+    /// result is bit-identical to vectorizing
+    /// [`snippet`](Self::snippet)'s output with
+    /// [`SparseVector::from_text`].
+    pub fn surrogate(
+        &self,
+        forward: &ForwardIndex,
+        doc: crate::document::DocId,
+        query_terms: &[TermId],
+    ) -> SparseVector {
+        forward.surrogate(doc, query_terms, self.window)
     }
 }
 
@@ -144,6 +203,22 @@ mod tests {
         let q = analyzer.analyze_known("tiny", &vocab);
         let snip = SnippetGenerator::with_window(50).snippet(&doc, &q, &vocab);
         assert_eq!(snip, "Title tiny body");
+    }
+
+    #[test]
+    fn best_window_text_reports_the_extracted_span() {
+        let body = format!("{}apple iphone review", "pad ".repeat(8));
+        let (doc, vocab, analyzer) = setup(&body);
+        let q = analyzer.analyze_known("apple iphone", &vocab);
+        let gen = SnippetGenerator::with_window(3);
+        // Starts 7 and 8 both cover the two distinct terms once; the tie
+        // breaks to the earliest start.
+        let (start, len) = gen.best_window_text(&doc, &q, &vocab);
+        assert_eq!((start, len), (7, 3));
+        // Empty query falls back to the prefix window; empty body to (0,0).
+        assert_eq!(gen.best_window_text(&doc, &[], &vocab), (0, 3));
+        let (empty, vocab2, _) = setup("");
+        assert_eq!(gen.best_window_text(&empty, &q, &vocab2), (0, 0));
     }
 
     #[test]

@@ -40,6 +40,32 @@ impl SparseVector {
         SparseVector { entries, norm }
     }
 
+    /// Build from `(term, weight)` pairs already sorted by strictly
+    /// ascending term id (no duplicates). The zero-allocation-overhead
+    /// constructor of the compiled forward-index path: it skips the
+    /// aggregation map of [`from_pairs`](Self::from_pairs) but applies the
+    /// same contract — zero weights are dropped, and the cached norm is
+    /// accumulated over the retained entries in the same (sorted) order,
+    /// so the result is bit-identical to the `from_pairs` equivalent.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite, or if terms are
+    /// not strictly ascending.
+    pub fn from_sorted_pairs(pairs: impl IntoIterator<Item = (TermId, f32)>) -> Self {
+        let mut entries: Vec<(TermId, f32)> = Vec::new();
+        for (t, w) in pairs {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and ≥ 0");
+            if let Some(&(last, _)) = entries.last() {
+                assert!(last < t, "terms must be strictly ascending");
+            }
+            if w > 0.0 {
+                entries.push((t, w));
+            }
+        }
+        let norm = entries.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt();
+        SparseVector { entries, norm }
+    }
+
     /// TF-IDF vector of a text under `index`'s analyzer and statistics.
     ///
     /// This is how snippet surrogates are vectorized: analyze the snippet,
@@ -224,6 +250,24 @@ mod tests {
         assert!((cosine64(&a, &a) - 1.0).abs() < 1e-6);
         let z = SparseVector::default();
         assert_eq!(cosine64(&z, &a), 0.0);
+    }
+
+    #[test]
+    fn from_sorted_pairs_matches_from_pairs_bitwise() {
+        let pairs = [(TermId(1), 0.25f32), (TermId(4), 3.5), (TermId(9), 0.125)];
+        let a = SparseVector::from_pairs(pairs);
+        let b = SparseVector::from_sorted_pairs(pairs);
+        assert_eq!(a, b);
+        assert_eq!(a.norm().to_bits(), b.norm().to_bits());
+        // Zero weights are dropped by both constructors.
+        let z = SparseVector::from_sorted_pairs([(TermId(0), 0.0), (TermId(2), 1.0)]);
+        assert_eq!(z.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn from_sorted_pairs_rejects_unsorted() {
+        let _ = SparseVector::from_sorted_pairs([(TermId(4), 1.0), (TermId(1), 1.0)]);
     }
 
     #[test]

@@ -223,8 +223,8 @@ mod tests {
                     .map(|i| RankedResult {
                         doc: DocId(i as u32),
                         score: 1.0 / (i + 1) as f64,
-                        url: format!("http://x/{i}"),
-                        title: format!("doc {i}"),
+                        url: format!("http://x/{i}").into(),
+                        title: format!("doc {i}").into(),
                     })
                     .collect(),
             ),

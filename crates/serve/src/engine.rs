@@ -10,8 +10,8 @@ use serpdiv_core::{
     AlgorithmKind, CompiledSpecStore, Diversifier, PipelineParams, SpecializationStore,
 };
 use serpdiv_index::{
-    InvertedIndex, Retriever, ScoredDoc, SearchEngine as DphEngine, ShardedIndex, SnippetGenerator,
-    SparseVector,
+    ForwardIndex, InvertedIndex, Retriever, ScoredDoc, SearchEngine as DphEngine, ShardedIndex,
+    SnippetGenerator, SparseVector,
 };
 use serpdiv_mining::SpecializationModel;
 use std::sync::Arc;
@@ -42,6 +42,12 @@ pub struct EngineConfig {
     /// baseline ranking is served (`"DPH (degraded)"`). 0 disables the
     /// deadline.
     pub deadline_us: u64,
+    /// Compile a [`ForwardIndex`] at deploy time and serve snippet
+    /// surrogates from it (zero-string `TermId`-stream path). `false`
+    /// falls back to the per-request text path — surrogates are
+    /// bit-identical either way, this only trades deploy-time compilation
+    /// and memory for request latency.
+    pub forward_index: bool,
 }
 
 impl Default for EngineConfig {
@@ -54,9 +60,16 @@ impl Default for EngineConfig {
             surrogate_cache_capacity: 32_768,
             index_shards: 1,
             deadline_us: 0,
+            forward_index: true,
         }
     }
 }
+
+/// The interned per-document `(url, title)` presentation table —
+/// `Arc`-shared both across the engines of one deployment (see
+/// [`SearchEngine::with_presentation`]) and into every
+/// [`RankedResult`] an engine serves.
+pub type PresentationTable = Arc<[(Arc<str>, Arc<str>)]>;
 
 /// The five algorithm kinds, in the order the engine's pre-built
 /// diversifier table is laid out.
@@ -86,6 +99,14 @@ pub struct SearchEngine {
     model: Arc<SpecializationModel>,
     store: Arc<SpecializationStore>,
     compiled: Arc<CompiledSpecStore>,
+    /// The compiled forward index the surrogate stage scans (`None` ⇒
+    /// text-path fallback, see [`EngineConfig::forward_index`]).
+    forward: Option<Arc<ForwardIndex>>,
+    /// Interned `(url, title)` per document: materializing a page clones
+    /// `Arc`s instead of copying strings. Built lazily on first use (or
+    /// injected via [`SearchEngine::with_presentation`] so several
+    /// engines over one corpus share a single table).
+    presentation: std::sync::OnceLock<PresentationTable>,
     stages: Vec<Box<dyn Stage>>,
     /// Pre-built diversifier trait objects, aligned with [`ALGORITHMS`].
     diversifiers: Vec<Box<dyn Diversifier + Send + Sync>>,
@@ -149,10 +170,12 @@ impl SearchEngine {
         Self::with_retriever(index, retriever, model, store, compiled, config)
     }
 
-    /// Deploy with an explicit retrieval layer — the constructor every
-    /// other one funnels into. Lets callers share one (expensive-to-build)
-    /// [`ShardedIndex`] across several engines, or plug in a custom
-    /// [`Retriever`] implementation.
+    /// Deploy with an explicit retrieval layer. Compiles the
+    /// [`ForwardIndex`] here when [`EngineConfig::forward_index`] is set;
+    /// callers that deploy several engines over one corpus (e.g. the
+    /// benches) should build it once and use
+    /// [`with_retriever_and_forward`](Self::with_retriever_and_forward)
+    /// instead.
     ///
     /// With an explicit retriever, [`EngineConfig::index_shards`] is *not*
     /// consulted to build anything — it only echoes through
@@ -165,6 +188,27 @@ impl SearchEngine {
         model: Arc<SpecializationModel>,
         store: Arc<SpecializationStore>,
         compiled: Arc<CompiledSpecStore>,
+        config: EngineConfig,
+    ) -> Self {
+        let forward = config
+            .forward_index
+            .then(|| Arc::new(ForwardIndex::build(&index)));
+        Self::with_retriever_and_forward(index, retriever, model, store, compiled, forward, config)
+    }
+
+    /// Deploy with every offline artifact supplied explicitly — the
+    /// constructor every other one funnels into. Lets callers share one
+    /// (expensive-to-build) [`ShardedIndex`] *and* one compiled
+    /// [`ForwardIndex`] across several engines. `forward: None` serves
+    /// surrogates through the per-request text path regardless of
+    /// [`EngineConfig::forward_index`].
+    pub fn with_retriever_and_forward(
+        index: Arc<InvertedIndex>,
+        retriever: Arc<dyn Retriever>,
+        model: Arc<SpecializationModel>,
+        store: Arc<SpecializationStore>,
+        compiled: Arc<CompiledSpecStore>,
+        forward: Option<Arc<ForwardIndex>>,
         config: EngineConfig,
     ) -> Self {
         let cache = if config.cache_capacity > 0 {
@@ -189,6 +233,8 @@ impl SearchEngine {
             model,
             store,
             compiled,
+            forward,
+            presentation: std::sync::OnceLock::new(),
             stages: default_stage_chain(),
             diversifiers: ALGORITHMS
                 .iter()
@@ -207,6 +253,34 @@ impl SearchEngine {
     pub fn with_stage_chain(mut self, stages: Vec<Box<dyn Stage>>) -> Self {
         assert!(!stages.is_empty(), "the stage chain cannot be empty");
         self.stages = stages;
+        self
+    }
+
+    /// Intern the `(url, title)` presentation table of a corpus — the
+    /// one-off string copy behind [`SearchEngine::with_presentation`];
+    /// engines that never receive one build it lazily on first use.
+    pub fn intern_presentation(index: &InvertedIndex) -> PresentationTable {
+        index
+            .store()
+            .iter()
+            .map(|d| (Arc::from(d.url.as_str()), Arc::from(d.title.as_str())))
+            .collect()
+    }
+
+    /// Inject a shared presentation table (builder-style, before the
+    /// engine is shared), so several engines deployed over one corpus
+    /// intern the urls/titles once instead of once each.
+    ///
+    /// # Panics
+    /// Panics when the table size does not match the document store —
+    /// a mismatched table would silently serve the wrong urls.
+    pub fn with_presentation(self, table: PresentationTable) -> Self {
+        assert_eq!(
+            table.len(),
+            self.index.store().len(),
+            "presentation table must cover the document store"
+        );
+        let _ = self.presentation.set(table);
         self
     }
 
@@ -283,42 +357,46 @@ impl SearchEngine {
     }
 
     /// The candidate snippet surrogates for one request, through the
-    /// `(doc, query-terms)` cache when enabled.
+    /// `(doc, query-terms)` cache when enabled. With a compiled
+    /// [`ForwardIndex`] deployed, a miss is a `TermId`-stream window scan
+    /// plus direct TF-IDF emission; without one it falls back to the text
+    /// oracle (bit-identical vectors, so the cache can be shared).
     pub(crate) fn surrogate_vectors(
         &self,
         query: &str,
         baseline: &[ScoredDoc],
     ) -> Vec<Arc<SparseVector>> {
+        let snippets = SnippetGenerator::with_window(self.config.params.snippet_window);
+        let compute = |doc, qterms: &[serpdiv_text::TermId]| match &self.forward {
+            Some(forward) => serpdiv_core::candidate_surrogate(forward, doc, qterms, &snippets),
+            None => serpdiv_core::candidate_surrogate_naive(&self.index, doc, qterms, &snippets),
+        };
         let Some(cache) = &self.surrogates else {
-            return serpdiv_core::candidate_surrogates(
-                &self.index,
-                query,
-                baseline,
-                self.config.params.snippet_window,
-            );
+            let qterms = self.index.analyze_query(query);
+            return baseline
+                .iter()
+                .map(|h| Arc::new(compute(h.doc, &qterms)))
+                .collect();
         };
         let qterms = Arc::new(self.index.analyze_query(query));
-        let snippets = SnippetGenerator::with_window(self.config.params.snippet_window);
         baseline
             .iter()
-            .map(|h| {
-                cache.get_or_compute((h.doc, qterms.clone()), || {
-                    serpdiv_core::candidate_surrogate(&self.index, h.doc, &qterms, &snippets)
-                })
-            })
+            .map(|h| cache.get_or_compute((h.doc, qterms.clone()), || compute(h.doc, &qterms)))
             .collect()
     }
 
-    /// Resolve scored docs into presentable results.
+    /// Resolve scored docs into presentable results — refcount bumps into
+    /// the interned presentation table, no string copies.
     fn materialize(&self, docs: &[ScoredDoc]) -> Vec<RankedResult> {
+        let table = self
+            .presentation
+            .get_or_init(|| Self::intern_presentation(&self.index));
         docs.iter()
             .map(|h| {
-                let (url, title) = self
-                    .index
-                    .store()
-                    .get(h.doc)
-                    .map(|d| (d.url.clone(), d.title.clone()))
-                    .unwrap_or_default();
+                let (url, title) = table
+                    .get(h.doc.index())
+                    .map(|(u, t)| (u.clone(), t.clone()))
+                    .unwrap_or_else(|| (Arc::from(""), Arc::from("")));
                 RankedResult {
                     doc: h.doc,
                     score: h.score,
@@ -352,6 +430,12 @@ impl SearchEngine {
     /// The compiled inverted utility index.
     pub fn compiled(&self) -> &Arc<CompiledSpecStore> {
         &self.compiled
+    }
+
+    /// The compiled forward index (`None` ⇒ the engine serves surrogates
+    /// through the text path).
+    pub fn forward(&self) -> Option<&Arc<ForwardIndex>> {
+        self.forward.as_ref()
     }
 
     /// The pre-built [`Diversifier`] for `kind` (trait objects are
@@ -597,6 +681,81 @@ mod tests {
             let b = without.search(QueryRequest::new("apple", 5, algo));
             assert_eq!(a.results, b.results, "{algo:?}");
         }
+    }
+
+    #[test]
+    fn forward_index_is_compiled_by_default_and_optional() {
+        let with = deploy(diversifying_config());
+        assert!(with.forward().is_some());
+        let without = deploy(EngineConfig {
+            forward_index: false,
+            ..diversifying_config()
+        });
+        assert!(without.forward().is_none());
+        // The two paths serve identical pages for every algorithm.
+        for algo in [
+            AlgorithmKind::OptSelect,
+            AlgorithmKind::IaSelect,
+            AlgorithmKind::XQuad,
+            AlgorithmKind::Mmr,
+            AlgorithmKind::Baseline,
+        ] {
+            for query in ["apple", "weather forecast"] {
+                let a = with.search(QueryRequest::new(query, 5, algo));
+                let b = without.search(QueryRequest::new(query, 5, algo));
+                assert_eq!(a.results, b.results, "{query} {algo:?}");
+                assert_eq!(a.algorithm, b.algorithm);
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_results_share_the_presentation_table() {
+        let engine = deploy(diversifying_config());
+        let a = engine.search(QueryRequest::new("apple", 3, AlgorithmKind::Baseline));
+        // Result cache off for the second engine-level computation: use a
+        // different k so the page is recomputed, not served from cache.
+        let b = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::Baseline));
+        let shared = a.results.iter().any(|ra| {
+            b.results
+                .iter()
+                .any(|rb| ra.doc == rb.doc && Arc::ptr_eq(&ra.url, &rb.url))
+        });
+        assert!(shared, "urls must be interned, not copied per request");
+    }
+
+    #[test]
+    fn presentation_table_can_be_shared_across_engines() {
+        let a = deploy(diversifying_config());
+        let table = SearchEngine::intern_presentation(a.index());
+        let b = deploy(diversifying_config()).with_presentation(table.clone());
+        let ra = a.search(QueryRequest::new("apple", 3, AlgorithmKind::Baseline));
+        let rb = b.search(QueryRequest::new("apple", 3, AlgorithmKind::Baseline));
+        assert_eq!(ra.results, rb.results);
+        // Engine b's urls are refcounts into the injected table, not
+        // fresh copies.
+        assert!(rb
+            .results
+            .iter()
+            .all(|r| table.iter().any(|(u, _)| Arc::ptr_eq(u, &r.url))));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the document store")]
+    fn mismatched_presentation_table_is_rejected() {
+        let engine = deploy(diversifying_config());
+        let _ = deploy(diversifying_config()).with_presentation(
+            engine
+                .index()
+                .store()
+                .iter()
+                .take(2)
+                .fold(Vec::new(), |mut acc, d| {
+                    acc.push((Arc::from(d.url.as_str()), Arc::from(d.title.as_str())));
+                    acc
+                })
+                .into(),
+        );
     }
 
     #[test]

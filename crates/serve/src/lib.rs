@@ -84,7 +84,7 @@ pub mod stages;
 pub mod surrogates;
 
 pub use cache::{CacheKey, CacheStats, CachedSerp, ShardedResultCache};
-pub use engine::{EngineConfig, SearchEngine};
+pub use engine::{EngineConfig, PresentationTable, SearchEngine};
 pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use pool::WorkerPool;

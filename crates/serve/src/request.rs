@@ -75,6 +75,10 @@ impl StageTimings {
 }
 
 /// One ranked result of a served SERP.
+///
+/// `url` and `title` are `Arc<str>` handles into the engine's interned
+/// presentation table: materializing a page is `k` refcount bumps, not
+/// `2k` string copies per request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankedResult {
     /// The document.
@@ -82,10 +86,10 @@ pub struct RankedResult {
     /// Its baseline retrieval score (diversifiers permute, they do not
     /// re-score).
     pub score: f64,
-    /// Document URL.
-    pub url: String,
-    /// Document title.
-    pub title: String,
+    /// Document URL (shared with the engine's presentation table).
+    pub url: Arc<str>,
+    /// Document title (shared with the engine's presentation table).
+    pub title: Arc<str>,
 }
 
 /// The served SERP with provenance and accounting.

@@ -1,0 +1,282 @@
+//! Equivalence suite for the compiled forward-index surrogate path.
+//!
+//! The zero-string hot path (`ForwardIndex::surrogate`: incremental
+//! `TermId`-stream window scan + direct TF-IDF emission) must be
+//! **bit-identical** to the text oracle (`SnippetGenerator::snippet` +
+//! `SparseVector::from_text`): same window choice, same `SparseVector`
+//! entries and norm bits, and identical SERPs through every diversifier
+//! whether the serving engine compiles a forward index or not. Fixtures
+//! cover the degenerate shapes (empty body, title-only, no-query-term
+//! fallback, tie-heavy windows); a randomized corpus sweep runs under
+//! `--features property-tests`.
+
+use serpdiv::core::AlgorithmKind;
+use serpdiv::index::{Document, ForwardIndex, IndexBuilder, SnippetGenerator, SparseVector};
+use serpdiv::mining::SpecializationModel;
+use serpdiv::serve::{EngineConfig, QueryRequest, SearchEngine};
+use std::sync::Arc;
+
+const ALGOS: [AlgorithmKind; 4] = [
+    AlgorithmKind::OptSelect,
+    AlgorithmKind::IaSelect,
+    AlgorithmKind::XQuad,
+    AlgorithmKind::Mmr,
+];
+
+/// Assert window choice and surrogate vector of `doc` agree between the
+/// compiled path and the text oracle for `query`, for every window size
+/// in `windows`.
+fn assert_doc_equivalent(
+    index: &serpdiv::index::InvertedIndex,
+    forward: &ForwardIndex,
+    doc: u32,
+    query: &str,
+    windows: &[usize],
+    context: &str,
+) {
+    let doc = serpdiv::index::DocId(doc);
+    let d = index.store().get(doc).expect("fixture doc");
+    let qterms = index.analyze_query(query);
+    for &w in windows {
+        let snippets = SnippetGenerator::with_window(w);
+        let naive_window = snippets.best_window_text(d, &qterms, index.vocab());
+        let fast_window = forward.best_window(doc, &qterms, w);
+        assert_eq!(
+            fast_window, naive_window,
+            "{context}: window diverged (doc {doc:?}, query {query:?}, w={w})"
+        );
+        let naive = SparseVector::from_text(&snippets.snippet(d, &qterms, index.vocab()), index);
+        let fast = snippets.surrogate(forward, doc, &qterms);
+        assert_eq!(
+            fast, naive,
+            "{context}: vector diverged (doc {doc:?}, query {query:?}, w={w})"
+        );
+        // PartialEq compares values; pin the norm down to the exact bits.
+        assert_eq!(
+            fast.norm().to_bits(),
+            naive.norm().to_bits(),
+            "{context}: norm bits diverged (doc {doc:?}, query {query:?}, w={w})"
+        );
+    }
+}
+
+/// Fixture docs exercising every degenerate shape at once.
+fn fixture_index() -> serpdiv::index::InvertedIndex {
+    let mut b = IndexBuilder::new();
+    // 0: ordinary body with a query-term cluster away from the prefix.
+    b.add(Document::new(
+        0,
+        "http://a",
+        "Apple iPhone",
+        format!(
+            "{} apple iphone announcement today {}",
+            "lorem ipsum dolor sit amet ".repeat(4),
+            "consectetur adipiscing elit sed ".repeat(4)
+        ),
+    ));
+    // 1: empty body (title-only surrogate).
+    b.add(Document::new(1, "http://b", "Just A Title", ""));
+    // 2: body with no title.
+    b.add(Document::new(
+        2,
+        "http://c",
+        "",
+        "orchard harvest apple cider sweet vitamin",
+    ));
+    // 3: stopword-only body (every stream position is a sentinel).
+    b.add(Document::new(
+        3,
+        "http://d",
+        "Stop Words",
+        "the of and is to in that it",
+    ));
+    // 4: tie-heavy — the query term repeats periodically so many windows
+    // share the same (distinct, total) key and the earliest must win.
+    b.add(Document::new(
+        4,
+        "http://e",
+        "Ties",
+        "apple pad pad ".repeat(12),
+    ));
+    // 5: both query terms everywhere (maximal ties on distinct coverage).
+    b.add(Document::new(5, "http://f", "", "apple iphone ".repeat(15)));
+    b.build()
+}
+
+#[test]
+fn fixture_docs_match_oracle_bitwise() {
+    let index = fixture_index();
+    let forward = ForwardIndex::build(&index);
+    let windows = [1, 3, 5, 30, 500];
+    for query in [
+        "apple",
+        "apple iphone",
+        "cider sweet",
+        "zeppelin", // analyzed away (unknown term): prefix fallback
+        "",         // empty query: prefix fallback
+        "the of",   // stopwords only: analyzed to empty
+    ] {
+        for doc in 0..6u32 {
+            assert_doc_equivalent(&index, &forward, doc, query, &windows, "fixture");
+        }
+    }
+}
+
+#[test]
+fn title_only_and_empty_body_surrogates() {
+    let index = fixture_index();
+    let forward = ForwardIndex::build(&index);
+    let doc = serpdiv::index::DocId(1);
+    // The oracle returns the bare title for an empty body; the compiled
+    // path must emit the same (title-only) vector, and the window (0,0).
+    assert_eq!(
+        forward.best_window(doc, &index.analyze_query("apple"), 30),
+        (0, 0)
+    );
+    let compiled = forward.surrogate(doc, &index.analyze_query("apple"), 30);
+    assert_eq!(compiled, SparseVector::from_text("Just A Title", &index));
+    // Stopword-only body: all sentinels, surrogate reduces to the title.
+    let stop = serpdiv::index::DocId(3);
+    let compiled = forward.surrogate(stop, &index.analyze_query("apple"), 4);
+    assert_eq!(
+        compiled,
+        SparseVector::from_text("Stop Words the of and is", &index)
+    );
+}
+
+/// The serving layer must produce identical SERPs with and without the
+/// compiled forward index, across all four diversifiers.
+#[test]
+fn serving_pages_identical_with_and_without_forward_index() {
+    let mut b = IndexBuilder::new();
+    for i in 0..6u32 {
+        b.add(Document::new(
+            i,
+            format!("http://tech/{i}"),
+            "apple iphone",
+            "apple iphone smartphone review chip battery display camera app store",
+        ));
+    }
+    for i in 6..12u32 {
+        b.add(Document::new(
+            i,
+            format!("http://food/{i}"),
+            "apple fruit",
+            "apple fruit orchard sweet harvest vitamin juice recipe cider tree",
+        ));
+    }
+    let index = Arc::new(b.build());
+    let model = Arc::new(
+        SpecializationModel::from_json(
+            r#"{"entries":{"apple":{"query":"apple","specializations":[["apple iphone",0.6],["apple fruit",0.4]]}}}"#,
+        )
+        .unwrap(),
+    );
+    let config = EngineConfig {
+        n_candidates: 12,
+        cache_capacity: 0, // always recompute, so both paths actually run
+        ..EngineConfig::default()
+    };
+    let with = SearchEngine::deploy(index.clone(), model.clone(), config);
+    let without = SearchEngine::deploy(
+        index,
+        model,
+        EngineConfig {
+            forward_index: false,
+            ..config
+        },
+    );
+    assert!(with.forward().is_some() && without.forward().is_none());
+    for algo in ALGOS {
+        for query in ["apple", "apple fruit", "unknown query"] {
+            let a = with.search(QueryRequest::new(query, 5, algo));
+            let b = without.search(QueryRequest::new(query, 5, algo));
+            assert_eq!(a.results, b.results, "{query} {algo:?}");
+            assert_eq!(a.algorithm, b.algorithm, "{query} {algo:?}");
+            assert_eq!(a.diversified, b.diversified, "{query} {algo:?}");
+        }
+    }
+}
+
+/// Randomized corpus sweep (deterministic LCG, no external deps), gated
+/// like the other property suites.
+#[cfg(feature = "property-tests")]
+mod randomized {
+    use super::*;
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// A word pool mixing content words, stopwords and a rare long token
+    /// (dropped by the tokenizer), so streams get sentinels and holes.
+    fn word(rng: &mut Lcg) -> &'static str {
+        const WORDS: [&str; 24] = [
+            "apple", "iphone", "fruit", "orchard", "review", "battery", "camera", "harvest",
+            "cider", "juice", "recipe", "chip", "display", "store", "vitamin", "sweet", "the",
+            "of", "and", "is", "to", "in", "running", "leopards",
+        ];
+        WORDS[rng.below(WORDS.len() as u64) as usize]
+    }
+
+    fn text(rng: &mut Lcg, len: usize) -> String {
+        let mut out = String::new();
+        for i in 0..len {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(word(rng));
+        }
+        out
+    }
+
+    /// 25 random corpora: every (doc, query, window) triple picks the
+    /// same window and emits the identical vector through both paths.
+    #[test]
+    fn random_corpora_match_oracle_bitwise() {
+        let mut rng = Lcg(0x5eed_f0d1);
+        for world in 0..25 {
+            let num_docs = 1 + rng.below(12) as usize;
+            let mut b = IndexBuilder::new();
+            for i in 0..num_docs {
+                let title_len = rng.below(4) as usize; // empties included
+                let body_len = rng.below(120) as usize; // empties included
+                let title = text(&mut rng, title_len);
+                let body = text(&mut rng, body_len);
+                b.add(Document::new(
+                    i as u32,
+                    format!("http://{world}/{i}"),
+                    title,
+                    body,
+                ));
+            }
+            let index = b.build();
+            let forward = ForwardIndex::build(&index);
+            let windows = [1 + rng.below(6) as usize, 30, 200];
+            for _ in 0..6 {
+                let qlen = rng.below(4) as usize; // empty queries included
+                let query = text(&mut rng, qlen);
+                for doc in 0..num_docs as u32 {
+                    assert_doc_equivalent(
+                        &index,
+                        &forward,
+                        doc,
+                        &query,
+                        &windows,
+                        &format!("world {world}"),
+                    );
+                }
+            }
+        }
+    }
+}

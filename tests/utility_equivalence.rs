@@ -11,7 +11,7 @@ use serpdiv::core::{
     assemble_input, assemble_input_naive, run_algorithm, AlgorithmKind, CompiledSpecStore,
     DiversifyInput, PipelineParams, SpecializationStore, UtilityMatrix, UtilityParams,
 };
-use serpdiv::index::{Document, IndexBuilder, SearchEngine, SparseVector};
+use serpdiv::index::{Document, ForwardIndex, IndexBuilder, SearchEngine, SparseVector};
 use serpdiv::mining::SpecializationModel;
 use serpdiv::text::TermId;
 
@@ -108,7 +108,10 @@ fn end_to_end_fixture_fast_path_matches_naive() {
         let baseline = engine.search("apple", 12);
         assert!(!baseline.is_empty());
 
-        let fast = assemble_input(&index, entry, &compiled, &params, "apple", &baseline);
+        let forward = ForwardIndex::build(&index);
+        let fast = assemble_input(
+            &index, &forward, entry, &compiled, &params, "apple", &baseline,
+        );
         let naive = assemble_input_naive(&index, entry, &store, &params, "apple", &baseline);
         let ctx = format!("c={threshold_c}");
         assert_matrices_match(&fast.utilities, &naive.utilities, &ctx);
