@@ -15,20 +15,34 @@
 //! Usage:
 //! ```text
 //! serve_bench [--sessions N] [--requests N] [--concurrency N] [--k N]
-//!             [--candidates N] [--shards N[,N...]] [--no-cache]
+//!             [--candidates N] [--shards N[,N...]]
+//!             [--executor-threads N[,N...]] [--no-cache]
 //!             [--no-surrogate-cache] [--json PATH]
 //! ```
 //! Defaults: 4000 sessions, 2000 requests, 8 workers, k=10, 100
-//! candidates, 1 index shard, both caches on, JSON to `BENCH_serve.json`.
+//! candidates, 1 index shard, no executor, both caches on, JSON to
+//! `BENCH_serve.json`.
 //!
 //! `--shards` takes a comma-separated list (e.g. `--shards 1,2,4,8`) and
 //! replays the whole per-algorithm suite once per shard count, emitting
 //! every `(shards, algorithm)` pair into the JSON report so the
 //! shard-scaling curve is machine-readable.
+//!
+//! `--executor-threads` sweeps the persistent scatter-scoring pool the
+//! same way: for every listed size ≥ 1 (and every sharded entry of
+//! `--shards`), ONE `ScoringExecutor` of that size is shared by all five
+//! algorithm engines, the scatter threshold is dropped to 0 so every
+//! retrieval rides the pool, and each `(shards, executor_threads,
+//! algorithm)` row lands in the JSON with its `qps` and
+//! `stage_retrieve_p50_us`. `0` (the default) keeps the per-query
+//! scoped-thread/sequential heuristic; combinations with 1 shard are
+//! skipped for sizes ≥ 1 (nothing to scatter).
 
 use serpdiv_bench::{Lab, LabConfig};
 use serpdiv_core::{AlgorithmKind, CompiledSpecStore, SpecializationStore};
-use serpdiv_index::{ForwardIndex, Retriever, SearchEngine as DphEngine, ShardedIndex};
+use serpdiv_index::{
+    ForwardIndex, Retriever, ScoringExecutor, SearchEngine as DphEngine, ShardedIndex,
+};
 use serpdiv_mining::json::{write_escaped, write_number};
 use serpdiv_serve::{EngineConfig, QueryRequest, SearchEngine, WorkerPool};
 use std::sync::Arc;
@@ -41,6 +55,7 @@ struct Args {
     k: usize,
     candidates: usize,
     shards: Vec<usize>,
+    executor_threads: Vec<usize>,
     cache: bool,
     surrogate_cache: bool,
     json_path: String,
@@ -54,12 +69,14 @@ fn parse_args() -> Args {
         k: 10,
         candidates: 100,
         shards: vec![1],
+        executor_threads: vec![0],
         cache: true,
         surrogate_cache: true,
         json_path: "BENCH_serve.json".to_string(),
     };
     let usage = "usage: serve_bench [--sessions N] [--requests N] [--concurrency N] \
-                 [--k N] [--candidates N] [--shards N[,N...]] [--no-cache] \
+                 [--k N] [--candidates N] [--shards N[,N...]] \
+                 [--executor-threads N[,N...]] [--no-cache] \
                  [--no-surrogate-cache] [--json PATH]";
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -83,6 +100,12 @@ fn parse_args() -> Args {
                     .map(|v| parse_num(v, usage).max(1))
                     .collect();
             }
+            "--executor-threads" => {
+                args.executor_threads = next_str("--executor-threads")
+                    .split(',')
+                    .map(|v| parse_num(v, usage))
+                    .collect();
+            }
             "--no-cache" => args.cache = false,
             "--no-surrogate-cache" => args.surrogate_cache = false,
             "--json" => args.json_path = next_str("--json"),
@@ -96,7 +119,29 @@ fn parse_args() -> Args {
         eprintln!("error: --requests must be positive\n{usage}");
         std::process::exit(2);
     }
+    if sweep_combos(&args).is_empty() {
+        eprintln!(
+            "error: the sweep is empty — --executor-threads ≥ 1 needs a sharded entry \
+             (add a value ≥ 2 to --shards, or include 0 in --executor-threads)\n{usage}"
+        );
+        std::process::exit(2);
+    }
     args
+}
+
+/// The `(shards, executor_threads)` combinations the sweep will run:
+/// executor sizes ≥ 1 only apply to sharded entries (nothing to scatter
+/// on one shard).
+fn sweep_combos(args: &Args) -> Vec<(usize, usize)> {
+    args.shards
+        .iter()
+        .flat_map(|&shards| {
+            args.executor_threads
+                .iter()
+                .filter(move |&&threads| shards > 1 || threads == 0)
+                .map(move |&threads| (shards, threads))
+        })
+        .collect()
 }
 
 fn parse_num(v: &str, usage: &str) -> usize {
@@ -114,10 +159,12 @@ fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1e3
 }
 
-/// Per-`(shard count, algorithm)` results destined for the JSON report.
+/// Per-`(shard count, executor threads, algorithm)` results destined for
+/// the JSON report.
 struct AlgoReport {
     name: String,
     shards: usize,
+    executor_threads: usize,
     qps: f64,
     p50_ms: f64,
     p95_ms: f64,
@@ -167,6 +214,13 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
         }
         write_number(&mut out, *s as f64);
     }
+    out.push_str("], \"executor_threads\": [");
+    for (i, t) in args.executor_threads.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_number(&mut out, *t as f64);
+    }
     out.push_str("]},\n  \"offline\": {");
     for (i, (key, v)) in offline.iter().enumerate() {
         if i > 0 {
@@ -186,6 +240,7 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
         write_escaped(&mut out, &a.name);
         let fields = [
             ("shards", a.shards as f64),
+            ("executor_threads", a.executor_threads as f64),
             ("qps", a.qps),
             ("p50_ms", a.p50_ms),
             ("p95_ms", a.p95_ms),
@@ -297,17 +352,33 @@ fn main() {
     assert!(!queries.is_empty(), "test split is empty; raise --sessions");
 
     let mut reports = Vec::new();
-    for &shards in &args.shards {
-        // One retriever per shard count, shared by every algorithm's
-        // engine (partitioning is a deploy-time cost, paid once).
+    for (shards, executor_threads) in sweep_combos(&args) {
+        // One retriever per sweep point, shared by every algorithm's
+        // engine (partitioning is a deploy-time cost, paid once) — and,
+        // when the executor sweep is on, ONE persistent scoring pool
+        // shared across all five engines and the request worker pool.
         let t = Instant::now();
         let retriever: Arc<dyn Retriever> = if shards > 1 {
-            Arc::new(ShardedIndex::build(index.clone(), shards))
+            let mut sharded = ShardedIndex::build(index.clone(), shards);
+            if executor_threads > 0 {
+                // Threshold 0: every retrieval rides the pool, so the
+                // sweep measures the executor hand-off itself rather
+                // than the heuristic dodging it on this small corpus.
+                sharded = sharded
+                    .with_executor(Arc::new(ScoringExecutor::new(executor_threads)))
+                    .with_parallel_threshold(0);
+            }
+            Arc::new(sharded)
         } else {
             index.clone()
         };
         println!(
-            "\n=== {shards} index shard(s) (partitioned in {:.2}s) ===",
+            "\n=== {shards} index shard(s), {} (partitioned in {:.2}s) ===",
+            if executor_threads > 0 {
+                format!("{executor_threads}-thread scoring executor")
+            } else {
+                "per-query scatter heuristic".to_string()
+            },
             t.elapsed().as_secs_f64()
         );
         println!(
@@ -336,6 +407,7 @@ fn main() {
                         cache_capacity: if args.cache { 8192 } else { 0 },
                         surrogate_cache_capacity: if args.surrogate_cache { 32_768 } else { 0 },
                         index_shards: shards,
+                        executor_threads,
                         deadline_us: 0,
                         forward_index: true,
                     },
@@ -384,6 +456,7 @@ fn main() {
             let report = AlgoReport {
                 name: format!("{algo:?}"),
                 shards,
+                executor_threads,
                 qps,
                 p50_ms: percentile(&totals, 50.0),
                 p95_ms: percentile(&totals, 95.0),

@@ -18,6 +18,9 @@
 //!   (TAAT DPH, MaxScore, sharded scatter-gather) implements,
 //! * [`sharded`] — [`ShardedIndex`]: deploy-time document partitioning
 //!   with parallel per-shard scoring and a bit-identical k-way merge,
+//! * [`executor`] — [`ScoringExecutor`]: the shared persistent pool of
+//!   pinned-scratch workers the scatter step submits latched per-query
+//!   task batches to (no per-query thread spawn),
 //! * [`snippet`] — query-biased snippet extraction (document surrogates),
 //! * [`forward`] — [`ForwardIndex`]: the deploy-time compiled forward
 //!   index (per-document `TermId` streams + cached IDF) that emits
@@ -44,6 +47,7 @@ pub mod builder;
 pub mod cache;
 pub mod document;
 pub mod dph;
+pub mod executor;
 pub mod forward;
 pub mod index;
 pub mod maxscore;
@@ -60,12 +64,13 @@ pub use builder::IndexBuilder;
 pub use cache::CachingEngine;
 pub use document::{DocId, Document, DocumentStore};
 pub use dph::Dph;
+pub use executor::{ScoringExecutor, TaskPanic};
 pub use forward::ForwardIndex;
 pub use index::{CollectionStats, InvertedIndex, TermStats};
 pub use maxscore::MaxScoreEngine;
 pub use positions::{phrase_search, PositionalIndex};
 pub use retriever::Retriever;
 pub use search::{query_weights, RankingModel, ScoredDoc, SearchEngine};
-pub use sharded::ShardedIndex;
+pub use sharded::{ScatterMode, ShardedIndex};
 pub use snippet::SnippetGenerator;
 pub use vector::{cosine, cosine64, SparseVector};

@@ -27,6 +27,7 @@
 
 use crate::document::DocId;
 use crate::dph::Dph;
+use crate::executor::ScoringExecutor;
 use crate::index::InvertedIndex;
 use crate::postings::{PostingsBuilder, PostingsList};
 use crate::retriever::Retriever;
@@ -57,13 +58,35 @@ struct Shard {
 /// per-posting hashing from the hot loop.
 const DENSE_ACCUMULATOR_LIMIT: usize = 1 << 16;
 
+/// How the scatter step schedules shard scoring — the production
+/// heuristic plus the forced modes the equivalence suites use to pit the
+/// executor path against the sequential and scoped-thread oracles on
+/// identical inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScatterMode {
+    /// Production policy: sequential below the postings threshold; above
+    /// it, the attached [`ScoringExecutor`] when one is present,
+    /// otherwise per-query scoped threads (when more than one worker is
+    /// available).
+    Auto,
+    /// Force shard-after-shard scoring on the calling thread.
+    Sequential,
+    /// Force the per-query scoped-thread path (the pre-executor parallel
+    /// implementation, kept as an oracle).
+    ScopedThreads,
+    /// Force batch submission through the attached executor; panics if
+    /// none was attached via [`ShardedIndex::with_executor`].
+    Executor,
+}
+
 /// A horizontally partitioned view of an [`InvertedIndex`] with parallel
 /// scatter-gather retrieval.
 ///
 /// Built once at deploy time; immutable and `Sync` afterwards, so one
-/// instance serves arbitrary concurrency (each request spawns a scoped
-/// scoring pass over the shards).
-#[derive(Debug)]
+/// instance serves arbitrary concurrency. Large queries are scored shard-
+/// parallel — through the shared persistent [`ScoringExecutor`] when one
+/// is attached ([`Self::with_executor`]), through per-query scoped
+/// threads otherwise.
 pub struct ShardedIndex {
     index: Arc<InvertedIndex>,
     shards: Vec<Shard>,
@@ -72,11 +95,31 @@ pub struct ShardedIndex {
     /// Minimum estimated matching postings before a query is worth
     /// scoring in parallel (see [`Self::with_parallel_threshold`]).
     parallel_threshold: u64,
-    /// Scatter worker cap, resolved at build time (one per hardware
-    /// thread by default).
+    /// Scoped-thread scatter worker cap, resolved at build time (one per
+    /// hardware thread by default); superseded by the executor's pool
+    /// size when one is attached.
     scoring_workers: usize,
     /// Largest shard range scored with the dense accumulator.
     dense_limit: usize,
+    /// The shared persistent scoring pool, when deployed with one.
+    executor: Option<Arc<ScoringExecutor>>,
+    /// Test instrumentation: called with the shard number right before
+    /// each shard is scored (see [`Self::with_fault_injection`]).
+    fault_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ShardedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("shards", &self.shards.len())
+            .field("chunk", &self.chunk)
+            .field("parallel_threshold", &self.parallel_threshold)
+            .field("scoring_workers", &self.scoring_workers)
+            .field("dense_limit", &self.dense_limit)
+            .field("executor", &self.executor)
+            .field("fault_hook", &self.fault_hook.as_ref().map(|_| ".."))
+            .finish()
+    }
 }
 
 impl ShardedIndex {
@@ -127,6 +170,53 @@ impl ShardedIndex {
             // expensive for the per-query path.
             scoring_workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
             dense_limit: DENSE_ACCUMULATOR_LIMIT,
+            executor: None,
+            fault_hook: None,
+        }
+    }
+
+    /// Attach a shared, long-lived [`ScoringExecutor`]: parallel scatter
+    /// submits its shard tasks to the pool as one latched batch instead
+    /// of spawning scoped threads per query.
+    ///
+    /// This also **overrides the build-time `available_parallelism`
+    /// worker resolution coherently**: the parallel path now occupies the
+    /// executor's threads (plus the submitting thread, which helps drain
+    /// only its own batch while it would otherwise block), so a serving
+    /// deployment that sizes the executor once bounds scoring threads at
+    /// `request_workers + executor_threads` process-wide — not a silent
+    /// `request_workers × cores` oversubscription of per-query spawns.
+    /// [`Self::effective_scoring_workers`] reports the resolved count.
+    pub fn with_executor(mut self, executor: Arc<ScoringExecutor>) -> Self {
+        self.scoring_workers = executor.num_threads();
+        self.executor = Some(executor);
+        self
+    }
+
+    /// The attached persistent scoring pool, if any.
+    pub fn executor(&self) -> Option<&Arc<ScoringExecutor>> {
+        self.executor.as_ref()
+    }
+
+    /// Test instrumentation: run `hook(shard)` immediately before each
+    /// shard-scoring task. A hook that panics exercises the executor's
+    /// panic containment through the full retrieval path — the panic is
+    /// re-raised on the *querying* thread, and the pool stays healthy for
+    /// the next query (see the fault-containment tests).
+    pub fn with_fault_injection(mut self, hook: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        self.fault_hook = Some(Arc::new(hook));
+        self
+    }
+
+    /// The number of scoring threads the parallel scatter path can
+    /// occupy: the shared executor's pool size when one is attached
+    /// (whatever `available_parallelism` said at build time — and
+    /// whatever [`Self::with_scoring_workers`] set — no longer applies),
+    /// otherwise the scoped-thread worker cap bounded by the shard count.
+    pub fn effective_scoring_workers(&self) -> usize {
+        match &self.executor {
+            Some(executor) => executor.num_threads(),
+            None => self.scoring_workers.min(self.shards.len().max(1)),
         }
     }
 
@@ -139,10 +229,11 @@ impl ShardedIndex {
         self
     }
 
-    /// Override the scatter worker count (default: one per hardware
-    /// thread, capped at the shard count). Useful when the process runs
-    /// under a CPU quota the runtime cannot see, or to force the parallel
-    /// path in tests.
+    /// Override the **scoped-thread** scatter worker count (default: one
+    /// per hardware thread, capped at the shard count). Useful when the
+    /// process runs under a CPU quota the runtime cannot see, or to force
+    /// the scoped parallel path in tests. Irrelevant once an executor is
+    /// attached — [`Self::with_executor`] supersedes it.
     pub fn with_scoring_workers(mut self, workers: usize) -> Self {
         self.scoring_workers = workers.max(1);
         self
@@ -157,11 +248,12 @@ impl ShardedIndex {
     /// available; `u64::MAX` forces sequential. The ranking is identical
     /// either way.
     ///
-    /// The parallel path currently spawns scoped threads per query; under
-    /// a serving pool that already saturates every core, raise the
-    /// threshold (or cap [`Self::with_scoring_workers`]) so only queries
-    /// whose traversal dwarfs thread start-up go parallel — a persistent
-    /// scatter pool is the planned successor.
+    /// With a [`ScoringExecutor`] attached the parallel path is a batch
+    /// submission to the shared pool (no spawn), so the threshold only
+    /// has to beat the queue hand-off; without one it spawns scoped
+    /// threads per query, and under a serving pool that already saturates
+    /// every core the threshold should stay high enough that only queries
+    /// whose traversal dwarfs thread start-up go parallel.
     pub fn with_parallel_threshold(mut self, threshold: u64) -> Self {
         self.parallel_threshold = threshold;
         self
@@ -222,12 +314,11 @@ impl ShardedIndex {
     ///
     /// The accumulator array and touched bitmap live in a thread-local
     /// scratch that is cleaned (touched entries only) and reused across
-    /// shards and requests — on the sequential path (long-lived serving
-    /// workers) steady-state scoring allocates nothing but the returned
-    /// top-`k`. Scoped scatter threads are born per query, so the
-    /// parallel path pays one scratch allocation per worker per query —
-    /// amortized against the large traversals that path is gated on, and
-    /// removed for good once the persistent scatter pool (ROADMAP) lands.
+    /// shards and requests — on the sequential path and on the persistent
+    /// executor's pinned workers, steady-state scoring allocates nothing
+    /// but the returned top-`k`. Only the legacy scoped-thread path (kept
+    /// as an oracle) still pays one scratch allocation per worker per
+    /// query, amortized against the large traversals it is gated on.
     fn score_shard_dense(
         &self,
         shard: &Shard,
@@ -250,36 +341,43 @@ impl ShardedIndex {
             if touched.len() < words {
                 touched.resize(words, 0);
             }
-            accumulate_term_contributions(
-                &self.index,
-                |t| shard.postings.get(t.index()),
-                weights,
-                model,
-                |doc, s| {
-                    let i = doc.index() - shard.base as usize;
-                    acc[i] += s;
-                    touched[i / 64] |= 1 << (i % 64);
-                },
-            );
-            let result = top_k(
-                touched[..words].iter().enumerate().flat_map(|(w, &bits)| {
-                    let (acc, base) = (&*acc, shard.base);
-                    let mut bits = bits;
-                    std::iter::from_fn(move || {
-                        if bits == 0 {
-                            return None;
-                        }
-                        let b = bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        let i = w * 64 + b;
-                        Some(ScoredDoc {
-                            doc: DocId(base + i as u32),
-                            score: acc[i],
+            // Score under `catch_unwind` so a panic mid-accumulation (a
+            // faulting model, injected test faults) cannot leave dirty
+            // slots behind on a long-lived worker: every dirty slot has
+            // its touched bit set by the time anything can unwind, so the
+            // cleanup below restores the invariant on both exits.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                accumulate_term_contributions(
+                    &self.index,
+                    |t| shard.postings.get(t.index()),
+                    weights,
+                    model,
+                    |doc, s| {
+                        let i = doc.index() - shard.base as usize;
+                        acc[i] += s;
+                        touched[i / 64] |= 1 << (i % 64);
+                    },
+                );
+                top_k(
+                    touched[..words].iter().enumerate().flat_map(|(w, &bits)| {
+                        let (acc, base) = (&*acc, shard.base);
+                        let mut bits = bits;
+                        std::iter::from_fn(move || {
+                            if bits == 0 {
+                                return None;
+                            }
+                            let b = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let i = w * 64 + b;
+                            Some(ScoredDoc {
+                                doc: DocId(base + i as u32),
+                                score: acc[i],
+                            })
                         })
-                    })
-                }),
-                k,
-            );
+                    }),
+                    k,
+                )
+            }));
             // Restore the all-zero invariant, touching only dirty slots.
             for w in 0..words {
                 let mut bits = touched[w];
@@ -290,7 +388,10 @@ impl ShardedIndex {
                 }
                 touched[w] = 0;
             }
-            result
+            match result {
+                Ok(hits) => hits,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         })
     }
 
@@ -317,72 +418,130 @@ impl ShardedIndex {
         )
     }
 
-    /// Scatter: score every shard — in parallel when the hardware and the
-    /// estimated work justify it — then gather: k-way merge of the
-    /// per-shard top-`k` lists.
-    fn scatter_gather(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
+    /// Run the fault-injection hook for `shard`, if one is installed.
+    #[inline]
+    fn fault(&self, shard: usize) {
+        if let Some(hook) = &self.fault_hook {
+            hook(shard);
+        }
+    }
+
+    /// Scatter: score every shard — through the persistent executor, the
+    /// scoped-thread oracle, or inline, per `mode` — then gather: k-way
+    /// merge of the per-shard top-`k` lists. Every mode produces the same
+    /// `f64` bits in the same order.
+    fn scatter_gather(&self, terms: &[TermId], k: usize, mode: ScatterMode) -> Vec<ScoredDoc> {
         if terms.is_empty() || k == 0 {
             return Vec::new();
         }
         let weights = query_weights(terms);
         let model = Dph::new();
-        // One worker per hardware thread (resolved at build time), capped
-        // at the shard count.
-        let workers = self.scoring_workers.min(self.shards.len());
-        // Estimated matching postings: Σ doc_freq over the query terms.
-        let estimated: u64 = weights
-            .iter()
-            .filter_map(|&(t, _)| self.index.term_stats(t))
-            .map(|ts| ts.doc_freq)
-            .sum();
-        let per_shard: Vec<Vec<ScoredDoc>> = if workers <= 1 || estimated < self.parallel_threshold
-        {
-            // Sequential scatter: no thread hand-off — the right call on
-            // one hardware thread or when the postings traversal is
-            // cheaper than spawning.
-            self.shards
+        let mode = match mode {
+            ScatterMode::Auto => {
+                // Estimated matching postings: Σ doc_freq over the terms.
+                let estimated: u64 = weights
+                    .iter()
+                    .filter_map(|&(t, _)| self.index.term_stats(t))
+                    .map(|ts| ts.doc_freq)
+                    .sum();
+                if self.shards.len() <= 1 || estimated < self.parallel_threshold {
+                    // Sequential scatter: no hand-off at all — the right
+                    // call when the postings traversal is cheaper than
+                    // reaching another thread.
+                    ScatterMode::Sequential
+                } else if self.executor.is_some() {
+                    ScatterMode::Executor
+                } else if self.scoring_workers.min(self.shards.len()) > 1 {
+                    ScatterMode::ScopedThreads
+                } else {
+                    ScatterMode::Sequential
+                }
+            }
+            forced => forced,
+        };
+        let per_shard: Vec<Vec<ScoredDoc>> = match mode {
+            ScatterMode::Sequential => self
+                .shards
                 .iter()
-                .map(|shard| self.score_shard(shard, &weights, &model, k))
-                .collect()
-        } else {
-            let next = AtomicUsize::new(0);
-            let mut gathered: Vec<(usize, Vec<ScoredDoc>)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let (next, weights, model) = (&next, &weights, &model);
-                        scope.spawn(move || {
-                            let mut mine = Vec::new();
-                            loop {
-                                let s = next.fetch_add(1, AtomicOrdering::Relaxed);
-                                let Some(shard) = self.shards.get(s) else {
-                                    break;
-                                };
-                                mine.push((s, self.score_shard(shard, weights, model, k)));
-                            }
-                            mine
+                .enumerate()
+                .map(|(s, shard)| {
+                    self.fault(s);
+                    self.score_shard(shard, &weights, &model, k)
+                })
+                .collect(),
+            ScatterMode::Executor => {
+                let executor = self
+                    .executor
+                    .as_ref()
+                    .expect("ScatterMode::Executor requires with_executor");
+                // One latched batch, one shard-scoring task per shard; the
+                // pool's pinned workers (and this thread, which helps)
+                // reuse their thread-local scratch — nothing is spawned.
+                match executor.scope_run(self.shards.len(), &|s| {
+                    self.fault(s);
+                    self.score_shard(&self.shards[s], &weights, &model, k)
+                }) {
+                    Ok(per_shard) => per_shard,
+                    // A panicked task poisons only this query: re-raise on
+                    // the querying thread; the pool keeps serving others.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            ScatterMode::ScopedThreads => {
+                let workers = self.scoring_workers.min(self.shards.len()).max(1);
+                let next = AtomicUsize::new(0);
+                let mut gathered: Vec<(usize, Vec<ScoredDoc>)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            let (next, weights, model) = (&next, &weights, &model);
+                            scope.spawn(move || {
+                                let mut mine = Vec::new();
+                                loop {
+                                    let s = next.fetch_add(1, AtomicOrdering::Relaxed);
+                                    let Some(shard) = self.shards.get(s) else {
+                                        break;
+                                    };
+                                    self.fault(s);
+                                    mine.push((s, self.score_shard(shard, weights, model, k)));
+                                }
+                                mine
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("shard scoring worker panicked"))
-                    .collect()
-            });
-            gathered.sort_unstable_by_key(|&(s, _)| s);
-            gathered.into_iter().map(|(_, hits)| hits).collect()
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("shard scoring worker panicked"))
+                        .collect()
+                });
+                gathered.sort_unstable_by_key(|&(s, _)| s);
+                gathered.into_iter().map(|(_, hits)| hits).collect()
+            }
+            ScatterMode::Auto => unreachable!("Auto was resolved above"),
         };
         merge_top_k(per_shard, k)
+    }
+
+    /// Retrieval with an explicit [`ScatterMode`] — the test hook the
+    /// `executor_equivalence` suite uses to pit the executor path against
+    /// the sequential and scoped-thread oracles on identical inputs.
+    pub fn retrieve_terms_with_mode(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        mode: ScatterMode,
+    ) -> Vec<ScoredDoc> {
+        self.scatter_gather(terms, k, mode)
     }
 }
 
 impl Retriever for ShardedIndex {
     fn retrieve(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
         let terms = self.index.analyze_query(query);
-        self.scatter_gather(&terms, k)
+        self.scatter_gather(&terms, k, ScatterMode::Auto)
     }
 
     fn retrieve_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
-        self.scatter_gather(terms, k)
+        self.scatter_gather(terms, k, ScatterMode::Auto)
     }
 }
 
@@ -557,6 +716,138 @@ mod tests {
                 assert_eq!(e.doc, g.doc, "{query}");
                 assert_eq!(e.score.to_bits(), g.score.to_bits(), "{query}");
             }
+        }
+    }
+
+    #[test]
+    fn executor_path_is_bit_identical_to_oracle() {
+        let idx = index();
+        let oracle = SearchEngine::new(&idx);
+        let executor = Arc::new(ScoringExecutor::new(2));
+        // Threshold 0: every query goes through the executor batch path.
+        let sharded = ShardedIndex::build(idx.clone(), 4)
+            .with_executor(executor)
+            .with_parallel_threshold(0);
+        for query in [
+            "apple",
+            "apple iphone smartphone",
+            "storm",
+            "apple apple pie",
+        ] {
+            let expect = oracle.search(query, 10);
+            let got = sharded.retrieve(query, 10);
+            assert_eq!(expect.len(), got.len(), "{query}");
+            for (e, g) in expect.iter().zip(&got) {
+                assert_eq!(e.doc, g.doc, "{query}");
+                assert_eq!(e.score.to_bits(), g.score.to_bits(), "{query}");
+            }
+        }
+    }
+
+    #[test]
+    fn executor_overrides_worker_count_coherently() {
+        let idx = index();
+        // No executor: the build-time resolution applies, capped at the
+        // shard count; with_scoring_workers overrides it.
+        let plain = ShardedIndex::build(idx.clone(), 4).with_scoring_workers(6);
+        assert_eq!(plain.effective_scoring_workers(), 4, "capped at shards");
+        let narrow = ShardedIndex::build(idx.clone(), 4).with_scoring_workers(2);
+        assert_eq!(narrow.effective_scoring_workers(), 2);
+        // With an executor: the pool size wins — even over an earlier
+        // with_scoring_workers — so a deployment sizing the executor gets
+        // exactly that many scoring threads, not a silent 2×.
+        let executor = Arc::new(ScoringExecutor::new(3));
+        let pooled = ShardedIndex::build(idx.clone(), 4)
+            .with_scoring_workers(16)
+            .with_executor(executor.clone());
+        assert_eq!(pooled.effective_scoring_workers(), 3);
+        assert!(pooled.executor().is_some());
+        // The shared pool is not capped per index: a 2-shard index on the
+        // same executor still reports the pool size.
+        let small = ShardedIndex::build(idx, 2).with_executor(executor);
+        assert_eq!(small.effective_scoring_workers(), 3);
+    }
+
+    #[test]
+    fn injected_fault_poisons_one_query_not_the_pool() {
+        use std::sync::atomic::AtomicBool;
+        let idx = index();
+        let oracle = SearchEngine::new(&idx);
+        let executor = Arc::new(ScoringExecutor::new(1));
+        let arm = Arc::new(AtomicBool::new(true));
+        let hook_arm = arm.clone();
+        let sharded = ShardedIndex::build(idx.clone(), 4)
+            .with_executor(executor)
+            .with_parallel_threshold(0)
+            .with_fault_injection(move |shard| {
+                if shard == 2 && hook_arm.load(AtomicOrdering::Relaxed) {
+                    panic!("injected fault in shard {shard}");
+                }
+            });
+        // First query: the fault fires inside the executor and must
+        // surface on *this* thread as a panic.
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sharded.retrieve("apple", 10)
+        }));
+        assert!(poisoned.is_err(), "the injected fault must surface");
+        // Disarm and retry: the same executor worker serves the next
+        // query with bit-identical results — the pool is not wedged.
+        // (The hook fires before scoring dirties any scratch; the
+        // mid-accumulation unwind case is covered by
+        // `mid_accumulation_panic_leaves_the_dense_scratch_clean`.)
+        arm.store(false, AtomicOrdering::Relaxed);
+        let expect = oracle.search("apple", 10);
+        let got = sharded.retrieve("apple", 10);
+        assert_eq!(expect.len(), got.len());
+        for (e, g) in expect.iter().zip(&got) {
+            assert_eq!(e.doc, g.doc);
+            assert_eq!(e.score.to_bits(), g.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn mid_accumulation_panic_leaves_the_dense_scratch_clean() {
+        use crate::index::{CollectionStats, TermStats};
+        use std::sync::atomic::AtomicU32;
+
+        /// DPH until the fuse burns down, then a panic *between* sink
+        /// calls — i.e. after accumulator slots are already dirty.
+        struct FusedModel {
+            inner: Dph,
+            fuse: AtomicU32,
+        }
+        impl RankingModel for FusedModel {
+            fn score(&self, tf: u32, doc_len: u32, term: TermStats, coll: CollectionStats) -> f64 {
+                if self.fuse.fetch_sub(1, AtomicOrdering::Relaxed) == 0 {
+                    panic!("model fault mid-accumulation");
+                }
+                self.inner.score(tf, doc_len, term, coll)
+            }
+        }
+
+        let idx = index();
+        let sharded = ShardedIndex::build(idx.clone(), 1);
+        let shard = &sharded.shards[0];
+        let weights = query_weights(&idx.analyze_query("apple iphone chip"));
+        // Sanity: the query touches enough postings that a fuse of 3
+        // burns after some slots are dirty but before the pass finishes.
+        let clean = sharded.score_shard_dense(shard, &weights, &Dph::new(), 30);
+        assert!(clean.len() > 3);
+        let faulty = FusedModel {
+            inner: Dph::new(),
+            fuse: AtomicU32::new(3),
+        };
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sharded.score_shard_dense(shard, &weights, &faulty, 30)
+        }));
+        assert!(unwound.is_err(), "the fused model must panic mid-pass");
+        // The unwind path must have restored the all-zero invariant on
+        // this thread's scratch: an immediate re-score is bit-identical.
+        let rescored = sharded.score_shard_dense(shard, &weights, &Dph::new(), 30);
+        assert_eq!(clean.len(), rescored.len());
+        for (a, b) in clean.iter().zip(&rescored) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
     }
 

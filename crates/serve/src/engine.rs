@@ -10,8 +10,8 @@ use serpdiv_core::{
     AlgorithmKind, CompiledSpecStore, Diversifier, PipelineParams, SpecializationStore,
 };
 use serpdiv_index::{
-    ForwardIndex, InvertedIndex, Retriever, ScoredDoc, SearchEngine as DphEngine, ShardedIndex,
-    SnippetGenerator, SparseVector,
+    ForwardIndex, InvertedIndex, Retriever, ScoredDoc, ScoringExecutor, SearchEngine as DphEngine,
+    ShardedIndex, SnippetGenerator, SparseVector,
 };
 use serpdiv_mining::SpecializationModel;
 use std::sync::Arc;
@@ -37,6 +37,19 @@ pub struct EngineConfig {
     /// plain index, ≥ 2 deploys a [`ShardedIndex`] that scores shards in
     /// parallel and scatter-gathers a bit-identical top-k.
     pub index_shards: usize,
+    /// Size of the persistent [`ScoringExecutor`] pool backing parallel
+    /// scatter (only meaningful with `index_shards ≥ 2`): 0 keeps the
+    /// legacy per-query scoped-thread path; ≥ 1 deploys a long-lived
+    /// pinned-scratch pool the sharded retriever submits latched task
+    /// batches to, so scatter parallelism *composes* with the request
+    /// [`WorkerPool`](crate::pool::WorkerPool) — scoring threads bounded
+    /// by `request_workers + executor_threads`, each request worker
+    /// helping drain only its own batch — instead of oversubscribing
+    /// `request_workers × cores`. Deployments running several engines
+    /// over one corpus should share a single executor (and retriever)
+    /// through [`SearchEngine::with_retriever_and_forward`] rather than
+    /// letting each engine build its own here.
+    pub executor_threads: usize,
     /// Per-request compute budget in microseconds, enforced before the
     /// select stage: when exhausted, the diversifier is skipped and the
     /// baseline ranking is served (`"DPH (degraded)"`). 0 disables the
@@ -59,6 +72,7 @@ impl Default for EngineConfig {
             cache_capacity: 4096,
             surrogate_cache_capacity: 32_768,
             index_shards: 1,
+            executor_threads: 0,
             deadline_us: 0,
             forward_index: true,
         }
@@ -154,16 +168,31 @@ impl SearchEngine {
     /// (lets several engines — e.g. one per benchmarked algorithm — share
     /// one compilation). Builds the retrieval layer from
     /// [`EngineConfig::index_shards`]: the plain index at 1, a
-    /// [`ShardedIndex`] otherwise.
+    /// [`ShardedIndex`] otherwise — backed by a fresh persistent
+    /// [`ScoringExecutor`] when [`EngineConfig::executor_threads`] is
+    /// set. With one shard there is nothing to scatter, so
+    /// `executor_threads` is normalized to 0 in the stored config —
+    /// [`SearchEngine::config`] never reports a pool that was not built.
+    /// Deployments with *several* engines should instead build one
+    /// retriever + one executor and share them through
+    /// [`Self::with_retriever_and_forward`].
     pub fn with_compiled_store(
         index: Arc<InvertedIndex>,
         model: Arc<SpecializationModel>,
         store: Arc<SpecializationStore>,
         compiled: Arc<CompiledSpecStore>,
-        config: EngineConfig,
+        mut config: EngineConfig,
     ) -> Self {
+        if config.index_shards <= 1 {
+            config.executor_threads = 0;
+        }
         let retriever: Arc<dyn Retriever> = if config.index_shards > 1 {
-            Arc::new(ShardedIndex::build(index.clone(), config.index_shards))
+            let mut sharded = ShardedIndex::build(index.clone(), config.index_shards);
+            if config.executor_threads > 0 {
+                sharded =
+                    sharded.with_executor(Arc::new(ScoringExecutor::new(config.executor_threads)));
+            }
+            Arc::new(sharded)
         } else {
             index.clone()
         };
@@ -778,6 +807,68 @@ mod tests {
                 assert_eq!(a.algorithm, b.algorithm);
             }
         }
+    }
+
+    #[test]
+    fn executor_backed_engine_serves_identical_pages() {
+        use serpdiv_index::{ScoringExecutor, ShardedIndex};
+        let unsharded = deploy(diversifying_config());
+        // Build the executor-backed retriever explicitly (threshold 0 so
+        // every retrieval actually rides the pool on this tiny corpus)
+        // and funnel it into an engine sharing the unsharded deployment's
+        // artifacts.
+        let executor = Arc::new(ScoringExecutor::new(2));
+        let retriever: Arc<dyn Retriever> = Arc::new(
+            ShardedIndex::build(unsharded.index().clone(), 4)
+                .with_executor(executor)
+                .with_parallel_threshold(0),
+        );
+        let pooled = SearchEngine::with_retriever(
+            unsharded.index().clone(),
+            retriever,
+            unsharded.model().clone(),
+            unsharded.store().clone(),
+            unsharded.compiled().clone(),
+            EngineConfig {
+                index_shards: 4,
+                executor_threads: 2,
+                ..diversifying_config()
+            },
+        );
+        for algo in [
+            AlgorithmKind::Baseline,
+            AlgorithmKind::OptSelect,
+            AlgorithmKind::Mmr,
+        ] {
+            for query in ["apple", "weather forecast"] {
+                let a = unsharded.search(QueryRequest::new(query, 5, algo));
+                let b = pooled.search(QueryRequest::new(query, 5, algo));
+                assert_eq!(a.results, b.results, "{query} {algo:?}");
+                assert_eq!(a.algorithm, b.algorithm);
+            }
+        }
+    }
+
+    #[test]
+    fn executor_threads_knob_deploys_a_pooled_sharded_retriever() {
+        // The convenience path: EngineConfig alone must coherently attach
+        // an executor to the sharded retriever it builds.
+        let engine = deploy(EngineConfig {
+            index_shards: 3,
+            executor_threads: 2,
+            ..diversifying_config()
+        });
+        let out = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+        assert_eq!(out.results.len(), 4);
+        assert_eq!(engine.config().executor_threads, 2);
+        // One shard ⇒ nothing to scatter ⇒ no pool is built, and the
+        // stored config reports that truth rather than echoing the knob.
+        let unsharded = deploy(EngineConfig {
+            index_shards: 1,
+            executor_threads: 4,
+            ..diversifying_config()
+        });
+        assert_eq!(unsharded.config().executor_threads, 0);
     }
 
     #[test]

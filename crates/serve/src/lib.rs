@@ -51,7 +51,11 @@
 //!    plain [`InvertedIndex`](serpdiv_index::InvertedIndex) or a
 //!    [`ShardedIndex`](serpdiv_index::ShardedIndex) scoring document
 //!    partitions in parallel with a bit-identical scatter-gather merge
-//!    ([`EngineConfig::index_shards`]);
+//!    ([`EngineConfig::index_shards`]) — through the shared persistent
+//!    [`ScoringExecutor`](serpdiv_index::ScoringExecutor) when
+//!    [`EngineConfig::executor_threads`] deploys one, so scatter
+//!    parallelism composes with the worker pool's request parallelism
+//!    instead of spawning scoped threads per query;
 //! 3. **surrogate** ([`stages::SurrogateStage`]) — snippet surrogate
 //!    vectors for the candidates, memoized per `(doc, query-terms)` in the
 //!    sharded [`SurrogateCache`];
@@ -98,3 +102,9 @@ pub use surrogates::{SurrogateCache, SurrogateKey};
 // The per-request algorithm selector, re-exported so serving callers don't
 // need a direct `serpdiv-core` dependency.
 pub use serpdiv_core::AlgorithmKind;
+
+// The persistent scatter-scoring pool (and the sharded retriever it
+// backs), re-exported so deployments can build ONE executor and share it
+// across every engine and the request `WorkerPool` without a direct
+// `serpdiv-index` dependency.
+pub use serpdiv_index::{ScoringExecutor, ShardedIndex};

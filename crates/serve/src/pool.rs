@@ -7,6 +7,13 @@
 //! async runtime. Workers share the engine through an `Arc`; the engine is
 //! immutable after deployment, so there is no cross-request locking outside
 //! the result cache's shards.
+//!
+//! When the retrieval layer is a sharded index backed by a persistent
+//! [`ScoringExecutor`](serpdiv_index::ScoringExecutor), the pool's
+//! workers act as scatter *submitters*: each request hands its shard
+//! tasks to the shared scoring pool (helping drain its own batch while it
+//! waits), so total scoring threads stay `pool workers + executor
+//! threads` instead of multiplying per query.
 
 use crate::engine::SearchEngine;
 use crate::request::{QueryRequest, SearchResponse};

@@ -1,0 +1,253 @@
+//! Persistent-executor correctness: retrieval through the shared
+//! [`ScoringExecutor`] must be **bit-identical** — same doc ids, same
+//! `f64` score bits, same order — to the unsharded oracle, to the
+//! sequential scatter path, and to the pre-executor scoped-thread path,
+//! for every tested `shard count × executor threads` combination.
+//!
+//! Three layers of evidence:
+//! * a hand-built fixture with deliberate score ties straddling shard
+//!   boundaries (the merge tie-break and the per-shard accumulation order
+//!   are what could drift under a different scheduler),
+//! * an LCG-randomized corpus/query sweep over shard counts {1, 2, 4, 7}
+//!   × executor threads {1, 2, 4} (more rounds under
+//!   `--features property-tests`),
+//! * a check that one executor shared by several indexes (the intended
+//!   deployment shape) still serves each bit-identically.
+
+use serpdiv::index::{
+    Document, IndexBuilder, InvertedIndex, Retriever, ScatterMode, ScoredDoc, ScoringExecutor,
+    SearchEngine, ShardedIndex,
+};
+use std::sync::Arc;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+const EXECUTOR_THREADS: [usize; 3] = [1, 2, 4];
+
+fn assert_bit_identical(expect: &[ScoredDoc], got: &[ScoredDoc], context: &str) {
+    assert_eq!(expect.len(), got.len(), "{context}: length");
+    for (i, (e, g)) in expect.iter().zip(got).enumerate() {
+        assert_eq!(e.doc, g.doc, "{context}: doc at rank {i}");
+        assert_eq!(
+            e.score.to_bits(),
+            g.score.to_bits(),
+            "{context}: score bits at rank {i} ({} vs {})",
+            e.score,
+            g.score
+        );
+    }
+}
+
+/// Tiny deterministic generator (same discipline as the other suites: no
+/// external rand dependency, reproducible failures).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next() as usize) % items.len()]
+    }
+}
+
+/// Fixture with exact duplicate documents (ties) placed so that every
+/// shard count in the sweep splits at least one tie group across shards.
+fn tie_heavy_index() -> Arc<InvertedIndex> {
+    let texts = [
+        "apple iphone smartphone chip battery",
+        "apple fruit orchard sweet harvest",
+        "apple pie cinnamon recipe baking",
+        "storm wind rain forecast cloud",
+    ];
+    let mut b = IndexBuilder::new();
+    // 28 docs: doc i and doc i+4 share the same text → identical length,
+    // identical tf → identical DPH score for any query.
+    for i in 0..28u32 {
+        b.add(Document::new(
+            i,
+            format!("http://tie/{i}"),
+            "",
+            texts[i as usize % texts.len()],
+        ));
+    }
+    Arc::new(b.build())
+}
+
+/// A pooled index (threshold 0 so every query rides the executor) and a
+/// scoped-thread index over the same partitioning, for oracle duty.
+fn pooled_and_scoped(
+    index: &Arc<InvertedIndex>,
+    shards: usize,
+    executor: &Arc<ScoringExecutor>,
+) -> (ShardedIndex, ShardedIndex) {
+    let pooled = ShardedIndex::build(index.clone(), shards)
+        .with_executor(executor.clone())
+        .with_parallel_threshold(0);
+    let scoped = ShardedIndex::build(index.clone(), shards).with_scoring_workers(3);
+    (pooled, scoped)
+}
+
+#[test]
+fn tie_heavy_fixture_is_bit_identical_across_shards_and_threads() {
+    let index = tie_heavy_index();
+    let oracle = SearchEngine::new(&index);
+    let queries = [
+        "apple",
+        "apple iphone",
+        "apple pie recipe",
+        "storm rain",
+        "apple apple fruit", // duplicate query term (multiplicity weighting)
+        "chip orchard cinnamon cloud",
+    ];
+    for &threads in &EXECUTOR_THREADS {
+        let executor = Arc::new(ScoringExecutor::new(threads));
+        assert_eq!(executor.num_threads(), threads);
+        for &shards in &SHARD_COUNTS {
+            let (pooled, scoped) = pooled_and_scoped(&index, shards, &executor);
+            for query in queries {
+                let terms = index.analyze_query(query);
+                for k in [1, 2, 7, 13, 28, 100] {
+                    let ctx = format!("{query:?} k={k} shards={shards} threads={threads}");
+                    let expect = oracle.search(query, k);
+                    // Auto resolves to the executor (threshold 0, pool
+                    // attached) — the production path.
+                    assert_bit_identical(&expect, &pooled.retrieve(query, k), &ctx);
+                    // Forced modes: executor, sequential, and the
+                    // pre-executor scoped-thread oracle.
+                    assert_bit_identical(
+                        &expect,
+                        &pooled.retrieve_terms_with_mode(&terms, k, ScatterMode::Executor),
+                        &format!("{ctx} [executor]"),
+                    );
+                    assert_bit_identical(
+                        &expect,
+                        &pooled.retrieve_terms_with_mode(&terms, k, ScatterMode::Sequential),
+                        &format!("{ctx} [sequential]"),
+                    );
+                    assert_bit_identical(
+                        &expect,
+                        &scoped.retrieve_terms_with_mode(&terms, k, ScatterMode::ScopedThreads),
+                        &format!("{ctx} [scoped]"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn randomized_corpora_are_bit_identical_across_shards_and_threads() {
+    let vocab = [
+        "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india",
+        "juliet", "kilo", "lima",
+    ];
+    let rounds = if cfg!(feature = "property-tests") {
+        8
+    } else {
+        3
+    };
+    let mut rng = Lcg(0xe5ec_5eed);
+    for round in 0..rounds {
+        // Random corpus: 40–139 docs of 3–12 words from a 12-word
+        // vocabulary — dense term overlap, frequent score ties.
+        let num_docs = 40 + (rng.next() % 100) as u32;
+        let mut b = IndexBuilder::new();
+        for i in 0..num_docs {
+            let len = 3 + (rng.next() % 10) as usize;
+            let body = (0..len)
+                .map(|_| *rng.pick(&vocab))
+                .collect::<Vec<_>>()
+                .join(" ");
+            b.add(Document::new(i, format!("http://r/{i}"), "", body));
+        }
+        let index = Arc::new(b.build());
+        let oracle = SearchEngine::new(&index);
+        for &threads in &EXECUTOR_THREADS {
+            let executor = Arc::new(ScoringExecutor::new(threads));
+            for &shards in &SHARD_COUNTS {
+                let (pooled, scoped) = pooled_and_scoped(&index, shards, &executor);
+                for q in 0..6 {
+                    let qlen = 1 + (rng.next() % 4) as usize;
+                    let query = (0..qlen)
+                        .map(|_| *rng.pick(&vocab))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    let k = 1 + (rng.next() % 20) as usize;
+                    let ctx = format!(
+                        "round={round} q#{q} {query:?} k={k} shards={shards} threads={threads}"
+                    );
+                    let terms = index.analyze_query(&query);
+                    let expect = oracle.search(&query, k);
+                    assert_bit_identical(&expect, &pooled.retrieve(&query, k), &ctx);
+                    assert_bit_identical(
+                        &expect,
+                        &scoped.retrieve_terms_with_mode(&terms, k, ScatterMode::ScopedThreads),
+                        &format!("{ctx} [scoped]"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn one_executor_shared_by_several_indexes_serves_each_correctly() {
+    // The intended deployment shape: ONE pool, many sharded indexes (one
+    // per corpus / shard layout) submitting into it.
+    let executor = Arc::new(ScoringExecutor::new(2));
+    let tie = tie_heavy_index();
+    let mut b = IndexBuilder::new();
+    for i in 0..12u32 {
+        b.add(Document::new(
+            i,
+            format!("http://other/{i}"),
+            "",
+            if i % 2 == 0 {
+                "golf hotel india juliet"
+            } else {
+                "alpha bravo charlie golf"
+            },
+        ));
+    }
+    let other = Arc::new(b.build());
+    let tie_pooled = ShardedIndex::build(tie.clone(), 4)
+        .with_executor(executor.clone())
+        .with_parallel_threshold(0);
+    let other_pooled = ShardedIndex::build(other.clone(), 3)
+        .with_executor(executor.clone())
+        .with_parallel_threshold(0);
+    let tie_oracle = SearchEngine::new(&tie);
+    let other_oracle = SearchEngine::new(&other);
+    // Interleave queries so the two indexes' batches mingle in the queue.
+    for _ in 0..10 {
+        assert_bit_identical(
+            &tie_oracle.search("apple pie", 9),
+            &tie_pooled.retrieve("apple pie", 9),
+            "tie corpus through shared pool",
+        );
+        assert_bit_identical(
+            &other_oracle.search("golf charlie", 7),
+            &other_pooled.retrieve("golf charlie", 7),
+            "other corpus through shared pool",
+        );
+    }
+}
+
+#[test]
+fn executor_mode_requires_an_attached_pool() {
+    let index = tie_heavy_index();
+    let bare = ShardedIndex::build(index.clone(), 2);
+    let terms = index.analyze_query("apple");
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        bare.retrieve_terms_with_mode(&terms, 5, ScatterMode::Executor)
+    }));
+    assert!(
+        err.is_err(),
+        "forcing the executor path without a pool must panic"
+    );
+}
