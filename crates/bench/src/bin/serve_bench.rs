@@ -16,12 +16,12 @@
 //! ```text
 //! serve_bench [--sessions N] [--requests N] [--concurrency N] [--k N]
 //!             [--candidates N] [--shards N[,N...]]
-//!             [--executor-threads N[,N...]] [--no-cache]
-//!             [--no-surrogate-cache] [--json PATH]
+//!             [--executor-threads N[,N...]] [--fleet N[,N...]]
+//!             [--no-cache] [--no-surrogate-cache] [--json PATH]
 //! ```
 //! Defaults: 4000 sessions, 2000 requests, 8 workers, k=10, 100
-//! candidates, 1 index shard, no executor, both caches on, JSON to
-//! `BENCH_serve.json`.
+//! candidates, 1 index shard, no executor, no fleet, both caches on,
+//! JSON to `BENCH_serve.json`.
 //!
 //! `--shards` takes a comma-separated list (e.g. `--shards 1,2,4,8`) and
 //! replays the whole per-algorithm suite once per shard count, emitting
@@ -37,16 +37,32 @@
 //! `stage_retrieve_p50_us`. `0` (the default) keeps the per-query
 //! scoped-thread/sequential heuristic; combinations with 1 shard are
 //! skipped for sizes ≥ 1 (nothing to scatter).
+//!
+//! `--fleet` adds multi-*process* sweep points: for every listed N ≥ 1
+//! the index is exported into N shard artifacts, N real `shard_worker`
+//! processes are spawned on local sockets, and the whole per-algorithm
+//! suite is replayed through a [`FleetRouter`] — the same requests the
+//! in-process rows serve, now crossing a process boundary per shard.
+//! Fleet rows carry `"fleet": N` in the JSON (in-process rows carry
+//! `"fleet": 0`); every row also reports `queue_wait_p50_us` /
+//! `queue_wait_p99_us`, the pool's enqueue→pickup saturation signal.
+//! The `shard_worker` binary is looked up next to the bench executable
+//! (override with `SERPDIV_SHARD_WORKER_BIN`); build it first with
+//! `cargo build --release -p serpdiv-fleet`.
 
 use serpdiv_bench::{Lab, LabConfig};
 use serpdiv_core::{AlgorithmKind, CompiledSpecStore, SpecializationStore};
+use serpdiv_fleet::{FleetConfig, FleetRouter};
 use serpdiv_index::{
-    ForwardIndex, Retriever, ScoringExecutor, SearchEngine as DphEngine, ShardedIndex,
+    ForwardIndex, InvertedIndex, Retriever, ScoringExecutor, SearchEngine as DphEngine,
+    ShardedIndex,
 };
 use serpdiv_mining::json::{write_escaped, write_number};
 use serpdiv_serve::{EngineConfig, QueryRequest, SearchEngine, WorkerPool};
+use std::path::PathBuf;
+use std::process::Child;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     sessions: usize,
@@ -56,6 +72,7 @@ struct Args {
     candidates: usize,
     shards: Vec<usize>,
     executor_threads: Vec<usize>,
+    fleet: Vec<usize>,
     cache: bool,
     surrogate_cache: bool,
     json_path: String,
@@ -70,13 +87,14 @@ fn parse_args() -> Args {
         candidates: 100,
         shards: vec![1],
         executor_threads: vec![0],
+        fleet: Vec::new(),
         cache: true,
         surrogate_cache: true,
         json_path: "BENCH_serve.json".to_string(),
     };
     let usage = "usage: serve_bench [--sessions N] [--requests N] [--concurrency N] \
                  [--k N] [--candidates N] [--shards N[,N...]] \
-                 [--executor-threads N[,N...]] [--no-cache] \
+                 [--executor-threads N[,N...]] [--fleet N[,N...]] [--no-cache] \
                  [--no-surrogate-cache] [--json PATH]";
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -106,6 +124,12 @@ fn parse_args() -> Args {
                     .map(|v| parse_num(v, usage))
                     .collect();
             }
+            "--fleet" => {
+                args.fleet = next_str("--fleet")
+                    .split(',')
+                    .map(|v| parse_num(v, usage).max(1))
+                    .collect();
+            }
             "--no-cache" => args.cache = false,
             "--no-surrogate-cache" => args.surrogate_cache = false,
             "--json" => args.json_path = next_str("--json"),
@@ -129,19 +153,41 @@ fn parse_args() -> Args {
     args
 }
 
-/// The `(shards, executor_threads)` combinations the sweep will run:
-/// executor sizes ≥ 1 only apply to sharded entries (nothing to scatter
-/// on one shard).
-fn sweep_combos(args: &Args) -> Vec<(usize, usize)> {
-    args.shards
+/// One point of the serving sweep: how the retrieval layer is deployed
+/// for a full per-algorithm replay. `fleet == 0` means in-process
+/// (`shards`/`executor_threads` as before); `fleet == N ≥ 1` means N
+/// shard-worker *processes* behind a [`FleetRouter`].
+#[derive(Clone, Copy)]
+struct SweepPoint {
+    shards: usize,
+    executor_threads: usize,
+    fleet: usize,
+}
+
+/// The combinations the sweep will run: executor sizes ≥ 1 only apply
+/// to sharded in-process entries (nothing to scatter on one shard);
+/// every `--fleet` entry adds one multi-process point after them.
+fn sweep_combos(args: &Args) -> Vec<SweepPoint> {
+    let mut combos: Vec<SweepPoint> = args
+        .shards
         .iter()
         .flat_map(|&shards| {
             args.executor_threads
                 .iter()
                 .filter(move |&&threads| shards > 1 || threads == 0)
-                .map(move |&threads| (shards, threads))
+                .map(move |&threads| SweepPoint {
+                    shards,
+                    executor_threads: threads,
+                    fleet: 0,
+                })
         })
-        .collect()
+        .collect();
+    combos.extend(args.fleet.iter().map(|&n| SweepPoint {
+        shards: n,
+        executor_threads: 0,
+        fleet: n,
+    }));
+    combos
 }
 
 fn parse_num(v: &str, usage: &str) -> usize {
@@ -149,6 +195,82 @@ fn parse_num(v: &str, usage: &str) -> usize {
         eprintln!("error: expected a number, got {v:?}\n{usage}");
         std::process::exit(2);
     })
+}
+
+/// The `shard_worker` executable: `SERPDIV_SHARD_WORKER_BIN` if set,
+/// otherwise next to this binary (both live in `target/<profile>/`).
+fn shard_worker_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("SERPDIV_SHARD_WORKER_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.set_file_name("shard_worker");
+    p
+}
+
+/// A live shard-worker fleet for one sweep point: N exported artifacts
+/// on disk, N `shard_worker` processes on local sockets, one router.
+/// Dropping it kills the workers and removes the scratch directory.
+struct FleetDeployment {
+    dir: PathBuf,
+    children: Vec<Child>,
+    router: Arc<FleetRouter>,
+}
+
+impl FleetDeployment {
+    fn launch(index: Arc<InvertedIndex>, n: usize) -> FleetDeployment {
+        let bin = shard_worker_bin();
+        if !bin.is_file() {
+            eprintln!(
+                "error: shard_worker binary not found at {} — build it with \
+                 `cargo build --release -p serpdiv-fleet` (or set SERPDIV_SHARD_WORKER_BIN)",
+                bin.display()
+            );
+            std::process::exit(2);
+        }
+        let dir =
+            std::env::temp_dir().join(format!("serpdiv-fleet-bench-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create fleet scratch dir");
+        // The same range partitioning the in-process rows use, exported
+        // once per shard and handed to a real worker process.
+        let sharded = ShardedIndex::build(index.clone(), n);
+        let mut children = Vec::with_capacity(n);
+        let mut sockets = Vec::with_capacity(n);
+        for s in 0..n {
+            let artifact = dir.join(format!("shard-{s}.bin"));
+            let socket = dir.join(format!("shard-{s}.sock"));
+            std::fs::write(&artifact, sharded.export_shard(s)).expect("write shard artifact");
+            let child = std::process::Command::new(&bin)
+                .arg("--artifact")
+                .arg(&artifact)
+                .arg("--socket")
+                .arg(&socket)
+                .spawn()
+                .expect("spawn shard_worker");
+            children.push(child);
+            sockets.push(socket);
+        }
+        let router = Arc::new(FleetRouter::new(index, sockets, FleetConfig::default()));
+        if let Err(e) = router.wait_ready(Duration::from_secs(30)) {
+            eprintln!("error: fleet of {n} worker(s) never became ready: {e}");
+            std::process::exit(1);
+        }
+        FleetDeployment {
+            dir,
+            children,
+            router,
+        }
+    }
+}
+
+impl Drop for FleetDeployment {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> f64 {
@@ -159,12 +281,14 @@ fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1e3
 }
 
-/// Per-`(shard count, executor threads, algorithm)` results destined for
-/// the JSON report.
+/// Per-`(shard count, executor threads, fleet, algorithm)` results
+/// destined for the JSON report.
 struct AlgoReport {
     name: String,
     shards: usize,
     executor_threads: usize,
+    /// Worker *processes* behind a `FleetRouter`; 0 for in-process rows.
+    fleet: usize,
     qps: f64,
     p50_ms: f64,
     p95_ms: f64,
@@ -178,6 +302,12 @@ struct AlgoReport {
     /// Median surrogate-stage microseconds over computed requests — the
     /// compiled-forward-index signal.
     surrogate_p50_us: f64,
+    /// Enqueue→pickup wait in the worker pool (all requests) — the
+    /// saturation signal the stage timings start too late to see.
+    queue_wait_p50_us: f64,
+    queue_wait_p99_us: f64,
+    /// Pages served degraded because a shard was lost mid-gather.
+    degraded_shard_loss: u64,
     // Mean per-stage microseconds over computed requests.
     detect_us: u64,
     retrieve_us: u64,
@@ -221,6 +351,13 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
         }
         write_number(&mut out, *t as f64);
     }
+    out.push_str("], \"fleet\": [");
+    for (i, n) in args.fleet.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_number(&mut out, *n as f64);
+    }
     out.push_str("]},\n  \"offline\": {");
     for (i, (key, v)) in offline.iter().enumerate() {
         if i > 0 {
@@ -241,6 +378,7 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
         let fields = [
             ("shards", a.shards as f64),
             ("executor_threads", a.executor_threads as f64),
+            ("fleet", a.fleet as f64),
             ("qps", a.qps),
             ("p50_ms", a.p50_ms),
             ("p95_ms", a.p95_ms),
@@ -250,6 +388,9 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
             ("diversified_pct", a.diversified_pct),
             ("stage_retrieve_p50_us", a.retrieve_p50_us),
             ("stage_surrogate_p50_us", a.surrogate_p50_us),
+            ("queue_wait_p50_us", a.queue_wait_p50_us),
+            ("queue_wait_p99_us", a.queue_wait_p99_us),
+            ("degraded_shard_loss", a.degraded_shard_loss as f64),
             ("stage_detect_us", a.detect_us as f64),
             ("stage_retrieve_us", a.retrieve_us as f64),
             ("stage_surrogate_us", a.surrogate_us as f64),
@@ -275,12 +416,13 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
 fn main() {
     let args = parse_args();
     println!(
-        "serve_bench — {} requests/algorithm over {} workers (k={}, |Rq|={}, shards {:?}, cache {}, surrogate cache {})",
+        "serve_bench — {} requests/algorithm over {} workers (k={}, |Rq|={}, shards {:?}, fleet {:?}, cache {}, surrogate cache {})",
         args.requests,
         args.concurrency,
         args.k,
         args.candidates,
         args.shards,
+        args.fleet,
         if args.cache { "on" } else { "off" },
         if args.surrogate_cache { "on" } else { "off" },
     );
@@ -352,13 +494,23 @@ fn main() {
     assert!(!queries.is_empty(), "test split is empty; raise --sessions");
 
     let mut reports = Vec::new();
-    for (shards, executor_threads) in sweep_combos(&args) {
+    for point in sweep_combos(&args) {
+        let SweepPoint {
+            shards,
+            executor_threads,
+            fleet,
+        } = point;
         // One retriever per sweep point, shared by every algorithm's
         // engine (partitioning is a deploy-time cost, paid once) — and,
         // when the executor sweep is on, ONE persistent scoring pool
         // shared across all five engines and the request worker pool.
+        // Fleet points instead export the shards and spawn real worker
+        // processes; the deployment must outlive the whole replay.
         let t = Instant::now();
-        let retriever: Arc<dyn Retriever> = if shards > 1 {
+        let fleet_deployment = (fleet > 0).then(|| FleetDeployment::launch(index.clone(), fleet));
+        let retriever: Arc<dyn Retriever> = if let Some(deployment) = &fleet_deployment {
+            deployment.router.clone()
+        } else if shards > 1 {
             let mut sharded = ShardedIndex::build(index.clone(), shards);
             if executor_threads > 0 {
                 // Threshold 0: every retrieval rides the pool, so the
@@ -373,11 +525,18 @@ fn main() {
             index.clone()
         };
         println!(
-            "\n=== {shards} index shard(s), {} (partitioned in {:.2}s) ===",
-            if executor_threads > 0 {
+            "\n=== {shards} index shard(s), {} ({} in {:.2}s) ===",
+            if fleet > 0 {
+                format!("{fleet} shard-worker process(es) over local sockets")
+            } else if executor_threads > 0 {
                 format!("{executor_threads}-thread scoring executor")
             } else {
                 "per-query scatter heuristic".to_string()
+            },
+            if fleet > 0 {
+                "fleet booted"
+            } else {
+                "partitioned"
             },
             t.elapsed().as_secs_f64()
         );
@@ -440,6 +599,12 @@ fn main() {
                 .map(|r| r.timings.surrogate_us)
                 .collect();
             surrogates_us.sort_unstable();
+            // Queue wait is measured per pooled request, cache hits
+            // included — saturation does not care what the worker does
+            // once it picks the job up.
+            let mut queue_waits_us: Vec<u64> =
+                responses.iter().map(|r| r.timings.queue_wait_us).collect();
+            queue_waits_us.sort_unstable();
             let qps = responses.len() as f64 / wall_s;
             let hit_rate = engine
                 .cache()
@@ -457,6 +622,7 @@ fn main() {
                 name: format!("{algo:?}"),
                 shards,
                 executor_threads,
+                fleet,
                 qps,
                 p50_ms: percentile(&totals, 50.0),
                 p95_ms: percentile(&totals, 95.0),
@@ -466,6 +632,9 @@ fn main() {
                 diversified_pct,
                 retrieve_p50_us: percentile(&retrieves, 50.0) * 1e3,
                 surrogate_p50_us: percentile(&surrogates_us, 50.0) * 1e3,
+                queue_wait_p50_us: percentile(&queue_waits_us, 50.0) * 1e3,
+                queue_wait_p99_us: percentile(&queue_waits_us, 99.0) * 1e3,
+                degraded_shard_loss: m.degraded_shard_loss,
                 detect_us: m.stage_sums.detect_us / computed,
                 retrieve_us: m.stage_sums.retrieve_us / computed,
                 surrogate_us: m.stage_sums.surrogate_us / computed,
@@ -490,6 +659,13 @@ fn main() {
                 report.surrogate_p50_us,
             );
             reports.push(report);
+        }
+        if let Some(deployment) = &fleet_deployment {
+            let fm = deployment.router.metrics();
+            println!(
+                "fleet health: {} gathers, {} partial, {} shard failures, {} timeouts, {} reconnects",
+                fm.requests, fm.partial_gathers, fm.shard_failures, fm.shard_timeouts, fm.reconnects
+            );
         }
     }
     println!("\n(per-stage means are over computed — non-cache-hit — requests)");

@@ -40,6 +40,12 @@ use serpdiv_text::TermId;
 use std::borrow::Borrow;
 use std::collections::HashMap;
 
+/// Magic number of the serialized compiled-store image
+/// (see [`CompiledSpecStore::to_bytes`]).
+const SPEC_MAGIC: u32 = 0x5E9D_1F0C;
+/// Version of the serialized image; bumped on any layout change.
+const SPEC_VERSION: u32 = 1;
+
 /// The offline-compiled, immutable specialization index.
 ///
 /// Holds, for every specialization in the deployed store:
@@ -196,6 +202,131 @@ impl CompiledSpecStore {
             term_ranges,
             postings,
         }
+    }
+
+    /// Serialize the compiled store to a standalone binary image.
+    ///
+    /// The image persists the canonical state only — sorted names, list
+    /// lengths, and the folded vectors with their exact `f64` weight bits
+    /// — and [`from_bytes`](Self::from_bytes) rebuilds the derived
+    /// structures (name→id map, global inverted map), so a round-tripped
+    /// store scores bit-identically to the original and the two
+    /// representations can never disagree.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SPEC_MAGIC.to_le_bytes());
+        out.extend_from_slice(&SPEC_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.names.len() as u32).to_le_bytes());
+        for (i, name) in self.names.iter().enumerate() {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(self.list_lens[i] as u32).to_le_bytes());
+            let folded = &self.folded[i];
+            out.extend_from_slice(&(folded.len() as u32).to_le_bytes());
+            for &(t, w) in folded {
+                out.extend_from_slice(&t.0.to_le_bytes());
+                out.extend_from_slice(&w.to_bits().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a store serialized by [`to_bytes`](Self::to_bytes),
+    /// validating structure before trusting any of it: magic, version,
+    /// every length against the bytes present, UTF-8 names in strictly
+    /// sorted order, strictly increasing term ids per folded vector,
+    /// finite weights, and no trailing bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, serpdiv_index::DecodeError> {
+        use serpdiv_index::DecodeError;
+
+        struct Cursor<'a> {
+            data: &'a [u8],
+            pos: usize,
+        }
+        impl Cursor<'_> {
+            fn take(&mut self, n: usize) -> Result<&[u8], DecodeError> {
+                let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+                if end > self.data.len() {
+                    return Err(DecodeError::Truncated);
+                }
+                let slice = &self.data[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            fn u32(&mut self) -> Result<u32, DecodeError> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+            fn u64(&mut self) -> Result<u64, DecodeError> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+        }
+
+        let mut cur = Cursor { data, pos: 0 };
+        if cur.u32()? != SPEC_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = cur.u32()?;
+        if version != SPEC_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let num_specs = cur.u32()? as usize;
+        let mut ids = HashMap::with_capacity(num_specs);
+        let mut names: Vec<String> = Vec::with_capacity(num_specs);
+        let mut list_lens = Vec::with_capacity(num_specs);
+        let mut folded = Vec::with_capacity(num_specs);
+        for id in 0..num_specs {
+            let name_len = cur.u32()? as usize;
+            let name = std::str::from_utf8(cur.take(name_len)?)
+                .map_err(|_| DecodeError::BadUtf8)?
+                .to_string();
+            if let Some(prev) = names.last() {
+                if *prev >= name {
+                    return Err(DecodeError::Corrupt(
+                        "specialization names not strictly sorted",
+                    ));
+                }
+            }
+            list_lens.push(cur.u32()? as usize);
+            let folded_len = cur.u32()? as usize;
+            let mut entries: Vec<(TermId, f64)> = Vec::with_capacity(folded_len.min(1 << 16));
+            let mut prev_term: Option<u32> = None;
+            for _ in 0..folded_len {
+                let t = cur.u32()?;
+                let w = f64::from_bits(cur.u64()?);
+                if prev_term.is_some_and(|p| p >= t) {
+                    return Err(DecodeError::Corrupt("folded terms not strictly increasing"));
+                }
+                prev_term = Some(t);
+                if !w.is_finite() {
+                    return Err(DecodeError::Corrupt("non-finite folded weight"));
+                }
+                entries.push((TermId(t), w));
+            }
+            ids.insert(name.clone(), id as u32);
+            names.push(name);
+            folded.push(entries);
+        }
+        if cur.pos != data.len() {
+            return Err(DecodeError::Corrupt("trailing bytes after store"));
+        }
+
+        // Rebuild the global inverted map from the folded vectors — same
+        // code path as compile-time, so the structures cannot diverge.
+        let triples: Vec<(TermId, u32, f64)> = folded
+            .iter()
+            .enumerate()
+            .flat_map(|(s, entries)| entries.iter().map(move |&(t, w)| (t, s as u32, w)))
+            .collect();
+        let (terms, term_ranges, postings) = invert(triples);
+        Ok(CompiledSpecStore {
+            ids,
+            names,
+            list_lens,
+            folded,
+            terms,
+            term_ranges,
+            postings,
+        })
     }
 
     /// Score one candidate against **every** specialization in the store
@@ -500,6 +631,105 @@ mod tests {
         assert_eq!(c.len(), 1);
         let u = c.score_all(&v(&[(1, 1.0)]), UtilityParams::default());
         assert!(u[0] > 0.9, "first list (term 1) won: {u:?}");
+    }
+
+    #[test]
+    fn binary_round_trip_scores_bit_identically() {
+        let (_, c) = store();
+        let bytes = c.to_bytes();
+        let back = CompiledSpecStore::from_bytes(&bytes).expect("valid image");
+        assert_eq!(back.len(), c.len());
+        for id in 0..c.len() as u32 {
+            assert_eq!(back.name(id), c.name(id));
+            assert_eq!(back.list_len(id), c.list_len(id));
+            assert_eq!(back.spec_id(c.name(id)), Some(id));
+        }
+        assert_eq!(back.num_terms(), c.num_terms());
+        assert_eq!(back.num_postings(), c.num_postings());
+        let params = UtilityParams { threshold_c: 0.0 };
+        for cand in [
+            v(&[(1, 1.0), (4, 2.0)]),
+            v(&[(2, 3.0), (3, 1.0), (5, 0.5)]),
+            v(&[(9, 1.0)]),
+        ] {
+            let a = c.score_all(&cand, params);
+            let b = back.score_all(&cand, params);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "utilities must be exact");
+            }
+        }
+        // An empty store round-trips too.
+        let empty = CompiledSpecStore::build(Vec::<(&str, std::iter::Empty<&SparseVector>)>::new());
+        let back = CompiledSpecStore::from_bytes(&empty.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn corrupt_or_truncated_images_are_rejected() {
+        use serpdiv_index::DecodeError;
+        let (_, c) = store();
+        let bytes = c.to_bytes();
+
+        // Every truncation fails (never panics, never half-loads).
+        for cut in 0..bytes.len() {
+            assert!(
+                CompiledSpecStore::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            CompiledSpecStore::from_bytes(&bad),
+            Err(DecodeError::BadMagic)
+        ));
+
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            CompiledSpecStore::from_bytes(&bad),
+            Err(DecodeError::BadVersion(99))
+        ));
+
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(matches!(
+            CompiledSpecStore::from_bytes(&bad),
+            Err(DecodeError::Corrupt(_))
+        ));
+
+        // Unsorted names: hand-build an image with "b" before "a".
+        let a = [v(&[(1, 1.0)])];
+        let unsorted = {
+            let c1 = CompiledSpecStore::build(vec![("b", a.iter())]);
+            let c2 = CompiledSpecStore::build(vec![("a", a.iter())]);
+            let mut img = c1.to_bytes();
+            // Splice c2's single spec record after c1's, bump the count.
+            img[8..12].copy_from_slice(&2u32.to_le_bytes());
+            img.extend_from_slice(&c2.to_bytes()[12..]);
+            img
+        };
+        assert!(matches!(
+            CompiledSpecStore::from_bytes(&unsorted),
+            Err(DecodeError::Corrupt(
+                "specialization names not strictly sorted"
+            ))
+        ));
+
+        // A non-finite weight is corrupt: overwrite the first folded
+        // weight with NaN bits. Layout of the first record for "empty"
+        // (no folded entries) means we corrupt a later one — find the
+        // first weight by rebuilding a single-spec store instead.
+        let single = CompiledSpecStore::build(vec![("x", a.iter())]);
+        let mut img = single.to_bytes();
+        let w_off = img.len() - 8; // last field is the only weight
+        img[w_off..].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(
+            CompiledSpecStore::from_bytes(&img),
+            Err(DecodeError::Corrupt("non-finite folded weight"))
+        ));
     }
 
     #[test]

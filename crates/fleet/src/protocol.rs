@@ -1,0 +1,470 @@
+//! The framed binary protocol between the router and its shard workers.
+//!
+//! One frame on the wire is a little-endian length prefix followed by a
+//! fixed header and an opcode-specific body:
+//!
+//! ```text
+//! [payload_len u32]                         — length prefix (excluded)
+//! [magic u32][version u32][request_id u64]  — 17-byte fixed header
+//! [opcode u8][body …]
+//! ```
+//!
+//! Request ids are chosen by the router (monotone per connection) and
+//! echoed verbatim by the worker, so a router that timed out on one
+//! response can never mistake a late reply for the answer to a newer
+//! question — mismatched ids condemn the connection.
+//!
+//! Decoding follows the same validate-on-decode discipline as the index
+//! artifact formats: the length prefix is checked against a hard cap
+//! *before* the payload is read ([`FrameError::Oversized`]), every body
+//! length field is checked against the bytes actually present
+//! ([`FrameError::Truncated`]), trailing garbage is rejected
+//! ([`FrameError::Corrupt`]), and scores travel as raw `f64` bits — the
+//! gather on the router side merges the exact bits the worker computed,
+//! which is what keeps multi-process pages bit-identical to in-process
+//! ones.
+
+use bytes::{Buf, BufMut, BytesMut};
+use serpdiv_index::{DocId, ScoredDoc};
+use serpdiv_text::TermId;
+use std::io::{Read, Write};
+
+/// First four bytes of every frame payload.
+pub const PROTOCOL_MAGIC: u32 = 0x5EA7_F1E7;
+/// Current protocol version; bumped on any wire-format change.
+pub const PROTOCOL_VERSION: u32 = 1;
+/// Default cap on one frame's payload, bytes. Generous for any sane
+/// `(k, terms)` and small enough that a corrupt or hostile length prefix
+/// cannot make either side allocate gigabytes.
+pub const DEFAULT_MAX_FRAME: u32 = 8 << 20;
+
+const OP_QUERY: u8 = 0x01;
+const OP_PING: u8 = 0x02;
+const OP_HITS: u8 = 0x81;
+const OP_PONG: u8 = 0x82;
+
+/// One protocol message. `Query`/`Ping` flow router → worker;
+/// `Hits`/`Pong` flow back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Score the shard for pre-analyzed query terms and return the
+    /// shard-local top `k`.
+    Query {
+        /// Router-chosen id, echoed in the matching [`Frame::Hits`].
+        id: u64,
+        /// Page size requested (the worker clamps it to its doc range).
+        k: u32,
+        /// Pre-analyzed query terms (the router runs the analyzer once;
+        /// term ids are global, shared through the shard artifact).
+        terms: Vec<TermId>,
+    },
+    /// The shard-local top-`k`, ordered `(score desc, doc asc)`; scores
+    /// are the worker's exact `f64` bits.
+    Hits {
+        /// Echo of the query id.
+        id: u64,
+        /// The ranked shard-local hits.
+        hits: Vec<ScoredDoc>,
+    },
+    /// Health probe.
+    Ping {
+        /// Router-chosen id, echoed in the matching [`Frame::Pong`].
+        id: u64,
+    },
+    /// Health reply, identifying which shard this worker serves — the
+    /// router verifies the wiring (endpoint *s* really serves shard *s*)
+    /// before trusting a worker's hits.
+    Pong {
+        /// Echo of the ping id.
+        id: u64,
+        /// Which shard of the partition the worker booted.
+        shard_id: u32,
+        /// First global doc id of the worker's range.
+        base: u32,
+        /// Number of doc ids in the worker's range.
+        range_len: u32,
+    },
+}
+
+impl Frame {
+    /// The request id carried by any frame kind.
+    pub fn id(&self) -> u64 {
+        match *self {
+            Frame::Query { id, .. }
+            | Frame::Hits { id, .. }
+            | Frame::Ping { id }
+            | Frame::Pong { id, .. } => id,
+        }
+    }
+}
+
+/// Why a frame payload failed to decode. Any of these condemns the
+/// connection it arrived on — framing errors are not recoverable
+/// mid-stream, because nothing downstream of a bad length field can be
+/// trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The payload does not start with [`PROTOCOL_MAGIC`].
+    BadMagic,
+    /// Unsupported [`PROTOCOL_VERSION`].
+    BadVersion(u32),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// The payload ended before its declared contents.
+    Truncated,
+    /// The length prefix exceeds the configured frame cap; the payload
+    /// was not read.
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// The payload framed correctly but its contents are structurally
+    /// invalid; the payload names the failed check.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "not a fleet frame (bad magic)"),
+            FrameError::BadVersion(v) => write!(f, "unsupported fleet protocol version {v}"),
+            FrameError::BadOpcode(op) => write!(f, "unknown fleet opcode {op:#04x}"),
+            FrameError::Truncated => write!(f, "truncated fleet frame"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "oversized fleet frame ({len} bytes, cap {max})")
+            }
+            FrameError::Corrupt(what) => write!(f, "corrupt fleet frame ({what})"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A frame-level failure on a live connection: either the transport broke
+/// ([`Io`](Self::Io) — includes read timeouts) or the peer sent bytes
+/// that do not decode ([`Frame`](Self::Frame)).
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed (EOF, reset, timeout, …).
+    Io(std::io::Error),
+    /// The bytes arrived but are not a valid frame.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "fleet transport error: {e}"),
+            WireError::Frame(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Encode `frame` into its full wire form, length prefix included.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut payload = BytesMut::new();
+    payload.put_u32_le(PROTOCOL_MAGIC);
+    payload.put_u32_le(PROTOCOL_VERSION);
+    payload.put_u64_le(frame.id());
+    match frame {
+        Frame::Query { terms, k, .. } => {
+            payload.put_u8(OP_QUERY);
+            payload.put_u32_le(*k);
+            payload.put_u32_le(terms.len() as u32);
+            for t in terms {
+                payload.put_u32_le(t.0);
+            }
+        }
+        Frame::Hits { hits, .. } => {
+            payload.put_u8(OP_HITS);
+            payload.put_u32_le(hits.len() as u32);
+            for h in hits {
+                payload.put_u32_le(h.doc.0);
+                payload.put_u64_le(h.score.to_bits());
+            }
+        }
+        Frame::Ping { .. } => {
+            payload.put_u8(OP_PING);
+        }
+        Frame::Pong {
+            shard_id,
+            base,
+            range_len,
+            ..
+        } => {
+            payload.put_u8(OP_PONG);
+            payload.put_u32_le(*shard_id);
+            payload.put_u32_le(*base);
+            payload.put_u32_le(*range_len);
+        }
+    }
+    let mut wire = Vec::with_capacity(4 + payload.len());
+    wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&payload);
+    wire
+}
+
+/// Decode one frame payload (the bytes *after* the length prefix),
+/// validating header, opcode, every body length field, and the absence of
+/// trailing bytes.
+pub fn decode_payload(payload: &[u8]) -> Result<Frame, FrameError> {
+    let mut buf = payload;
+    if buf.remaining() < 17 {
+        return Err(FrameError::Truncated);
+    }
+    if buf.get_u32_le() != PROTOCOL_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let id = buf.get_u64_le();
+    let opcode = buf.get_u8();
+    let frame = match opcode {
+        OP_QUERY => {
+            if buf.remaining() < 8 {
+                return Err(FrameError::Truncated);
+            }
+            let k = buf.get_u32_le();
+            let n = buf.get_u32_le() as usize;
+            if buf.remaining() < n * 4 {
+                return Err(FrameError::Truncated);
+            }
+            let mut terms = Vec::with_capacity(n);
+            for _ in 0..n {
+                terms.push(TermId(buf.get_u32_le()));
+            }
+            Frame::Query { id, k, terms }
+        }
+        OP_HITS => {
+            if buf.remaining() < 4 {
+                return Err(FrameError::Truncated);
+            }
+            let n = buf.get_u32_le() as usize;
+            if buf.remaining() < n * 12 {
+                return Err(FrameError::Truncated);
+            }
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                let doc = DocId(buf.get_u32_le());
+                let score = f64::from_bits(buf.get_u64_le());
+                hits.push(ScoredDoc { doc, score });
+            }
+            Frame::Hits { id, hits }
+        }
+        OP_PING => Frame::Ping { id },
+        OP_PONG => {
+            if buf.remaining() < 12 {
+                return Err(FrameError::Truncated);
+            }
+            Frame::Pong {
+                id,
+                shard_id: buf.get_u32_le(),
+                base: buf.get_u32_le(),
+                range_len: buf.get_u32_le(),
+            }
+        }
+        op => return Err(FrameError::BadOpcode(op)),
+    };
+    if buf.remaining() != 0 {
+        return Err(FrameError::Corrupt("trailing bytes after frame body"));
+    }
+    Ok(frame)
+}
+
+/// Write one frame to `w` (length prefix + payload, one `write_all`).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+/// Read one frame from `r`, enforcing `max_frame` on the length prefix
+/// *before* reading the payload (an oversized or garbage prefix costs the
+/// reader nothing but the 4 bytes already read).
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, WireError> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix);
+    if len > max_frame {
+        return Err(WireError::Frame(FrameError::Oversized {
+            len,
+            max: max_frame,
+        }));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode_payload(&payload).map_err(WireError::Frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let wire = encode_frame(&frame);
+        let decoded = decode_payload(&wire[4..]).expect("valid frame");
+        assert_eq!(frame, decoded);
+        // Through the Read/Write path too.
+        let mut cursor: &[u8] = &wire;
+        let via_read = read_frame(&mut cursor, DEFAULT_MAX_FRAME).expect("readable");
+        assert_eq!(frame, via_read);
+    }
+
+    #[test]
+    fn all_frame_kinds_round_trip() {
+        roundtrip(Frame::Ping { id: 7 });
+        roundtrip(Frame::Pong {
+            id: 7,
+            shard_id: 2,
+            base: 100,
+            range_len: 50,
+        });
+        roundtrip(Frame::Query {
+            id: u64::MAX,
+            k: 10,
+            terms: vec![TermId(0), TermId(42), TermId(u32::MAX)],
+        });
+        roundtrip(Frame::Hits {
+            id: 3,
+            hits: vec![
+                ScoredDoc {
+                    doc: DocId(5),
+                    score: 1.25,
+                },
+                ScoredDoc {
+                    doc: DocId(9),
+                    score: -0.0,
+                },
+            ],
+        });
+        roundtrip(Frame::Query {
+            id: 0,
+            k: 0,
+            terms: vec![],
+        });
+        roundtrip(Frame::Hits {
+            id: 0,
+            hits: vec![],
+        });
+    }
+
+    #[test]
+    fn score_bits_survive_exactly() {
+        let tricky = [f64::MIN_POSITIVE, f64::MAX, 1.0 + f64::EPSILON, -0.0];
+        let frame = Frame::Hits {
+            id: 1,
+            hits: tricky
+                .iter()
+                .enumerate()
+                .map(|(i, &score)| ScoredDoc {
+                    doc: DocId(i as u32),
+                    score,
+                })
+                .collect(),
+        };
+        let wire = encode_frame(&frame);
+        let Frame::Hits { hits, .. } = decode_payload(&wire[4..]).unwrap() else {
+            panic!("wrong kind");
+        };
+        for (h, &expect) in hits.iter().zip(&tricky) {
+            assert_eq!(h.score.to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_opcode_rejected() {
+        let mut wire = encode_frame(&Frame::Ping { id: 1 });
+        wire[4] ^= 0xFF; // magic
+        assert_eq!(decode_payload(&wire[4..]), Err(FrameError::BadMagic));
+
+        let mut wire = encode_frame(&Frame::Ping { id: 1 });
+        wire[8] = 9; // version
+        assert_eq!(decode_payload(&wire[4..]), Err(FrameError::BadVersion(9)));
+
+        let mut wire = encode_frame(&Frame::Ping { id: 1 });
+        wire[20] = 0x7F; // opcode
+        assert_eq!(decode_payload(&wire[4..]), Err(FrameError::BadOpcode(0x7F)));
+    }
+
+    #[test]
+    fn every_truncation_rejected() {
+        for frame in [
+            Frame::Ping { id: 1 },
+            Frame::Query {
+                id: 2,
+                k: 5,
+                terms: vec![TermId(1), TermId(2)],
+            },
+            Frame::Hits {
+                id: 3,
+                hits: vec![ScoredDoc {
+                    doc: DocId(1),
+                    score: 1.0,
+                }],
+            },
+            Frame::Pong {
+                id: 4,
+                shard_id: 0,
+                base: 0,
+                range_len: 1,
+            },
+        ] {
+            let wire = encode_frame(&frame);
+            for cut in 0..wire.len() - 5 {
+                assert!(
+                    decode_payload(&wire[4..4 + cut]).is_err(),
+                    "{frame:?} cut at {cut} must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut wire = encode_frame(&Frame::Ping { id: 1 });
+        wire.push(0xAB);
+        assert_eq!(
+            decode_payload(&wire[4..]),
+            Err(FrameError::Corrupt("trailing bytes after frame body"))
+        );
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_without_reading_payload() {
+        // A giant declared length with no payload behind it: the reader
+        // must refuse at the prefix, not try to allocate or block.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor: &[u8] = &wire;
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME) {
+            Err(WireError::Frame(FrameError::Oversized { len, max })) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, DEFAULT_MAX_FRAME);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_count_cannot_overallocate() {
+        // A Hits frame declaring 2^32/12 hits in a 30-byte payload must be
+        // rejected by the remaining-bytes check before any allocation.
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(PROTOCOL_MAGIC);
+        payload.put_u32_le(PROTOCOL_VERSION);
+        payload.put_u64_le(1);
+        payload.put_u8(OP_HITS);
+        payload.put_u32_le(u32::MAX / 12);
+        assert_eq!(decode_payload(&payload), Err(FrameError::Truncated));
+    }
+}

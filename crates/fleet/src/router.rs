@@ -1,0 +1,496 @@
+//! The router side of the fleet: scatter to shard workers, gather exactly.
+//!
+//! [`FleetRouter`] holds one lazily-connected Unix-socket link per shard
+//! worker. A query is scattered to every link in parallel, each worker
+//! returns its shard-local top-`k`, and the router merges the per-shard
+//! lists with [`merge_top_k`] — the *same* k-way `(score desc, doc asc)`
+//! merge the in-process [`ShardedIndex`](serpdiv_index::ShardedIndex)
+//! uses, over the *same* `f64` bits (they cross the wire as raw bits). A
+//! fully-answered gather is therefore bit-identical to in-process
+//! serving.
+//!
+//! # Failure containment
+//!
+//! Each link owns an independent failure state, so one sick worker never
+//! stalls the fleet:
+//!
+//! * **Deadlines** — every socket carries read/write timeouts
+//!   ([`FleetConfig::shard_timeout`]); a slow worker costs at most one
+//!   deadline, after which its connection is condemned (a late reply
+//!   would desync request ids) and the gather proceeds without it.
+//! * **Partial gathers** — the merge runs over whichever shards
+//!   answered; the result is reported as incomplete via
+//!   [`Retrieval::partial`] so the serving layer can label the response
+//!   degraded instead of presenting a partial ranking as the real one.
+//! * **Reconnect with backoff** — a failed link waits out an exponential
+//!   backoff window (base doubling to a cap) before the next connect
+//!   attempt; queries during the window fail the shard instantly rather
+//!   than queueing behind connect syscalls. A broken *cached* connection
+//!   (worker restarted since the last query) gets one immediate
+//!   reconnect-and-resend before counting as a failure, so a bounced
+//!   worker costs exactly one degraded response.
+
+use crate::protocol::{read_frame, write_frame, Frame, WireError, DEFAULT_MAX_FRAME};
+use serpdiv_index::{merge_top_k, InvertedIndex, Retrieval, Retriever, ScoredDoc};
+use serpdiv_text::TermId;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Tunables for the router's failure handling.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Per-shard socket read/write deadline. A worker that does not
+    /// answer within it is dropped from the gather.
+    pub shard_timeout: Duration,
+    /// First backoff window after a failed connect.
+    pub backoff_base: Duration,
+    /// Cap on the doubling backoff window.
+    pub backoff_max: Duration,
+    /// Frame-size cap handed to [`read_frame`](crate::protocol::read_frame).
+    pub max_frame: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shard_timeout: Duration::from_millis(250),
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(2),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Mutable per-link state, guarded by the link's mutex.
+struct LinkState {
+    conn: Option<UnixStream>,
+    /// Next backoff window to apply on connect failure.
+    backoff: Duration,
+    /// If set, no connect attempt before this instant.
+    retry_at: Option<Instant>,
+    /// Monotone per-connection request id.
+    next_id: u64,
+    ever_connected: bool,
+}
+
+/// One router→worker link.
+struct WorkerLink {
+    path: PathBuf,
+    state: Mutex<LinkState>,
+}
+
+impl WorkerLink {
+    fn lock(&self) -> MutexGuard<'_, LinkState> {
+        // A poisoned lock means a scatter thread panicked mid-exchange;
+        // the connection may be desynced, so condemn it and carry on —
+        // the router itself must never panic.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.conn = None;
+                guard
+            }
+        }
+    }
+}
+
+/// How one shard exchange failed, which decides whether an immediate
+/// retry is worth it.
+enum ShardError {
+    /// The worker did not answer within the deadline. Retrying would pay
+    /// a second full deadline for a worker known to be slow — don't.
+    Timeout,
+    /// The transport broke or the peer spoke garbage. Typically a
+    /// restarted worker behind a stale connection; an immediate
+    /// reconnect usually succeeds.
+    Broken,
+}
+
+/// Counters the router keeps about its fleet; see [`FleetRouter::metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetMetricsSnapshot {
+    /// Scatter-gather rounds served.
+    pub requests: u64,
+    /// Rounds in which at least one shard was missing from the gather.
+    pub partial_gathers: u64,
+    /// Individual shard exchanges that failed (timeouts included).
+    pub shard_failures: u64,
+    /// Shard exchanges that failed on the deadline specifically.
+    pub shard_timeouts: u64,
+    /// Successful connects after a link had already been connected once.
+    pub reconnects: u64,
+}
+
+/// A multi-process scatter-gather retriever: the in-process analyzer and
+/// merge around a fleet of out-of-process shard scorers.
+///
+/// Implements [`Retriever`], so it drops into the serving engine exactly
+/// where `ShardedIndex` does.
+pub struct FleetRouter {
+    index: Arc<InvertedIndex>,
+    links: Vec<WorkerLink>,
+    config: FleetConfig,
+    requests: AtomicU64,
+    partial_gathers: AtomicU64,
+    shard_failures: AtomicU64,
+    shard_timeouts: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl FleetRouter {
+    /// Build a router over `sockets` (one per shard, in shard order).
+    ///
+    /// `index` supplies query analysis only — postings stay in the
+    /// workers. Connections are opened lazily on first use; call
+    /// [`wait_ready`](Self::wait_ready) to block until the whole fleet
+    /// answers pings.
+    ///
+    /// # Panics
+    ///
+    /// If `sockets` is empty.
+    pub fn new(index: Arc<InvertedIndex>, sockets: Vec<PathBuf>, config: FleetConfig) -> Self {
+        assert!(!sockets.is_empty(), "a fleet needs at least one worker");
+        let links = sockets
+            .into_iter()
+            .map(|path| WorkerLink {
+                path,
+                state: Mutex::new(LinkState {
+                    conn: None,
+                    backoff: config.backoff_base,
+                    retry_at: None,
+                    next_id: 0,
+                    ever_connected: false,
+                }),
+            })
+            .collect();
+        FleetRouter {
+            index,
+            links,
+            config,
+            requests: AtomicU64::new(0),
+            partial_gathers: AtomicU64::new(0),
+            shard_failures: AtomicU64::new(0),
+            shard_timeouts: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shard workers behind this router.
+    pub fn num_shards(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Current failure/recovery counters.
+    pub fn metrics(&self) -> FleetMetricsSnapshot {
+        FleetMetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            partial_gathers: self.partial_gathers.load(Ordering::Relaxed),
+            shard_failures: self.shard_failures.load(Ordering::Relaxed),
+            shard_timeouts: self.shard_timeouts.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Block until every worker answers a ping, or `timeout` elapses.
+    ///
+    /// Verifies the wiring while it waits: endpoint *s* must report shard
+    /// id *s*, so a shuffled socket list fails loudly at boot instead of
+    /// silently merging wrong ranges.
+    pub fn wait_ready(&self, timeout: Duration) -> Result<(), String> {
+        let deadline = Instant::now() + timeout;
+        let mut pending: Vec<usize> = (0..self.links.len()).collect();
+        loop {
+            pending.retain(|&s| {
+                // Boot-time probing ignores the steady-state backoff
+                // windows — the whole point is to poll until up.
+                self.links[s].lock().retry_at = None;
+                match self.exchange_inner(s, |id| Frame::Ping { id }, false) {
+                    Ok(Frame::Pong { shard_id, .. }) => {
+                        if shard_id as usize != s {
+                            // Leave it pending; the caller gets a clear
+                            // error below rather than a wrong merge later.
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    _ => true,
+                }
+            });
+            if pending.is_empty() {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "fleet not ready after {timeout:?}: shards {pending:?} unreachable or miswired"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Scatter pre-analyzed terms to the fleet and gather the union
+    /// top-`k`, reporting whether every shard contributed.
+    pub fn retrieve_terms_with_status(&self, terms: &[TermId], k: usize) -> Retrieval {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if terms.is_empty() || k == 0 {
+            return Retrieval::complete(Vec::new());
+        }
+        let per_shard: Vec<Option<Vec<ScoredDoc>>> = if self.links.len() == 1 {
+            vec![self.shard_query(0, terms, k)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.links.len())
+                    .map(|s| scope.spawn(move || self.shard_query(s, terms, k)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or(None))
+                    .collect()
+            })
+        };
+        let complete = per_shard.iter().all(Option::is_some);
+        if !complete {
+            self.partial_gathers.fetch_add(1, Ordering::Relaxed);
+        }
+        // The gather: identical merge to in-process scatter-gather, over
+        // whichever shards answered (all of them, in the healthy case).
+        let hits = merge_top_k(per_shard.into_iter().flatten().collect(), k);
+        if complete {
+            Retrieval::complete(hits)
+        } else {
+            Retrieval::partial(hits)
+        }
+    }
+
+    /// One shard's top-`k`, or `None` if the worker failed or is in
+    /// backoff.
+    fn shard_query(&self, s: usize, terms: &[TermId], k: usize) -> Option<Vec<ScoredDoc>> {
+        let k = u32::try_from(k).unwrap_or(u32::MAX);
+        match self.exchange(s, |id| Frame::Query {
+            id,
+            k,
+            terms: terms.to_vec(),
+        }) {
+            Ok(Frame::Hits { hits, .. }) => Some(hits),
+            _ => None,
+        }
+    }
+
+    /// Run one request/reply exchange with shard `s`, reconnecting once
+    /// through a stale connection, honoring the backoff window.
+    fn exchange(&self, s: usize, make: impl Fn(u64) -> Frame) -> Result<Frame, ()> {
+        self.exchange_inner(s, make, true)
+    }
+
+    /// [`exchange`](Self::exchange) with failure counting switchable —
+    /// boot-time probing ([`wait_ready`](Self::wait_ready)) polls workers
+    /// that are *expected* to still be starting, which is not a fleet
+    /// failure worth alarming on.
+    fn exchange_inner(
+        &self,
+        s: usize,
+        make: impl Fn(u64) -> Frame,
+        count_failures: bool,
+    ) -> Result<Frame, ()> {
+        let link = &self.links[s];
+        let mut state = link.lock();
+        for attempt in 0..2 {
+            if state.conn.is_none() {
+                if let Some(at) = state.retry_at {
+                    if Instant::now() < at {
+                        return Err(()); // in backoff: fail fast, no syscall
+                    }
+                }
+                match UnixStream::connect(&link.path) {
+                    Ok(conn) => {
+                        let _ = conn.set_read_timeout(Some(self.config.shard_timeout));
+                        let _ = conn.set_write_timeout(Some(self.config.shard_timeout));
+                        if state.ever_connected {
+                            self.reconnects.fetch_add(1, Ordering::Relaxed);
+                        }
+                        state.ever_connected = true;
+                        state.backoff = self.config.backoff_base;
+                        state.retry_at = None;
+                        state.conn = Some(conn);
+                    }
+                    Err(_) => {
+                        self.note_failure(&mut state, false, count_failures);
+                        return Err(());
+                    }
+                }
+            }
+            let id = state.next_id;
+            state.next_id += 1;
+            let frame = make(id);
+            let conn = state.conn.as_mut().expect("connected above");
+            match Self::roundtrip(conn, &frame, id, self.config.max_frame) {
+                Ok(reply) => return Ok(reply),
+                Err(kind) => {
+                    // Whatever happened, the connection can no longer be
+                    // trusted to be in sync — condemn it.
+                    state.conn = None;
+                    match kind {
+                        ShardError::Broken if attempt == 0 => continue,
+                        ShardError::Broken => {
+                            self.note_failure(&mut state, false, count_failures);
+                            return Err(());
+                        }
+                        ShardError::Timeout => {
+                            self.note_failure(&mut state, true, count_failures);
+                            return Err(());
+                        }
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on success, final failure, or timeout");
+    }
+
+    /// Write `frame`, read the reply, verify the echoed id and kind.
+    fn roundtrip(
+        conn: &mut UnixStream,
+        frame: &Frame,
+        id: u64,
+        max_frame: u32,
+    ) -> Result<Frame, ShardError> {
+        write_frame(conn, frame).map_err(|e| Self::classify(&e))?;
+        match read_frame(conn, max_frame) {
+            Ok(reply) => {
+                let kind_ok = matches!(
+                    (frame, &reply),
+                    (Frame::Query { .. }, Frame::Hits { .. })
+                        | (Frame::Ping { .. }, Frame::Pong { .. })
+                );
+                if kind_ok && reply.id() == id {
+                    Ok(reply)
+                } else {
+                    // Stale or alien reply: ids desynced.
+                    Err(ShardError::Broken)
+                }
+            }
+            Err(WireError::Io(e)) => Err(Self::classify(&e)),
+            Err(WireError::Frame(_)) => Err(ShardError::Broken),
+        }
+    }
+
+    fn classify(e: &std::io::Error) -> ShardError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ShardError::Timeout,
+            _ => ShardError::Broken,
+        }
+    }
+
+    fn note_failure(&self, state: &mut LinkState, timeout: bool, count: bool) {
+        if count {
+            self.shard_failures.fetch_add(1, Ordering::Relaxed);
+            if timeout {
+                self.shard_timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        state.retry_at = Some(Instant::now() + state.backoff);
+        state.backoff = (state.backoff * 2).min(self.config.backoff_max);
+    }
+}
+
+impl Retriever for FleetRouter {
+    fn retrieve(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
+        self.retrieve_terms(&self.index.analyze_query(query), k)
+    }
+
+    fn retrieve_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
+        self.retrieve_terms_with_status(terms, k).hits
+    }
+
+    fn retrieve_with_status(&self, query: &str, k: usize) -> Retrieval {
+        self.retrieve_terms_with_status(&self.index.analyze_query(query), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serpdiv_index::{Document, IndexBuilder};
+
+    fn tiny_index() -> Arc<InvertedIndex> {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new(0, "u0", "apple", "apple iphone"));
+        Arc::new(b.build())
+    }
+
+    fn dead_socket(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "serpdiv-router-test-{}-{tag}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn all_workers_down_yields_empty_partial_not_panic() {
+        let router = FleetRouter::new(
+            tiny_index(),
+            vec![dead_socket("down-a"), dead_socket("down-b")],
+            FleetConfig::default(),
+        );
+        let r = router.retrieve_with_status("apple", 5);
+        assert!(r.hits.is_empty());
+        assert!(!r.complete);
+        let m = router.metrics();
+        assert_eq!(m.requests, 1);
+        assert_eq!(m.partial_gathers, 1);
+        assert_eq!(m.shard_failures, 2);
+    }
+
+    #[test]
+    fn backoff_window_fails_fast_and_expires() {
+        let config = FleetConfig {
+            backoff_base: Duration::from_millis(40),
+            ..FleetConfig::default()
+        };
+        let router = FleetRouter::new(tiny_index(), vec![dead_socket("backoff")], config);
+        assert!(!router.retrieve_with_status("apple", 5).complete);
+        let after_first = router.metrics().shard_failures;
+        assert_eq!(after_first, 1);
+        // Inside the window: the shard fails fast without a connect
+        // attempt, so the failure counter does not move.
+        assert!(!router.retrieve_with_status("apple", 5).complete);
+        assert_eq!(router.metrics().shard_failures, after_first);
+        // After the window a real (failing) connect is attempted again.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!router.retrieve_with_status("apple", 5).complete);
+        assert_eq!(router.metrics().shard_failures, after_first + 1);
+    }
+
+    #[test]
+    fn empty_query_is_complete_without_touching_workers() {
+        let router = FleetRouter::new(
+            tiny_index(),
+            vec![dead_socket("idle")],
+            FleetConfig::default(),
+        );
+        let r = router.retrieve_with_status("zzzzunknown", 5);
+        assert!(r.complete);
+        assert!(r.hits.is_empty());
+        assert_eq!(router.metrics().shard_failures, 0);
+    }
+
+    #[test]
+    fn wait_ready_times_out_with_named_shards() {
+        let config = FleetConfig {
+            shard_timeout: Duration::from_millis(50),
+            ..FleetConfig::default()
+        };
+        let router = FleetRouter::new(tiny_index(), vec![dead_socket("notready")], config);
+        let err = router
+            .wait_ready(Duration::from_millis(80))
+            .expect_err("no worker is listening");
+        assert!(err.contains("[0]"), "error names the shard: {err}");
+    }
+}

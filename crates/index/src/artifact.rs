@@ -1,0 +1,551 @@
+//! Standalone per-shard serving artifacts for out-of-process workers.
+//!
+//! A fleet worker process serves exactly one shard of a
+//! [`ShardedIndex`](crate::sharded::ShardedIndex). It must not need the
+//! global index at boot — that would defeat the point of partitioning —
+//! so [`ShardedIndex::export_shard`](crate::sharded::ShardedIndex::export_shard)
+//! captures everything shard scoring reads into one self-contained binary
+//! buffer: the shard-local postings slice **plus the global statistics**
+//! (collection stats, per-term stats, the range's document lengths) that
+//! make a document's score independent of where it is scored.
+//!
+//! ```text
+//! [magic u32][version u32]
+//! [shard_id u32][num_shards u32]
+//! [base u32][range_len u32]
+//! [num_docs u64][num_tokens u64][avg_doc_len f64-bits u64]
+//! [doc_lens: u32 count (== range_len) + raw u32s]
+//! [terms: u32 count + (doc_freq u32, coll_freq u64,
+//!                      local_len u32, byte_len u32 + compressed bytes)*]
+//! ```
+//!
+//! `avg_doc_len` is persisted as raw `f64` bits rather than recomputed so
+//! the worker scores with the exact same collection statistics as the
+//! router's process — bit-identity is the contract, not approximation.
+//!
+//! Decoding follows the same validate-on-decode discipline as
+//! [`InvertedIndex::from_bytes`](crate::index::InvertedIndex) and
+//! [`ForwardIndex::from_bytes`](crate::forward::ForwardIndex): framing
+//! errors are [`DecodeError::Truncated`]/[`BadMagic`]/[`BadVersion`], and
+//! structural violations — postings out of the shard's range, non-monotone
+//! doc ids, zero frequencies, undecodable varints — are
+//! [`DecodeError::Corrupt`] naming the failed check. A worker never boots
+//! from an artifact that could panic the scoring loop.
+//!
+//! [`BadMagic`]: DecodeError::BadMagic
+//! [`BadVersion`]: DecodeError::BadVersion
+
+use crate::document::DocId;
+use crate::dph::Dph;
+use crate::index::{CollectionStats, InvertedIndex, TermStats};
+use crate::postings::PostingsList;
+use crate::search::{query_weights, ScoredDoc};
+use crate::serialize::DecodeError;
+use crate::sharded::{score_range_dense, score_range_sparse, RangeSource};
+use bytes::{Buf, BufMut, BytesMut};
+use serpdiv_text::TermId;
+
+const MAGIC: u32 = 0x5E9D_1F05;
+const VERSION: u32 = 1;
+
+/// Largest artifact doc-range scored with the dense accumulator (same
+/// default as the in-process scatter path).
+const DENSE_ACCUMULATOR_LIMIT: usize = 1 << 16;
+
+/// Encode one shard into the artifact format (called by
+/// [`ShardedIndex::export_shard`](crate::sharded::ShardedIndex::export_shard)).
+pub(crate) fn encode_shard(
+    index: &InvertedIndex,
+    shard_id: u32,
+    num_shards: u32,
+    base: u32,
+    range_len: usize,
+    postings: &[PostingsList],
+) -> Vec<u8> {
+    let coll = index.stats();
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(shard_id);
+    buf.put_u32_le(num_shards);
+    buf.put_u32_le(base);
+    buf.put_u32_le(range_len as u32);
+    buf.put_u64_le(coll.num_docs);
+    buf.put_u64_le(coll.num_tokens);
+    buf.put_u64_le(coll.avg_doc_len.to_bits());
+
+    buf.put_u32_le(range_len as u32);
+    for i in 0..range_len {
+        buf.put_u32_le(index.doc_len(DocId(base + i as u32)).unwrap_or(0));
+    }
+
+    buf.put_u32_le(postings.len() as u32);
+    for (t, list) in postings.iter().enumerate() {
+        let stats = index.term_stats(TermId(t as u32)).unwrap_or(TermStats {
+            doc_freq: 0,
+            coll_freq: 0,
+        });
+        buf.put_u32_le(stats.doc_freq as u32);
+        buf.put_u64_le(stats.coll_freq);
+        buf.put_u32_le(list.len() as u32);
+        let payload = list.raw_bytes();
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(payload);
+    }
+    buf.to_vec()
+}
+
+/// One shard of a [`ShardedIndex`](crate::sharded::ShardedIndex), decoded
+/// into a standalone scorer a worker process boots from.
+///
+/// Scoring goes through the exact dense/sparse range-accumulation code
+/// the in-process scatter path uses, with the global statistics the
+/// artifact carries — per-document scores (and therefore the per-shard
+/// top-`k` a worker returns) are bit-identical to scoring the same shard
+/// inside the router's process.
+#[derive(Debug)]
+pub struct ShardArtifact {
+    shard_id: u32,
+    num_shards: u32,
+    base: u32,
+    doc_lens: Vec<u32>,
+    coll: CollectionStats,
+    term_stats: Vec<TermStats>,
+    postings: Vec<PostingsList>,
+    dense_limit: usize,
+}
+
+/// Decode one LEB128 varint without panicking on truncated or overlong
+/// input (the trusted in-memory decoder in `postings` indexes directly
+/// and would panic — fine after validation, unacceptable during it).
+fn checked_varint(data: &[u8], mut pos: usize) -> Option<(u32, usize)> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(pos)?;
+        pos += 1;
+        let chunk = u32::from(byte & 0x7f);
+        if shift > 28 || (shift == 28 && chunk > 0x0f) {
+            return None; // would overflow u32
+        }
+        value |= chunk << shift;
+        if byte & 0x80 == 0 {
+            return Some((value, pos));
+        }
+        shift += 7;
+    }
+}
+
+/// Walk one compressed postings payload, checking it decodes to exactly
+/// `count` `(doc, tf)` pairs with strictly increasing doc ids inside
+/// `[base, base + range_len)`, positive frequencies, and no trailing
+/// bytes. Returns the failed check, if any.
+fn validate_payload(
+    payload: &[u8],
+    count: usize,
+    base: u32,
+    range_len: usize,
+) -> Result<(), &'static str> {
+    let mut pos = 0;
+    let mut last_doc: Option<u32> = None;
+    for _ in 0..count {
+        let Some((delta, p)) = checked_varint(payload, pos) else {
+            return Err("undecodable postings varint");
+        };
+        let Some((tf, p)) = checked_varint(payload, p) else {
+            return Err("undecodable postings varint");
+        };
+        pos = p;
+        let doc = match last_doc {
+            None => delta,
+            Some(last) => {
+                if delta == 0 {
+                    return Err("non-increasing doc ids in postings");
+                }
+                match last.checked_add(delta) {
+                    Some(doc) => doc,
+                    None => return Err("doc id overflow in postings"),
+                }
+            }
+        };
+        if u64::from(doc) < u64::from(base) || u64::from(doc) >= u64::from(base) + range_len as u64
+        {
+            return Err("posting outside shard range");
+        }
+        if tf == 0 {
+            return Err("zero term frequency in postings");
+        }
+        last_doc = Some(doc);
+    }
+    if pos != payload.len() {
+        return Err("trailing bytes in postings payload");
+    }
+    Ok(())
+}
+
+impl ShardArtifact {
+    /// Decode an artifact produced by
+    /// [`ShardedIndex::export_shard`](crate::sharded::ShardedIndex::export_shard),
+    /// validating every structural invariant the scoring loop relies on.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, DecodeError> {
+        let mut buf = data;
+        if buf.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        if buf.get_u32_le() != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        if buf.remaining() < 16 + 24 {
+            return Err(DecodeError::Truncated);
+        }
+        let shard_id = buf.get_u32_le();
+        let num_shards = buf.get_u32_le();
+        let base = buf.get_u32_le();
+        let range_len = buf.get_u32_le() as usize;
+        let num_docs = buf.get_u64_le();
+        let num_tokens = buf.get_u64_le();
+        let avg_doc_len = f64::from_bits(buf.get_u64_le());
+
+        if num_shards == 0 || shard_id >= num_shards {
+            return Err(DecodeError::Corrupt("shard id out of range"));
+        }
+        if u64::from(base) + range_len as u64 > num_docs {
+            return Err(DecodeError::Corrupt("shard range exceeds collection"));
+        }
+        if !avg_doc_len.is_finite() || avg_doc_len < 0.0 {
+            return Err(DecodeError::Corrupt("non-finite average document length"));
+        }
+
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let n_lens = buf.get_u32_le() as usize;
+        if n_lens != range_len {
+            return Err(DecodeError::Corrupt("doc_lens count differs from range"));
+        }
+        if buf.remaining() < n_lens * 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut doc_lens = Vec::with_capacity(n_lens);
+        for _ in 0..n_lens {
+            doc_lens.push(buf.get_u32_le());
+        }
+
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let n_terms = buf.get_u32_le() as usize;
+        let mut term_stats = Vec::with_capacity(n_terms);
+        let mut postings = Vec::with_capacity(n_terms);
+        for _ in 0..n_terms {
+            if buf.remaining() < 20 {
+                return Err(DecodeError::Truncated);
+            }
+            let doc_freq = buf.get_u32_le() as u64;
+            let coll_freq = buf.get_u64_le();
+            let local_len = buf.get_u32_le();
+            let byte_len = buf.get_u32_le() as usize;
+            if buf.remaining() < byte_len {
+                return Err(DecodeError::Truncated);
+            }
+            if u64::from(local_len) > doc_freq {
+                return Err(DecodeError::Corrupt(
+                    "shard postings exceed global doc freq",
+                ));
+            }
+            let payload = &buf[..byte_len];
+            validate_payload(payload, local_len as usize, base, range_len)
+                .map_err(DecodeError::Corrupt)?;
+            postings.push(PostingsList::from_raw(payload.to_vec().into(), local_len));
+            buf.advance(byte_len);
+            term_stats.push(TermStats {
+                doc_freq,
+                coll_freq,
+            });
+        }
+
+        Ok(ShardArtifact {
+            shard_id,
+            num_shards,
+            base,
+            doc_lens,
+            coll: CollectionStats {
+                num_docs,
+                num_tokens,
+                avg_doc_len,
+            },
+            term_stats,
+            postings,
+            dense_limit: DENSE_ACCUMULATOR_LIMIT,
+        })
+    }
+
+    /// Which shard of the partition this artifact holds.
+    pub fn shard_id(&self) -> u32 {
+        self.shard_id
+    }
+
+    /// How many shards the source partition has in total.
+    pub fn num_shards(&self) -> u32 {
+        self.num_shards
+    }
+
+    /// First global doc id of the shard's contiguous range.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of doc ids in the shard's range.
+    pub fn range_len(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// The global collection statistics the artifact carries.
+    pub fn collection_stats(&self) -> CollectionStats {
+        self.coll
+    }
+
+    /// Override the dense-accumulator cutoff (mirrors
+    /// [`ShardedIndex::with_dense_accumulator_limit`](crate::sharded::ShardedIndex::with_dense_accumulator_limit);
+    /// the ranking is identical either way).
+    pub fn with_dense_accumulator_limit(mut self, limit: usize) -> Self {
+        self.dense_limit = limit;
+        self
+    }
+
+    /// The shard-local top `k` for pre-analyzed query terms: exactly what
+    /// this shard would contribute to an in-process scatter — same
+    /// accumulation order, same `f64` bits, same `(score desc, doc asc)`
+    /// ordering — ready for the router's k-way gather.
+    pub fn score_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
+        if terms.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let weights = query_weights(terms);
+        let model = Dph::new();
+        if self.range_len() <= self.dense_limit {
+            score_range_dense(self, &weights, &model, k)
+        } else {
+            score_range_sparse(self, &weights, &model, k)
+        }
+    }
+}
+
+impl RangeSource for ShardArtifact {
+    fn coll(&self) -> CollectionStats {
+        self.coll
+    }
+
+    fn term_stats(&self, t: TermId) -> Option<TermStats> {
+        self.term_stats.get(t.index()).copied()
+    }
+
+    fn range_postings(&self, t: TermId) -> Option<&PostingsList> {
+        self.postings.get(t.index())
+    }
+
+    fn doc_len(&self, doc: DocId) -> u32 {
+        doc.index()
+            .checked_sub(self.base as usize)
+            .and_then(|i| self.doc_lens.get(i))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn base(&self) -> u32 {
+        self.base
+    }
+
+    fn range_len(&self) -> usize {
+        self.doc_lens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::document::Document;
+    use crate::search::SearchEngine;
+    use crate::sharded::{merge_top_k, ShardedIndex};
+    use std::sync::Arc;
+
+    fn index() -> Arc<InvertedIndex> {
+        let texts = [
+            "apple iphone smartphone chip",
+            "apple fruit orchard sweet",
+            "apple pie cinnamon recipe",
+            "weather storm rain wind",
+            "apple iphone smartphone chip", // duplicate → score tie
+        ];
+        let mut b = IndexBuilder::new();
+        for i in 0..30u32 {
+            b.add(Document::new(
+                i,
+                format!("http://d/{i}"),
+                "",
+                texts[i as usize % texts.len()],
+            ));
+        }
+        Arc::new(b.build())
+    }
+
+    fn artifacts(idx: &Arc<InvertedIndex>, shards: usize) -> Vec<ShardArtifact> {
+        let sharded = ShardedIndex::build(idx.clone(), shards);
+        (0..sharded.num_shards())
+            .map(|s| ShardArtifact::from_bytes(&sharded.export_shard(s)).expect("valid artifact"))
+            .collect()
+    }
+
+    #[test]
+    fn exported_shards_score_bit_identically() {
+        let idx = index();
+        let oracle = SearchEngine::new(&idx);
+        for shards in [1, 2, 4, 7] {
+            let arts = artifacts(&idx, shards);
+            for query in ["apple", "apple iphone", "weather storm", "apple apple pie"] {
+                let terms = idx.analyze_query(query);
+                for k in [1, 3, 10, 100] {
+                    let expect = oracle.search(query, k);
+                    let per_shard: Vec<_> = arts.iter().map(|a| a.score_terms(&terms, k)).collect();
+                    let got = merge_top_k(per_shard, k);
+                    assert_eq!(expect.len(), got.len(), "{query} k={k} shards={shards}");
+                    for (e, g) in expect.iter().zip(&got) {
+                        assert_eq!(e.doc, g.doc, "{query} k={k} shards={shards}");
+                        assert_eq!(
+                            e.score.to_bits(),
+                            g.score.to_bits(),
+                            "{query} k={k} shards={shards}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_fallback_matches_dense() {
+        let idx = index();
+        let sharded = ShardedIndex::build(idx.clone(), 3);
+        let terms = idx.analyze_query("apple iphone chip");
+        for s in 0..3 {
+            let bytes = sharded.export_shard(s);
+            let dense = ShardArtifact::from_bytes(&bytes).unwrap();
+            let sparse = ShardArtifact::from_bytes(&bytes)
+                .unwrap()
+                .with_dense_accumulator_limit(0);
+            let a = dense.score_terms(&terms, 12);
+            let b = sparse.score_terms(&terms, 12);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.doc, y.doc);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_round_trips() {
+        let idx = index();
+        let sharded = ShardedIndex::build(idx.clone(), 4);
+        let art = ShardArtifact::from_bytes(&sharded.export_shard(2)).unwrap();
+        assert_eq!(art.shard_id(), 2);
+        assert_eq!(art.num_shards(), 4);
+        assert_eq!(art.base(), 16);
+        assert_eq!(art.range_len(), 8);
+        assert_eq!(art.collection_stats(), idx.stats());
+    }
+
+    #[test]
+    fn empty_terms_and_zero_k() {
+        let idx = index();
+        let art = artifacts(&idx, 2).remove(0);
+        assert!(art.score_terms(&[], 10).is_empty());
+        assert!(art.score_terms(&idx.analyze_query("apple"), 0).is_empty());
+        assert!(
+            art.score_terms(&[TermId(u32::MAX)], 10).is_empty(),
+            "unknown term ids score nothing"
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let idx = index();
+        let mut bytes = ShardedIndex::build(idx, 2).export_shard(0);
+        assert_eq!(
+            ShardArtifact::from_bytes(&[0u8; 64]).unwrap_err(),
+            DecodeError::BadMagic
+        );
+        bytes[4] = 9; // version field
+        assert_eq!(
+            ShardArtifact::from_bytes(&bytes).unwrap_err(),
+            DecodeError::BadVersion(9)
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_rejected() {
+        let idx = index();
+        let bytes = ShardedIndex::build(idx, 2).export_shard(1);
+        for cut in 0..bytes.len() {
+            assert!(
+                ShardArtifact::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_postings_rejected_not_panicking() {
+        let idx = index();
+        let sharded = ShardedIndex::build(idx, 2);
+        let clean = sharded.export_shard(0);
+        // Flip every byte past the fixed header one at a time: decoding
+        // must return an error or a structurally valid artifact — never
+        // panic. (Flipped doc-len bytes stay valid; flipped postings
+        // bytes are the dangerous case for the scoring loop.)
+        let header = 4 * 6 + 8 * 3 + 4;
+        let mut rejected = 0;
+        for i in header..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0xFF;
+            if ShardArtifact::from_bytes(&bytes).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "some corruptions must be caught");
+    }
+
+    #[test]
+    fn out_of_range_posting_is_corrupt() {
+        // Hand-build an artifact whose posting doc id falls outside the
+        // declared shard range.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(0); // shard_id
+        buf.put_u32_le(1); // num_shards
+        buf.put_u32_le(0); // base
+        buf.put_u32_le(2); // range_len
+        buf.put_u64_le(2); // num_docs
+        buf.put_u64_le(4); // num_tokens
+        buf.put_u64_le(2.0f64.to_bits());
+        buf.put_u32_le(2); // doc_lens
+        buf.put_u32_le(2);
+        buf.put_u32_le(2);
+        buf.put_u32_le(1); // one term
+        buf.put_u32_le(1); // doc_freq
+        buf.put_u64_le(1); // coll_freq
+        buf.put_u32_le(1); // local_len
+        buf.put_u32_le(2); // byte_len
+        buf.put_slice(&[5u8, 1u8]); // doc 5 (out of range), tf 1
+        assert_eq!(
+            ShardArtifact::from_bytes(&buf.to_vec()).unwrap_err(),
+            DecodeError::Corrupt("posting outside shard range")
+        );
+    }
+}

@@ -18,6 +18,9 @@
 //!   (TAAT DPH, MaxScore, sharded scatter-gather) implements,
 //! * [`sharded`] — [`ShardedIndex`]: deploy-time document partitioning
 //!   with parallel per-shard scoring and a bit-identical k-way merge,
+//! * [`artifact`] — [`ShardArtifact`]: one shard serialized into a
+//!   standalone scorer (postings slice + the global statistics), the boot
+//!   image of an out-of-process fleet worker,
 //! * [`executor`] — [`ScoringExecutor`]: the shared persistent pool of
 //!   pinned-scratch workers the scatter step submits latched per-query
 //!   task batches to (no per-query thread spawn),
@@ -42,6 +45,7 @@
 //! assert_eq!(hits[0].doc.0, 0);
 //! ```
 
+pub mod artifact;
 pub mod bm25;
 pub mod builder;
 pub mod cache;
@@ -60,6 +64,7 @@ pub mod sharded;
 pub mod snippet;
 pub mod vector;
 
+pub use artifact::ShardArtifact;
 pub use builder::IndexBuilder;
 pub use cache::CachingEngine;
 pub use document::{DocId, Document, DocumentStore};
@@ -69,8 +74,9 @@ pub use forward::ForwardIndex;
 pub use index::{CollectionStats, InvertedIndex, TermStats};
 pub use maxscore::MaxScoreEngine;
 pub use positions::{phrase_search, PositionalIndex};
-pub use retriever::Retriever;
+pub use retriever::{Retrieval, Retriever};
 pub use search::{query_weights, RankingModel, ScoredDoc, SearchEngine};
-pub use sharded::{ScatterMode, ShardedIndex};
+pub use serialize::DecodeError;
+pub use sharded::{merge_top_k, ScatterMode, ShardedIndex};
 pub use snippet::SnippetGenerator;
 pub use vector::{cosine, cosine64, SparseVector};

@@ -33,6 +33,41 @@ use crate::maxscore::MaxScoreEngine;
 use crate::search::{RankingModel, ScoredDoc, SearchEngine};
 use serpdiv_text::TermId;
 
+/// The outcome of one retrieval together with its completeness status.
+///
+/// In-process retrievers always see the whole collection, so their
+/// results are always [`complete`](Self::complete). A distributed
+/// retriever (the fleet router) can lose a shard to a timeout or a dead
+/// worker and still serve the gather over the shards that answered; it
+/// reports `complete: false` so the serving layer can degrade the
+/// response honestly instead of presenting a partial ranking as the real
+/// one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrieval {
+    /// The ranked hits (gathered over whichever shards answered).
+    pub hits: Vec<ScoredDoc>,
+    /// Whether every shard of the collection contributed.
+    pub complete: bool,
+}
+
+impl Retrieval {
+    /// A retrieval that saw the whole collection.
+    pub fn complete(hits: Vec<ScoredDoc>) -> Self {
+        Retrieval {
+            hits,
+            complete: true,
+        }
+    }
+
+    /// A retrieval that lost at least one shard.
+    pub fn partial(hits: Vec<ScoredDoc>) -> Self {
+        Retrieval {
+            hits,
+            complete: false,
+        }
+    }
+}
+
 /// A top-`k` retrieval strategy over an indexed collection.
 ///
 /// Implementations must be deterministic: equal queries return equal
@@ -45,6 +80,15 @@ pub trait Retriever: Send + Sync {
 
     /// Top-`k` documents for pre-analyzed query terms.
     fn retrieve_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc>;
+
+    /// Like [`retrieve`](Self::retrieve), with a completeness flag.
+    ///
+    /// The default forwards to `retrieve` and reports complete — correct
+    /// for every in-process strategy. Distributed retrievers override it
+    /// to surface partial gathers (see [`Retrieval`]).
+    fn retrieve_with_status(&self, query: &str, k: usize) -> Retrieval {
+        Retrieval::complete(self.retrieve(query, k))
+    }
 }
 
 /// The default retriever: term-at-a-time DPH over the whole collection

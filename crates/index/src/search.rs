@@ -105,8 +105,10 @@ impl<'a> SearchEngine<'a> {
         // Term-at-a-time accumulation in deterministic term order.
         let mut acc: HashMap<DocId, f64> = HashMap::new();
         accumulate_term_contributions(
-            self.index,
+            self.index.stats(),
+            |t| self.index.term_stats(t),
             |t| self.index.postings(t),
+            |doc| self.index.doc_len(doc).unwrap_or(0),
             &query_weights(terms),
             &*self.model,
             |doc, s| *acc.entry(doc).or_insert(0.0) += s,
@@ -123,25 +125,30 @@ impl<'a> SearchEngine<'a> {
 /// by `weights` (canonically ascending term id, see [`query_weights`]).
 ///
 /// This is the **single definition** of per-document score accumulation —
-/// the unsharded engine and both per-shard scorer forms
-/// ([`ShardedIndex`](crate::sharded::ShardedIndex)) call it with
-/// different postings sources and accumulator sinks; the bit-identical
-/// scatter-gather guarantee depends on them sharing this loop.
+/// the unsharded engine, both per-shard scorer forms
+/// ([`ShardedIndex`](crate::sharded::ShardedIndex)) and the out-of-process
+/// [`ShardArtifact`](crate::artifact::ShardArtifact) scorer call it with
+/// different statistics/postings sources and accumulator sinks; the
+/// bit-identical scatter-gather guarantee (in-process *and* across the
+/// fleet's process boundary) depends on them sharing this loop. The
+/// statistics closures must serve **global** collection quantities even
+/// when the postings are shard-local — that is what makes a document's
+/// score independent of where it is scored.
 pub(crate) fn accumulate_term_contributions<'p>(
-    index: &InvertedIndex,
+    coll: CollectionStats,
+    term_stats_of: impl Fn(TermId) -> Option<TermStats>,
     mut postings_of: impl FnMut(TermId) -> Option<&'p crate::postings::PostingsList>,
+    doc_len_of: impl Fn(DocId) -> u32,
     weights: &[(TermId, u32)],
     model: &dyn RankingModel,
     mut sink: impl FnMut(DocId, f64),
 ) {
-    let coll = index.stats();
     for &(term, weight) in weights {
-        let (Some(postings), Some(ts)) = (postings_of(term), index.term_stats(term)) else {
+        let (Some(postings), Some(ts)) = (postings_of(term), term_stats_of(term)) else {
             continue;
         };
         for posting in postings.iter() {
-            let dl = index.doc_len(posting.doc).unwrap_or(0);
-            let s = model.score(posting.tf, dl, ts, coll) * f64::from(weight);
+            let s = model.score(posting.tf, doc_len_of(posting.doc), ts, coll) * f64::from(weight);
             sink(posting.doc, s);
         }
     }

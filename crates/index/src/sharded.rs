@@ -310,15 +310,9 @@ impl ShardedIndex {
         }
     }
 
-    /// Dense accumulation over the shard's contiguous doc-id range.
-    ///
-    /// The accumulator array and touched bitmap live in a thread-local
-    /// scratch that is cleaned (touched entries only) and reused across
-    /// shards and requests — on the sequential path and on the persistent
-    /// executor's pinned workers, steady-state scoring allocates nothing
-    /// but the returned top-`k`. Only the legacy scoped-thread path (kept
-    /// as an oracle) still pays one scratch allocation per worker per
-    /// query, amortized against the large traversals it is gated on.
+    /// Dense accumulation over the shard's contiguous doc-id range (see
+    /// [`score_range_dense`], which also serves the fleet's out-of-process
+    /// [`ShardArtifact`](crate::artifact::ShardArtifact) scorer).
     fn score_shard_dense(
         &self,
         shard: &Shard,
@@ -326,73 +320,15 @@ impl ShardedIndex {
         model: &(dyn RankingModel + Send + Sync),
         k: usize,
     ) -> Vec<ScoredDoc> {
-        thread_local! {
-            /// (accumulator, touched bitmap); invariant: all-zero between
-            /// uses.
-            static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<u64>)> =
-                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
-        }
-        SCRATCH.with(|cell| {
-            let (acc, touched) = &mut *cell.borrow_mut();
-            if acc.len() < shard.len {
-                acc.resize(shard.len, 0.0);
-            }
-            let words = shard.len.div_ceil(64);
-            if touched.len() < words {
-                touched.resize(words, 0);
-            }
-            // Score under `catch_unwind` so a panic mid-accumulation (a
-            // faulting model, injected test faults) cannot leave dirty
-            // slots behind on a long-lived worker: every dirty slot has
-            // its touched bit set by the time anything can unwind, so the
-            // cleanup below restores the invariant on both exits.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                accumulate_term_contributions(
-                    &self.index,
-                    |t| shard.postings.get(t.index()),
-                    weights,
-                    model,
-                    |doc, s| {
-                        let i = doc.index() - shard.base as usize;
-                        acc[i] += s;
-                        touched[i / 64] |= 1 << (i % 64);
-                    },
-                );
-                top_k(
-                    touched[..words].iter().enumerate().flat_map(|(w, &bits)| {
-                        let (acc, base) = (&*acc, shard.base);
-                        let mut bits = bits;
-                        std::iter::from_fn(move || {
-                            if bits == 0 {
-                                return None;
-                            }
-                            let b = bits.trailing_zeros() as usize;
-                            bits &= bits - 1;
-                            let i = w * 64 + b;
-                            Some(ScoredDoc {
-                                doc: DocId(base + i as u32),
-                                score: acc[i],
-                            })
-                        })
-                    }),
-                    k,
-                )
-            }));
-            // Restore the all-zero invariant, touching only dirty slots.
-            for w in 0..words {
-                let mut bits = touched[w];
-                while bits != 0 {
-                    let b = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    acc[w * 64 + b] = 0.0;
-                }
-                touched[w] = 0;
-            }
-            match result {
-                Ok(hits) => hits,
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        })
+        score_range_dense(
+            &ShardView {
+                index: &self.index,
+                shard,
+            },
+            weights,
+            model,
+            k,
+        )
     }
 
     /// Hash-map accumulation for shards whose doc range is too large for
@@ -404,17 +340,35 @@ impl ShardedIndex {
         model: &(dyn RankingModel + Send + Sync),
         k: usize,
     ) -> Vec<ScoredDoc> {
-        let mut acc: HashMap<DocId, f64> = HashMap::new();
-        accumulate_term_contributions(
-            &self.index,
-            |t| shard.postings.get(t.index()),
+        score_range_sparse(
+            &ShardView {
+                index: &self.index,
+                shard,
+            },
             weights,
             model,
-            |doc, s| *acc.entry(doc).or_insert(0.0) += s,
-        );
-        top_k(
-            acc.into_iter().map(|(doc, score)| ScoredDoc { doc, score }),
             k,
+        )
+    }
+
+    /// Serialize shard `s` into a standalone artifact a fleet worker
+    /// process can boot from: the shard-local postings slice plus every
+    /// **global** statistic scoring reads (collection stats, per-term
+    /// stats, the range's document lengths), so the worker's scores are
+    /// bit-identical to scoring the same shard in-process. Decoded by
+    /// [`ShardArtifact::from_bytes`](crate::artifact::ShardArtifact).
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn export_shard(&self, s: usize) -> Vec<u8> {
+        let shard = &self.shards[s];
+        crate::artifact::encode_shard(
+            &self.index,
+            s as u32,
+            self.shards.len() as u32,
+            shard.base,
+            shard.len,
+            &shard.postings,
         )
     }
 
@@ -545,6 +499,173 @@ impl Retriever for ShardedIndex {
     }
 }
 
+/// What a contiguous-doc-range scoring pass reads: the range's postings
+/// slice plus the **global** statistics that make a document's score
+/// independent of where it is scored. Implemented by the in-process
+/// [`ShardedIndex`] shard view and by the fleet's out-of-process
+/// [`ShardArtifact`](crate::artifact::ShardArtifact), so both score
+/// through the same [`score_range_dense`]/[`score_range_sparse`] code and
+/// stay bit-identical.
+pub(crate) trait RangeSource {
+    /// Global collection statistics.
+    fn coll(&self) -> crate::index::CollectionStats;
+    /// Global per-term statistics.
+    fn term_stats(&self, t: TermId) -> Option<crate::index::TermStats>;
+    /// The range-local postings of term `t`.
+    fn range_postings(&self, t: TermId) -> Option<&PostingsList>;
+    /// Global length of `doc` (which lies inside this range).
+    fn doc_len(&self, doc: DocId) -> u32;
+    /// First global doc id of the contiguous range.
+    fn base(&self) -> u32;
+    /// Number of doc ids in the range.
+    fn range_len(&self) -> usize;
+}
+
+/// [`RangeSource`] over one in-process shard: postings from the shard,
+/// every statistic from the shared global index.
+struct ShardView<'a> {
+    index: &'a InvertedIndex,
+    shard: &'a Shard,
+}
+
+impl RangeSource for ShardView<'_> {
+    fn coll(&self) -> crate::index::CollectionStats {
+        self.index.stats()
+    }
+
+    fn term_stats(&self, t: TermId) -> Option<crate::index::TermStats> {
+        self.index.term_stats(t)
+    }
+
+    fn range_postings(&self, t: TermId) -> Option<&PostingsList> {
+        self.shard.postings.get(t.index())
+    }
+
+    fn doc_len(&self, doc: DocId) -> u32 {
+        self.index.doc_len(doc).unwrap_or(0)
+    }
+
+    fn base(&self) -> u32 {
+        self.shard.base
+    }
+
+    fn range_len(&self) -> usize {
+        self.shard.len
+    }
+}
+
+/// Dense accumulation over a contiguous doc-id range.
+///
+/// The accumulator array and touched bitmap live in a thread-local
+/// scratch that is cleaned (touched entries only) and reused across
+/// ranges and requests — on the sequential path, on the persistent
+/// executor's pinned workers, and in a fleet worker's connection loop,
+/// steady-state scoring allocates nothing but the returned top-`k`. Only
+/// the legacy scoped-thread path (kept as an oracle) still pays one
+/// scratch allocation per worker per query, amortized against the large
+/// traversals it is gated on.
+pub(crate) fn score_range_dense<S: RangeSource>(
+    src: &S,
+    weights: &[(TermId, u32)],
+    model: &(dyn RankingModel + Send + Sync),
+    k: usize,
+) -> Vec<ScoredDoc> {
+    thread_local! {
+        /// (accumulator, touched bitmap); invariant: all-zero between
+        /// uses.
+        static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<u64>)> =
+            const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+    }
+    let (base, len) = (src.base(), src.range_len());
+    SCRATCH.with(|cell| {
+        let (acc, touched) = &mut *cell.borrow_mut();
+        if acc.len() < len {
+            acc.resize(len, 0.0);
+        }
+        let words = len.div_ceil(64);
+        if touched.len() < words {
+            touched.resize(words, 0);
+        }
+        // Score under `catch_unwind` so a panic mid-accumulation (a
+        // faulting model, injected test faults) cannot leave dirty
+        // slots behind on a long-lived worker: every dirty slot has
+        // its touched bit set by the time anything can unwind, so the
+        // cleanup below restores the invariant on both exits.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            accumulate_term_contributions(
+                src.coll(),
+                |t| src.term_stats(t),
+                |t| src.range_postings(t),
+                |doc| src.doc_len(doc),
+                weights,
+                model,
+                |doc, s| {
+                    let i = doc.index() - base as usize;
+                    acc[i] += s;
+                    touched[i / 64] |= 1 << (i % 64);
+                },
+            );
+            top_k(
+                touched[..words].iter().enumerate().flat_map(|(w, &bits)| {
+                    let acc = &*acc;
+                    let mut bits = bits;
+                    std::iter::from_fn(move || {
+                        if bits == 0 {
+                            return None;
+                        }
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let i = w * 64 + b;
+                        Some(ScoredDoc {
+                            doc: DocId(base + i as u32),
+                            score: acc[i],
+                        })
+                    })
+                }),
+                k,
+            )
+        }));
+        // Restore the all-zero invariant, touching only dirty slots.
+        for w in 0..words {
+            let mut bits = touched[w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                acc[w * 64 + b] = 0.0;
+            }
+            touched[w] = 0;
+        }
+        match result {
+            Ok(hits) => hits,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// Hash-map accumulation for ranges too large for a per-query dense
+/// array.
+pub(crate) fn score_range_sparse<S: RangeSource>(
+    src: &S,
+    weights: &[(TermId, u32)],
+    model: &(dyn RankingModel + Send + Sync),
+    k: usize,
+) -> Vec<ScoredDoc> {
+    let mut acc: HashMap<DocId, f64> = HashMap::new();
+    accumulate_term_contributions(
+        src.coll(),
+        |t| src.term_stats(t),
+        |t| src.range_postings(t),
+        |doc| src.doc_len(doc),
+        weights,
+        model,
+        |doc, s| *acc.entry(doc).or_insert(0.0) += s,
+    );
+    top_k(
+        acc.into_iter().map(|(doc, score)| ScoredDoc { doc, score }),
+        k,
+    )
+}
+
 /// Head of one per-shard list inside the gather heap, ordered so the
 /// max-heap pops by `(score desc, doc id asc)` — the exact total order of
 /// [`top_k`].
@@ -581,7 +702,13 @@ impl PartialOrd for MergeEntry {
 /// `(score desc, doc asc)`) into the global top `k` in the same order.
 /// Each shard holds its global-top-k members in its local top-k, so
 /// merging the heads is exhaustive.
-fn merge_top_k(lists: Vec<Vec<ScoredDoc>>, k: usize) -> Vec<ScoredDoc> {
+///
+/// Public because it is **the** gather: the fleet router merges per-shard
+/// responses from worker processes through this exact function, which is
+/// what keeps multi-process pages bit-identical to in-process ones (a
+/// partial gather over the shards that answered is still this merge,
+/// just over fewer lists).
+pub fn merge_top_k(lists: Vec<Vec<ScoredDoc>>, k: usize) -> Vec<ScoredDoc> {
     let mut heap: BinaryHeap<MergeEntry> = lists
         .iter()
         .enumerate()

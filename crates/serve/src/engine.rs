@@ -2,7 +2,7 @@
 //! immutable deployment state across worker threads.
 
 use crate::cache::{CachedSerp, ShardedResultCache};
-use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::metrics::{Degradation, MetricsSnapshot, ServeMetrics};
 use crate::request::{QueryRequest, RankedResult, SearchResponse, StageTimings};
 use crate::stages::{default_stage_chain, PipelineContext, Stage, StageOutcome};
 use crate::surrogates::SurrogateCache;
@@ -323,7 +323,8 @@ impl SearchEngine {
                     total_us: elapsed_us(start),
                     ..StageTimings::default()
                 };
-                self.metrics.record(true, serp.diversified, false, timings);
+                self.metrics
+                    .record(true, serp.diversified, Degradation::None, timings);
                 return SearchResponse {
                     query: req.query,
                     algorithm: serp.algorithm,
@@ -336,9 +337,10 @@ impl SearchEngine {
             }
         }
 
-        let response = self.compute(&req, start);
-        // Degraded pages are a budget accident of this request, not the
-        // canonical SERP — never cache them.
+        let (response, degradation) = self.compute(&req, start);
+        // Degraded pages are an accident of this request (an exhausted
+        // budget, a lost shard), not the canonical SERP — never cache
+        // them.
         if !response.degraded {
             if let Some(cache) = &self.cache {
                 cache.insert(
@@ -351,18 +353,16 @@ impl SearchEngine {
                 );
             }
         }
-        self.metrics.record(
-            false,
-            response.diversified,
-            response.degraded,
-            response.timings,
-        );
+        self.metrics
+            .record(false, response.diversified, degradation, response.timings);
         response
     }
 
     /// The uncached path: drive the stage chain over one
     /// [`PipelineContext`], timing each stage into its accounting bucket.
-    fn compute(&self, req: &QueryRequest, start: Instant) -> SearchResponse {
+    /// Returns the response together with its degradation class (the
+    /// response itself carries only the boolean).
+    fn compute(&self, req: &QueryRequest, start: Instant) -> (SearchResponse, Degradation) {
         let mut ctx = PipelineContext::new(req, start);
         for stage in &self.stages {
             let t = Instant::now();
@@ -372,9 +372,16 @@ impl SearchEngine {
                 break;
             }
         }
+        let degradation = if !ctx.degraded {
+            Degradation::None
+        } else if ctx.shard_loss {
+            Degradation::ShardLoss
+        } else {
+            Degradation::Deadline
+        };
         let results = Arc::new(self.materialize(&ctx.page));
         ctx.timings.total_us = elapsed_us(start);
-        SearchResponse {
+        let response = SearchResponse {
             query: req.query.clone(),
             algorithm: ctx.algorithm,
             diversified: ctx.diversified,
@@ -382,7 +389,15 @@ impl SearchEngine {
             degraded: ctx.degraded,
             results,
             timings: ctx.timings,
-        }
+        };
+        (response, degradation)
+    }
+
+    /// Record one worker-pool queue wait against this engine's metrics
+    /// (called by [`WorkerPool`](crate::pool::WorkerPool) at pickup; the
+    /// engine itself never sees the queue).
+    pub fn record_queue_wait(&self, us: u64) {
+        self.metrics.record_queue_wait(us);
     }
 
     /// The candidate snippet surrogates for one request, through the

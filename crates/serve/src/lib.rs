@@ -90,7 +90,7 @@ pub mod surrogates;
 pub use cache::{CacheKey, CacheStats, CachedSerp, ShardedResultCache};
 pub use engine::{EngineConfig, PresentationTable, SearchEngine};
 pub use lru::LruCache;
-pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use metrics::{Degradation, MetricsSnapshot, ServeMetrics};
 pub use pool::WorkerPool;
 pub use request::{QueryRequest, RankedResult, SearchResponse, StageTimings};
 pub use stages::{

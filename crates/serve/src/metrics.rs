@@ -3,6 +3,24 @@
 use crate::request::StageTimings;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Why a computed request fell back to the baseline ranking.
+///
+/// The two degraded classes answer different operational questions — an
+/// exhausted per-request budget means the *engine* is overloaded, a lost
+/// shard means the *fleet* is unhealthy — so they are counted (and
+/// labeled on the response) separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// Not degraded.
+    None,
+    /// The select-stage deadline was exhausted
+    /// ([`EngineConfig::deadline_us`](crate::EngineConfig::deadline_us)).
+    Deadline,
+    /// Retrieval lost at least one index shard (a fleet worker timed out
+    /// or died) and the page was built from a partial gather.
+    ShardLoss,
+}
+
 /// Cumulative counters updated by every request (relaxed atomics — the
 /// counters are monotone and read only for reporting).
 #[derive(Debug, Default)]
@@ -12,6 +30,9 @@ pub struct ServeMetrics {
     diversified: AtomicU64,
     passthrough: AtomicU64,
     degraded: AtomicU64,
+    degraded_shard_loss: AtomicU64,
+    queue_waits: AtomicU64,
+    queue_wait_us: AtomicU64,
     detect_us: AtomicU64,
     retrieve_us: AtomicU64,
     surrogate_us: AtomicU64,
@@ -34,7 +55,17 @@ pub struct MetricsSnapshot {
     /// Passthrough requests caused by an exhausted select-stage budget
     /// (a subset of `passthrough`).
     pub degraded: u64,
-    /// Cumulative per-stage microseconds (computed requests only).
+    /// Passthrough requests caused by a lost index shard — a fleet
+    /// worker that timed out or died mid-gather (a subset of
+    /// `passthrough`, disjoint from `degraded`).
+    pub degraded_shard_loss: u64,
+    /// Requests that passed through the worker-pool queue (the
+    /// denominator of `mean_queue_wait_us`).
+    pub queue_waits: u64,
+    /// Mean worker-pool queue wait per queued request, microseconds.
+    pub mean_queue_wait_us: f64,
+    /// Cumulative per-stage microseconds (computed requests only;
+    /// `queue_wait_us` sums over queued requests).
     pub stage_sums: StageTimings,
     /// Mean end-to-end service time per request, microseconds.
     pub mean_total_us: f64,
@@ -46,7 +77,7 @@ impl ServeMetrics {
         &self,
         cache_hit: bool,
         diversified: bool,
-        degraded: bool,
+        degradation: Degradation,
         timings: StageTimings,
     ) {
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -56,8 +87,14 @@ impl ServeMetrics {
             self.diversified.fetch_add(1, Ordering::Relaxed);
         } else {
             self.passthrough.fetch_add(1, Ordering::Relaxed);
-            if degraded {
-                self.degraded.fetch_add(1, Ordering::Relaxed);
+            match degradation {
+                Degradation::None => {}
+                Degradation::Deadline => {
+                    self.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                Degradation::ShardLoss => {
+                    self.degraded_shard_loss.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         self.detect_us
@@ -73,22 +110,42 @@ impl ServeMetrics {
         self.total_us.fetch_add(timings.total_us, Ordering::Relaxed);
     }
 
+    /// Record one worker-pool queue wait (enqueue → worker pickup).
+    ///
+    /// Kept separate from [`record`](Self::record) because the wait is
+    /// known only to the pool, after the engine has already recorded the
+    /// request.
+    pub fn record_queue_wait(&self, us: u64) {
+        self.queue_waits.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait_us.fetch_add(us, Ordering::Relaxed);
+    }
+
     /// Copy out the counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let requests = self.requests.load(Ordering::Relaxed);
         let total_us = self.total_us.load(Ordering::Relaxed);
+        let queue_waits = self.queue_waits.load(Ordering::Relaxed);
+        let queue_wait_us = self.queue_wait_us.load(Ordering::Relaxed);
         MetricsSnapshot {
             requests,
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             diversified: self.diversified.load(Ordering::Relaxed),
             passthrough: self.passthrough.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
+            degraded_shard_loss: self.degraded_shard_loss.load(Ordering::Relaxed),
+            queue_waits,
+            mean_queue_wait_us: if queue_waits == 0 {
+                0.0
+            } else {
+                queue_wait_us as f64 / queue_waits as f64
+            },
             stage_sums: StageTimings {
                 detect_us: self.detect_us.load(Ordering::Relaxed),
                 retrieve_us: self.retrieve_us.load(Ordering::Relaxed),
                 surrogate_us: self.surrogate_us.load(Ordering::Relaxed),
                 utility_us: self.utility_us.load(Ordering::Relaxed),
                 select_us: self.select_us.load(Ordering::Relaxed),
+                queue_wait_us,
                 total_us,
             },
             mean_total_us: if requests == 0 {
@@ -110,20 +167,21 @@ mod tests {
         m.record(
             false,
             true,
-            false,
+            Degradation::None,
             StageTimings {
                 detect_us: 1,
                 retrieve_us: 2,
                 surrogate_us: 5,
                 utility_us: 3,
                 select_us: 4,
+                queue_wait_us: 0,
                 total_us: 11,
             },
         );
         m.record(
             true,
             true,
-            false,
+            Degradation::None,
             StageTimings {
                 total_us: 1,
                 ..Default::default()
@@ -132,7 +190,7 @@ mod tests {
         m.record(
             false,
             false,
-            true,
+            Degradation::Deadline,
             StageTimings {
                 total_us: 3,
                 ..Default::default()
@@ -144,10 +202,42 @@ mod tests {
         assert_eq!(s.diversified, 1);
         assert_eq!(s.passthrough, 1);
         assert_eq!(s.degraded, 1);
+        assert_eq!(s.degraded_shard_loss, 0);
         assert_eq!(s.stage_sums.detect_us, 1);
         assert_eq!(s.stage_sums.surrogate_us, 5);
         assert_eq!(s.stage_sums.total_us, 15);
         assert!((s.mean_total_us - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_loss_counted_apart_from_deadline_degradation() {
+        let m = ServeMetrics::default();
+        m.record(
+            false,
+            false,
+            Degradation::ShardLoss,
+            StageTimings::default(),
+        );
+        m.record(false, false, Degradation::Deadline, StageTimings::default());
+        m.record(false, false, Degradation::None, StageTimings::default());
+        let s = m.snapshot();
+        assert_eq!(s.passthrough, 3);
+        assert_eq!(s.degraded, 1);
+        assert_eq!(s.degraded_shard_loss, 1);
+    }
+
+    #[test]
+    fn queue_waits_average_over_queued_requests_only() {
+        let m = ServeMetrics::default();
+        let s = m.snapshot();
+        assert_eq!(s.queue_waits, 0);
+        assert_eq!(s.mean_queue_wait_us, 0.0);
+        m.record_queue_wait(100);
+        m.record_queue_wait(300);
+        let s = m.snapshot();
+        assert_eq!(s.queue_waits, 2);
+        assert!((s.mean_queue_wait_us - 200.0).abs() < 1e-12);
+        assert_eq!(s.stage_sums.queue_wait_us, 400);
     }
 
     #[test]
@@ -160,7 +250,7 @@ mod tests {
                         m.record(
                             false,
                             true,
-                            false,
+                            Degradation::None,
                             StageTimings {
                                 total_us: 2,
                                 ..Default::default()

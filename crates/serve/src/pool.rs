@@ -20,10 +20,14 @@ use crate::request::{QueryRequest, SearchResponse};
 use parking_lot::Mutex;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 struct Job {
     seq: usize,
     req: QueryRequest,
+    /// When the job entered the queue; the dequeuing worker turns it into
+    /// the response's `queue_wait_us`.
+    enqueued: Instant,
     reply: mpsc::Sender<(usize, SearchResponse)>,
 }
 
@@ -51,7 +55,13 @@ impl WorkerPool {
                             Ok(job) => job,
                             Err(_) => break, // queue closed: shut down
                         };
-                        let response = engine.search(job.req);
+                        // Enqueue → pickup is the saturation signal the
+                        // stage timings cannot see (they start after).
+                        let queue_wait_us =
+                            job.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        engine.record_queue_wait(queue_wait_us);
+                        let mut response = engine.search(job.req);
+                        response.timings.queue_wait_us = queue_wait_us;
                         // A dropped reply receiver just means the client
                         // stopped waiting; keep serving.
                         let _ = job.reply.send((job.seq, response));
@@ -99,7 +109,12 @@ impl WorkerPool {
         self.queue
             .as_ref()
             .expect("pool is shutting down")
-            .send(Job { seq, req, reply })
+            .send(Job {
+                seq,
+                req,
+                enqueued: Instant::now(),
+                reply,
+            })
             .expect("all serving workers have exited");
     }
 }
@@ -204,6 +219,26 @@ mod tests {
         let (seq, response) = rx.recv().expect("reply");
         assert_eq!(seq, 0);
         assert_eq!(response.results.len(), 3);
+    }
+
+    #[test]
+    fn queue_wait_is_measured_and_aggregated() {
+        let shared = engine();
+        let pool = WorkerPool::new(shared.clone(), 2);
+        let reqs: Vec<QueryRequest> = (0..20)
+            .map(|_| QueryRequest::new("apple", 4, AlgorithmKind::OptSelect))
+            .collect();
+        let responses = pool.serve_batch(reqs);
+        // Every pooled response carries a measured (possibly zero) wait;
+        // the engine aggregates one wait sample per pooled request.
+        assert_eq!(responses.len(), 20);
+        let m = shared.metrics();
+        assert_eq!(m.queue_waits, 20);
+        assert!(m.mean_queue_wait_us >= 0.0);
+        // Direct engine calls bypass the queue and record no wait.
+        let direct = shared.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+        assert_eq!(direct.timings.queue_wait_us, 0);
+        assert_eq!(shared.metrics().queue_waits, 20);
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub struct StageTimings {
     pub utility_us: u64,
     /// Diversifier selection.
     pub select_us: u64,
+    /// Time spent queued in the worker pool before a worker picked the
+    /// request up (zero when the engine is called directly).
+    pub queue_wait_us: u64,
     /// End-to-end service time.
     pub total_us: u64,
 }

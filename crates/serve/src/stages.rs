@@ -95,6 +95,9 @@ pub struct PipelineContext<'a> {
     pub diversified: bool,
     /// Whether the select budget forced a baseline fallback.
     pub degraded: bool,
+    /// Whether retrieval lost at least one index shard (partial gather
+    /// from a distributed retriever); implies `degraded`.
+    pub shard_loss: bool,
     /// Name of the algorithm that produced the page.
     pub algorithm: &'static str,
     /// Per-stage wall time, filled in by the driver.
@@ -114,6 +117,7 @@ impl<'a> PipelineContext<'a> {
             page: Vec::new(),
             diversified: false,
             degraded: false,
+            shard_loss: false,
             algorithm: "DPH",
             timings: StageTimings::default(),
         }
@@ -173,12 +177,32 @@ impl Stage for DetectStage {
 }
 
 /// Baseline retrieval through the deployed [`Retriever`]
-/// (single index or sharded scatter-gather — the stage cannot tell).
-/// Non-ambiguous queries retrieve exactly `k` and finish the pipeline;
-/// ambiguous ones retrieve the candidate pool `n = max(n_candidates, k)`.
+/// (single index, sharded scatter-gather, or the multi-process fleet
+/// router — the stage cannot tell). Non-ambiguous queries retrieve
+/// exactly `k` and finish the pipeline; ambiguous ones retrieve the
+/// candidate pool `n = max(n_candidates, k)`.
+///
+/// Retrieval is the one stage that can *lose data*: a distributed
+/// retriever reports a partial gather (a shard worker timed out or died)
+/// through [`Retrieval::complete`](serpdiv_index::Retrieval). A partial
+/// candidate pool must not be diversified as if it were the real
+/// ranking, so the stage finishes immediately with the surviving top-`k`
+/// and the distinct degraded label `"DPH (degraded: shard loss)"` — the
+/// page stays correct for the shards that answered, and the loss is
+/// visible in the response and the metrics instead of silent.
 ///
 /// [`Retriever`]: serpdiv_index::Retriever
 pub struct RetrieveStage;
+
+impl RetrieveStage {
+    /// Mark `ctx` as a shard-loss degraded passthrough.
+    fn degrade_shard_loss(ctx: &mut PipelineContext<'_>) {
+        ctx.shard_loss = true;
+        ctx.degraded = true;
+        ctx.diversified = false;
+        ctx.algorithm = "DPH (degraded: shard loss)";
+    }
+}
 
 impl Stage for RetrieveStage {
     fn kind(&self) -> StageKind {
@@ -189,11 +213,23 @@ impl Stage for RetrieveStage {
         let query = &ctx.request.query;
         if ctx.entry.is_none() {
             // Passthrough: the page is the baseline top-k.
-            ctx.page = engine.retriever().retrieve(query, ctx.request.k);
+            let retrieval = engine
+                .retriever()
+                .retrieve_with_status(query, ctx.request.k);
+            ctx.page = retrieval.hits;
+            if !retrieval.complete {
+                Self::degrade_shard_loss(ctx);
+            }
             return StageOutcome::Finish;
         }
         let n = engine.config().n_candidates.max(ctx.request.k);
-        ctx.candidates = engine.retriever().retrieve(query, n);
+        let retrieval = engine.retriever().retrieve_with_status(query, n);
+        ctx.candidates = retrieval.hits;
+        if !retrieval.complete {
+            Self::degrade_shard_loss(ctx);
+            ctx.page = ctx.candidates.iter().take(ctx.request.k).copied().collect();
+            return StageOutcome::Finish;
+        }
         if ctx.candidates.is_empty() {
             ctx.algorithm = "DPH (passthrough)";
             StageOutcome::Finish

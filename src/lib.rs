@@ -23,7 +23,12 @@
 //! * [`serve`] — the concurrent serving engine: a stage pipeline (Detect →
 //!   Retrieve → Surrogate → Utility → Select) over shared immutable
 //!   index/model/store, sharded LRU result and candidate-surrogate caches,
-//!   worker pool, per-stage latency accounting and deadline degradation.
+//!   worker pool, per-stage latency accounting and deadline degradation;
+//! * [`fleet`] — multi-process scatter-gather: shard-worker processes
+//!   behind a framed local-socket protocol, with a
+//!   [`FleetRouter`](serpdiv_fleet::FleetRouter) that plugs into the
+//!   serving engine as a [`Retriever`](serpdiv_index::Retriever) and
+//!   degrades gracefully when workers die.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `crates/bench` for the binaries regenerating every table and figure of
@@ -32,6 +37,7 @@
 pub use serpdiv_core as core;
 pub use serpdiv_corpus as corpus;
 pub use serpdiv_eval as eval;
+pub use serpdiv_fleet as fleet;
 pub use serpdiv_index as index;
 pub use serpdiv_mining as mining;
 pub use serpdiv_querylog as querylog;
@@ -51,6 +57,7 @@ pub mod prelude {
     };
     pub use serpdiv_corpus::{Testbed, TestbedConfig};
     pub use serpdiv_eval::{alpha_ndcg_at, ia_precision_at, Qrels};
+    pub use serpdiv_fleet::{FleetConfig, FleetRouter};
     pub use serpdiv_index::{
         Document, DocumentStore, IndexBuilder, Retriever, SearchEngine, ShardedIndex,
     };
