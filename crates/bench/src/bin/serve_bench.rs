@@ -17,11 +17,12 @@
 //! serve_bench [--sessions N] [--requests N] [--concurrency N] [--k N]
 //!             [--candidates N] [--shards N[,N...]]
 //!             [--executor-threads N[,N...]] [--fleet N[,N...]]
+//!             [--max-queue N] [--max-queue-wait-us N] [--deadline-us N]
 //!             [--no-cache] [--no-surrogate-cache] [--json PATH]
 //! ```
 //! Defaults: 4000 sessions, 2000 requests, 8 workers, k=10, 100
-//! candidates, 1 index shard, no executor, no fleet, both caches on,
-//! JSON to `BENCH_serve.json`.
+//! candidates, 1 index shard, no executor, no fleet, unbounded queue,
+//! no deadline, both caches on, JSON to `BENCH_serve.json`.
 //!
 //! `--shards` takes a comma-separated list (e.g. `--shards 1,2,4,8`) and
 //! replays the whole per-algorithm suite once per shard count, emitting
@@ -49,6 +50,15 @@
 //! The `shard_worker` binary is looked up next to the bench executable
 //! (override with `SERPDIV_SHARD_WORKER_BIN`); build it first with
 //! `cargo build --release -p serpdiv-fleet`.
+//!
+//! `--max-queue` / `--max-queue-wait-us` bound the worker-pool queue
+//! (admission control): overflow requests are shed in O(µs) instead of
+//! convoying, and every row reports the `shed` count plus the shed-reply
+//! latency p50 so the "rejection must be cheap" property is measurable
+//! under saturation. `--deadline-us` arms the per-request compute budget
+//! (deadline degradation). Fleet rows additionally report `hedged`
+//! (hedged exchanges) and `breaker_open` (circuit-breaker trips)
+//! observed during that row's replay; in-process rows carry zeros.
 
 use serpdiv_bench::{Lab, LabConfig};
 use serpdiv_core::{AlgorithmKind, CompiledSpecStore, SpecializationStore};
@@ -58,7 +68,7 @@ use serpdiv_index::{
     ShardedIndex,
 };
 use serpdiv_mining::json::{write_escaped, write_number};
-use serpdiv_serve::{EngineConfig, QueryRequest, SearchEngine, WorkerPool};
+use serpdiv_serve::{AdmissionPolicy, EngineConfig, QueryRequest, SearchEngine, WorkerPool};
 use std::path::PathBuf;
 use std::process::Child;
 use std::sync::Arc;
@@ -73,6 +83,9 @@ struct Args {
     shards: Vec<usize>,
     executor_threads: Vec<usize>,
     fleet: Vec<usize>,
+    max_queue: usize,
+    max_queue_wait_us: u64,
+    deadline_us: u64,
     cache: bool,
     surrogate_cache: bool,
     json_path: String,
@@ -88,13 +101,17 @@ fn parse_args() -> Args {
         shards: vec![1],
         executor_threads: vec![0],
         fleet: Vec::new(),
+        max_queue: 0,
+        max_queue_wait_us: 0,
+        deadline_us: 0,
         cache: true,
         surrogate_cache: true,
         json_path: "BENCH_serve.json".to_string(),
     };
     let usage = "usage: serve_bench [--sessions N] [--requests N] [--concurrency N] \
                  [--k N] [--candidates N] [--shards N[,N...]] \
-                 [--executor-threads N[,N...]] [--fleet N[,N...]] [--no-cache] \
+                 [--executor-threads N[,N...]] [--fleet N[,N...]] [--max-queue N] \
+                 [--max-queue-wait-us N] [--deadline-us N] [--no-cache] \
                  [--no-surrogate-cache] [--json PATH]";
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -129,6 +146,13 @@ fn parse_args() -> Args {
                     .split(',')
                     .map(|v| parse_num(v, usage).max(1))
                     .collect();
+            }
+            "--max-queue" => args.max_queue = parse_num(&next_str("--max-queue"), usage),
+            "--max-queue-wait-us" => {
+                args.max_queue_wait_us = parse_num(&next_str("--max-queue-wait-us"), usage) as u64;
+            }
+            "--deadline-us" => {
+                args.deadline_us = parse_num(&next_str("--deadline-us"), usage) as u64;
             }
             "--no-cache" => args.cache = false,
             "--no-surrogate-cache" => args.surrogate_cache = false,
@@ -308,6 +332,19 @@ struct AlgoReport {
     queue_wait_p99_us: f64,
     /// Pages served degraded because a shard was lost mid-gather.
     degraded_shard_loss: u64,
+    /// Requests refused by worker-pool admission control (bounded queue
+    /// or stale-at-pickup), answered with the cheap labeled shed reply.
+    shed: u64,
+    /// Median end-to-end latency of shed replies, microseconds — the
+    /// "rejection must cost O(µs), not a deadline" signal. 0 when
+    /// nothing was shed.
+    shed_p50_us: f64,
+    /// Hedged shard exchanges observed during this row's replay (fleet
+    /// rows only; 0 in-process).
+    hedged: u64,
+    /// Circuit-breaker trips (open transitions) observed during this
+    /// row's replay (fleet rows only; 0 in-process).
+    breaker_open: u64,
     // Mean per-stage microseconds over computed requests.
     detect_us: u64,
     retrieve_us: u64,
@@ -327,6 +364,9 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
         ("candidates", args.candidates as f64),
         ("result_cache", f64::from(u8::from(args.cache))),
         ("surrogate_cache", f64::from(u8::from(args.surrogate_cache))),
+        ("max_queue", args.max_queue as f64),
+        ("max_queue_wait_us", args.max_queue_wait_us as f64),
+        ("deadline_us", args.deadline_us as f64),
     ];
     for (i, (key, v)) in config.iter().enumerate() {
         if i > 0 {
@@ -391,6 +431,10 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
             ("queue_wait_p50_us", a.queue_wait_p50_us),
             ("queue_wait_p99_us", a.queue_wait_p99_us),
             ("degraded_shard_loss", a.degraded_shard_loss as f64),
+            ("shed", a.shed as f64),
+            ("shed_p50_us", a.shed_p50_us),
+            ("hedged", a.hedged as f64),
+            ("breaker_open", a.breaker_open as f64),
             ("stage_detect_us", a.detect_us as f64),
             ("stage_retrieve_us", a.retrieve_us as f64),
             ("stage_surrogate_us", a.surrogate_us as f64),
@@ -567,20 +611,41 @@ fn main() {
                         surrogate_cache_capacity: if args.surrogate_cache { 32_768 } else { 0 },
                         index_shards: shards,
                         executor_threads,
-                        deadline_us: 0,
+                        deadline_us: args.deadline_us,
                         forward_index: true,
                     },
                 )
                 .with_presentation(presentation.clone()),
             );
-            let pool = WorkerPool::new(engine.clone(), args.concurrency);
+            let pool = WorkerPool::with_admission(
+                engine.clone(),
+                args.concurrency,
+                AdmissionPolicy {
+                    max_queue: args.max_queue,
+                    max_queue_wait_us: args.max_queue_wait_us,
+                },
+            );
             let requests: Vec<QueryRequest> = (0..args.requests)
                 .map(|i| QueryRequest::new(queries[i % queries.len()].clone(), args.k, algo))
                 .collect();
 
+            // Fleet telemetry is cumulative per router (shared across the
+            // algorithms of one sweep point); per-row hedge/breaker counts
+            // are before/after deltas around this row's replay.
+            let fleet_before = fleet_deployment.as_ref().map(|d| d.router.metrics());
             let wall = Instant::now();
             let responses = pool.serve_batch(requests);
             let wall_s = wall.elapsed().as_secs_f64();
+            let (hedged, breaker_open) = match (&fleet_deployment, fleet_before) {
+                (Some(d), Some(before)) => {
+                    let after = d.router.metrics();
+                    (
+                        after.hedges - before.hedges,
+                        after.breaker_trips - before.breaker_trips,
+                    )
+                }
+                _ => (0, 0),
+            };
 
             let mut totals: Vec<u64> = responses.iter().map(|r| r.timings.total_us).collect();
             totals.sort_unstable();
@@ -605,6 +670,14 @@ fn main() {
             let mut queue_waits_us: Vec<u64> =
                 responses.iter().map(|r| r.timings.queue_wait_us).collect();
             queue_waits_us.sort_unstable();
+            // Shed replies carry their end-to-end time in total_us; their
+            // p50 is the "rejection costs O(µs)" measurement.
+            let mut shed_totals_us: Vec<u64> = responses
+                .iter()
+                .filter(|r| r.algorithm == serpdiv_serve::LABEL_SHED)
+                .map(|r| r.timings.total_us)
+                .collect();
+            shed_totals_us.sort_unstable();
             let qps = responses.len() as f64 / wall_s;
             let hit_rate = engine
                 .cache()
@@ -635,6 +708,10 @@ fn main() {
                 queue_wait_p50_us: percentile(&queue_waits_us, 50.0) * 1e3,
                 queue_wait_p99_us: percentile(&queue_waits_us, 99.0) * 1e3,
                 degraded_shard_loss: m.degraded_shard_loss,
+                shed: m.shed,
+                shed_p50_us: percentile(&shed_totals_us, 50.0) * 1e3,
+                hedged,
+                breaker_open,
                 detect_us: m.stage_sums.detect_us / computed,
                 retrieve_us: m.stage_sums.retrieve_us / computed,
                 surrogate_us: m.stage_sums.surrogate_us / computed,
@@ -658,13 +735,29 @@ fn main() {
                 report.retrieve_p50_us,
                 report.surrogate_p50_us,
             );
+            if report.shed > 0 {
+                println!(
+                    "           {} shed (p50 {:.0}µs) of {} requests",
+                    report.shed,
+                    report.shed_p50_us,
+                    responses.len(),
+                );
+            }
             reports.push(report);
         }
         if let Some(deployment) = &fleet_deployment {
             let fm = deployment.router.metrics();
             println!(
-                "fleet health: {} gathers, {} partial, {} shard failures, {} timeouts, {} reconnects",
-                fm.requests, fm.partial_gathers, fm.shard_failures, fm.shard_timeouts, fm.reconnects
+                "fleet health: {} gathers, {} partial, {} shard failures, {} timeouts, \
+                 {} reconnects, {} hedges, {} breaker trips, {} breaker fast-fails",
+                fm.requests,
+                fm.partial_gathers,
+                fm.shard_failures,
+                fm.shard_timeouts,
+                fm.reconnects,
+                fm.hedges,
+                fm.breaker_trips,
+                fm.breaker_fast_fails
             );
         }
     }

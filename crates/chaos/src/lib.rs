@@ -1,0 +1,527 @@
+//! Deterministic fault injection for the serpdiv serving stack.
+//!
+//! The stack is instrumented with **named failpoints** — fixed call sites
+//! like `chaos::failpoint("pool.serve")` or
+//! `chaos::mangle("worker.reply", &mut bytes)` — that are two-instruction
+//! no-ops (one relaxed atomic load and a branch) unless a [`FaultPlan`]
+//! has been [`arm`]ed for the whole process. An armed plan is a list of
+//! `(site pattern, probability, fault)` rules driven by one seeded LCG,
+//! so a given `(seed, rules, call sequence)` injects *exactly* the same
+//! faults on every run: chaos tests are replayable, and a failing seed is
+//! a bug report.
+//!
+//! # Fault vocabulary
+//!
+//! | [`FaultKind`] | applied where | effect |
+//! |---|---|---|
+//! | `Delay(d)`  | inside [`failpoint`] | sleeps `d`, then continues |
+//! | `Panic`     | inside [`failpoint`] | panics (containment is the site's job) |
+//! | `Drop`      | returned as [`SiteAction::Drop`] | site abandons its connection/work |
+//! | `Stall(d)`  | returned as [`SiteAction::Stall`] | site sleeps `d` and goes silent |
+//! | `Corrupt`   | via [`mangle`] | flips bytes in an outgoing buffer |
+//!
+//! `Delay` and `Panic` are *generic* — the failpoint executes them itself
+//! so every instrumented site gets them for free. `Drop`/`Stall`/`Corrupt`
+//! only make sense at sites that own a transport, so the failpoint hands
+//! them back as a [`SiteAction`] for the site to interpret (a site that
+//! cannot, ignores them).
+//!
+//! # Scope and safety
+//!
+//! Arming is **process-global** (that is what makes the no-op fast path
+//! possible), so tests that arm plans must serialize against each other
+//! and [`disarm`] on every exit path — [`armed`], the RAII guard returned
+//! by [`arm`], does both ends of that. Production binaries simply never
+//! arm a plan and pay only the dead branch.
+//!
+//! ```
+//! use serpdiv_chaos as chaos;
+//! use std::sync::Arc;
+//!
+//! let plan = Arc::new(
+//!     chaos::FaultPlan::new(0xC0FFEE)
+//!         .with_rule("pool.*", 1.0, chaos::FaultKind::Panic)
+//!         .with_max_fires(2),
+//! );
+//! chaos::arm(plan.clone());
+//! assert!(std::panic::catch_unwind(|| chaos::failpoint("pool.serve")).is_err());
+//! chaos::disarm();
+//! assert_eq!(plan.fired_total(), 1);
+//! // Disarmed: the failpoint is inert again.
+//! let _ = chaos::failpoint("pool.serve");
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// One injectable fault. See the [crate table](crate) for which faults
+/// the failpoint applies itself and which it returns to the site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Sleep this long inside the failpoint, then continue normally.
+    /// Models a slow dependency (GC pause, cold page, saturated core).
+    Delay(Duration),
+    /// Panic inside the failpoint. Models a crashed task; the layers
+    /// above must contain it (executor batches, pool workers).
+    Panic,
+    /// Tell the site to drop its connection / abandon the work silently.
+    Drop,
+    /// Tell the site to sleep this long and then *not* produce its
+    /// output — a silent stall, the nastiest failure a peer can see.
+    Stall(Duration),
+    /// Flip bytes in the site's outgoing buffer (only observable through
+    /// [`mangle`]).
+    Corrupt,
+}
+
+/// What an instrumented site should do, as decided by the armed plan.
+///
+/// `Delay` and `Panic` faults never reach here — the failpoint applies
+/// them before returning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteAction {
+    /// No fault (or no plan armed): proceed normally.
+    None,
+    /// Drop the connection / abandon the work.
+    Drop,
+    /// Sleep this long, then go silent (skip the reply).
+    Stall(Duration),
+    /// Corrupt the outgoing bytes (sites that buffer through [`mangle`]
+    /// never see this; it is returned for sites that corrupt in place).
+    Corrupt,
+}
+
+/// `site` patterns: exact match, or a `*`-terminated prefix
+/// (`"worker.*"`), or the universal `"*"`.
+fn site_matches(pattern: &str, site: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => site.starts_with(prefix),
+        None => pattern == site,
+    }
+}
+
+/// xorshift64* — tiny, seedable, good enough to decorrelate fault rolls.
+/// Not the shims' rand: the chaos crate stays dependency-free so every
+/// layer of the workspace can instrument itself without a cycle.
+#[derive(Debug, Clone)]
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        // splitmix64 scramble: adjacent seeds decorrelate, and the
+        // all-zero xorshift fixed point is unreachable.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Lcg((z ^ (z >> 31)) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+struct Rule {
+    pattern: String,
+    probability: f64,
+    fault: FaultKind,
+    fired: AtomicU64,
+}
+
+/// A seeded, replayable schedule of faults.
+///
+/// Build one with [`FaultPlan::new`] + [`with_rule`](Self::with_rule),
+/// wrap it in an `Arc`, and [`arm`] it; keep your clone of the `Arc` to
+/// read the [`fired`](Self::fired) counters after the run. Rules are
+/// evaluated in insertion order and at most one fires per failpoint hit;
+/// every probability roll consumes the shared LCG, so the injected
+/// schedule is a pure function of `(seed, rules, failpoint sequence)`.
+pub struct FaultPlan {
+    rules: Vec<Rule>,
+    rng: Mutex<Lcg>,
+    /// 0 ⇒ unlimited.
+    max_fires: u64,
+    fired_total: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan driven by `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            rules: Vec::new(),
+            rng: Mutex::new(Lcg::new(seed)),
+            max_fires: 0,
+            fired_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Add a rule: at any failpoint matching `pattern` (exact site name,
+    /// `"prefix*"`, or `"*"`), inject `fault` with `probability`.
+    pub fn with_rule(
+        mut self,
+        pattern: impl Into<String>,
+        probability: f64,
+        fault: FaultKind,
+    ) -> Self {
+        self.rules.push(Rule {
+            pattern: pattern.into(),
+            probability: probability.clamp(0.0, 1.0),
+            fault,
+            fired: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Cap the total number of injected faults (0 = unlimited). Once the
+    /// budget is spent the plan behaves as if disarmed — useful for
+    /// "break exactly N things, then let the system recover" schedules.
+    pub fn with_max_fires(mut self, max: u64) -> Self {
+        self.max_fires = max;
+        self
+    }
+
+    /// Total faults injected so far.
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total.load(Ordering::Relaxed)
+    }
+
+    /// Faults injected by the rule(s) registered under exactly this
+    /// pattern string.
+    pub fn fired(&self, pattern: &str) -> u64 {
+        self.rules
+            .iter()
+            .filter(|r| r.pattern == pattern)
+            .map(|r| r.fired.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Roll the rules for one hit of `site`.
+    fn decide(&self, site: &str) -> Option<FaultKind> {
+        for rule in &self.rules {
+            if !site_matches(&rule.pattern, site) {
+                continue;
+            }
+            let roll = self
+                .rng
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .next_f64();
+            if roll < rule.probability {
+                if !self.try_spend() {
+                    return None;
+                }
+                rule.fired.fetch_add(1, Ordering::Relaxed);
+                return Some(rule.fault);
+            }
+        }
+        None
+    }
+
+    /// Claim one unit of the fire budget.
+    fn try_spend(&self) -> bool {
+        if self.max_fires == 0 {
+            self.fired_total.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let mut cur = self.fired_total.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max_fires {
+                return false;
+            }
+            match self.fired_total.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Flip 1–4 pseudo-random bytes of `bytes` in place (no-op on an
+    /// empty buffer).
+    fn corrupt(&self, bytes: &mut [u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let mut rng = self.rng.lock().unwrap_or_else(PoisonError::into_inner);
+        let flips = 1 + (rng.next_u64() % 4) as usize;
+        for _ in 0..flips {
+            let pos = (rng.next_u64() as usize) % bytes.len();
+            let bit = 1u8 << (rng.next_u64() % 8);
+            bytes[pos] ^= bit;
+        }
+    }
+}
+
+/// Fast-path flag: `false` ⇒ every failpoint is an inert branch.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn plan_slot() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+fn current_plan() -> Option<Arc<FaultPlan>> {
+    plan_slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Arm `plan` process-wide. Replaces any previously armed plan.
+pub fn arm(plan: Arc<FaultPlan>) {
+    *plan_slot().lock().unwrap_or_else(PoisonError::into_inner) = Some(plan);
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarm: every failpoint reverts to its no-op fast path.
+pub fn disarm() {
+    ARMED.store(false, Ordering::SeqCst);
+    *plan_slot().lock().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// Whether a plan is currently armed.
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// RAII guard from [`armed`]: disarms on drop (including unwind), so a
+/// panicking chaos test cannot leave the process armed for the next one.
+pub struct ArmedGuard(());
+
+impl Drop for ArmedGuard {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+/// [`arm`] + a guard that [`disarm`]s when dropped.
+#[must_use = "dropping the guard disarms the plan immediately"]
+pub fn armed(plan: Arc<FaultPlan>) -> ArmedGuard {
+    arm(plan);
+    ArmedGuard(())
+}
+
+/// The failpoint hook every instrumented site calls.
+///
+/// Disarmed: a relaxed load and a branch. Armed: rolls the plan's rules
+/// for `site`; applies `Delay` (sleeps) and `Panic` (panics) itself and
+/// returns anything else as a [`SiteAction`] for the site to interpret.
+#[inline]
+pub fn failpoint(site: &str) -> SiteAction {
+    if !ARMED.load(Ordering::Relaxed) {
+        return SiteAction::None;
+    }
+    failpoint_armed(site)
+}
+
+#[cold]
+fn failpoint_armed(site: &str) -> SiteAction {
+    let Some(plan) = current_plan() else {
+        return SiteAction::None;
+    };
+    match plan.decide(site) {
+        None => SiteAction::None,
+        Some(FaultKind::Delay(d)) => {
+            std::thread::sleep(d);
+            SiteAction::None
+        }
+        Some(FaultKind::Panic) => panic!("chaos: injected panic at failpoint `{site}`"),
+        Some(FaultKind::Drop) => SiteAction::Drop,
+        Some(FaultKind::Stall(d)) => SiteAction::Stall(d),
+        Some(FaultKind::Corrupt) => SiteAction::Corrupt,
+    }
+}
+
+/// Corruption hook for sites that own an outgoing byte buffer: when an
+/// armed `Corrupt` rule fires for `site`, flips 1–4 bytes of `bytes` in
+/// place and returns `true`. Disarmed (or any other fault kind rolled):
+/// leaves the buffer untouched and returns `false` — only `Corrupt`
+/// rules fire here, so a mangling site composes with a [`failpoint`] at
+/// the same site name for its other faults.
+#[inline]
+pub fn mangle(site: &str, bytes: &mut [u8]) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    mangle_armed(site, bytes)
+}
+
+#[cold]
+fn mangle_armed(site: &str, bytes: &mut [u8]) -> bool {
+    let Some(plan) = current_plan() else {
+        return false;
+    };
+    match plan.decide(site) {
+        Some(FaultKind::Corrupt) => {
+            plan.corrupt(bytes);
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// Arming is process-global: chaos unit tests take this lock so the
+    /// harness can run them on its default parallelism.
+    static SERIAL: StdMutex<()> = StdMutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_failpoints_are_inert() {
+        let _s = serial();
+        disarm();
+        assert_eq!(failpoint("anything"), SiteAction::None);
+        let mut b = vec![1, 2, 3];
+        assert!(!mangle("anything", &mut b));
+        assert_eq!(b, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let decisions = |seed: u64| -> Vec<Option<FaultKind>> {
+            let plan = FaultPlan::new(seed)
+                .with_rule("a.*", 0.5, FaultKind::Drop)
+                .with_rule("b", 0.25, FaultKind::Corrupt);
+            (0..200)
+                .map(|i| plan.decide(if i % 2 == 0 { "a.x" } else { "b" }))
+                .collect()
+        };
+        assert_eq!(decisions(42), decisions(42));
+        assert_ne!(decisions(42), decisions(43), "seeds decorrelate");
+        // Both fault kinds actually occur at these probabilities.
+        let d = decisions(42);
+        assert!(d.contains(&Some(FaultKind::Drop)));
+        assert!(d.contains(&Some(FaultKind::Corrupt)));
+        assert!(d.iter().any(|f| f.is_none()));
+    }
+
+    #[test]
+    fn probability_bounds() {
+        let never = FaultPlan::new(7).with_rule("*", 0.0, FaultKind::Panic);
+        let always = FaultPlan::new(7).with_rule("*", 1.0, FaultKind::Drop);
+        for _ in 0..100 {
+            assert_eq!(never.decide("x"), None);
+            assert_eq!(always.decide("x"), Some(FaultKind::Drop));
+        }
+        assert_eq!(never.fired_total(), 0);
+        assert_eq!(always.fired_total(), 100);
+    }
+
+    #[test]
+    fn pattern_matching() {
+        assert!(site_matches("*", "anything.at.all"));
+        assert!(site_matches("worker.*", "worker.reply"));
+        assert!(!site_matches("worker.*", "pool.serve"));
+        assert!(site_matches("pool.serve", "pool.serve"));
+        assert!(!site_matches("pool.serve", "pool.serve.x"));
+    }
+
+    #[test]
+    fn fire_budget_exhausts_then_plan_goes_quiet() {
+        let plan = FaultPlan::new(1)
+            .with_rule("*", 1.0, FaultKind::Drop)
+            .with_max_fires(3);
+        let fired = (0..10).filter(|_| plan.decide("s").is_some()).count();
+        assert_eq!(fired, 3);
+        assert_eq!(plan.fired_total(), 3);
+        assert_eq!(plan.fired("*"), 3);
+    }
+
+    #[test]
+    fn first_matching_rule_wins_and_counts() {
+        let plan = FaultPlan::new(5)
+            .with_rule("x", 1.0, FaultKind::Drop)
+            .with_rule("*", 1.0, FaultKind::Panic);
+        assert_eq!(plan.decide("x"), Some(FaultKind::Drop));
+        assert_eq!(plan.decide("y"), Some(FaultKind::Panic));
+        assert_eq!(plan.fired("x"), 1);
+        assert_eq!(plan.fired("*"), 1);
+    }
+
+    #[test]
+    fn armed_panic_is_injected_and_guard_disarms() {
+        let _s = serial();
+        let plan = Arc::new(FaultPlan::new(9).with_rule("boom", 1.0, FaultKind::Panic));
+        {
+            let _g = armed(plan.clone());
+            assert!(is_armed());
+            let caught = std::panic::catch_unwind(|| failpoint("boom"));
+            assert!(caught.is_err());
+            // Unmatched sites stay clean.
+            assert_eq!(failpoint("calm"), SiteAction::None);
+        }
+        assert!(!is_armed());
+        assert_eq!(plan.fired_total(), 1);
+    }
+
+    #[test]
+    fn mangle_flips_bytes_deterministically() {
+        let _s = serial();
+        let run = |seed: u64| {
+            let plan = Arc::new(FaultPlan::new(seed).with_rule("wire", 1.0, FaultKind::Corrupt));
+            let _g = armed(plan);
+            let mut bytes = vec![0u8; 32];
+            assert!(mangle("wire", &mut bytes));
+            bytes
+        };
+        let a = run(123);
+        let b = run(123);
+        assert_eq!(a, b, "same seed, same corruption");
+        assert!(a.iter().any(|&x| x != 0), "bytes actually flipped");
+        // Non-corrupt rules never touch the buffer through mangle.
+        let plan = Arc::new(FaultPlan::new(4).with_rule("wire", 1.0, FaultKind::Drop));
+        let _g = armed(plan);
+        let mut bytes = vec![7u8; 8];
+        assert!(!mangle("wire", &mut bytes));
+        assert_eq!(bytes, vec![7u8; 8]);
+    }
+
+    #[test]
+    fn delay_fault_sleeps_inline() {
+        let _s = serial();
+        let plan = Arc::new(FaultPlan::new(2).with_rule(
+            "slow",
+            1.0,
+            FaultKind::Delay(Duration::from_millis(30)),
+        ));
+        let _g = armed(plan);
+        let t = std::time::Instant::now();
+        assert_eq!(failpoint("slow"), SiteAction::None);
+        assert!(t.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn stall_and_corrupt_are_returned_to_the_site() {
+        let _s = serial();
+        let plan = Arc::new(
+            FaultPlan::new(3)
+                .with_rule("a", 1.0, FaultKind::Stall(Duration::from_secs(1)))
+                .with_rule("b", 1.0, FaultKind::Corrupt),
+        );
+        let _g = armed(plan);
+        assert_eq!(failpoint("a"), SiteAction::Stall(Duration::from_secs(1)));
+        assert_eq!(failpoint("b"), SiteAction::Corrupt);
+    }
+}

@@ -27,8 +27,11 @@
 //!   serialized [`ShardArtifact`](serpdiv_index::ShardArtifact) and
 //!   scores with the same dense-accumulator path as in-process shards.
 //! * [`router`] — [`FleetRouter`]: parallel scatter, exact gather via
-//!   [`merge_top_k`](serpdiv_index::merge_top_k), per-shard deadlines,
-//!   partial gathers on shard loss, reconnect with exponential backoff.
+//!   [`merge_top_k`](serpdiv_index::merge_top_k), per-shard deadlines
+//!   (clamped to the request's remaining budget), hedged re-dispatch of
+//!   slow exchanges ([`HedgePolicy`]), per-link circuit breakers,
+//!   partial gathers on shard loss, reconnect with jittered exponential
+//!   backoff.
 //!
 //! Because workers return the exact `f64` bits their shard computed and
 //! the router runs the exact in-process merge, a healthy fleet's pages
@@ -43,4 +46,4 @@ pub mod router;
 pub mod worker;
 
 pub use protocol::{Frame, FrameError, WireError, DEFAULT_MAX_FRAME};
-pub use router::{FleetConfig, FleetMetricsSnapshot, FleetRouter};
+pub use router::{FleetConfig, FleetMetricsSnapshot, FleetRouter, HedgePolicy};

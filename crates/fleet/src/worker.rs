@@ -15,24 +15,30 @@
 //! move for the worker is to hang up and wait in `accept` for the next
 //! connection. A worker never panics on peer input.
 
-use crate::protocol::{read_frame, write_frame, Frame};
+use crate::protocol::{encode_frame, read_frame, Frame};
 use serpdiv_index::ShardArtifact;
+use std::io::Write;
 use std::os::unix::net::{UnixListener, UnixStream};
 
-/// Serve `artifact` on `listener` forever, one connection at a time.
+/// Serve `artifact` on `listener` forever, each connection on its own
+/// scoped thread.
 ///
-/// One connection at a time is the right shape here: each router holds
-/// exactly one connection per shard, and a worker process serves exactly
-/// one router in every intended deployment. A second connection (a
-/// restarted router, a health probe) is simply served after the first one
-/// hangs up.
+/// Concurrent connections are load-bearing for the router's hedging: a
+/// hedged query arrives on a *fresh* connection while the stalled
+/// primary connection is still open, and must be answerable immediately
+/// — not after the primary hangs up. The artifact is immutable, so
+/// connection handlers share it freely.
 pub fn serve(listener: &UnixListener, artifact: &ShardArtifact, max_frame: u32) {
-    for stream in listener.incoming() {
-        match stream {
-            Ok(stream) => serve_connection(stream, artifact, max_frame),
-            Err(_) => continue,
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    scope.spawn(move || serve_connection(stream, artifact, max_frame));
+                }
+                Err(_) => continue,
+            }
         }
-    }
+    });
 }
 
 /// Answer frames on one connection until the peer hangs up or breaks
@@ -44,6 +50,17 @@ pub fn serve_connection(mut stream: UnixStream, artifact: &ShardArtifact, max_fr
             // EOF, reset, or garbage: hang up, wait for the next peer.
             Err(_) => return,
         };
+        // Chaos hook (no-op unless a fault plan is armed): kill the
+        // connection mid-request, or swallow the request silently so the
+        // router sees a deadline rather than an error.
+        match serpdiv_chaos::failpoint("worker.serve") {
+            serpdiv_chaos::SiteAction::Drop => return,
+            serpdiv_chaos::SiteAction::Stall(d) => {
+                std::thread::sleep(d);
+                continue;
+            }
+            serpdiv_chaos::SiteAction::None | serpdiv_chaos::SiteAction::Corrupt => {}
+        }
         let reply = match frame {
             Frame::Query { id, k, terms } => {
                 // Clamp k to the shard range: the shard cannot rank more
@@ -65,7 +82,17 @@ pub fn serve_connection(mut stream: UnixStream, artifact: &ShardArtifact, max_fr
             // violation; condemn the connection.
             Frame::Hits { .. } | Frame::Pong { .. } => return,
         };
-        if write_frame(&mut stream, &reply).is_err() {
+        // Encode through a buffer so the `worker.reply` chaos hook can
+        // corrupt reply bytes on the wire. Corruption is confined to the
+        // framing metadata (length prefix, magic, version, id, opcode) —
+        // every flip there is *detectable* by the router's
+        // validate-on-decode and id-echo defenses, whereas the score
+        // payload is raw `f64` bits the protocol deliberately does not
+        // checksum.
+        let mut bytes = encode_frame(&reply);
+        let header = bytes.len().min(21);
+        serpdiv_chaos::mangle("worker.reply", &mut bytes[..header]);
+        if stream.write_all(&bytes).is_err() {
             return;
         }
     }
@@ -74,6 +101,7 @@ pub fn serve_connection(mut stream: UnixStream, artifact: &ShardArtifact, max_fr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::write_frame;
     use serpdiv_index::{Document, IndexBuilder, ShardedIndex};
     use std::path::PathBuf;
     use std::sync::Arc;

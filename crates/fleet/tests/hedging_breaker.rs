@@ -1,0 +1,268 @@
+//! Hedging and circuit-breaker behavior of the [`FleetRouter`]:
+//!
+//! * a stalled primary connection is hedged onto a fresh connection and
+//!   the hedged page is **bit-identical** to the in-process oracle;
+//! * consecutive failures open a per-link breaker that fails the shard
+//!   instantly (no connect attempts) until a half-open ping probe heals
+//!   it;
+//! * a failed half-open probe re-opens the breaker;
+//! * timeouts caused by a clamped deadline budget blame the request, not
+//!   the shard: no failure counters, no breaker movement.
+
+use serpdiv_fleet::{worker, FleetConfig, FleetRouter, HedgePolicy, DEFAULT_MAX_FRAME};
+use serpdiv_index::{
+    merge_top_k, Document, IndexBuilder, InvertedIndex, Retriever, ScoredDoc, ShardArtifact,
+    ShardedIndex,
+};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn corpus() -> Arc<InvertedIndex> {
+    let texts = [
+        "apple iphone smartphone chip battery",
+        "apple fruit orchard sweet harvest",
+        "apple pie cinnamon recipe baking",
+        "storm wind rain forecast cloud",
+    ];
+    let mut b = IndexBuilder::new();
+    for i in 0..24u32 {
+        b.add(Document::new(
+            i,
+            format!("http://d/{i}"),
+            "",
+            texts[i as usize % texts.len()],
+        ));
+    }
+    Arc::new(b.build())
+}
+
+fn socket(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("serpdiv-hedge-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// The single-shard oracle: shard 0 of a 1-way split, scored in-process.
+fn oracle(sharded: &ShardedIndex, index: &InvertedIndex, query: &str, k: usize) -> Vec<ScoredDoc> {
+    let artifact = ShardArtifact::from_bytes(&sharded.export_shard(0)).unwrap();
+    let terms = index.analyze_query(query);
+    merge_top_k(vec![artifact.score_terms(&terms, k)], k)
+}
+
+fn assert_bit_identical(tag: &str, got: &[ScoredDoc], want: &[ScoredDoc]) {
+    assert_eq!(got.len(), want.len(), "{tag}: page size");
+    for (w, g) in want.iter().zip(got) {
+        assert_eq!(w.doc, g.doc, "{tag}: doc order");
+        assert_eq!(w.score.to_bits(), g.score.to_bits(), "{tag}: score bits");
+    }
+}
+
+/// A worker that swallows its first connection silently (accepts, reads,
+/// never answers — the shape of a stuck thread, not a dead process) and
+/// serves every later connection for real. Exactly what hedging exists
+/// for.
+fn spawn_stall_then_real_worker(path: &PathBuf, sharded: &ShardedIndex, s: usize) {
+    let bytes = sharded.export_shard(s);
+    let listener = UnixListener::bind(path).expect("bind worker socket");
+    std::thread::spawn(move || {
+        let artifact = ShardArtifact::from_bytes(&bytes).expect("valid artifact");
+        let mut held = Vec::new();
+        for (n, stream) in listener.incoming().enumerate() {
+            let Ok(stream) = stream else { continue };
+            if n == 0 {
+                held.push(stream); // the primary stalls forever
+                continue;
+            }
+            worker::serve_connection(stream, &artifact, DEFAULT_MAX_FRAME);
+        }
+    });
+}
+
+/// A worker that accepts and never answers anyone.
+fn spawn_silent_worker(path: &PathBuf) {
+    let listener = UnixListener::bind(path).expect("bind silent socket");
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        for stream in listener.incoming() {
+            held.push(stream);
+        }
+    });
+}
+
+fn spawn_real_worker(path: &PathBuf, sharded: &ShardedIndex, s: usize) {
+    let bytes = sharded.export_shard(s);
+    let listener = UnixListener::bind(path).expect("bind worker socket");
+    std::thread::spawn(move || {
+        let artifact = ShardArtifact::from_bytes(&bytes).expect("valid artifact");
+        worker::serve(&listener, &artifact, DEFAULT_MAX_FRAME);
+    });
+}
+
+#[test]
+fn hedge_recovers_stalled_primary_with_bit_identical_page() {
+    let index = corpus();
+    let sharded = ShardedIndex::build(index.clone(), 1);
+    let sock = socket("stall");
+    spawn_stall_then_real_worker(&sock, &sharded, 0);
+    let config = FleetConfig {
+        shard_timeout: Duration::from_millis(800),
+        hedge: HedgePolicy::After(Duration::from_millis(40)),
+        ..FleetConfig::default()
+    };
+    let router = FleetRouter::new(index.clone(), vec![sock], config);
+
+    let t = Instant::now();
+    let r = router.retrieve_with_status("apple pie", 5);
+    let elapsed = t.elapsed();
+    assert!(r.complete, "the hedge leg must answer");
+    assert_bit_identical(
+        "hedged page",
+        &r.hits,
+        &oracle(&sharded, &index, "apple pie", 5),
+    );
+    assert!(
+        elapsed < config.shard_timeout,
+        "hedging must beat the full deadline (took {elapsed:?})"
+    );
+    let m = router.metrics();
+    assert_eq!(m.hedges, 1, "exactly one hedged exchange");
+    assert_eq!(m.shard_failures, 0, "a won hedge is not a shard failure");
+    assert_eq!(m.partial_gathers, 0);
+
+    // The hedge connection was adopted: the next query flows over it
+    // without hedging again.
+    let again = router.retrieve_with_status("apple pie", 5);
+    assert!(again.complete);
+    assert_eq!(router.metrics().hedges, 1);
+}
+
+#[test]
+fn breaker_opens_after_consecutive_failures_and_heals_via_probe() {
+    let index = corpus();
+    let sharded = ShardedIndex::build(index.clone(), 1);
+    let sock = socket("breaker");
+    let config = FleetConfig {
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(2),
+        hedge: HedgePolicy::Off,
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(150),
+        ..FleetConfig::default()
+    };
+    // Nothing listens yet: every query is a failed connect.
+    let router = FleetRouter::new(index.clone(), vec![sock.clone()], config);
+    for _ in 0..2 {
+        assert!(!router.retrieve_with_status("apple pie", 5).complete);
+        // Let the (jittered, ≤ 2 ms) backoff window pass so the next
+        // query really attempts a connect.
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let m = router.metrics();
+    assert_eq!(m.shard_failures, 2);
+    assert_eq!(
+        m.breaker_trips, 1,
+        "two consecutive failures trip the breaker"
+    );
+
+    // Open: queries fail instantly without touching the socket.
+    let t = Instant::now();
+    assert!(!router.retrieve_with_status("apple pie", 5).complete);
+    assert!(
+        t.elapsed() < Duration::from_millis(50),
+        "open breaker fails fast"
+    );
+    let m = router.metrics();
+    assert_eq!(m.breaker_fast_fails, 1);
+    assert_eq!(m.shard_failures, 2, "fast-fails are not new shard failures");
+
+    // A real worker comes up; after the cooldown the half-open probe
+    // heals the link and the page is bit-identical to the oracle.
+    spawn_real_worker(&sock, &sharded, 0);
+    std::thread::sleep(config.breaker_cooldown + Duration::from_millis(20));
+    let healed = router.retrieve_with_status("apple pie", 5);
+    assert!(healed.complete, "half-open probe heals the breaker");
+    assert_bit_identical(
+        "healed page",
+        &healed.hits,
+        &oracle(&sharded, &index, "apple pie", 5),
+    );
+    assert_eq!(
+        router.metrics().breaker_trips,
+        1,
+        "no re-trip after healing"
+    );
+
+    // Closed again: the next query flows normally.
+    assert!(router.retrieve_with_status("apple pie", 5).complete);
+}
+
+#[test]
+fn failed_half_open_probe_reopens_the_breaker() {
+    let index = corpus();
+    let config = FleetConfig {
+        backoff_base: Duration::from_millis(1),
+        hedge: HedgePolicy::Off,
+        breaker_threshold: 1,
+        breaker_cooldown: Duration::from_millis(60),
+        ..FleetConfig::default()
+    };
+    let router = FleetRouter::new(index, vec![socket("reopen")], config);
+    assert!(!router.retrieve_with_status("apple pie", 5).complete);
+    assert_eq!(router.metrics().breaker_trips, 1);
+
+    // Past the cooldown, still nobody listening: the probe fails and the
+    // breaker re-opens (a second trip), still without serving.
+    std::thread::sleep(Duration::from_millis(80));
+    assert!(!router.retrieve_with_status("apple pie", 5).complete);
+    let m = router.metrics();
+    assert_eq!(m.breaker_trips, 2, "failed probe re-opens");
+
+    // And the re-opened breaker fast-fails again.
+    assert!(!router.retrieve_with_status("apple pie", 5).complete);
+    assert_eq!(router.metrics().breaker_fast_fails, 1);
+}
+
+#[test]
+fn budget_clamped_timeouts_blame_the_request_not_the_shard() {
+    let index = corpus();
+    let sock = socket("clamped");
+    spawn_silent_worker(&sock);
+    let config = FleetConfig {
+        shard_timeout: Duration::from_millis(300),
+        hedge: HedgePolicy::Off,
+        breaker_threshold: 1,
+        ..FleetConfig::default()
+    };
+    let router = FleetRouter::new(index.clone(), vec![sock], config);
+    let terms = index.analyze_query("apple pie");
+
+    // 5 ms of budget against a 300 ms shard deadline: the exchange times
+    // out almost immediately — and blamelessly.
+    let t = Instant::now();
+    let r = router.retrieve_terms_within(&terms, 5, Some(5_000));
+    let elapsed = t.elapsed();
+    assert!(!r.complete);
+    assert!(
+        elapsed < Duration::from_millis(150),
+        "budget clamps the wire deadline (took {elapsed:?})"
+    );
+    let m = router.metrics();
+    assert_eq!(
+        m.shard_failures, 0,
+        "clamped timeout is not a shard failure"
+    );
+    assert_eq!(m.shard_timeouts, 0);
+    assert_eq!(
+        m.breaker_trips, 0,
+        "clamped timeout must not trip the breaker"
+    );
+
+    // The same silent worker under the *full* deadline is a real shard
+    // timeout, and (threshold 1) trips the breaker.
+    assert!(!router.retrieve_terms_with_status(&terms, 5).complete);
+    let m = router.metrics();
+    assert_eq!(m.shard_timeouts, 1);
+    assert_eq!(m.breaker_trips, 1);
+}

@@ -11,13 +11,14 @@
 //! partial with exactly shard 0's hits, bit-identical to the shard-0
 //! artifact scored in-process.
 
-use serpdiv_fleet::protocol::{encode_frame, Frame};
+use serpdiv_fleet::protocol::{decode_payload, encode_frame, read_frame, Frame};
 use serpdiv_fleet::worker;
-use serpdiv_fleet::{FleetConfig, FleetRouter};
+use serpdiv_fleet::{FleetConfig, FleetRouter, DEFAULT_MAX_FRAME};
 use serpdiv_index::{
-    merge_top_k, Document, IndexBuilder, InvertedIndex, Retriever, ScoredDoc, ShardArtifact,
+    merge_top_k, DocId, Document, IndexBuilder, InvertedIndex, Retriever, ScoredDoc, ShardArtifact,
     ShardedIndex,
 };
+use serpdiv_text::TermId;
 use std::io::{Read, Write};
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
@@ -194,6 +195,113 @@ fn survives_silent_worker_within_deadline() {
         expect.iter().map(|h| h.doc).collect::<Vec<_>>()
     );
     assert!(router.metrics().shard_timeouts >= 1);
+}
+
+/// Deterministic xorshift64* for the mutation sweep.
+struct FuzzRng(u64);
+
+impl FuzzRng {
+    fn new(seed: u64) -> Self {
+        FuzzRng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Push `iterations` LCG-derived mutants of valid frames (plus raw
+/// random buffers) through both decode paths. The decoder must never
+/// panic and never allocate past what the validated length fields admit
+/// (hostile counts are checked against the remaining payload *before*
+/// any `Vec` is sized); whatever decodes cleanly must re-encode to bytes
+/// that decode to the same frame.
+fn fuzz_decode_sweep(iterations: usize, seed: u64) {
+    let mut rng = FuzzRng::new(seed);
+    let corpus: Vec<Vec<u8>> = vec![
+        encode_frame(&Frame::Ping { id: 1 }),
+        encode_frame(&Frame::Pong {
+            id: 2,
+            shard_id: 3,
+            base: 40,
+            range_len: 12,
+        }),
+        encode_frame(&Frame::Query {
+            id: 6,
+            k: 10,
+            terms: vec![TermId(1), TermId(7), TermId(99)],
+        }),
+        encode_frame(&Frame::Hits {
+            id: 7,
+            hits: vec![
+                ScoredDoc {
+                    doc: DocId(1),
+                    score: 1.5,
+                },
+                ScoredDoc {
+                    doc: DocId(9),
+                    score: -0.25,
+                },
+            ],
+        }),
+    ];
+    for i in 0..iterations {
+        let bytes: Vec<u8> = if i % 4 == 0 {
+            // A raw random buffer, no structure at all.
+            let len = (rng.next() % 96) as usize;
+            (0..len).map(|_| rng.next() as u8).collect()
+        } else {
+            // A valid frame with 1–8 bytes flipped, sometimes truncated
+            // or extended — length prefixes, magic, opcodes, and count
+            // fields all get hit.
+            let mut b = corpus[(rng.next() as usize) % corpus.len()].clone();
+            for _ in 0..(1 + rng.next() % 8) {
+                let pos = (rng.next() as usize) % b.len();
+                b[pos] ^= (1 + rng.next() % 255) as u8;
+            }
+            match rng.next() % 4 {
+                0 => {
+                    let keep = (rng.next() as usize) % (b.len() + 1);
+                    b.truncate(keep);
+                }
+                1 => b.extend((0..rng.next() % 16).map(|_| rng.next() as u8)),
+                _ => {}
+            }
+            b
+        };
+        // Full wire path: the length prefix and frame-size cap.
+        let mut cursor = std::io::Cursor::new(&bytes[..]);
+        let _ = read_frame(&mut cursor, DEFAULT_MAX_FRAME);
+        // Payload path: whatever decodes must round-trip bit-exactly
+        // (compared on re-encoded bytes — scores may be NaN).
+        if bytes.len() >= 4 {
+            if let Ok(frame) = decode_payload(&bytes[4..]) {
+                let reencoded = encode_frame(&frame);
+                let redecoded =
+                    decode_payload(&reencoded[4..]).expect("re-encoded frame must decode");
+                assert_eq!(reencoded, encode_frame(&redecoded));
+            }
+        }
+    }
+}
+
+#[test]
+fn frame_decode_survives_mutation_sweep() {
+    fuzz_decode_sweep(4_000, 0xF00D_F00D);
+}
+
+/// The heavyweight sweep, opt-in via `--features property-tests`.
+#[cfg(feature = "property-tests")]
+#[test]
+fn frame_decode_survives_large_mutation_sweep() {
+    for seed in 0..16u64 {
+        fuzz_decode_sweep(50_000, 0xDEAD_0000 ^ seed);
+    }
 }
 
 #[test]

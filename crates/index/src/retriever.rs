@@ -89,6 +89,27 @@ pub trait Retriever: Send + Sync {
     fn retrieve_with_status(&self, query: &str, k: usize) -> Retrieval {
         Retrieval::complete(self.retrieve(query, k))
     }
+
+    /// Like [`retrieve_with_status`](Self::retrieve_with_status), bounded
+    /// by the caller's remaining per-request budget in microseconds
+    /// (`None` ⇒ unbounded).
+    ///
+    /// The default ignores the budget — in-process strategies have no
+    /// useful cancellation point, and an in-flight retrieval is always
+    /// cheaper to finish than to abandon. Distributed retrievers override
+    /// it to clamp their per-shard wire deadlines to
+    /// `min(configured, remaining)`, so a request that has nearly
+    /// exhausted its budget stops paying full shard timeouts for slow
+    /// workers (see `FleetRouter` in the fleet crate).
+    fn retrieve_with_status_within(
+        &self,
+        query: &str,
+        k: usize,
+        budget_us: Option<u64>,
+    ) -> Retrieval {
+        let _ = budget_us;
+        self.retrieve_with_status(query, k)
+    }
 }
 
 /// The default retriever: term-at-a-time DPH over the whole collection

@@ -1,6 +1,7 @@
 //! The serving engine: a thin driver over the stage pipeline, sharing
 //! immutable deployment state across worker threads.
 
+use crate::budget::Budget;
 use crate::cache::{CachedSerp, ShardedResultCache};
 use crate::metrics::{Degradation, MetricsSnapshot, ServeMetrics};
 use crate::request::{QueryRequest, RankedResult, SearchResponse, StageTimings};
@@ -50,10 +51,13 @@ pub struct EngineConfig {
     /// through [`SearchEngine::with_retriever_and_forward`] rather than
     /// letting each engine build its own here.
     pub executor_threads: usize,
-    /// Per-request compute budget in microseconds, enforced before the
-    /// select stage: when exhausted, the diversifier is skipped and the
-    /// baseline ranking is served (`"DPH (degraded)"`). 0 disables the
-    /// deadline.
+    /// Per-request compute budget in microseconds, materialized as a
+    /// [`Budget`] when the engine accepts the request and enforced at
+    /// **every stage edge** by the driver (plus inside the retrieve and
+    /// select stages): when exhausted, the remaining stages are skipped
+    /// and the baseline ranking prefix is served (`"DPH (degraded)"`).
+    /// The remaining budget also clamps a distributed retriever's
+    /// per-shard wire deadlines. 0 disables the deadline.
     pub deadline_us: u64,
     /// Compile a [`ForwardIndex`] at deploy time and serve snippet
     /// surrogates from it (zero-string `TermId`-stream path). `false`
@@ -363,12 +367,26 @@ impl SearchEngine {
     /// Returns the response together with its degradation class (the
     /// response itself carries only the boolean).
     fn compute(&self, req: &QueryRequest, start: Instant) -> (SearchResponse, Degradation) {
-        let mut ctx = PipelineContext::new(req, start);
+        let budget = Budget::from_deadline_us(start, self.config.deadline_us);
+        let mut ctx = PipelineContext::new(req, start, budget);
         for stage in &self.stages {
+            let _ = serpdiv_chaos::failpoint(stage.kind().failpoint_site());
             let t = Instant::now();
             let outcome = stage.run(self, &mut ctx);
             ctx.timings.add(stage.kind(), elapsed_us(t));
             if outcome == StageOutcome::Finish {
+                break;
+            }
+            // Stage-edge budget check: an exhausted request degrades to
+            // the baseline prefix *now* instead of paying for the
+            // remaining stages. Only once candidates exist — before
+            // retrieval there is nothing to serve, and the retrieve
+            // stage handles the exhausted-on-entry case itself.
+            if ctx.budget.exhausted() && !ctx.candidates.is_empty() && ctx.page.is_empty() {
+                ctx.page = ctx.candidates.iter().take(req.k).copied().collect();
+                ctx.algorithm = "DPH (degraded)";
+                ctx.degraded = true;
+                ctx.diversified = false;
                 break;
             }
         }
@@ -398,6 +416,16 @@ impl SearchEngine {
     /// engine itself never sees the queue).
     pub fn record_queue_wait(&self, us: u64) {
         self.metrics.record_queue_wait(us);
+    }
+
+    /// Record one response the worker pool produced *without* running
+    /// [`search`](Self::search) — a shed rejection
+    /// ([`Degradation::Shed`]) or a contained worker panic
+    /// ([`Degradation::Internal`]). Keeps the metrics' class partition
+    /// (`requests = cache_hits + diversified + passthrough + shed +
+    /// internal_errors`) true even for requests the engine never saw.
+    pub(crate) fn record_out_of_band(&self, degradation: Degradation, timings: StageTimings) {
+        self.metrics.record(false, false, degradation, timings);
     }
 
     /// The candidate snippet surrogates for one request, through the

@@ -67,9 +67,29 @@
 //! 5. **select** ([`stages::SelectStage`]) — the per-request choice of
 //!    diversifier (OptSelect / IA-Select / xQuAD / MMR, pre-built
 //!    [`Diversifier`](serpdiv_core::Diversifier) trait objects) re-ranks
-//!    the page — unless the per-request budget
+//!    the page — unless the per-request [`Budget`]
 //!    ([`EngineConfig::deadline_us`]) is exhausted, in which case the
-//!    stage degrades to the baseline ranking (`"DPH (degraded)"`).
+//!    request degrades to the baseline ranking (`"DPH (degraded)"`).
+//!
+//! ## Overload protection
+//!
+//! The stack degrades *predictably* instead of queueing or hanging:
+//!
+//! * **Deadline budgets** — the driver checks the request's [`Budget`] at
+//!   every stage edge and serves the baseline prefix the moment it
+//!   exhausts; the remaining budget also clamps a distributed retriever's
+//!   per-shard wire deadlines.
+//! * **Admission control** — [`WorkerPool::with_admission`] bounds the
+//!   queue ([`AdmissionPolicy`]): overflow is shed in O(µs) with the
+//!   distinct [`Degradation::Shed`] class instead of convoying.
+//! * **Panic containment** — a worker that panics mid-request (scoring
+//!   bug, injected chaos) answers [`Degradation::Internal`] and keeps
+//!   serving.
+//!
+//! See [`Degradation`] for the full degradation ladder and the
+//! `serpdiv-chaos` crate (plus `tests/chaos_soak.rs` at the workspace
+//! root) for the failpoints that prove these properties under injected
+//! faults.
 //!
 //! Every stage is timed per request ([`StageTimings`]) and aggregated in
 //! the engine's [`metrics`](SearchEngine::metrics); the cache exports
@@ -78,6 +98,7 @@
 //! stream against this engine at configurable concurrency and shard
 //! counts and reports QPS and latency percentiles per algorithm.
 
+pub mod budget;
 pub mod cache;
 pub mod engine;
 pub mod lru;
@@ -87,12 +108,15 @@ pub mod request;
 pub mod stages;
 pub mod surrogates;
 
+pub use budget::Budget;
 pub use cache::{CacheKey, CacheStats, CachedSerp, ShardedResultCache};
 pub use engine::{EngineConfig, PresentationTable, SearchEngine};
 pub use lru::LruCache;
 pub use metrics::{Degradation, MetricsSnapshot, ServeMetrics};
-pub use pool::WorkerPool;
-pub use request::{QueryRequest, RankedResult, SearchResponse, StageTimings};
+pub use pool::{AdmissionPolicy, WorkerPool};
+pub use request::{
+    QueryRequest, RankedResult, SearchResponse, StageTimings, LABEL_INTERNAL, LABEL_SHED,
+};
 pub use stages::{
     default_stage_chain, DetectStage, PipelineContext, RetrieveStage, SelectStage, Stage,
     StageKind, StageOutcome, SurrogateStage, UtilityStage,

@@ -3,22 +3,41 @@
 use crate::request::StageTimings;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Why a computed request fell back to the baseline ranking.
+/// Why a request was not served its full diversified page — the rungs of
+/// the serving stack's **degradation ladder**, from cheapest to most
+/// severe.
 ///
-/// The two degraded classes answer different operational questions — an
-/// exhausted per-request budget means the *engine* is overloaded, a lost
-/// shard means the *fleet* is unhealthy — so they are counted (and
-/// labeled on the response) separately.
+/// Each class answers a different operational question — an exhausted
+/// per-request budget means the *request* ran long, a lost shard means
+/// the *fleet* is unhealthy, a shed request means the *pool* is
+/// saturated, an internal error means a *worker* contained a panic — so
+/// they are counted (and labeled on the response) separately. Degraded
+/// responses of every class are **never cached**: they are an accident of
+/// one request, not the canonical SERP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Degradation {
     /// Not degraded.
     None,
-    /// The select-stage deadline was exhausted
-    /// ([`EngineConfig::deadline_us`](crate::EngineConfig::deadline_us)).
+    /// The request's compute [`Budget`](crate::Budget) was exhausted
+    /// ([`EngineConfig::deadline_us`](crate::EngineConfig::deadline_us));
+    /// the page is the baseline ranking prefix, labeled
+    /// `"DPH (degraded)"`.
     Deadline,
     /// Retrieval lost at least one index shard (a fleet worker timed out
-    /// or died) and the page was built from a partial gather.
+    /// or died) and the page was built from a partial gather; labeled
+    /// `"DPH (degraded: shard loss)"`.
     ShardLoss,
+    /// Admission control refused the request before any engine work: the
+    /// worker-pool queue was over its bound
+    /// ([`AdmissionPolicy`](crate::AdmissionPolicy)). The page is empty,
+    /// labeled [`LABEL_SHED`](crate::request::LABEL_SHED), and the
+    /// rejection costs O(µs), not a deadline.
+    Shed,
+    /// A serving worker contained a panic while computing this request
+    /// (a scoring bug, or an injected chaos fault). The page is empty,
+    /// labeled [`LABEL_INTERNAL`](crate::request::LABEL_INTERNAL); the
+    /// worker itself survives and keeps serving.
+    Internal,
 }
 
 /// Cumulative counters updated by every request (relaxed atomics — the
@@ -31,6 +50,8 @@ pub struct ServeMetrics {
     passthrough: AtomicU64,
     degraded: AtomicU64,
     degraded_shard_loss: AtomicU64,
+    shed: AtomicU64,
+    internal_errors: AtomicU64,
     queue_waits: AtomicU64,
     queue_wait_us: AtomicU64,
     detect_us: AtomicU64,
@@ -59,6 +80,14 @@ pub struct MetricsSnapshot {
     /// worker that timed out or died mid-gather (a subset of
     /// `passthrough`, disjoint from `degraded`).
     pub degraded_shard_loss: u64,
+    /// Requests refused by worker-pool admission control before any
+    /// engine work ([`Degradation::Shed`]). Disjoint from every class
+    /// above: `requests = cache_hits + diversified + passthrough + shed
+    /// + internal_errors`.
+    pub shed: u64,
+    /// Requests whose serving worker contained a panic
+    /// ([`Degradation::Internal`]). Disjoint from every other class.
+    pub internal_errors: u64,
     /// Requests that passed through the worker-pool queue (the
     /// denominator of `mean_queue_wait_us`).
     pub queue_waits: u64,
@@ -86,28 +115,38 @@ impl ServeMetrics {
         } else if diversified {
             self.diversified.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.passthrough.fetch_add(1, Ordering::Relaxed);
+            // Shed and internal-error responses never produced a page, so
+            // they are counted apart from (not inside) `passthrough`; the
+            // five leaf classes always sum to `requests`.
             match degradation {
-                Degradation::None => {}
+                Degradation::Shed => {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                Degradation::Internal => {
+                    self.internal_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Degradation::None => {
+                    self.passthrough.fetch_add(1, Ordering::Relaxed);
+                }
                 Degradation::Deadline => {
+                    self.passthrough.fetch_add(1, Ordering::Relaxed);
                     self.degraded.fetch_add(1, Ordering::Relaxed);
                 }
                 Degradation::ShardLoss => {
+                    self.passthrough.fetch_add(1, Ordering::Relaxed);
                     self.degraded_shard_loss.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
-        self.detect_us
-            .fetch_add(timings.detect_us, Ordering::Relaxed);
-        self.retrieve_us
-            .fetch_add(timings.retrieve_us, Ordering::Relaxed);
-        self.surrogate_us
-            .fetch_add(timings.surrogate_us, Ordering::Relaxed);
-        self.utility_us
-            .fetch_add(timings.utility_us, Ordering::Relaxed);
-        self.select_us
-            .fetch_add(timings.select_us, Ordering::Relaxed);
-        self.total_us.fetch_add(timings.total_us, Ordering::Relaxed);
+        // Timing sums saturate instead of wrapping: a debug-build
+        // overflow panic inside metrics would take a serving worker down
+        // for an accounting artifact on a long soak.
+        saturating_add(&self.detect_us, timings.detect_us);
+        saturating_add(&self.retrieve_us, timings.retrieve_us);
+        saturating_add(&self.surrogate_us, timings.surrogate_us);
+        saturating_add(&self.utility_us, timings.utility_us);
+        saturating_add(&self.select_us, timings.select_us);
+        saturating_add(&self.total_us, timings.total_us);
     }
 
     /// Record one worker-pool queue wait (enqueue → worker pickup).
@@ -117,7 +156,7 @@ impl ServeMetrics {
     /// request.
     pub fn record_queue_wait(&self, us: u64) {
         self.queue_waits.fetch_add(1, Ordering::Relaxed);
-        self.queue_wait_us.fetch_add(us, Ordering::Relaxed);
+        saturating_add(&self.queue_wait_us, us);
     }
 
     /// Copy out the counters.
@@ -133,6 +172,8 @@ impl ServeMetrics {
             passthrough: self.passthrough.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             degraded_shard_loss: self.degraded_shard_loss.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            internal_errors: self.internal_errors.load(Ordering::Relaxed),
             queue_waits,
             mean_queue_wait_us: if queue_waits == 0 {
                 0.0
@@ -155,6 +196,18 @@ impl ServeMetrics {
             },
         }
     }
+}
+
+/// `counter += v` without wrap-around: cumulative microsecond sums on a
+/// long soak must clamp at `u64::MAX`, not panic (debug) or restart
+/// (release).
+fn saturating_add(counter: &AtomicU64, v: u64) {
+    if v == 0 {
+        return;
+    }
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+        Some(cur.saturating_add(v))
+    });
 }
 
 #[cfg(test)]
@@ -224,6 +277,58 @@ mod tests {
         assert_eq!(s.passthrough, 3);
         assert_eq!(s.degraded, 1);
         assert_eq!(s.degraded_shard_loss, 1);
+    }
+
+    #[test]
+    fn shed_and_internal_are_disjoint_leaf_classes() {
+        let m = ServeMetrics::default();
+        m.record(false, false, Degradation::Shed, StageTimings::default());
+        m.record(false, false, Degradation::Shed, StageTimings::default());
+        m.record(false, false, Degradation::Internal, StageTimings::default());
+        m.record(false, true, Degradation::None, StageTimings::default());
+        m.record(true, true, Degradation::None, StageTimings::default());
+        m.record(false, false, Degradation::Deadline, StageTimings::default());
+        let s = m.snapshot();
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.internal_errors, 1);
+        assert_eq!(s.passthrough, 1, "shed/internal are not passthrough");
+        // The leaf classes partition the request total.
+        assert_eq!(
+            s.requests,
+            s.cache_hits + s.diversified + s.passthrough + s.shed + s.internal_errors
+        );
+    }
+
+    #[test]
+    fn timing_sums_saturate_instead_of_wrapping() {
+        let m = ServeMetrics::default();
+        m.record(
+            false,
+            true,
+            Degradation::None,
+            StageTimings {
+                total_us: u64::MAX - 1,
+                detect_us: u64::MAX,
+                ..Default::default()
+            },
+        );
+        m.record(
+            false,
+            true,
+            Degradation::None,
+            StageTimings {
+                total_us: 1000,
+                detect_us: 1000,
+                ..Default::default()
+            },
+        );
+        m.record_queue_wait(u64::MAX);
+        m.record_queue_wait(7);
+        let s = m.snapshot();
+        assert_eq!(s.stage_sums.total_us, u64::MAX);
+        assert_eq!(s.stage_sums.detect_us, u64::MAX);
+        assert_eq!(s.stage_sums.queue_wait_us, u64::MAX);
+        assert_eq!(s.requests, 2);
     }
 
     #[test]

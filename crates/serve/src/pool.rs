@@ -16,11 +16,39 @@
 //! threads` instead of multiplying per query.
 
 use crate::engine::SearchEngine;
-use crate::request::{QueryRequest, SearchResponse};
+use crate::metrics::Degradation;
+use crate::request::{QueryRequest, SearchResponse, StageTimings, LABEL_INTERNAL, LABEL_SHED};
 use parking_lot::Mutex;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Admission-control policy of a [`WorkerPool`]: how much queueing the
+/// pool tolerates before it starts shedding load.
+///
+/// An unbounded mpsc convoys under overload — every queued request
+/// eventually gets served, seconds late, long after its client gave up.
+/// Shedding at admission keeps the latency of the requests that *are*
+/// served flat and turns the overflow into cheap, honestly-labeled
+/// [`Degradation::Shed`] responses (label
+/// [`LABEL_SHED`](crate::request::LABEL_SHED), counted in
+/// [`MetricsSnapshot::shed`](crate::MetricsSnapshot::shed), never
+/// cached). The default policy is fully permissive, preserving the
+/// historical unbounded behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Maximum jobs waiting in the queue before new submissions are shed
+    /// at enqueue time, in O(µs) — one atomic load, no engine work, no
+    /// syscalls. 0 ⇒ unbounded.
+    pub max_queue: usize,
+    /// Maximum enqueue→pickup wait before a dequeued job is shed at
+    /// pickup instead of served: a request that waited this long is
+    /// stale, and serving it would only delay fresher ones behind it.
+    /// 0 ⇒ serve no matter how stale.
+    pub max_queue_wait_us: u64,
+}
 
 struct Job {
     seq: usize,
@@ -35,18 +63,35 @@ struct Job {
 pub struct WorkerPool {
     queue: Option<mpsc::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    engine: Arc<SearchEngine>,
+    policy: AdmissionPolicy,
+    /// Jobs currently queued (enqueued, not yet picked up) — the value
+    /// `max_queue` bounds.
+    depth: Arc<AtomicUsize>,
 }
 
 impl WorkerPool {
-    /// Spawn `workers` serving threads (at least one).
+    /// Spawn `workers` serving threads (at least one) with an unbounded
+    /// queue (the permissive [`AdmissionPolicy::default`]).
     pub fn new(engine: Arc<SearchEngine>, workers: usize) -> Self {
+        Self::with_admission(engine, workers, AdmissionPolicy::default())
+    }
+
+    /// Spawn `workers` serving threads governed by `policy`.
+    pub fn with_admission(
+        engine: Arc<SearchEngine>,
+        workers: usize,
+        policy: AdmissionPolicy,
+    ) -> Self {
         let workers = workers.max(1);
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let depth = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers)
             .map(|i| {
                 let engine = engine.clone();
                 let rx = rx.clone();
+                let depth = depth.clone();
                 std::thread::Builder::new()
                     .name(format!("serpdiv-serve-{i}"))
                     .spawn(move || loop {
@@ -55,16 +100,8 @@ impl WorkerPool {
                             Ok(job) => job,
                             Err(_) => break, // queue closed: shut down
                         };
-                        // Enqueue → pickup is the saturation signal the
-                        // stage timings cannot see (they start after).
-                        let queue_wait_us =
-                            job.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-                        engine.record_queue_wait(queue_wait_us);
-                        let mut response = engine.search(job.req);
-                        response.timings.queue_wait_us = queue_wait_us;
-                        // A dropped reply receiver just means the client
-                        // stopped waiting; keep serving.
-                        let _ = job.reply.send((job.seq, response));
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                        Self::serve_job(&engine, policy, job);
                     })
                     .expect("failed to spawn serving worker")
             })
@@ -72,7 +109,62 @@ impl WorkerPool {
         WorkerPool {
             queue: Some(tx),
             workers: handles,
+            engine,
+            policy,
+            depth,
         }
+    }
+
+    /// Serve one dequeued job on a worker thread: staleness shedding,
+    /// panic containment, reply delivery.
+    fn serve_job(engine: &SearchEngine, policy: AdmissionPolicy, job: Job) {
+        let Job {
+            seq,
+            req,
+            enqueued,
+            reply,
+        } = job;
+        // Enqueue → pickup is the saturation signal the stage timings
+        // cannot see (they start after).
+        let queue_wait_us = enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        engine.record_queue_wait(queue_wait_us);
+        if policy.max_queue_wait_us > 0 && queue_wait_us > policy.max_queue_wait_us {
+            let timings = StageTimings {
+                queue_wait_us,
+                total_us: queue_wait_us,
+                ..StageTimings::default()
+            };
+            engine.record_out_of_band(Degradation::Shed, timings);
+            let _ = reply.send((seq, degraded_reply(req.query, LABEL_SHED, timings)));
+            return;
+        }
+        // Contain panics (scoring bugs, injected chaos): the worker
+        // answers with a labeled internal error and keeps serving, so one
+        // poisoned request can never shrink the pool — or deadlock a
+        // batch waiting on a reply that will never come.
+        let query = req.query.clone();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = serpdiv_chaos::failpoint("pool.serve");
+            engine.search(req)
+        }));
+        let response = match result {
+            Ok(mut response) => {
+                response.timings.queue_wait_us = queue_wait_us;
+                response
+            }
+            Err(_) => {
+                let timings = StageTimings {
+                    queue_wait_us,
+                    total_us: enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                    ..StageTimings::default()
+                };
+                engine.record_out_of_band(Degradation::Internal, timings);
+                degraded_reply(query, LABEL_INTERNAL, timings)
+            }
+        };
+        // A dropped reply receiver just means the client stopped
+        // waiting; keep serving.
+        let _ = reply.send((seq, response));
     }
 
     /// Number of serving threads.
@@ -105,7 +197,28 @@ impl WorkerPool {
             .collect()
     }
 
+    /// Jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The pool's admission policy.
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
     fn enqueue(&self, seq: usize, req: QueryRequest, reply: mpsc::Sender<(usize, SearchResponse)>) {
+        let _ = serpdiv_chaos::failpoint("pool.enqueue");
+        if self.policy.max_queue > 0 && self.depth.load(Ordering::Relaxed) >= self.policy.max_queue
+        {
+            // Shed at admission: one atomic load decided this — no
+            // engine work, no syscalls, O(µs) end to end.
+            let timings = StageTimings::default();
+            self.engine.record_out_of_band(Degradation::Shed, timings);
+            let _ = reply.send((seq, degraded_reply(req.query, LABEL_SHED, timings)));
+            return;
+        }
+        self.depth.fetch_add(1, Ordering::Relaxed);
         self.queue
             .as_ref()
             .expect("pool is shutting down")
@@ -116,6 +229,20 @@ impl WorkerPool {
                 reply,
             })
             .expect("all serving workers have exited");
+    }
+}
+
+/// An empty, degraded, never-cached response carrying `label` — the shape
+/// of every page the pool produces without running the engine.
+fn degraded_reply(query: String, label: &'static str, timings: StageTimings) -> SearchResponse {
+    SearchResponse {
+        query,
+        algorithm: label,
+        diversified: false,
+        cache_hit: false,
+        degraded: true,
+        results: Arc::new(Vec::new()),
+        timings,
     }
 }
 
@@ -245,6 +372,205 @@ mod tests {
     fn empty_batch() {
         let pool = WorkerPool::new(engine(), 2);
         assert!(pool.serve_batch(Vec::new()).is_empty());
+    }
+
+    /// A stage that sleeps before handing off to the rest of the default
+    /// chain — makes a single worker predictably slow so the queue fills.
+    struct SleepStage(std::time::Duration);
+
+    impl crate::stages::Stage for SleepStage {
+        fn kind(&self) -> crate::stages::StageKind {
+            crate::stages::StageKind::Detect
+        }
+        fn run<'a>(
+            &self,
+            _engine: &'a SearchEngine,
+            _ctx: &mut crate::stages::PipelineContext<'a>,
+        ) -> crate::stages::StageOutcome {
+            std::thread::sleep(self.0);
+            crate::stages::StageOutcome::Continue
+        }
+    }
+
+    fn slow_engine(delay: std::time::Duration) -> Arc<SearchEngine> {
+        let shared = engine();
+        let mut chain = crate::stages::default_stage_chain();
+        chain.insert(0, Box::new(SleepStage(delay)));
+        // Rebuild a fresh engine sharing the same artifacts, cache off so
+        // repeats stay slow.
+        let rebuilt = SearchEngine::with_retriever(
+            shared.index().clone(),
+            shared.index().clone(),
+            shared.model().clone(),
+            shared.store().clone(),
+            shared.compiled().clone(),
+            EngineConfig {
+                cache_capacity: 0,
+                n_candidates: 8,
+                params: PipelineParams {
+                    utility: UtilityParams { threshold_c: 0.4 },
+                    ..PipelineParams::default()
+                },
+                ..EngineConfig::default()
+            },
+        )
+        .with_stage_chain(chain);
+        Arc::new(rebuilt)
+    }
+
+    #[test]
+    fn bounded_queue_sheds_overflow_at_enqueue() {
+        let shared = slow_engine(std::time::Duration::from_millis(30));
+        let pool = WorkerPool::with_admission(
+            shared.clone(),
+            1,
+            AdmissionPolicy {
+                max_queue: 1,
+                max_queue_wait_us: 0,
+            },
+        );
+        let reqs: Vec<QueryRequest> = (0..12)
+            .map(|_| QueryRequest::new("apple", 4, AlgorithmKind::OptSelect))
+            .collect();
+        let responses = pool.serve_batch(reqs);
+        assert_eq!(responses.len(), 12, "every request gets *an* answer");
+        let shed: Vec<_> = responses
+            .iter()
+            .filter(|r| r.algorithm == LABEL_SHED)
+            .collect();
+        let served: Vec<_> = responses
+            .iter()
+            .filter(|r| r.algorithm != LABEL_SHED)
+            .collect();
+        assert!(!shed.is_empty(), "a 1-deep queue must shed a 12-burst");
+        assert!(!served.is_empty(), "admission must not shed everything");
+        for r in &shed {
+            assert!(r.degraded);
+            assert!(!r.diversified);
+            assert!(!r.cache_hit);
+            assert!(r.results.is_empty());
+        }
+        for r in &served {
+            assert_eq!(r.results.len(), 4);
+        }
+        let m = shared.metrics();
+        assert_eq!(m.shed, shed.len() as u64);
+        assert_eq!(
+            m.requests,
+            m.cache_hits + m.diversified + m.passthrough + m.shed + m.internal_errors,
+            "leaf classes partition the request total"
+        );
+        // Shed responses never enter the result cache (there is no cache
+        // here at all, but the label asserts the path: no engine work ran).
+    }
+
+    #[test]
+    fn stale_queued_requests_are_shed_at_pickup() {
+        let shared = slow_engine(std::time::Duration::from_millis(25));
+        let pool = WorkerPool::with_admission(
+            shared.clone(),
+            1,
+            AdmissionPolicy {
+                max_queue: 0,
+                max_queue_wait_us: 5_000, // 5 ms: far below one 25 ms service time
+            },
+        );
+        let reqs: Vec<QueryRequest> = (0..5)
+            .map(|_| QueryRequest::new("apple", 4, AlgorithmKind::OptSelect))
+            .collect();
+        let responses = pool.serve_batch(reqs);
+        let shed = responses
+            .iter()
+            .filter(|r| r.algorithm == LABEL_SHED)
+            .count();
+        let served = responses
+            .iter()
+            .filter(|r| r.algorithm != LABEL_SHED)
+            .count();
+        // The in-flight request is served; everything that sat behind a
+        // 25 ms service time exceeded the 5 ms staleness bound.
+        assert!(served >= 1);
+        assert!(shed >= 1, "stale jobs must be shed at pickup");
+        assert_eq!(shared.metrics().shed, shed as u64);
+        for r in responses.iter().filter(|r| r.algorithm == LABEL_SHED) {
+            assert!(r.timings.queue_wait_us > 5_000);
+            assert!(r.degraded);
+        }
+    }
+
+    /// A stage that panics on a marker query — the non-chaos way to test
+    /// worker panic containment (chaos arming is process-global and would
+    /// leak into concurrently running tests).
+    struct PanicStage;
+
+    impl crate::stages::Stage for PanicStage {
+        fn kind(&self) -> crate::stages::StageKind {
+            crate::stages::StageKind::Detect
+        }
+        fn run<'a>(
+            &self,
+            _engine: &'a SearchEngine,
+            ctx: &mut crate::stages::PipelineContext<'a>,
+        ) -> crate::stages::StageOutcome {
+            assert!(ctx.request.query != "boom", "injected stage panic");
+            crate::stages::StageOutcome::Continue
+        }
+    }
+
+    #[test]
+    fn worker_contains_panics_and_keeps_serving() {
+        let shared = engine();
+        let mut chain = crate::stages::default_stage_chain();
+        chain.insert(0, Box::new(PanicStage));
+        let rebuilt = Arc::new(
+            SearchEngine::with_retriever(
+                shared.index().clone(),
+                shared.index().clone(),
+                shared.model().clone(),
+                shared.store().clone(),
+                shared.compiled().clone(),
+                EngineConfig {
+                    n_candidates: 8,
+                    params: PipelineParams {
+                        utility: UtilityParams { threshold_c: 0.4 },
+                        ..PipelineParams::default()
+                    },
+                    ..EngineConfig::default()
+                },
+            )
+            .with_stage_chain(chain),
+        );
+        let pool = WorkerPool::new(rebuilt.clone(), 2);
+        let reqs = vec![
+            QueryRequest::new("apple", 4, AlgorithmKind::OptSelect),
+            QueryRequest::new("boom", 4, AlgorithmKind::OptSelect),
+            QueryRequest::new("apple", 4, AlgorithmKind::OptSelect),
+            QueryRequest::new("boom", 4, AlgorithmKind::OptSelect),
+        ];
+        // serve_batch must not hang or panic even though two requests
+        // kill their stage: the worker catches, answers, and survives.
+        let responses = pool.serve_batch(reqs);
+        assert_eq!(responses.len(), 4);
+        for (i, r) in responses.iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(r.algorithm, LABEL_INTERNAL, "request {i}");
+                assert!(r.degraded);
+                assert!(r.results.is_empty());
+                assert_eq!(r.query, "boom");
+            } else {
+                assert_eq!(r.results.len(), 4, "request {i}");
+                assert!(!r.degraded);
+            }
+        }
+        let m = rebuilt.metrics();
+        assert_eq!(m.internal_errors, 2);
+        assert_eq!(
+            m.requests,
+            m.cache_hits + m.diversified + m.passthrough + m.shed + m.internal_errors
+        );
+        // The pool still has live workers: a follow-up batch is served.
+        let again = pool.serve_batch(vec![QueryRequest::new("apple", 3, AlgorithmKind::Mmr)]);
+        assert_eq!(again[0].results.len(), 3);
     }
 
     #[test]

@@ -5,6 +5,14 @@ use serpdiv_core::AlgorithmKind;
 use serpdiv_index::DocId;
 use std::sync::Arc;
 
+/// Response label of a request refused by worker-pool admission control
+/// ([`Degradation::Shed`](crate::Degradation::Shed)).
+pub const LABEL_SHED: &str = "shed (overload)";
+
+/// Response label of a request whose serving worker contained a panic
+/// ([`Degradation::Internal`](crate::Degradation::Internal)).
+pub const LABEL_INTERNAL: &str = "error (internal)";
+
 /// One search request.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QueryRequest {
@@ -64,7 +72,8 @@ pub struct StageTimings {
 impl StageTimings {
     /// Charge `us` microseconds to the bucket of `kind` (the stage-driver
     /// accounting hook; a stage may run more than once per request, so
-    /// buckets accumulate).
+    /// buckets accumulate). Saturating: an accounting overflow must never
+    /// panic a serving worker.
     pub fn add(&mut self, kind: StageKind, us: u64) {
         let bucket = match kind {
             StageKind::Detect => &mut self.detect_us,
@@ -73,7 +82,7 @@ impl StageTimings {
             StageKind::Utility => &mut self.utility_us,
             StageKind::Select => &mut self.select_us,
         };
-        *bucket += us;
+        *bucket = bucket.saturating_add(us);
     }
 }
 

@@ -37,6 +37,7 @@
 //! }
 //! ```
 
+use crate::budget::Budget;
 use crate::engine::SearchEngine;
 use crate::request::{QueryRequest, StageTimings};
 use serpdiv_core::{assemble_input_from_surrogates, AlgorithmKind, DiversifyInput};
@@ -71,6 +72,20 @@ pub enum StageKind {
     Select,
 }
 
+impl StageKind {
+    /// The chaos failpoint name the driver fires before running a stage
+    /// of this kind (see the `serpdiv-chaos` crate).
+    pub fn failpoint_site(&self) -> &'static str {
+        match self {
+            StageKind::Detect => "stage.detect",
+            StageKind::Retrieve => "stage.retrieve",
+            StageKind::Surrogate => "stage.surrogate",
+            StageKind::Utility => "stage.utility",
+            StageKind::Select => "stage.select",
+        }
+    }
+}
+
 /// Mutable per-request state threaded through the stage chain.
 ///
 /// Stages communicate exclusively through this context; the driver owns
@@ -80,6 +95,10 @@ pub struct PipelineContext<'a> {
     pub request: &'a QueryRequest,
     /// When the engine accepted the request (budgets measure against it).
     pub started: Instant,
+    /// The request's compute budget: checked by the driver at every stage
+    /// edge, by budget-aware stages on entry, and propagated into the
+    /// retrieval layer's wire deadlines.
+    pub budget: Budget,
     /// Detected specialization entry (`None` ⇒ not ambiguous, or a
     /// `Baseline` request that skips detection).
     pub entry: Option<&'a SpecializationEntry>,
@@ -106,10 +125,11 @@ pub struct PipelineContext<'a> {
 
 impl<'a> PipelineContext<'a> {
     /// Fresh context for one request.
-    pub fn new(request: &'a QueryRequest, started: Instant) -> Self {
+    pub fn new(request: &'a QueryRequest, started: Instant, budget: Budget) -> Self {
         PipelineContext {
             request,
             started,
+            budget,
             entry: None,
             candidates: Vec::new(),
             vectors: Vec::new(),
@@ -202,6 +222,13 @@ impl RetrieveStage {
         ctx.diversified = false;
         ctx.algorithm = "DPH (degraded: shard loss)";
     }
+
+    /// Mark `ctx` as a budget-exhausted degraded passthrough.
+    fn degrade_deadline(ctx: &mut PipelineContext<'_>) {
+        ctx.degraded = true;
+        ctx.diversified = false;
+        ctx.algorithm = "DPH (degraded)";
+    }
 }
 
 impl Stage for RetrieveStage {
@@ -213,17 +240,41 @@ impl Stage for RetrieveStage {
         let query = &ctx.request.query;
         if ctx.entry.is_none() {
             // Passthrough: the page is the baseline top-k.
-            let retrieval = engine
-                .retriever()
-                .retrieve_with_status(query, ctx.request.k);
+            let retrieval = engine.retriever().retrieve_with_status_within(
+                query,
+                ctx.request.k,
+                ctx.budget.remaining_us(),
+            );
             ctx.page = retrieval.hits;
             if !retrieval.complete {
                 Self::degrade_shard_loss(ctx);
             }
             return StageOutcome::Finish;
         }
+        if ctx.budget.exhausted() {
+            // The budget died before the candidate pool was even fetched:
+            // retrieving n candidates for a diversification that will
+            // never run is pure waste. Fetch just the k-page under the
+            // retriever's own configured deadlines (a zero-µs wire budget
+            // would only manufacture shard loss on top of the deadline)
+            // and serve it as the degraded baseline.
+            let retrieval =
+                engine
+                    .retriever()
+                    .retrieve_with_status_within(query, ctx.request.k, None);
+            ctx.page = retrieval.hits;
+            if !retrieval.complete {
+                Self::degrade_shard_loss(ctx);
+            } else {
+                Self::degrade_deadline(ctx);
+            }
+            return StageOutcome::Finish;
+        }
         let n = engine.config().n_candidates.max(ctx.request.k);
-        let retrieval = engine.retriever().retrieve_with_status(query, n);
+        let retrieval =
+            engine
+                .retriever()
+                .retrieve_with_status_within(query, n, ctx.budget.remaining_us());
         ctx.candidates = retrieval.hits;
         if !retrieval.complete {
             Self::degrade_shard_loss(ctx);
@@ -288,11 +339,13 @@ impl Stage for UtilityStage {
 
 /// Diversifier selection with per-request budget enforcement.
 ///
-/// When the engine's `deadline_us` is set and already exhausted by the
-/// time this stage runs, the stage **degrades to baseline passthrough**:
-/// the page is the first `k` candidates of the baseline ranking, served
+/// When the request's [`Budget`] is already exhausted by the time this
+/// stage runs, the stage **degrades to baseline passthrough**: the page
+/// is the first `k` candidates of the baseline ranking, served
 /// immediately (`"DPH (degraded)"`), and the response/metrics record the
-/// degradation. Otherwise the request's [`AlgorithmKind`] re-ranks the
+/// degradation. (The driver also checks the budget at every stage edge,
+/// so an exhausted request normally degrades before even reaching this
+/// stage — this check is the backstop for single-stage custom chains.) Otherwise the request's [`AlgorithmKind`] re-ranks the
 /// page through the engine's pre-built [`Diversifier`] trait objects.
 ///
 /// [`Diversifier`]: serpdiv_core::Diversifier
@@ -305,8 +358,7 @@ impl Stage for SelectStage {
 
     fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome {
         let k = ctx.request.k;
-        let deadline = engine.config().deadline_us;
-        if deadline > 0 && ctx.elapsed_us() >= deadline {
+        if ctx.budget.exhausted() {
             ctx.page = ctx.candidates.iter().take(k).copied().collect();
             ctx.algorithm = "DPH (degraded)";
             ctx.degraded = true;

@@ -27,13 +27,19 @@
 //! * [`fleet`] — multi-process scatter-gather: shard-worker processes
 //!   behind a framed local-socket protocol, with a
 //!   [`FleetRouter`](serpdiv_fleet::FleetRouter) that plugs into the
-//!   serving engine as a [`Retriever`](serpdiv_index::Retriever) and
-//!   degrades gracefully when workers die.
+//!   serving engine as a [`Retriever`](serpdiv_index::Retriever), hedges
+//!   slow shards, trips per-shard circuit breakers, and degrades
+//!   gracefully when workers die;
+//! * [`chaos`] — deterministic fault injection: named failpoints across
+//!   pool/executor/stage/router/worker sites, inert unless a seeded
+//!   [`FaultPlan`](serpdiv_chaos::FaultPlan) is armed (see
+//!   `tests/chaos_soak.rs` for the harness that uses it).
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and
 //! `crates/bench` for the binaries regenerating every table and figure of
 //! the paper plus the `serve_bench` serving benchmark.
 
+pub use serpdiv_chaos as chaos;
 pub use serpdiv_core as core;
 pub use serpdiv_corpus as corpus;
 pub use serpdiv_eval as eval;

@@ -1,0 +1,492 @@
+//! Chaos soak: the 16-client serving soak under seeded fault plans.
+//!
+//! Three plans, one per dominant fault family, each driven by its own
+//! LCG seed through the `serpdiv-chaos` failpoints:
+//!
+//! * **delay-heavy** — stage and executor delays under a per-request
+//!   deadline budget, so requests degrade at stage edges;
+//! * **kill-heavy** — injected panics in pool workers, executor tasks,
+//!   and the select stage, all of which must be *contained* (the pool
+//!   answers `error (internal)` and keeps serving);
+//! * **corruption-heavy** — a live in-process worker fleet whose replies
+//!   get their framing metadata corrupted, connections dropped, and
+//!   requests silently stalled, which the router must convert into
+//!   hedges, retries, and labeled shard-loss degradation.
+//!
+//! Asserted for every plan, under a watchdog (no hang):
+//!
+//! * every response echoes its request's query (no misattribution);
+//! * every page is either **bit-identical** to the fault-free oracle for
+//!   that request or carries a degraded/shed/internal label (no torn
+//!   pages);
+//! * the metrics leaf classes partition the request total exactly;
+//! * after the plan disarms, the stack recovers to bit-exact fault-free
+//!   serving (breakers close, links reconnect).
+//!
+//! Chaos arming is process-global, so the three tests serialize on one
+//! static mutex.
+
+use serpdiv::chaos::{self, FaultKind, FaultPlan};
+use serpdiv::core::AlgorithmKind;
+use serpdiv::fleet::{worker, FleetConfig, FleetRouter, HedgePolicy, DEFAULT_MAX_FRAME};
+use serpdiv::index::{
+    Document, IndexBuilder, InvertedIndex, Retriever, ScoringExecutor, ShardedIndex,
+};
+use serpdiv::mining::SpecializationModel;
+use serpdiv::serve::{
+    EngineConfig, QueryRequest, SearchEngine, SearchResponse, WorkerPool, LABEL_INTERNAL,
+    LABEL_SHED,
+};
+use std::collections::HashMap;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 16;
+const PER_CLIENT: usize = 16;
+const DIVERSIFIERS: [AlgorithmKind; 4] = [
+    AlgorithmKind::OptSelect,
+    AlgorithmKind::IaSelect,
+    AlgorithmKind::XQuad,
+    AlgorithmKind::Mmr,
+];
+
+/// Labels a faulted response is allowed to carry. Anything else that
+/// drifts from the oracle is a torn page.
+const DEGRADED_LABELS: [&str; 4] = [
+    "DPH (degraded)",
+    "DPH (degraded: shard loss)",
+    LABEL_SHED,
+    LABEL_INTERNAL,
+];
+
+/// Chaos arming is process-global: these tests must not overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Fail loudly instead of hanging CI forever if anything deadlocks.
+fn with_watchdog(secs: u64, what: &str, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    let body = std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => body.join().expect("soak body panicked"),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            if let Err(payload) = body.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            // Leave no armed plan behind for the next test.
+            chaos::disarm();
+            panic!("{what}: not finished within {secs}s — hang under chaos?")
+        }
+    }
+}
+
+fn corpus() -> Arc<InvertedIndex> {
+    let mut b = IndexBuilder::new();
+    for i in 0..20u32 {
+        b.add(Document::new(
+            i,
+            format!("http://tech/{i}"),
+            "apple iphone",
+            "apple iphone smartphone review chip battery display camera",
+        ));
+    }
+    for i in 20..40u32 {
+        b.add(Document::new(
+            i,
+            format!("http://food/{i}"),
+            "apple fruit",
+            "apple fruit orchard sweet harvest vitamin juice recipe",
+        ));
+    }
+    for i in 40..60u32 {
+        b.add(Document::new(
+            i,
+            format!("http://misc/{i}"),
+            "",
+            "weather forecast rain cloud wind storm pressure front",
+        ));
+    }
+    Arc::new(b.build())
+}
+
+fn model() -> Arc<SpecializationModel> {
+    Arc::new(
+        SpecializationModel::from_json(
+            r#"{"entries":{"apple":{"query":"apple","specializations":[["apple iphone",0.6],["apple fruit",0.4]]}}}"#,
+        )
+        .unwrap(),
+    )
+}
+
+/// Build an engine over `retriever` with the result cache off (every
+/// page is recomputed, so oracle comparisons test the computation) and
+/// the given per-request deadline.
+fn build_engine(
+    index: Arc<InvertedIndex>,
+    retriever: Arc<dyn Retriever>,
+    shards: usize,
+    deadline_us: u64,
+) -> Arc<SearchEngine> {
+    let config = EngineConfig {
+        n_candidates: 30,
+        cache_capacity: 0,
+        index_shards: shards,
+        deadline_us,
+        ..EngineConfig::default()
+    };
+    let m = model();
+    let store = {
+        use serpdiv::core::SpecializationStore;
+        use serpdiv::index::SearchEngine as DphEngine;
+        let engine = DphEngine::new(&index);
+        Arc::new(SpecializationStore::build(
+            &m,
+            &engine,
+            config.params.k_spec_results,
+            config.params.snippet_window,
+        ))
+    };
+    let compiled = Arc::new(serpdiv::core::CompiledSpecStore::compile(&store));
+    Arc::new(SearchEngine::with_retriever(
+        index, retriever, m, store, compiled, config,
+    ))
+}
+
+/// The soak schedule: client `t`'s `i`-th request — the ambiguous query
+/// through all four diversifiers, a passthrough query, and a no-hit
+/// query, at two page sizes.
+fn request_for(t: usize, i: usize) -> QueryRequest {
+    let algo = DIVERSIFIERS[(t + i) % DIVERSIFIERS.len()];
+    match i % 5 {
+        0..=2 => QueryRequest::new("apple", 6 + (i % 2) * 4, algo),
+        3 => QueryRequest::new("weather storm", 8, algo),
+        _ => QueryRequest::new("zeppelin", 5, algo),
+    }
+}
+
+type OracleKey = (String, usize, AlgorithmKind);
+type OraclePage = (Vec<(u32, u64)>, String);
+
+/// Fault-free pages for every distinct request in the schedule,
+/// computed before any plan is armed. Must itself be degradation-free.
+fn compute_oracle(engine: &SearchEngine) -> HashMap<OracleKey, OraclePage> {
+    let mut oracle = HashMap::new();
+    for t in 0..CLIENTS {
+        for i in 0..PER_CLIENT {
+            let req = request_for(t, i);
+            let key = (req.query.clone(), req.k, req.algorithm);
+            if oracle.contains_key(&key) {
+                continue;
+            }
+            let out = engine.search(req);
+            assert!(!out.degraded, "oracle computed under faults?");
+            oracle.insert(key, (page_bits(&out), out.algorithm.to_string()));
+        }
+    }
+    oracle
+}
+
+fn page_bits(out: &SearchResponse) -> Vec<(u32, u64)> {
+    out.results
+        .iter()
+        .map(|r| (r.doc.0, r.score.to_bits()))
+        .collect()
+}
+
+/// The torn-page check. Returns `true` when the response is the exact
+/// fault-free page, `false` when it was (legitimately, labeled)
+/// degraded. Panics on a torn or misattributed page.
+fn check_response(
+    req: &QueryRequest,
+    out: &SearchResponse,
+    oracle: &HashMap<OracleKey, OraclePage>,
+) -> bool {
+    assert_eq!(out.query, req.query, "misattributed response");
+    assert!(
+        out.results.len() <= req.k,
+        "oversized page for {}",
+        req.query
+    );
+    let key = (req.query.clone(), req.k, req.algorithm);
+    let (want_page, want_algo) = &oracle[&key];
+    if !out.degraded && out.algorithm == want_algo.as_str() {
+        assert_eq!(
+            &page_bits(out),
+            want_page,
+            "torn page: bits drifted from the oracle without a degraded label ({})",
+            out.algorithm,
+        );
+        return true;
+    }
+    assert!(
+        out.degraded,
+        "algorithm changed ({} vs {want_algo}) on an undegraded response",
+        out.algorithm
+    );
+    assert!(
+        DEGRADED_LABELS.contains(&out.algorithm),
+        "degraded response with unknown label {:?}",
+        out.algorithm
+    );
+    false
+}
+
+/// Drive the 16-client storm through `pool`, validating every response.
+/// Returns (clean, degraded) counts.
+fn storm(pool: &WorkerPool, oracle: &HashMap<OracleKey, OraclePage>) -> (u64, u64) {
+    let counts = Mutex::new((0u64, 0u64));
+    std::thread::scope(|scope| {
+        for t in 0..CLIENTS {
+            let counts = &counts;
+            scope.spawn(move || {
+                let schedule: Vec<QueryRequest> =
+                    (0..PER_CLIENT).map(|i| request_for(t, i)).collect();
+                let replies = pool.serve_batch(schedule.clone());
+                assert_eq!(replies.len(), schedule.len(), "client {t}: lost replies");
+                let mut clean = 0u64;
+                let mut degraded = 0u64;
+                for (req, out) in schedule.iter().zip(&replies) {
+                    if check_response(req, out, oracle) {
+                        clean += 1;
+                    } else {
+                        degraded += 1;
+                    }
+                }
+                let mut c = counts.lock().unwrap();
+                c.0 += clean;
+                c.1 += degraded;
+            });
+        }
+    });
+    counts.into_inner().unwrap()
+}
+
+/// The metrics leaf classes must partition the request total exactly —
+/// chaos may degrade requests, never lose or double-count them.
+fn assert_partition(engine: &SearchEngine) {
+    let m = engine.metrics();
+    assert_eq!(
+        m.requests,
+        m.cache_hits + m.diversified + m.passthrough + m.shed + m.internal_errors,
+        "leaf classes must partition the request total: {m:?}"
+    );
+}
+
+/// After disarm, the stack must return to bit-exact fault-free serving.
+/// Breakers and backoff windows need wall-clock time to expire, so poll:
+/// one fully clean pass over every distinct request, within `timeout`.
+fn assert_recovers(
+    engine: &SearchEngine,
+    oracle: &HashMap<OracleKey, OraclePage>,
+    timeout: Duration,
+) {
+    assert!(!chaos::is_armed(), "recovery must run disarmed");
+    let deadline = Instant::now() + timeout;
+    loop {
+        let mut all_clean = true;
+        for ((query, k, algo), _) in oracle.iter() {
+            let req = QueryRequest::new(query.clone(), *k, *algo);
+            let out = engine.search(req.clone());
+            if !check_response(&req, &out, oracle) {
+                all_clean = false;
+            }
+        }
+        if all_clean {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stack did not recover to bit-exact serving within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn delay_heavy_plan_degrades_at_stage_edges_and_recovers() {
+    let _s = serial();
+    with_watchdog(300, "delay-heavy chaos soak", || {
+        let index = corpus();
+        let executor = Arc::new(ScoringExecutor::new(2));
+        let retriever: Arc<dyn Retriever> = Arc::new(
+            ShardedIndex::build(index.clone(), 4)
+                .with_executor(executor)
+                .with_parallel_threshold(0),
+        );
+        // 25 ms of budget against 8 ms injected stage delays: most
+        // requests finish, a seeded minority exhausts mid-pipeline.
+        let engine = build_engine(index, retriever, 4, 25_000);
+        let oracle = compute_oracle(&engine);
+        let pool = WorkerPool::new(engine.clone(), 8);
+        let baseline_requests = engine.metrics().requests;
+
+        let plan = Arc::new(
+            FaultPlan::new(0xA11C_E5EE)
+                .with_rule("stage.*", 0.10, FaultKind::Delay(Duration::from_millis(8)))
+                .with_rule(
+                    "executor.task",
+                    0.05,
+                    FaultKind::Delay(Duration::from_millis(6)),
+                ),
+        );
+        let (clean, degraded) = {
+            let _armed = chaos::armed(plan.clone());
+            storm(&pool, &oracle)
+        };
+        assert_eq!(clean + degraded, (CLIENTS * PER_CLIENT) as u64);
+        assert!(plan.fired_total() > 0, "the plan never fired");
+        assert!(clean > 0, "delays must not wipe out every request");
+        let m = engine.metrics();
+        assert_eq!(
+            m.requests - baseline_requests,
+            (CLIENTS * PER_CLIENT) as u64,
+            "every request accounted for"
+        );
+        assert_partition(&engine);
+        assert_recovers(&engine, &oracle, Duration::from_secs(10));
+    });
+}
+
+#[test]
+fn kill_heavy_plan_contains_every_panic_and_recovers() {
+    let _s = serial();
+    with_watchdog(300, "kill-heavy chaos soak", || {
+        let index = corpus();
+        let executor = Arc::new(ScoringExecutor::new(2));
+        let retriever: Arc<dyn Retriever> = Arc::new(
+            ShardedIndex::build(index.clone(), 4)
+                .with_executor(executor)
+                .with_parallel_threshold(0),
+        );
+        let engine = build_engine(index, retriever, 4, 0);
+        let oracle = compute_oracle(&engine);
+        let pool = WorkerPool::new(engine.clone(), 8);
+
+        let plan = Arc::new(
+            FaultPlan::new(0xDEAD_BEEF)
+                .with_rule("pool.serve", 0.15, FaultKind::Panic)
+                .with_rule("executor.task", 0.03, FaultKind::Panic)
+                .with_rule("stage.select", 0.05, FaultKind::Panic),
+        );
+        let (clean, degraded) = {
+            let _armed = chaos::armed(plan.clone());
+            storm(&pool, &oracle)
+        };
+        assert_eq!(clean + degraded, (CLIENTS * PER_CLIENT) as u64);
+        assert!(plan.fired_total() > 0, "the plan never fired");
+        assert!(clean > 0, "panics must not take the pool down");
+        let m = engine.metrics();
+        assert!(
+            m.internal_errors > 0,
+            "contained panics must be counted: {m:?}"
+        );
+        assert_partition(&engine);
+        // The pool's workers all survived: a full fault-free batch serves.
+        assert_recovers(&engine, &oracle, Duration::from_secs(10));
+        let replies = pool.serve_batch(vec![QueryRequest::new(
+            "apple",
+            6,
+            AlgorithmKind::OptSelect,
+        )]);
+        assert!(!replies[0].degraded, "pool serves cleanly after the storm");
+    });
+}
+
+fn fleet_socket(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("serpdiv-chaos-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn corruption_heavy_plan_keeps_fleet_pages_sound_and_recovers() {
+    let _s = serial();
+    with_watchdog(300, "corruption-heavy fleet chaos soak", || {
+        let index = corpus();
+        let sharded = ShardedIndex::build(index.clone(), 2);
+        // In-process worker threads (same process, so the armed plan's
+        // worker.* failpoints are visible to them).
+        let mut sockets = Vec::new();
+        for s in 0..2 {
+            let path = fleet_socket(&format!("w{s}"));
+            let bytes = sharded.export_shard(s);
+            let listener = UnixListener::bind(&path).expect("bind fleet socket");
+            std::thread::spawn(move || {
+                let artifact =
+                    serpdiv::index::ShardArtifact::from_bytes(&bytes).expect("valid artifact");
+                worker::serve(&listener, &artifact, DEFAULT_MAX_FRAME);
+            });
+            sockets.push(path);
+        }
+        let router = Arc::new(FleetRouter::new(
+            index.clone(),
+            sockets,
+            FleetConfig {
+                shard_timeout: Duration::from_millis(150),
+                backoff_base: Duration::from_millis(2),
+                backoff_max: Duration::from_millis(20),
+                hedge: HedgePolicy::After(Duration::from_millis(40)),
+                breaker_threshold: 4,
+                breaker_cooldown: Duration::from_millis(100),
+                ..FleetConfig::default()
+            },
+        ));
+        router
+            .wait_ready(Duration::from_secs(5))
+            .expect("fleet boots before chaos");
+        let retriever: Arc<dyn Retriever> = router.clone();
+        let engine = build_engine(index, retriever, 2, 0);
+        let oracle = compute_oracle(&engine);
+        let pool = WorkerPool::new(engine.clone(), 8);
+
+        let plan = Arc::new(
+            FaultPlan::new(0xC0DE_C0DE)
+                .with_rule("worker.reply", 0.20, FaultKind::Corrupt)
+                .with_rule("worker.serve", 0.10, FaultKind::Drop)
+                .with_rule(
+                    "worker.serve",
+                    0.05,
+                    FaultKind::Stall(Duration::from_millis(60)),
+                )
+                .with_rule("router.dispatch", 0.05, FaultKind::Drop),
+        );
+        let (clean, degraded) = {
+            let _armed = chaos::armed(plan.clone());
+            storm(&pool, &oracle)
+        };
+        assert_eq!(clean + degraded, (CLIENTS * PER_CLIENT) as u64);
+        assert!(plan.fired_total() > 0, "the plan never fired");
+        assert!(degraded > 0, "this plan is violent enough to degrade");
+        assert!(clean > 0, "retries and hedges must save most exchanges");
+        assert_partition(&engine);
+        // Corrupted framing, dropped connections, and stalls all surface
+        // in the router's failure telemetry.
+        let fm = router.metrics();
+        assert!(
+            fm.shard_failures > 0 || fm.hedges > 0,
+            "fleet chaos left no trace: {fm:?}"
+        );
+        // Disarmed, the breakers close and pages return to bit-exact.
+        assert_recovers(&engine, &oracle, Duration::from_secs(15));
+        assert_eq!(
+            engine.metrics().requests,
+            engine.metrics().cache_hits
+                + engine.metrics().diversified
+                + engine.metrics().passthrough
+                + engine.metrics().shed
+                + engine.metrics().internal_errors
+        );
+    });
+}
