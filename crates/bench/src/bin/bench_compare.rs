@@ -1,0 +1,201 @@
+//! `bench_compare` — diff two `serve_bench` JSON reports.
+//!
+//! Compares a baseline and a candidate `BENCH_serve*.json` row by row
+//! (rows are matched on the `(algorithm, shards, executor_threads,
+//! fleet)` key) and flags
+//!
+//! * **p99 regressions**: candidate `p99_ms` above the baseline by more
+//!   than the tolerance (default 10%, `--p99-tol PCT`), and
+//! * **throughput regressions**: candidate `qps` below the baseline by
+//!   more than the tolerance (default 5%, `--qps-tol PCT`) — the PR 8
+//!   acceptance band.
+//!
+//! Missing fields and rows present on only one side are reported but are
+//! not regressions (reports evolve; older baselines lack newer fields).
+//! Exits 1 if any regression was flagged, 0 otherwise, so CI and scripts
+//! can gate on it:
+//!
+//! ```text
+//! bench_compare BASELINE.json CANDIDATE.json [--p99-tol PCT] [--qps-tol PCT]
+//! ```
+
+use serpdiv_mining::json::{parse, Value};
+
+/// The identity of one report row within a sweep.
+#[derive(PartialEq, Eq, Hash, Clone, Debug)]
+struct RowKey {
+    algorithm: String,
+    shards: u64,
+    executor_threads: u64,
+    fleet: u64,
+}
+
+/// One parsed `algorithms[]` row: its key plus every numeric field.
+struct Row {
+    key: RowKey,
+    fields: Vec<(String, f64)>,
+}
+
+impl Row {
+    fn get(&self, name: &str) -> Option<f64> {
+        self.fields.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_compare BASELINE.json CANDIDATE.json [--p99-tol PCT] [--qps-tol PCT]");
+    std::process::exit(2);
+}
+
+fn load_rows(path: &str) -> Vec<Row> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let root = parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not valid JSON: {e:?}");
+        std::process::exit(2);
+    });
+    let algos = root
+        .as_object()
+        .and_then(|o| o.get("algorithms"))
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| {
+            eprintln!("error: {path} has no \"algorithms\" array");
+            std::process::exit(2);
+        });
+    let mut rows = Vec::with_capacity(algos.len());
+    for (i, row) in algos.iter().enumerate() {
+        let Some(obj) = row.as_object() else {
+            eprintln!("warning: {path}: algorithms[{i}] is not an object, skipped");
+            continue;
+        };
+        let num = |name: &str| obj.get(name).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        let Some(algorithm) = obj.get("algorithm").and_then(Value::as_str) else {
+            eprintln!("warning: {path}: algorithms[{i}] has no algorithm name, skipped");
+            continue;
+        };
+        rows.push(Row {
+            key: RowKey {
+                algorithm: algorithm.to_string(),
+                shards: num("shards"),
+                executor_threads: num("executor_threads"),
+                fleet: num("fleet"),
+            },
+            fields: obj
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+                .collect(),
+        });
+    }
+    rows
+}
+
+fn fmt_key(k: &RowKey) -> String {
+    let mut s = k.algorithm.clone();
+    if k.shards > 1 {
+        s.push_str(&format!(" shards={}", k.shards));
+    }
+    if k.executor_threads > 0 {
+        s.push_str(&format!(" exec={}", k.executor_threads));
+    }
+    if k.fleet > 0 {
+        s.push_str(&format!(" fleet={}", k.fleet));
+    }
+    s
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut p99_tol_pct = 10.0;
+    let mut qps_tol_pct = 5.0;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut tol = |name: &str| -> f64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("error: {name} needs a numeric percentage");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--p99-tol" => p99_tol_pct = tol("--p99-tol"),
+            "--qps-tol" => qps_tol_pct = tol("--qps-tol"),
+            p if !p.starts_with("--") => paths.push(p),
+            _ => usage(),
+        }
+    }
+    let [baseline_path, candidate_path] = paths[..] else {
+        usage();
+    };
+
+    let baseline = load_rows(baseline_path);
+    let candidate = load_rows(candidate_path);
+    println!(
+        "bench_compare: {baseline_path} ({} rows) vs {candidate_path} ({} rows); \
+         tolerances: p99 +{p99_tol_pct}%, qps -{qps_tol_pct}%\n",
+        baseline.len(),
+        candidate.len(),
+    );
+
+    let mut regressions = 0usize;
+    let mut matched = 0usize;
+    println!(
+        "{:<28} {:>10} {:>10} {:>8}  {:>9} {:>9} {:>8}",
+        "row", "p99 base", "p99 cand", "Δ%", "qps base", "qps cand", "Δ%"
+    );
+    for b in &baseline {
+        let Some(c) = candidate.iter().find(|c| c.key == b.key) else {
+            println!("{:<28} only in baseline", fmt_key(&b.key));
+            continue;
+        };
+        matched += 1;
+        let mut flags = String::new();
+        let (mut p99_cells, mut qps_cells) =
+            (String::from("       n/a"), String::from("      n/a"));
+        let mut p99_delta = String::from("     ");
+        let mut qps_delta = String::from("     ");
+        if let (Some(pb), Some(pc)) = (b.get("p99_ms"), c.get("p99_ms")) {
+            p99_cells = format!("{pb:>10.3}");
+            let delta_pct = if pb > 0.0 {
+                (pc - pb) / pb * 100.0
+            } else {
+                0.0
+            };
+            p99_delta = format!("{delta_pct:>+8.1}");
+            if pb > 0.0 && delta_pct > p99_tol_pct {
+                flags.push_str("  << p99 REGRESSION");
+                regressions += 1;
+            }
+            p99_cells.push_str(&format!(" {pc:>10.3}"));
+        }
+        if let (Some(qb), Some(qc)) = (b.get("qps"), c.get("qps")) {
+            qps_cells = format!("{qb:>9.0} {qc:>9.0}");
+            let delta_pct = if qb > 0.0 {
+                (qc - qb) / qb * 100.0
+            } else {
+                0.0
+            };
+            qps_delta = format!("{delta_pct:>+8.1}");
+            if qb > 0.0 && delta_pct < -qps_tol_pct {
+                flags.push_str("  << QPS REGRESSION");
+                regressions += 1;
+            }
+        }
+        println!(
+            "{:<28} {p99_cells} {p99_delta}  {qps_cells} {qps_delta}{flags}",
+            fmt_key(&b.key)
+        );
+    }
+    for c in &candidate {
+        if !baseline.iter().any(|b| b.key == c.key) {
+            println!("{:<28} only in candidate", fmt_key(&c.key));
+        }
+    }
+
+    println!("\n{matched} matched row(s), {regressions} regression(s) flagged",);
+    if matched == 0 {
+        eprintln!("warning: no rows matched between the two reports");
+    }
+    std::process::exit(if regressions > 0 { 1 } else { 0 });
+}

@@ -18,11 +18,22 @@
 //!             [--candidates N] [--shards N[,N...]]
 //!             [--executor-threads N[,N...]] [--fleet N[,N...]]
 //!             [--max-queue N] [--max-queue-wait-us N] [--deadline-us N]
-//!             [--no-cache] [--no-surrogate-cache] [--json PATH]
+//!             [--no-cache] [--no-surrogate-cache] [--tail-report N]
+//!             [--json PATH]
 //! ```
 //! Defaults: 4000 sessions, 2000 requests, 8 workers, k=10, 100
 //! candidates, 1 index shard, no executor, no fleet, unbounded queue,
-//! no deadline, both caches on, JSON to `BENCH_serve.json`.
+//! no deadline, both caches on, no tail report, JSON to
+//! `BENCH_serve.json`.
+//!
+//! Every row also carries the engine's per-stage latency *histograms*
+//! (`stage_*_p50_us`/`stage_*_p99_us` from `serpdiv_serve`'s log-bucketed
+//! [`LatencyHistogram`](serpdiv_serve::LatencyHistogram), ≤ 12.5%
+//! quantization above 16 µs) so the tail can be attributed to a stage,
+//! not just observed end to end. `--tail-report N` additionally prints,
+//! per algorithm replay, the N slowest requests with their full
+//! per-stage breakdown and query text — the "which requests, doing
+//! what" view the aggregate percentiles cannot give.
 //!
 //! `--shards` takes a comma-separated list (e.g. `--shards 1,2,4,8`) and
 //! replays the whole per-algorithm suite once per shard count, emitting
@@ -88,6 +99,9 @@ struct Args {
     deadline_us: u64,
     cache: bool,
     surrogate_cache: bool,
+    /// Print the N slowest requests of every algorithm replay with their
+    /// per-stage breakdown (0 = off).
+    tail_report: usize,
     json_path: String,
 }
 
@@ -106,13 +120,14 @@ fn parse_args() -> Args {
         deadline_us: 0,
         cache: true,
         surrogate_cache: true,
+        tail_report: 0,
         json_path: "BENCH_serve.json".to_string(),
     };
     let usage = "usage: serve_bench [--sessions N] [--requests N] [--concurrency N] \
                  [--k N] [--candidates N] [--shards N[,N...]] \
                  [--executor-threads N[,N...]] [--fleet N[,N...]] [--max-queue N] \
                  [--max-queue-wait-us N] [--deadline-us N] [--no-cache] \
-                 [--no-surrogate-cache] [--json PATH]";
+                 [--no-surrogate-cache] [--tail-report N] [--json PATH]";
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut next_str = |name: &str| -> String {
@@ -156,6 +171,7 @@ fn parse_args() -> Args {
             }
             "--no-cache" => args.cache = false,
             "--no-surrogate-cache" => args.surrogate_cache = false,
+            "--tail-report" => args.tail_report = parse_num(&next_str("--tail-report"), usage),
             "--json" => args.json_path = next_str("--json"),
             other => {
                 eprintln!("error: unknown flag {other}\n{usage}");
@@ -351,6 +367,11 @@ struct AlgoReport {
     surrogate_us: u64,
     utility_us: u64,
     select_us: u64,
+    /// Per-stage latency distributions from the engine's log-bucketed
+    /// histograms (computed requests; queue wait and total over all
+    /// pooled requests). Source of the `stage_*_p50_us`/`stage_*_p99_us`
+    /// JSON fields that attribute a tail to a stage.
+    latency: serpdiv_serve::StageLatencies,
 }
 
 fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoReport]) {
@@ -440,6 +461,19 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
             ("stage_surrogate_us", a.surrogate_us as f64),
             ("stage_utility_us", a.utility_us as f64),
             ("stage_select_us", a.select_us as f64),
+            // Histogram-derived per-stage percentiles (tail attribution).
+            // retrieve/surrogate p50 keep their exact sorted-sample keys
+            // above; the histogram adds the p99s and the other stages.
+            ("stage_detect_p50_us", a.latency.detect.p50_us as f64),
+            ("stage_detect_p99_us", a.latency.detect.p99_us as f64),
+            ("stage_retrieve_p99_us", a.latency.retrieve.p99_us as f64),
+            ("stage_surrogate_p99_us", a.latency.surrogate.p99_us as f64),
+            ("stage_utility_p50_us", a.latency.utility.p50_us as f64),
+            ("stage_utility_p99_us", a.latency.utility.p99_us as f64),
+            ("stage_select_p50_us", a.latency.select.p50_us as f64),
+            ("stage_select_p99_us", a.latency.select.p99_us as f64),
+            ("total_hist_p99_us", a.latency.total.p99_us as f64),
+            ("total_hist_max_us", a.latency.total.max_us as f64),
         ];
         for (key, v) in fields {
             out.push_str(", \"");
@@ -717,6 +751,7 @@ fn main() {
                 surrogate_us: m.stage_sums.surrogate_us / computed,
                 utility_us: m.stage_sums.utility_us / computed,
                 select_us: m.stage_sums.select_us / computed,
+                latency: m.latency,
             };
             println!(
                 "{:<10} {:>9.0} {:>9.3} {:>9.3} {:>9.3} {:>7.1} {:>7.1}  {}/{}/{}/{}/{} (retr p50 {:.0}µs, surr p50 {:.0}µs)",
@@ -742,6 +777,46 @@ fn main() {
                     report.shed_p50_us,
                     responses.len(),
                 );
+            }
+            if args.tail_report > 0 {
+                // The N slowest requests with their full per-stage
+                // breakdown: which requests make the tail, and where
+                // their time actually went. A large queue/total gap with
+                // small stage sums is scheduler/queueing delay, not
+                // compute.
+                let mut slowest: Vec<&serpdiv_serve::SearchResponse> = responses.iter().collect();
+                slowest.sort_by_key(|r| std::cmp::Reverse(r.timings.total_us));
+                println!(
+                    "           tail report — {} slowest of {} ({}):",
+                    args.tail_report.min(slowest.len()),
+                    slowest.len(),
+                    report.name,
+                );
+                println!(
+                    "           {:>9} {:>8} {:>5} {:>7} {:>7} {:>7} {:>6}  query",
+                    "total ms", "queue µs", "det", "retr", "surr", "util", "sel",
+                );
+                for r in slowest.iter().take(args.tail_report) {
+                    let t = &r.timings;
+                    let tag = if r.cache_hit {
+                        " [cache hit]"
+                    } else if !r.diversified {
+                        " [passthrough]"
+                    } else {
+                        ""
+                    };
+                    println!(
+                        "           {:>9.3} {:>8} {:>5} {:>7} {:>7} {:>7} {:>6}  {:?}{tag}",
+                        t.total_us as f64 / 1e3,
+                        t.queue_wait_us,
+                        t.detect_us,
+                        t.retrieve_us,
+                        t.surrogate_us,
+                        t.utility_us,
+                        t.select_us,
+                        r.query,
+                    );
+                }
             }
             reports.push(report);
         }

@@ -17,7 +17,7 @@ use crate::candidates::DiversifyInput;
 use crate::iaselect::IaSelect;
 use crate::mmr::Mmr;
 use crate::optselect::OptSelect;
-use crate::specindex::CompiledSpecStore;
+use crate::specindex::{CompiledSpecStore, UtilityScorer};
 use crate::utility::{UtilityMatrix, UtilityParams};
 use crate::xquad::XQuad;
 use crate::Diversifier;
@@ -496,8 +496,23 @@ pub fn assemble_input_from_surrogates(
     vectors: Vec<Arc<SparseVector>>,
     baseline: &[ScoredDoc],
 ) -> DiversifyInput {
-    let spec_probs: Vec<f64> = entry.specializations.iter().map(|&(_, p)| p).collect();
     let scorer = compiled.scorer(entry.specializations.iter().map(|(s, _)| s.as_str()));
+    assemble_input_with_scorer(entry, &scorer, params, vectors, baseline)
+}
+
+/// [`assemble_input_from_surrogates`] with the per-request scorer build
+/// hoisted out: serving engines precompile one [`UtilityScorer`] per
+/// model entry at deploy time (the entry's active-spec set is immutable),
+/// so the request path skips the gather-and-sort entirely. Scoring is the
+/// same code over the same scorer contents — bit-identical rows.
+pub fn assemble_input_with_scorer(
+    entry: &SpecializationEntry,
+    scorer: &UtilityScorer,
+    params: &PipelineParams,
+    vectors: Vec<Arc<SparseVector>>,
+    baseline: &[ScoredDoc],
+) -> DiversifyInput {
+    let spec_probs: Vec<f64> = entry.specializations.iter().map(|&(_, p)| p).collect();
     let utilities = if vectors.len() >= params.utility_parallel_threshold {
         let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
         scorer.matrix_parallel(&vectors, params.utility, threads)

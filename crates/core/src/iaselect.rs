@@ -22,6 +22,7 @@
 //! `O(n·k·|Sq|)` total (§4, Table 1).
 
 use crate::candidates::DiversifyInput;
+use crate::lazy::lazy_greedy;
 use crate::Diversifier;
 
 /// The IASelect greedy algorithm.
@@ -33,14 +34,11 @@ impl IaSelect {
     pub fn new() -> Self {
         IaSelect
     }
-}
 
-impl Diversifier for IaSelect {
-    fn name(&self) -> &'static str {
-        "IASelect"
-    }
-
-    fn select(&self, input: &DiversifyInput, k: usize) -> Vec<usize> {
+    /// The pre-optimization full-rescan greedy, kept verbatim as the
+    /// equivalence oracle for the lazy [`select`](Diversifier::select)
+    /// (`tests/select_equivalence.rs` asserts identical index sequences).
+    pub fn select_eager(&self, input: &DiversifyInput, k: usize) -> Vec<usize> {
         let n = input.num_candidates();
         let m = input.num_specializations();
         let k = k.min(n);
@@ -79,6 +77,47 @@ impl Diversifier for IaSelect {
             }
         }
         selected
+    }
+}
+
+impl Diversifier for IaSelect {
+    fn name(&self) -> &'static str {
+        "IASelect"
+    }
+
+    /// Exact lazy-greedy IASelect (identical picks to
+    /// [`select_eager`](IaSelect::select_eager)).
+    ///
+    /// Staleness invariant: `uncovered[j]` only shrinks and every gain
+    /// summand `P(q′|q)·Ũ·uncovered` is non-negative, so a stale gain
+    /// upper-bounds the fresh one in f64 arithmetic. The secondary tie key
+    /// is the (round-independent) baseline relevance, matching the eager
+    /// `gain, relevance, index` comparison chain.
+    fn select(&self, input: &DiversifyInput, k: usize) -> Vec<usize> {
+        let n = input.num_candidates();
+        let m = input.num_specializations();
+        // Both closures touch the uncovered-mass state; a RefCell gives
+        // them disjoint dynamic borrows (the driver never overlaps them).
+        let uncovered_cell = std::cell::RefCell::new(vec![1.0f64; m]);
+        lazy_greedy(
+            n,
+            k,
+            |i, _selected| {
+                let uncovered = uncovered_cell.borrow();
+                let row = input.utilities.row(i);
+                let gain: f64 = (0..m)
+                    .map(|j| input.spec_probs[j] * row[j] * uncovered[j])
+                    .sum();
+                (gain, input.relevance[i])
+            },
+            |idx| {
+                let mut uncovered = uncovered_cell.borrow_mut();
+                let row = input.utilities.row(idx);
+                for j in 0..m {
+                    uncovered[j] *= 1.0 - row[j];
+                }
+            },
+        )
     }
 }
 

@@ -32,6 +32,7 @@ pub mod candidates;
 pub mod framework;
 pub mod heap;
 pub mod iaselect;
+mod lazy;
 pub mod mmr;
 pub mod optselect;
 pub mod specindex;
@@ -41,10 +42,10 @@ pub mod xquad;
 pub use baseline::BaselineRanking;
 pub use candidates::DiversifyInput;
 pub use framework::{
-    assemble_input, assemble_input_from_surrogates, assemble_input_naive, candidate_surrogate,
-    candidate_surrogate_naive, candidate_surrogates, candidate_surrogates_naive, run_algorithm,
-    AlgorithmKind, DiversificationPipeline, DiversifiedRanking, PipelineParams,
-    SpecializationStore,
+    assemble_input, assemble_input_from_surrogates, assemble_input_naive,
+    assemble_input_with_scorer, candidate_surrogate, candidate_surrogate_naive,
+    candidate_surrogates, candidate_surrogates_naive, run_algorithm, AlgorithmKind,
+    DiversificationPipeline, DiversifiedRanking, PipelineParams, SpecializationStore,
 };
 pub use heap::BoundedHeap;
 pub use iaselect::IaSelect;

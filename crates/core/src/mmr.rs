@@ -20,6 +20,7 @@
 //! similarity in one pass).
 
 use crate::candidates::DiversifyInput;
+use crate::lazy::lazy_greedy;
 use crate::Diversifier;
 use serpdiv_index::cosine;
 
@@ -66,12 +67,11 @@ impl Mmr {
     }
 }
 
-impl Diversifier for Mmr {
-    fn name(&self) -> &'static str {
-        "MMR"
-    }
-
-    fn select(&self, input: &DiversifyInput, k: usize) -> Vec<usize> {
+impl Mmr {
+    /// The pre-optimization full-rescan greedy, kept verbatim as the
+    /// equivalence oracle for the lazy [`select`](Diversifier::select)
+    /// (`tests/select_equivalence.rs` asserts identical index sequences).
+    pub fn select_eager(&self, input: &DiversifyInput, k: usize) -> Vec<usize> {
         let n = input.num_candidates();
         let k = k.min(n);
         let mut selected = Vec::with_capacity(k);
@@ -108,6 +108,90 @@ impl Diversifier for Mmr {
             }
         }
         selected
+    }
+}
+
+impl Diversifier for Mmr {
+    fn name(&self) -> &'static str {
+        "MMR"
+    }
+
+    /// Exact lazy-greedy MMR (identical picks to
+    /// [`select_eager`](Mmr::select_eager)).
+    ///
+    /// Two optimizations over the eager loop, both bit-preserving:
+    ///
+    /// * Utility-profile norms (the fallback `sim` denominators) are
+    ///   computed once per candidate instead of per pair — the same
+    ///   `Σx²` → `sqrt` expression over the same row, so the same f64.
+    /// * Similarity folding is *deferred*: each candidate's `max_sim` is
+    ///   folded against `selected[applied[i]..]` only when the candidate
+    ///   is re-scored, in selection order — the identical sequence of f64
+    ///   `max` folds the eager loop performs eagerly for everyone.
+    ///
+    /// Staleness invariant: a round-0 score is `rel(i)`, which
+    /// upper-bounds `(1−λ)·rel(i) − λ·max_sim` for every later round
+    /// (`rel ≥ 0`, `max_sim ≥ 0`, `λ ∈ [0,1]`); from round 1 on,
+    /// `max_sim` only grows and enters negatively, so stale scores only
+    /// overestimate — exactly what [`lazy_greedy`] needs.
+    fn select(&self, input: &DiversifyInput, k: usize) -> Vec<usize> {
+        let n = input.num_candidates();
+        // Per-candidate profile norms for the no-vectors fallback,
+        // hoisted out of the O(n·k) similarity evaluations.
+        let norms: Option<Vec<f64>> = if input.vectors.is_none() {
+            Some(
+                (0..n)
+                    .map(|i| {
+                        input
+                            .utilities
+                            .row(i)
+                            .iter()
+                            .map(|x| x * x)
+                            .sum::<f64>()
+                            .sqrt()
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let sim = |a: usize, b: usize| -> f64 {
+            if let Some(vectors) = &input.vectors {
+                return f64::from(cosine(&vectors[a], &vectors[b]));
+            }
+            let norms = norms.as_ref().expect("norms exist when vectors don't");
+            let (na, nb) = (norms[a], norms[b]);
+            if na == 0.0 || nb == 0.0 {
+                return 0.0;
+            }
+            let ra = input.utilities.row(a);
+            let rb = input.utilities.row(b);
+            let dot: f64 = ra.iter().zip(rb).map(|(x, y)| x * y).sum();
+            (dot / (na * nb)).clamp(0.0, 1.0)
+        };
+        // (max_sim, applied): candidate i's similarity max is folded
+        // against selected[applied[i]..] lazily, on re-score.
+        let state = std::cell::RefCell::new((vec![0.0f64; n], vec![0usize; n]));
+        lazy_greedy(
+            n,
+            k,
+            |i, selected: &[usize]| {
+                if selected.is_empty() {
+                    return (input.relevance[i], 0.0);
+                }
+                let mut st = state.borrow_mut();
+                let (max_sim, applied) = &mut *st;
+                while applied[i] < selected.len() {
+                    max_sim[i] = max_sim[i].max(sim(i, selected[applied[i]]));
+                    applied[i] += 1;
+                }
+                (
+                    (1.0 - self.lambda) * input.relevance[i] - self.lambda * max_sim[i],
+                    0.0,
+                )
+            },
+            |_idx| {},
+        )
     }
 }
 

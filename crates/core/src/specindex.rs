@@ -70,6 +70,52 @@ pub struct CompiledSpecStore {
     /// `terms[k]`; postings are `(spec_id, weight)` sorted by spec id.
     term_ranges: Vec<(u32, u32)>,
     postings: Vec<(u32, f64)>,
+    /// `max(0, max weight in postings(terms[k]))` — the per-posting-list
+    /// score upper bounds behind the MaxScore-style whole-row prune (see
+    /// [`UtilityScorer::score_into`]).
+    term_ub: Vec<f64>,
+    /// Dense `TermId → index into terms` map (`u32::MAX` = absent), built
+    /// when the term-id space is small enough; `None` falls back to
+    /// binary search.
+    term_index: Option<Vec<u32>>,
+}
+
+/// Largest term id for which the dense O(1) term lookup table is built;
+/// beyond it (possible only for adversarial serialized stores — real
+/// vocabularies are contiguous) lookups fall back to binary search rather
+/// than allocating gigabytes.
+const DIRECT_INDEX_MAX_TERM: u32 = 1 << 21;
+
+/// Derive the pruning upper bounds and the dense term-lookup table from a
+/// term-major postings layout. Shared by the global store and the
+/// per-request scorer so the two can never disagree.
+fn index_terms(
+    terms: &[TermId],
+    term_ranges: &[(u32, u32)],
+    postings: &[(u32, f64)],
+) -> (Vec<f64>, Option<Vec<u32>>) {
+    let term_ub: Vec<f64> = term_ranges
+        .iter()
+        .map(|&(start, end)| {
+            postings[start as usize..end as usize]
+                .iter()
+                // Clamping at 0 keeps the bound a *dominating* bound even
+                // for columns a term does not touch (their contribution is
+                // exactly 0 ≤ w·ub).
+                .fold(0.0f64, |ub, &(_, w)| ub.max(w))
+        })
+        .collect();
+    let term_index = match terms.last() {
+        Some(&max_term) if max_term.0 <= DIRECT_INDEX_MAX_TERM => {
+            let mut index = vec![u32::MAX; max_term.0 as usize + 1];
+            for (k, t) in terms.iter().enumerate() {
+                index[t.0 as usize] = k as u32;
+            }
+            Some(index)
+        }
+        _ => None,
+    };
+    (term_ub, term_index)
 }
 
 impl CompiledSpecStore {
@@ -118,6 +164,7 @@ impl CompiledSpecStore {
             .flat_map(|(s, entries)| entries.iter().map(move |&(t, w)| (t, s as u32, w)))
             .collect();
         let (terms, term_ranges, postings) = invert(triples);
+        let (term_ub, term_index) = index_terms(&terms, &term_ranges, &postings);
 
         CompiledSpecStore {
             ids,
@@ -127,6 +174,8 @@ impl CompiledSpecStore {
             terms,
             term_ranges,
             postings,
+            term_ub,
+            term_index,
         }
     }
 
@@ -180,6 +229,11 @@ impl CompiledSpecStore {
             + self.terms.len() * std::mem::size_of::<TermId>()
             + self.term_ranges.len() * std::mem::size_of::<(u32, u32)>()
             + self.postings.len() * std::mem::size_of::<(u32, f64)>()
+            + self.term_ub.len() * std::mem::size_of::<f64>()
+            + self
+                .term_index
+                .as_ref()
+                .map_or(0, |ix| ix.len() * std::mem::size_of::<u32>())
     }
 
     /// Build the request-time scoring view over the given specializations,
@@ -196,11 +250,14 @@ impl CompiledSpecStore {
             }
         }
         let (terms, term_ranges, postings) = invert(triples);
+        let (term_ub, term_index) = index_terms(&terms, &term_ranges, &postings);
         UtilityScorer {
             m: cols.len(),
             terms,
             term_ranges,
             postings,
+            term_ub,
+            term_index,
         }
     }
 
@@ -318,6 +375,7 @@ impl CompiledSpecStore {
             .flat_map(|(s, entries)| entries.iter().map(move |&(t, w)| (t, s as u32, w)))
             .collect();
         let (terms, term_ranges, postings) = invert(triples);
+        let (term_ub, term_index) = index_terms(&terms, &term_ranges, &postings);
         Ok(CompiledSpecStore {
             ids,
             names,
@@ -326,6 +384,8 @@ impl CompiledSpecStore {
             terms,
             term_ranges,
             postings,
+            term_ub,
+            term_index,
         })
     }
 
@@ -333,7 +393,45 @@ impl CompiledSpecStore {
     /// via the global inverted map — one sparse accumulation, complexity
     /// `O(Σ_{t ∈ cand} |postings(t)|)`. Returns the normalized, thresholded
     /// utility per spec id.
+    ///
+    /// Carries the same two exact fast paths as
+    /// [`UtilityScorer::score_into`]: dense term lookups and, when
+    /// `threshold_c > 0`, the dominating-bound whole-row prune. Bit-for-bit
+    /// identical to [`score_all_unpruned`](Self::score_all_unpruned).
     pub fn score_all(&self, candidate: &SparseVector, params: UtilityParams) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.len()];
+        let norm = f64::from(candidate.norm());
+        if norm > 0.0 {
+            if params.threshold_c > 0.0
+                && row_prunable(
+                    &self.terms,
+                    &self.term_index,
+                    &self.term_ub,
+                    candidate,
+                    norm,
+                    params,
+                )
+            {
+                return acc; // norm > 0 ⇒ finalize(0.0) == 0.0 already
+            }
+            for &(t, w) in candidate.entries() {
+                if let Some(k) = term_slot(&self.terms, &self.term_index, t) {
+                    let (start, end) = self.term_ranges[k];
+                    for &(s, fw) in &self.postings[start as usize..end as usize] {
+                        acc[s as usize] += f64::from(w) * fw;
+                    }
+                }
+            }
+        }
+        for u in &mut acc {
+            *u = finalize(*u, norm, params);
+        }
+        acc
+    }
+
+    /// The pre-optimization [`score_all`](Self::score_all), kept verbatim
+    /// as its equivalence oracle.
+    pub fn score_all_unpruned(&self, candidate: &SparseVector, params: UtilityParams) -> Vec<f64> {
         let mut acc = vec![0.0f64; self.len()];
         let norm = f64::from(candidate.norm());
         if norm > 0.0 {
@@ -424,6 +522,54 @@ pub struct UtilityScorer {
     terms: Vec<TermId>,
     term_ranges: Vec<(u32, u32)>,
     postings: Vec<(u32, f64)>,
+    /// Per-term dominating weight bounds (see [`index_terms`]).
+    term_ub: Vec<f64>,
+    /// Dense term lookup (see [`index_terms`]); `None` ⇒ binary search.
+    term_index: Option<Vec<u32>>,
+}
+
+/// O(1)/O(log T) lookup of a term's slot in a term-major layout.
+#[inline]
+fn term_slot(terms: &[TermId], term_index: &Option<Vec<u32>>, t: TermId) -> Option<usize> {
+    match term_index {
+        Some(index) => match index.get(t.0 as usize) {
+            Some(&slot) if slot != u32::MAX => Some(slot as usize),
+            _ => None,
+        },
+        None => terms.binary_search(&t).ok(),
+    }
+}
+
+/// The MaxScore-style whole-row prune test: `true` when *every* cell of
+/// this candidate's utility row provably finalizes to exactly `0.0`, so
+/// the postings walk can be skipped without changing a single bit.
+///
+/// Exactness: `acc[c]` is an IEEE fl-sum, in candidate-entry order, of
+/// contributions `w_t · fw ≤ w_t · ub_t` (needs `w_t ≥ 0`; columns a term
+/// skips contribute `0 ≤ w_t · ub_t` since `ub_t ≥ 0`). f64 addition and
+/// division by a positive norm are monotone, so
+/// `clamp(acc[c]/norm) ≤ clamp(bound/norm) < threshold_c` ⇒ the
+/// unpruned `finalize` returns the literal `0.0` for every cell — the
+/// very value the pre-zeroed row already holds.
+#[inline]
+fn row_prunable(
+    terms: &[TermId],
+    term_index: &Option<Vec<u32>>,
+    term_ub: &[f64],
+    candidate: &SparseVector,
+    norm: f64,
+    params: UtilityParams,
+) -> bool {
+    let mut bound = 0.0f64;
+    for &(t, w) in candidate.entries() {
+        if w < 0.0 {
+            return false; // the domination argument needs w ≥ 0
+        }
+        if let Some(k) = term_slot(terms, term_index, t) {
+            bound += f64::from(w) * term_ub[k];
+        }
+    }
+    (bound / norm).clamp(0.0, 1.0) < params.threshold_c
 }
 
 impl UtilityScorer {
@@ -434,7 +580,55 @@ impl UtilityScorer {
 
     /// Score one candidate into `out` (`out.len() == m`): zero, accumulate
     /// term-at-a-time, normalize by the candidate norm, clamp, threshold.
+    ///
+    /// Two exact fast paths over the naive
+    /// [`score_into_unpruned`](Self::score_into_unpruned) oracle:
+    /// term lookups go through the dense table instead of a binary search,
+    /// and when `threshold_c > 0` a candidate whose dominating score bound
+    /// ([`index_terms`]) already falls below the threshold skips the
+    /// postings walk entirely ([`row_prunable`]). Both produce bit-for-bit
+    /// the oracle's row (`tests/utility_equivalence.rs` pins this).
     pub fn score_into(&self, candidate: &SparseVector, out: &mut [f64], params: UtilityParams) {
+        debug_assert_eq!(out.len(), self.m);
+        out.fill(0.0);
+        let norm = f64::from(candidate.norm());
+        if norm == 0.0 || self.m == 0 {
+            return;
+        }
+        if params.threshold_c > 0.0
+            && row_prunable(
+                &self.terms,
+                &self.term_index,
+                &self.term_ub,
+                candidate,
+                norm,
+                params,
+            )
+        {
+            return;
+        }
+        for &(t, w) in candidate.entries() {
+            if let Some(k) = term_slot(&self.terms, &self.term_index, t) {
+                let (start, end) = self.term_ranges[k];
+                for &(c, fw) in &self.postings[start as usize..end as usize] {
+                    out[c as usize] += f64::from(w) * fw;
+                }
+            }
+        }
+        for u in out {
+            *u = finalize(*u, norm, params);
+        }
+    }
+
+    /// The pre-optimization scoring path, kept verbatim as the equivalence
+    /// oracle for [`score_into`](Self::score_into): binary-search term
+    /// lookups, no pruning.
+    pub fn score_into_unpruned(
+        &self,
+        candidate: &SparseVector,
+        out: &mut [f64],
+        params: UtilityParams,
+    ) {
         debug_assert_eq!(out.len(), self.m);
         out.fill(0.0);
         let norm = f64::from(candidate.norm());

@@ -15,6 +15,7 @@
 //! selection criterion, mixed by λ.
 
 use crate::candidates::DiversifyInput;
+use crate::lazy::lazy_greedy;
 use crate::Diversifier;
 
 /// The xQuAD greedy algorithm.
@@ -41,14 +42,11 @@ impl XQuad {
         assert!((0.0..=1.0).contains(&lambda), "λ must lie in [0,1]");
         XQuad { lambda }
     }
-}
 
-impl Diversifier for XQuad {
-    fn name(&self) -> &'static str {
-        "xQuAD"
-    }
-
-    fn select(&self, input: &DiversifyInput, k: usize) -> Vec<usize> {
+    /// The pre-optimization full-rescan greedy, kept verbatim as the
+    /// equivalence oracle for the lazy [`select`](Diversifier::select)
+    /// (`tests/select_equivalence.rs` asserts identical index sequences).
+    pub fn select_eager(&self, input: &DiversifyInput, k: usize) -> Vec<usize> {
         let n = input.num_candidates();
         let m = input.num_specializations();
         let k = k.min(n);
@@ -85,6 +83,51 @@ impl Diversifier for XQuad {
             }
         }
         selected
+    }
+}
+
+impl Diversifier for XQuad {
+    fn name(&self) -> &'static str {
+        "xQuAD"
+    }
+
+    /// Exact lazy-greedy xQuAD (identical picks to
+    /// [`select_eager`](XQuad::select_eager), `O(n log n + k·m)`-ish on
+    /// typical inputs instead of `O(n·k·m)`).
+    ///
+    /// Staleness invariant: `uncovered[j]` only shrinks (each factor
+    /// `1 − Ũ ∈ [0,1]`), every diversity summand
+    /// `P(q′|q)·Ũ·uncovered` is non-negative, and f64 `+`/`×` are
+    /// monotone — so a score computed in an earlier round upper-bounds
+    /// the current one, which is exactly what [`lazy_greedy`] needs.
+    fn select(&self, input: &DiversifyInput, k: usize) -> Vec<usize> {
+        let n = input.num_candidates();
+        let m = input.num_specializations();
+        // Both closures touch the uncovered-mass state; a RefCell gives
+        // them disjoint dynamic borrows (the driver never overlaps them).
+        let uncovered_cell = std::cell::RefCell::new(vec![1.0f64; m]);
+        lazy_greedy(
+            n,
+            k,
+            |i, _selected| {
+                let uncovered = uncovered_cell.borrow();
+                let row = input.utilities.row(i);
+                let diversity: f64 = (0..m)
+                    .map(|j| input.spec_probs[j] * row[j] * uncovered[j])
+                    .sum();
+                (
+                    (1.0 - self.lambda) * input.relevance[i] + self.lambda * diversity,
+                    0.0,
+                )
+            },
+            |idx| {
+                let mut uncovered = uncovered_cell.borrow_mut();
+                let row = input.utilities.row(idx);
+                for j in 0..m {
+                    uncovered[j] *= 1.0 - row[j];
+                }
+            },
+        )
     }
 }
 

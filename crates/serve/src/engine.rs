@@ -9,6 +9,7 @@ use crate::stages::{default_stage_chain, PipelineContext, Stage, StageOutcome};
 use crate::surrogates::SurrogateCache;
 use serpdiv_core::{
     AlgorithmKind, CompiledSpecStore, Diversifier, PipelineParams, SpecializationStore,
+    UtilityScorer,
 };
 use serpdiv_index::{
     ForwardIndex, InvertedIndex, Retriever, ScoredDoc, ScoringExecutor, SearchEngine as DphEngine,
@@ -130,6 +131,12 @@ pub struct SearchEngine {
     diversifiers: Vec<Box<dyn Diversifier + Send + Sync>>,
     cache: Option<ShardedResultCache>,
     surrogates: Option<SurrogateCache>,
+    /// One precompiled [`UtilityScorer`] per model entry, keyed by the
+    /// entry's query text — the per-request scorer gather-and-sort hoisted
+    /// to deploy time (an entry's active-spec set is immutable). The
+    /// utility stage scores through these; unknown entries (custom stage
+    /// chains) fall back to building a scorer on the fly.
+    scorers: std::collections::HashMap<String, UtilityScorer>,
     metrics: ServeMetrics,
     config: EngineConfig,
 }
@@ -260,6 +267,15 @@ impl SearchEngine {
         } else {
             None
         };
+        let scorers = model
+            .iter()
+            .map(|entry| {
+                (
+                    entry.query.clone(),
+                    compiled.scorer(entry.specializations.iter().map(|(s, _)| s.as_str())),
+                )
+            })
+            .collect();
         SearchEngine {
             index,
             retriever,
@@ -275,6 +291,7 @@ impl SearchEngine {
                 .collect(),
             cache,
             surrogates,
+            scorers,
             metrics: ServeMetrics::default(),
             config,
         }
@@ -502,6 +519,12 @@ impl SearchEngine {
     /// The compiled inverted utility index.
     pub fn compiled(&self) -> &Arc<CompiledSpecStore> {
         &self.compiled
+    }
+
+    /// The deploy-time precompiled [`UtilityScorer`] for a model entry's
+    /// query text (`None` for queries outside the model).
+    pub fn scorer_for(&self, query: &str) -> Option<&UtilityScorer> {
+        self.scorers.get(query)
     }
 
     /// The compiled forward index (`None` ⇒ the engine serves surrogates

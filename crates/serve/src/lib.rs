@@ -101,6 +101,7 @@
 pub mod budget;
 pub mod cache;
 pub mod engine;
+pub mod histogram;
 pub mod lru;
 pub mod metrics;
 pub mod pool;
@@ -111,8 +112,9 @@ pub mod surrogates;
 pub use budget::Budget;
 pub use cache::{CacheKey, CacheStats, CachedSerp, ShardedResultCache};
 pub use engine::{EngineConfig, PresentationTable, SearchEngine};
+pub use histogram::{LatencyHistogram, LatencyStats};
 pub use lru::LruCache;
-pub use metrics::{Degradation, MetricsSnapshot, ServeMetrics};
+pub use metrics::{Degradation, MetricsSnapshot, ServeMetrics, StageLatencies};
 pub use pool::{AdmissionPolicy, WorkerPool};
 pub use request::{
     QueryRequest, RankedResult, SearchResponse, StageTimings, LABEL_INTERNAL, LABEL_SHED,

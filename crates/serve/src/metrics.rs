@@ -1,5 +1,8 @@
-//! Serving-engine observability: lock-free request and stage counters.
+//! Serving-engine observability: lock-free request and stage counters,
+//! plus per-stage log-bucketed latency histograms for tail attribution
+//! (see [`crate::histogram`]).
 
+use crate::histogram::{LatencyHistogram, LatencyStats};
 use crate::request::StageTimings;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -60,6 +63,42 @@ pub struct ServeMetrics {
     utility_us: AtomicU64,
     select_us: AtomicU64,
     total_us: AtomicU64,
+    /// Per-stage latency distributions over *computed* requests' non-zero
+    /// stage samples (cache hits and shed/internal refusals would flood
+    /// the stage medians with zeros, and a skipped stage carries no
+    /// attribution signal), keyed like [`StageLatencies`].
+    hist_detect: LatencyHistogram,
+    hist_retrieve: LatencyHistogram,
+    hist_surrogate: LatencyHistogram,
+    hist_utility: LatencyHistogram,
+    hist_select: LatencyHistogram,
+    /// Queue-wait distribution over queued requests (shed included — the
+    /// wait is real even when the answer is a refusal).
+    hist_queue_wait: LatencyHistogram,
+    /// End-to-end service-time distribution over **all** requests (cache
+    /// hits included: this is the latency a client actually observed).
+    hist_total: LatencyHistogram,
+}
+
+/// Latency percentile summaries per pipeline stage, from the log-bucketed
+/// histograms (computed requests only, except `queue_wait` — queued
+/// requests — and `total` — all requests).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageLatencies {
+    /// Ambiguity-detection stage.
+    pub detect: LatencyStats,
+    /// Baseline-retrieval stage.
+    pub retrieve: LatencyStats,
+    /// Surrogate-construction stage.
+    pub surrogate: LatencyStats,
+    /// Utility-matrix stage (Definition 2 scoring).
+    pub utility: LatencyStats,
+    /// Diversified-selection stage.
+    pub select: LatencyStats,
+    /// Worker-pool queue wait (enqueue → worker pickup).
+    pub queue_wait: LatencyStats,
+    /// End-to-end service time.
+    pub total: LatencyStats,
 }
 
 /// A point-in-time copy of [`ServeMetrics`] with derived averages.
@@ -98,6 +137,11 @@ pub struct MetricsSnapshot {
     pub stage_sums: StageTimings,
     /// Mean end-to-end service time per request, microseconds.
     pub mean_total_us: f64,
+    /// Per-stage latency percentiles from the log-bucketed histograms —
+    /// the tail-attribution view: a p99 that dwarfs every stage's p99
+    /// happened *between* stages (scheduler preemption, queue), not in
+    /// one.
+    pub latency: StageLatencies,
 }
 
 impl ServeMetrics {
@@ -147,6 +191,24 @@ impl ServeMetrics {
         saturating_add(&self.utility_us, timings.utility_us);
         saturating_add(&self.select_us, timings.select_us);
         saturating_add(&self.total_us, timings.total_us);
+        // Stage distributions cover computed requests only (cache hits and
+        // shed/internal refusals report all-zero stages and would bury the
+        // medians), and skip 0 µs samples: a stage that didn't run — or
+        // rounded below a microsecond — carries no attribution signal, and
+        // skipping it keeps the cheap passthrough path at one or two
+        // histogram updates instead of five. The total distribution covers
+        // every request — it is the latency a client observed, hits
+        // included.
+        let computed =
+            !cache_hit && !matches!(degradation, Degradation::Shed | Degradation::Internal);
+        if computed {
+            record_nonzero(&self.hist_detect, timings.detect_us);
+            record_nonzero(&self.hist_retrieve, timings.retrieve_us);
+            record_nonzero(&self.hist_surrogate, timings.surrogate_us);
+            record_nonzero(&self.hist_utility, timings.utility_us);
+            record_nonzero(&self.hist_select, timings.select_us);
+        }
+        self.hist_total.record(timings.total_us);
     }
 
     /// Record one worker-pool queue wait (enqueue → worker pickup).
@@ -157,6 +219,7 @@ impl ServeMetrics {
     pub fn record_queue_wait(&self, us: u64) {
         self.queue_waits.fetch_add(1, Ordering::Relaxed);
         saturating_add(&self.queue_wait_us, us);
+        self.hist_queue_wait.record(us);
     }
 
     /// Copy out the counters.
@@ -194,6 +257,15 @@ impl ServeMetrics {
             } else {
                 total_us as f64 / requests as f64
             },
+            latency: StageLatencies {
+                detect: self.hist_detect.stats(),
+                retrieve: self.hist_retrieve.stats(),
+                surrogate: self.hist_surrogate.stats(),
+                utility: self.hist_utility.stats(),
+                select: self.hist_select.stats(),
+                queue_wait: self.hist_queue_wait.stats(),
+                total: self.hist_total.stats(),
+            },
         }
     }
 }
@@ -208,6 +280,15 @@ fn saturating_add(counter: &AtomicU64, v: u64) {
     let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
         Some(cur.saturating_add(v))
     });
+}
+
+/// Record `us` into `h` unless it is a structural zero (stage skipped or
+/// sub-µs): stage histograms attribute *where time went*, and 0 µs
+/// samples say only "not here" while costing atomics on the hot path.
+fn record_nonzero(h: &LatencyHistogram, us: u64) {
+    if us > 0 {
+        h.record(us);
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +424,43 @@ mod tests {
         assert_eq!(s.queue_waits, 2);
         assert!((s.mean_queue_wait_us - 200.0).abs() < 1e-12);
         assert_eq!(s.stage_sums.queue_wait_us, 400);
+    }
+
+    #[test]
+    fn stage_histograms_cover_computed_requests_only() {
+        let m = ServeMetrics::default();
+        // A computed, diversified request: lands in the stage histograms.
+        m.record(
+            false,
+            true,
+            Degradation::None,
+            StageTimings {
+                utility_us: 9,
+                select_us: 3,
+                total_us: 12,
+                ..Default::default()
+            },
+        );
+        // A cache hit and a shed refusal: total-only.
+        m.record(
+            true,
+            true,
+            Degradation::None,
+            StageTimings {
+                total_us: 1,
+                ..Default::default()
+            },
+        );
+        m.record(false, false, Degradation::Shed, StageTimings::default());
+        m.record_queue_wait(40);
+        let s = m.snapshot();
+        assert_eq!(s.latency.utility.count, 1);
+        assert_eq!(s.latency.utility.p99_us, 9);
+        assert_eq!(s.latency.select.max_us, 3);
+        assert_eq!(s.latency.total.count, 3, "total covers every request");
+        assert_eq!(s.latency.total.max_us, 12);
+        assert_eq!(s.latency.queue_wait.count, 1);
+        assert_eq!(s.latency.queue_wait.p50_us, 40);
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub struct AdmissionPolicy {
     pub max_queue_wait_us: u64,
 }
 
+/// Minimum service time (µs) after which a worker yields its slice at the
+/// request boundary — see the yield comment in the worker loop. Requests
+/// below this cost less than the yield syscall itself.
+const YIELD_AFTER_US: u64 = 16;
+
 struct Job {
     seq: usize,
     req: QueryRequest,
@@ -101,7 +106,24 @@ impl WorkerPool {
                             Err(_) => break, // queue closed: shut down
                         };
                         depth.fetch_sub(1, Ordering::Relaxed);
-                        Self::serve_job(&engine, policy, job);
+                        let served_us = Self::serve_job(&engine, policy, job);
+                        // Yield at the request boundary. When workers
+                        // outnumber cores, a thread that has run long
+                        // enough gets preempted *mid-request*, parking a
+                        // ~50 µs request behind a full scheduler rotation
+                        // (tens of ms — the entire measured p99 tail).
+                        // Yielding here re-queues the thread while it
+                        // holds no request, so preemption lands between
+                        // requests and each timed service section starts
+                        // with a fresh slice it comfortably fits into.
+                        // Gated on the request actually costing real CPU:
+                        // paths cheaper than the yield itself (shed
+                        // replies, cache hits, bare passthroughs) barely
+                        // widen the preemption window and would pay more
+                        // in syscalls than they save in tail.
+                        if served_us >= YIELD_AFTER_US {
+                            std::thread::yield_now();
+                        }
                     })
                     .expect("failed to spawn serving worker")
             })
@@ -116,8 +138,10 @@ impl WorkerPool {
     }
 
     /// Serve one dequeued job on a worker thread: staleness shedding,
-    /// panic containment, reply delivery.
-    fn serve_job(engine: &SearchEngine, policy: AdmissionPolicy, job: Job) {
+    /// panic containment, reply delivery. Returns the request's service
+    /// time in microseconds (0 for shed replies) — the worker loop's
+    /// yield gate.
+    fn serve_job(engine: &SearchEngine, policy: AdmissionPolicy, job: Job) -> u64 {
         let Job {
             seq,
             req,
@@ -136,7 +160,7 @@ impl WorkerPool {
             };
             engine.record_out_of_band(Degradation::Shed, timings);
             let _ = reply.send((seq, degraded_reply(req.query, LABEL_SHED, timings)));
-            return;
+            return 0;
         }
         // Contain panics (scoring bugs, injected chaos): the worker
         // answers with a labeled internal error and keeps serving, so one
@@ -162,9 +186,13 @@ impl WorkerPool {
                 degraded_reply(query, LABEL_INTERNAL, timings)
             }
         };
+        // Service time excluding the queue wait: what the worker itself
+        // spent on this request.
+        let served_us = response.timings.total_us;
         // A dropped reply receiver just means the client stopped
         // waiting; keep serving.
         let _ = reply.send((seq, response));
+        served_us
     }
 
     /// Number of serving threads.

@@ -40,7 +40,9 @@
 use crate::budget::Budget;
 use crate::engine::SearchEngine;
 use crate::request::{QueryRequest, StageTimings};
-use serpdiv_core::{assemble_input_from_surrogates, AlgorithmKind, DiversifyInput};
+use serpdiv_core::{
+    assemble_input_from_surrogates, assemble_input_with_scorer, AlgorithmKind, DiversifyInput,
+};
 use serpdiv_index::{ScoredDoc, SparseVector};
 use serpdiv_mining::SpecializationEntry;
 use std::sync::Arc;
@@ -326,13 +328,26 @@ impl Stage for UtilityStage {
             return StageOutcome::Continue;
         }
         let vectors = std::mem::take(&mut ctx.vectors);
-        ctx.input = Some(assemble_input_from_surrogates(
-            entry,
-            engine.compiled(),
-            &engine.config().params,
-            vectors,
-            &ctx.candidates,
-        ));
+        // Score through the deploy-time precompiled scorer for this entry
+        // (bit-identical rows, no per-request gather-and-sort); entries
+        // outside the table — possible only with custom detect stages —
+        // build one on the fly, exactly as before.
+        ctx.input = Some(match engine.scorer_for(&entry.query) {
+            Some(scorer) => assemble_input_with_scorer(
+                entry,
+                scorer,
+                &engine.config().params,
+                vectors,
+                &ctx.candidates,
+            ),
+            None => assemble_input_from_surrogates(
+                entry,
+                engine.compiled(),
+                &engine.config().params,
+                vectors,
+                &ctx.candidates,
+            ),
+        });
         StageOutcome::Continue
     }
 }

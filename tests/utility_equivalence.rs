@@ -170,6 +170,68 @@ fn synthetic_fixture_including_edge_shapes() {
     assert_matrices_match(&fast, &naive, "synthetic fixture");
 }
 
+/// The MaxScore-style whole-row prune (PR 8) must be invisible: the
+/// pruned entry points agree **bit-for-bit** with their verbatim unpruned
+/// oracles across a threshold sweep — including `threshold_c = 0`, where
+/// the prune gate must never fire, and aggressive thresholds where most
+/// rows prune.
+#[test]
+fn pruned_scoring_matches_unpruned_oracle() {
+    let v =
+        |pairs: &[(u32, f32)]| SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)));
+    let lists: Vec<(String, Vec<SparseVector>)> = vec![
+        (
+            "a".into(),
+            vec![v(&[(1, 2.0), (3, 1.0)]), v(&[(1, 1.0), (4, 2.5)])],
+        ),
+        ("b".into(), vec![v(&[(2, 1.0)]), SparseVector::default()]),
+        ("c".into(), vec![v(&[(7, 0.2)]), v(&[(8, 0.1), (1, 0.05)])]),
+        ("empty".into(), Vec::new()),
+    ];
+    let compiled = CompiledSpecStore::build(
+        lists
+            .iter()
+            .map(|(name, list)| (name.as_str(), list.iter())),
+    );
+    let candidates = [
+        v(&[(1, 1.0), (2, 2.0)]),
+        v(&[(3, 4.0), (4, 0.1)]),
+        v(&[(7, 3.0), (8, 3.0)]), // weak specs only: prunes at high c
+        SparseVector::default(),
+        v(&[(99, 1.0)]),
+    ];
+    let names = ["b", "ghost", "a", "empty", "c", "a"];
+    let scorer = compiled.scorer(names.iter().copied());
+    for threshold_c in [0.0, 0.01, 0.05, 0.3, 0.6, 0.9, 1.0] {
+        let params = UtilityParams { threshold_c };
+        for (ci, cand) in candidates.iter().enumerate() {
+            let mut pruned = vec![f64::NAN; names.len()];
+            let mut oracle = vec![f64::NAN; names.len()];
+            scorer.score_into(cand, &mut pruned, params);
+            scorer.score_into_unpruned(cand, &mut oracle, params);
+            assert_eq!(
+                pruned, oracle,
+                "score_into c={threshold_c} candidate {ci} diverged"
+            );
+            assert_eq!(
+                compiled.score_all(cand, params),
+                compiled.score_all_unpruned(cand, params),
+                "score_all c={threshold_c} candidate {ci} diverged"
+            );
+        }
+        // The aggressive end of the sweep must actually prune something,
+        // or the fast path is untested.
+        if threshold_c >= 0.9 {
+            let mut out = vec![0.0; names.len()];
+            scorer.score_into(&candidates[2], &mut out, params);
+            assert!(
+                out.iter().all(|&u| u == 0.0),
+                "weak candidate should fully prune at c={threshold_c}"
+            );
+        }
+    }
+}
+
 /// Randomized equivalence sweep (deterministic LCG, no external deps),
 /// gated like the other property suites.
 #[cfg(feature = "property-tests")]
@@ -243,6 +305,53 @@ mod randomized {
             let fast_in = DiversifyInput::new(probs.clone(), relevance.clone(), fast);
             let naive_in = DiversifyInput::new(probs, relevance, naive);
             assert_rankings_match(&fast_in, &naive_in, &ctx);
+        }
+    }
+
+    /// Random worlds: the pruned scorer entry points are bit-identical to
+    /// their unpruned oracles for every threshold in a sweep.
+    #[test]
+    fn random_pruned_scoring_bitwise_equals_unpruned() {
+        let mut rng = Lcg(0x0bad_5c0e);
+        for world in 0..25 {
+            let m = 1 + rng.below(7) as usize;
+            let lists: Vec<(String, Vec<SparseVector>)> = (0..m)
+                .map(|s| {
+                    let r = rng.below(16) as usize;
+                    (
+                        format!("s{s}"),
+                        (0..r).map(|_| random_vector(&mut rng, 20, 90)).collect(),
+                    )
+                })
+                .collect();
+            let compiled = CompiledSpecStore::build(
+                lists
+                    .iter()
+                    .map(|(name, list)| (name.as_str(), list.iter())),
+            );
+            let names: Vec<&str> = lists.iter().map(|(n, _)| n.as_str()).collect();
+            let scorer = compiled.scorer(names.iter().copied());
+            let candidates: Vec<SparseVector> = (0..1 + rng.below(30))
+                .map(|_| random_vector(&mut rng, 20, 90))
+                .collect();
+            for threshold_c in [0.0, 0.02, 0.1, 0.4, 0.8] {
+                let params = UtilityParams { threshold_c };
+                for (ci, cand) in candidates.iter().enumerate() {
+                    let mut pruned = vec![f64::NAN; m];
+                    let mut oracle = vec![f64::NAN; m];
+                    scorer.score_into(cand, &mut pruned, params);
+                    scorer.score_into_unpruned(cand, &mut oracle, params);
+                    assert_eq!(
+                        pruned, oracle,
+                        "world {world} c={threshold_c} candidate {ci}: score_into"
+                    );
+                    assert_eq!(
+                        compiled.score_all(cand, params),
+                        compiled.score_all_unpruned(cand, params),
+                        "world {world} c={threshold_c} candidate {ci}: score_all"
+                    );
+                }
+            }
         }
     }
 
