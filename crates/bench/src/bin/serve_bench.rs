@@ -19,11 +19,11 @@
 //!             [--executor-threads N[,N...]] [--fleet N[,N...]]
 //!             [--max-queue N] [--max-queue-wait-us N] [--deadline-us N]
 //!             [--no-cache] [--no-surrogate-cache] [--tail-report N]
-//!             [--json PATH]
+//!             [--swap-every N] [--json PATH]
 //! ```
 //! Defaults: 4000 sessions, 2000 requests, 8 workers, k=10, 100
 //! candidates, 1 index shard, no executor, no fleet, unbounded queue,
-//! no deadline, both caches on, no tail report, JSON to
+//! no deadline, both caches on, no tail report, no swaps, JSON to
 //! `BENCH_serve.json`.
 //!
 //! Every row also carries the engine's per-stage latency *histograms*
@@ -61,6 +61,17 @@
 //! The `shard_worker` binary is looked up next to the bench executable
 //! (override with `SERPDIV_SHARD_WORKER_BIN`); build it first with
 //! `cargo build --release -p serpdiv-fleet`.
+//!
+//! `--swap-every N` measures the serving cost of generation hot swaps:
+//! while each algorithm's replay runs, a deployer thread republishes the
+//! engine's whole serving generation (epoch pointer swap through the
+//! full validate-then-publish path) every N served requests. Every row
+//! then reports `generation` (the id serving when the replay ended),
+//! `swaps`, `swap_rejected`, and `swap_p99_us` (p99 publish latency) —
+//! the "hot swaps are free for readers" claim becomes a measured QPS
+//! delta against a `--swap-every 0` baseline. Note the result cache is
+//! generation-tagged, so swapping invalidates it; compare swap overhead
+//! with `--no-cache` to isolate the epoch machinery from cache refill.
 //!
 //! `--max-queue` / `--max-queue-wait-us` bound the worker-pool queue
 //! (admission control): overflow requests are shed in O(µs) instead of
@@ -102,6 +113,9 @@ struct Args {
     /// Print the N slowest requests of every algorithm replay with their
     /// per-stage breakdown (0 = off).
     tail_report: usize,
+    /// Republish the serving generation every N served requests during
+    /// each replay (0 = no swaps).
+    swap_every: usize,
     json_path: String,
 }
 
@@ -121,13 +135,15 @@ fn parse_args() -> Args {
         cache: true,
         surrogate_cache: true,
         tail_report: 0,
+        swap_every: 0,
         json_path: "BENCH_serve.json".to_string(),
     };
     let usage = "usage: serve_bench [--sessions N] [--requests N] [--concurrency N] \
                  [--k N] [--candidates N] [--shards N[,N...]] \
                  [--executor-threads N[,N...]] [--fleet N[,N...]] [--max-queue N] \
                  [--max-queue-wait-us N] [--deadline-us N] [--no-cache] \
-                 [--no-surrogate-cache] [--tail-report N] [--json PATH]";
+                 [--no-surrogate-cache] [--tail-report N] [--swap-every N] \
+                 [--json PATH]";
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut next_str = |name: &str| -> String {
@@ -172,6 +188,7 @@ fn parse_args() -> Args {
             "--no-cache" => args.cache = false,
             "--no-surrogate-cache" => args.surrogate_cache = false,
             "--tail-report" => args.tail_report = parse_num(&next_str("--tail-report"), usage),
+            "--swap-every" => args.swap_every = parse_num(&next_str("--swap-every"), usage),
             "--json" => args.json_path = next_str("--json"),
             other => {
                 eprintln!("error: unknown flag {other}\n{usage}");
@@ -361,6 +378,16 @@ struct AlgoReport {
     /// Circuit-breaker trips (open transitions) observed during this
     /// row's replay (fleet rows only; 0 in-process).
     breaker_open: u64,
+    /// The generation id serving when the replay ended (1 when
+    /// `--swap-every` is off).
+    generation: u64,
+    /// Generation hot swaps published during this row's replay.
+    swaps: u64,
+    /// Candidate generations refused by validate-then-publish.
+    swap_rejected: u64,
+    /// p99 publish latency of this row's swaps, microseconds (0 when no
+    /// swaps ran).
+    swap_p99_us: f64,
     // Mean per-stage microseconds over computed requests.
     detect_us: u64,
     retrieve_us: u64,
@@ -388,6 +415,7 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
         ("max_queue", args.max_queue as f64),
         ("max_queue_wait_us", args.max_queue_wait_us as f64),
         ("deadline_us", args.deadline_us as f64),
+        ("swap_every", args.swap_every as f64),
     ];
     for (i, (key, v)) in config.iter().enumerate() {
         if i > 0 {
@@ -456,6 +484,10 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
             ("shed_p50_us", a.shed_p50_us),
             ("hedged", a.hedged as f64),
             ("breaker_open", a.breaker_open as f64),
+            ("generation", a.generation as f64),
+            ("swaps", a.swaps as f64),
+            ("swap_rejected", a.swap_rejected as f64),
+            ("swap_p99_us", a.swap_p99_us),
             ("stage_detect_us", a.detect_us as f64),
             ("stage_retrieve_us", a.retrieve_us as f64),
             ("stage_surrogate_us", a.surrogate_us as f64),
@@ -647,6 +679,7 @@ fn main() {
                         executor_threads,
                         deadline_us: args.deadline_us,
                         forward_index: true,
+                        slo: None,
                     },
                 )
                 .with_presentation(presentation.clone()),
@@ -657,6 +690,7 @@ fn main() {
                 AdmissionPolicy {
                     max_queue: args.max_queue,
                     max_queue_wait_us: args.max_queue_wait_us,
+                    deadline_aware: false,
                 },
             );
             let requests: Vec<QueryRequest> = (0..args.requests)
@@ -667,9 +701,45 @@ fn main() {
             // algorithms of one sweep point); per-row hedge/breaker counts
             // are before/after deltas around this row's replay.
             let fleet_before = fleet_deployment.as_ref().map(|d| d.router.metrics());
+            // The deployer thread for --swap-every: republish the whole
+            // serving generation (full validate-then-publish, new epoch
+            // pointer) every N served requests while the replay runs.
+            let swapping = Arc::new(std::sync::atomic::AtomicBool::new(args.swap_every > 0));
+            let swapper = (args.swap_every > 0).then(|| {
+                let engine = engine.clone();
+                let swapping = swapping.clone();
+                let every = args.swap_every as u64;
+                std::thread::spawn(move || {
+                    let mut swap_us: Vec<u64> = Vec::new();
+                    // requests_served is one atomic load — the poll must
+                    // not pay a full histogram snapshot 5000×/s.
+                    let mut last = engine.requests_served();
+                    while swapping.load(std::sync::atomic::Ordering::Relaxed) {
+                        let now = engine.requests_served();
+                        if now.saturating_sub(last) >= every {
+                            let t = Instant::now();
+                            engine.republish().expect("republish");
+                            swap_us.push(t.elapsed().as_micros() as u64);
+                            last = now;
+                        } else {
+                            // 1 ms granularity: at benchmark request
+                            // rates this still paces swaps within a few
+                            // requests of the target, without the poll
+                            // thread competing for the serving cores.
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                    swap_us
+                })
+            });
             let wall = Instant::now();
             let responses = pool.serve_batch(requests);
             let wall_s = wall.elapsed().as_secs_f64();
+            swapping.store(false, std::sync::atomic::Ordering::Relaxed);
+            let mut swap_us = swapper
+                .map(|h| h.join().expect("swapper thread"))
+                .unwrap_or_default();
+            swap_us.sort_unstable();
             let (hedged, breaker_open) = match (&fleet_deployment, fleet_before) {
                 (Some(d), Some(before)) => {
                     let after = d.router.metrics();
@@ -746,6 +816,10 @@ fn main() {
                 shed_p50_us: percentile(&shed_totals_us, 50.0) * 1e3,
                 hedged,
                 breaker_open,
+                generation: m.generation,
+                swaps: m.swaps,
+                swap_rejected: m.swap_rejected,
+                swap_p99_us: percentile(&swap_us, 99.0) * 1e3,
                 detect_us: m.stage_sums.detect_us / computed,
                 retrieve_us: m.stage_sums.retrieve_us / computed,
                 surrogate_us: m.stage_sums.surrogate_us / computed,
@@ -776,6 +850,12 @@ fn main() {
                     report.shed,
                     report.shed_p50_us,
                     responses.len(),
+                );
+            }
+            if report.swaps > 0 || report.swap_rejected > 0 {
+                println!(
+                    "           {} generation swaps ({} rejected, publish p99 {:.0}µs), serving generation {} at replay end",
+                    report.swaps, report.swap_rejected, report.swap_p99_us, report.generation,
                 );
             }
             if args.tail_report > 0 {

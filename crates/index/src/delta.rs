@@ -1,0 +1,488 @@
+//! Near-real-time ingest: the delta index and the sealed merge.
+//!
+//! The serving stack is built on immutable, deploy-time-compiled
+//! artifacts; this module is what keeps that strength while documents
+//! keep arriving. Freshly ingested documents land in a small immutable
+//! [`DeltaIndex`] — its own analyzed mini-index over just the new
+//! documents — and are searched *alongside* the sealed collection through
+//! [`DeltaRetriever`], which gathers the sealed and delta rankings with
+//! the same bit-identical k-way merge the sharded scatter path uses
+//! ([`merge_top_k`]). In the background, [`merge_sealed`] folds the delta
+//! into a new sealed [`InvertedIndex`] whose bytes are **identical to a
+//! from-scratch build** over the concatenated corpus — analysis runs only
+//! over the delta documents; the sealed postings are re-encoded, never
+//! re-tokenized.
+//!
+//! Scoring honesty: while a document lives in the delta it is ranked with
+//! the delta's *local* collection statistics (document frequency, average
+//! length), not the merged globals — the classic NRT-segment
+//! approximation. Rankings are still fully deterministic per
+//! (sealed, delta) pair; once the background merge seals a new
+//! generation, scores are bit-identical to a from-scratch build.
+
+use crate::document::{DocId, Document};
+use crate::index::{CollectionStats, InvertedIndex, TermStats};
+use crate::postings::PostingsBuilder;
+use crate::retriever::{Retrieval, Retriever};
+use crate::search::{ScoredDoc, SearchEngine};
+use crate::sharded::merge_top_k;
+use serpdiv_text::{TermId, Vocabulary};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable index over documents ingested since the collection was
+/// last sealed.
+///
+/// Document ids are **global**: the delta continues the sealed
+/// collection's dense id space (`base_docs..base_docs + len`). Internally
+/// the documents are re-addressed to a dense local id space and indexed
+/// with the base collection's analyzer, so query analysis matches the
+/// sealed index's token for token.
+#[derive(Debug)]
+pub struct DeltaIndex {
+    /// Documents in the sealed collection the delta extends (== the
+    /// global id of the delta's first document).
+    base_docs: u32,
+    /// The ingested documents, global ids, in id order — kept verbatim so
+    /// [`merge_sealed`] can re-analyze exactly what was ingested.
+    docs: Vec<Document>,
+    /// Local mini-index over the delta documents (local ids `0..len`).
+    local: InvertedIndex,
+}
+
+impl DeltaIndex {
+    /// Build a delta over `docs`, extending a sealed `base` collection.
+    ///
+    /// # Panics
+    /// Panics unless the document ids are dense and continue the base
+    /// collection exactly (`base.num_docs, base.num_docs + 1, …`) — a gap
+    /// or overlap would silently corrupt the global id space every layer
+    /// above relies on.
+    pub fn build(base: &InvertedIndex, docs: Vec<Document>) -> Self {
+        let base_docs = u32::try_from(base.stats().num_docs).expect("corpus fits u32 ids");
+        for (i, doc) in docs.iter().enumerate() {
+            assert_eq!(
+                doc.id.0,
+                base_docs + i as u32,
+                "delta documents must continue the sealed id space densely"
+            );
+        }
+        let mut builder = crate::builder::IndexBuilder::with_analyzer(base.analyzer().clone());
+        for (i, doc) in docs.iter().enumerate() {
+            builder.add(Document::new(
+                i as u32,
+                doc.url.clone(),
+                doc.title.clone(),
+                doc.body.clone(),
+            ));
+        }
+        DeltaIndex {
+            base_docs,
+            docs,
+            local: builder.build(),
+        }
+    }
+
+    /// Number of documents in the sealed collection this delta extends.
+    pub fn base_docs(&self) -> u32 {
+        self.base_docs
+    }
+
+    /// Number of ingested documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The ingested documents (global ids, id order).
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// The local mini-index (local ids `0..len`) — the substrate for
+    /// delta-document snippet surrogates.
+    pub fn local(&self) -> &InvertedIndex {
+        &self.local
+    }
+
+    /// Map a global document id into the delta's local id space (`None`
+    /// for documents outside the delta).
+    pub fn local_id(&self, doc: DocId) -> Option<DocId> {
+        let local = doc.0.checked_sub(self.base_docs)?;
+        (usize::try_from(local).unwrap() < self.docs.len()).then_some(DocId(local))
+    }
+
+    /// Top-`k` delta documents for a raw query, ranked with the delta's
+    /// local statistics, reported under **global** ids.
+    pub fn retrieve_global(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
+        self.globalize(SearchEngine::new(&self.local).search(query, k))
+    }
+
+    /// Top-`k` delta documents for terms pre-analyzed against the *base*
+    /// vocabulary. Term ids are translated through their surface strings
+    /// into the delta's own vocabulary (terms the delta never saw simply
+    /// contribute nothing).
+    pub fn retrieve_terms_global(
+        &self,
+        base_vocab: &Vocabulary,
+        terms: &[TermId],
+        k: usize,
+    ) -> Vec<ScoredDoc> {
+        let local_terms: Vec<TermId> = terms
+            .iter()
+            .filter_map(|&t| base_vocab.term(t))
+            .filter_map(|s| self.local.vocab().id(s))
+            .collect();
+        self.globalize(SearchEngine::new(&self.local).search_terms(&local_terms, k))
+    }
+
+    /// Shift a local ranking into the global id space (a constant offset,
+    /// so the `(score desc, doc asc)` order is preserved).
+    fn globalize(&self, mut hits: Vec<ScoredDoc>) -> Vec<ScoredDoc> {
+        for h in &mut hits {
+            h.doc = DocId(h.doc.0 + self.base_docs);
+        }
+        hits
+    }
+}
+
+/// A [`Retriever`] that searches a sealed collection and a [`DeltaIndex`]
+/// side by side, gathering the union top-`k` with the same k-way merge
+/// the sharded scatter path uses — the delta is just one more shard.
+///
+/// Completeness mirrors the sealed retriever's: the in-process delta can
+/// never lose a shard, so a partial gather can only come from below.
+pub struct DeltaRetriever {
+    sealed: Arc<dyn Retriever>,
+    base: Arc<InvertedIndex>,
+    delta: Arc<DeltaIndex>,
+}
+
+impl DeltaRetriever {
+    /// Combine `sealed` (the deployed retrieval layer over `base`) with a
+    /// delta over freshly ingested documents.
+    pub fn new(
+        sealed: Arc<dyn Retriever>,
+        base: Arc<InvertedIndex>,
+        delta: Arc<DeltaIndex>,
+    ) -> Self {
+        DeltaRetriever {
+            sealed,
+            base,
+            delta,
+        }
+    }
+
+    /// The delta being searched alongside the sealed collection.
+    pub fn delta(&self) -> &Arc<DeltaIndex> {
+        &self.delta
+    }
+}
+
+impl Retriever for DeltaRetriever {
+    fn retrieve(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
+        merge_top_k(
+            vec![
+                self.sealed.retrieve(query, k),
+                self.delta.retrieve_global(query, k),
+            ],
+            k,
+        )
+    }
+
+    fn retrieve_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
+        merge_top_k(
+            vec![
+                self.sealed.retrieve_terms(terms, k),
+                self.delta
+                    .retrieve_terms_global(self.base.vocab(), terms, k),
+            ],
+            k,
+        )
+    }
+
+    fn retrieve_with_status(&self, query: &str, k: usize) -> Retrieval {
+        self.retrieve_with_status_within(query, k, None)
+    }
+
+    fn retrieve_with_status_within(
+        &self,
+        query: &str,
+        k: usize,
+        budget_us: Option<u64>,
+    ) -> Retrieval {
+        let sealed = self.sealed.retrieve_with_status_within(query, k, budget_us);
+        let hits = merge_top_k(vec![sealed.hits, self.delta.retrieve_global(query, k)], k);
+        Retrieval {
+            hits,
+            complete: sealed.complete,
+        }
+    }
+}
+
+/// Fold a delta into its sealed base, producing a new sealed
+/// [`InvertedIndex`] **bit-identical to a from-scratch build** over the
+/// concatenated document stream (`IndexBuilder` over base docs then delta
+/// docs): same vocabulary order, same postings bytes, same statistics —
+/// so `merge_sealed(base, delta).to_bytes()` equals the from-scratch
+/// `to_bytes()`.
+///
+/// Only the delta documents are analyzed here (they are re-interned
+/// against a copy of the base vocabulary, which reproduces first-
+/// occurrence term order exactly, because the delta documents come after
+/// every base document); the base postings are decoded and re-encoded
+/// with the delta's `(doc, tf)` extensions appended — delta ids are
+/// strictly larger than every base id, so appending preserves the
+/// ascending-doc postings invariant.
+pub fn merge_sealed(base: &InvertedIndex, delta: &DeltaIndex) -> InvertedIndex {
+    assert_eq!(
+        u64::from(delta.base_docs()),
+        base.stats().num_docs,
+        "delta was built against a different sealed base"
+    );
+    let analyzer = base.analyzer.clone();
+    let mut vocab = base.vocab.clone();
+    let mut store = base.store.clone();
+    let mut doc_lens = base.doc_lens.clone();
+    let mut num_tokens = base.stats.num_tokens;
+
+    // Analyze the delta docs against the extended vocabulary, collecting
+    // per-term (doc, tf) extension runs in ascending doc order.
+    let mut ext: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut tf_scratch: HashMap<TermId, u32> = HashMap::new();
+    for doc in delta.docs() {
+        let text = doc.full_text();
+        let doc_id = doc.id.0;
+        store.push(doc.clone());
+        let terms = analyzer.analyze_interned(&text, &mut vocab);
+        doc_lens.push(terms.len() as u32);
+        num_tokens += terms.len() as u64;
+        tf_scratch.clear();
+        for term in terms {
+            *tf_scratch.entry(term).or_insert(0) += 1;
+        }
+        if ext.len() < vocab.len() {
+            ext.resize_with(vocab.len(), Vec::new);
+        }
+        let mut entries: Vec<(TermId, u32)> = tf_scratch.iter().map(|(&t, &tf)| (t, tf)).collect();
+        entries.sort_unstable_by_key(|&(t, _)| t);
+        for (term, tf) in entries {
+            ext[term.index()].push((doc_id, tf));
+        }
+    }
+    if ext.len() < vocab.len() {
+        ext.resize_with(vocab.len(), Vec::new);
+    }
+
+    let n_terms = vocab.len();
+    let mut postings = Vec::with_capacity(n_terms);
+    let mut term_stats = Vec::with_capacity(n_terms);
+    let mut max_tfs = Vec::with_capacity(n_terms);
+    for (t, ext_list) in ext.iter().enumerate().take(n_terms) {
+        let mut pb = PostingsBuilder::new();
+        let mut doc_freq = 0u64;
+        let mut coll_freq = 0u64;
+        let mut max_tf = 0u32;
+        if let Some(list) = base.postings.get(t) {
+            for p in list.iter() {
+                pb.push(p.doc, p.tf);
+                doc_freq += 1;
+                coll_freq += u64::from(p.tf);
+                max_tf = max_tf.max(p.tf);
+            }
+        }
+        for &(doc, tf) in ext_list {
+            pb.push(DocId(doc), tf);
+            doc_freq += 1;
+            coll_freq += u64::from(tf);
+            max_tf = max_tf.max(tf);
+        }
+        postings.push(pb.build());
+        term_stats.push(TermStats {
+            doc_freq,
+            coll_freq,
+        });
+        max_tfs.push(max_tf);
+    }
+
+    let min_doc_len = doc_lens
+        .iter()
+        .copied()
+        .filter(|&l| l > 0)
+        .min()
+        .unwrap_or(0);
+    let num_docs = store.len() as u64;
+    let avg_doc_len = if num_docs == 0 {
+        0.0
+    } else {
+        num_tokens as f64 / num_docs as f64
+    };
+    InvertedIndex {
+        vocab,
+        postings,
+        term_stats,
+        doc_lens,
+        max_tfs,
+        min_doc_len,
+        store,
+        analyzer,
+        stats: CollectionStats {
+            num_docs,
+            num_tokens,
+            avg_doc_len,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+
+    fn doc(i: u32, topic: &str) -> Document {
+        let body = match topic {
+            "tech" => "apple iphone smartphone review chip battery display",
+            "food" => "apple fruit orchard sweet harvest vitamin juice",
+            _ => "weather forecast rain cloud wind storm pressure",
+        };
+        Document::new(
+            i,
+            format!("http://{topic}/{i}"),
+            format!("{topic} {i}"),
+            body,
+        )
+    }
+
+    fn base_corpus() -> Vec<Document> {
+        (0..12u32)
+            .map(|i| doc(i, ["tech", "food", "misc"][(i % 3) as usize]))
+            .collect()
+    }
+
+    fn delta_corpus(base_docs: u32, n: u32) -> Vec<Document> {
+        (0..n)
+            .map(|i| doc(base_docs + i, ["food", "tech"][(i % 2) as usize]))
+            .collect()
+    }
+
+    fn build(docs: &[Document]) -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        for d in docs {
+            b.add(d.clone());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn merge_is_bit_identical_to_from_scratch() {
+        let base_docs = base_corpus();
+        let base = build(&base_docs);
+        let fresh = delta_corpus(12, 6);
+        let delta = DeltaIndex::build(&base, fresh.clone());
+        let merged = merge_sealed(&base, &delta);
+
+        let mut all = base_docs.clone();
+        all.extend(fresh);
+        let scratch = build(&all);
+
+        // The strongest claim first: the serialized images are equal byte
+        // for byte, so every downstream consumer (artifact export, shard
+        // partitioning) sees a merge and a rebuild as the same index.
+        assert_eq!(merged.to_bytes(), scratch.to_bytes());
+        // And retrieval is bit-identical (f64 score bits).
+        for query in ["apple", "apple iphone", "weather forecast", "orchard"] {
+            let a = Retriever::retrieve(&merged, query, 10);
+            let b = Retriever::retrieve(&scratch, query, 10);
+            assert_eq!(a.len(), b.len(), "{query}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.doc, y.doc, "{query}");
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "{query}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_of_empty_delta_is_identity() {
+        let base = build(&base_corpus());
+        let delta = DeltaIndex::build(&base, Vec::new());
+        assert!(delta.is_empty());
+        let merged = merge_sealed(&base, &delta);
+        assert_eq!(merged.to_bytes(), base.to_bytes());
+    }
+
+    #[test]
+    fn delta_docs_are_searchable_under_global_ids() {
+        let base = build(&base_corpus());
+        let delta = DeltaIndex::build(&base, delta_corpus(12, 4));
+        let hits = delta.retrieve_global("apple fruit orchard", 10);
+        assert!(!hits.is_empty());
+        for h in &hits {
+            assert!(h.doc.0 >= 12, "delta hits carry global ids: {:?}", h.doc);
+        }
+        assert_eq!(delta.local_id(DocId(12)), Some(DocId(0)));
+        assert_eq!(delta.local_id(DocId(15)), Some(DocId(3)));
+        assert_eq!(delta.local_id(DocId(16)), None);
+        assert_eq!(delta.local_id(DocId(3)), None);
+    }
+
+    #[test]
+    fn delta_retriever_merges_sealed_and_fresh() {
+        let base = Arc::new(build(&base_corpus()));
+        let delta = Arc::new(DeltaIndex::build(&base, delta_corpus(12, 4)));
+        let retriever = DeltaRetriever::new(base.clone(), base.clone(), delta);
+        let hits = retriever.retrieve("apple", 20);
+        let sealed_hits = hits.iter().filter(|h| h.doc.0 < 12).count();
+        let fresh_hits = hits.iter().filter(|h| h.doc.0 >= 12).count();
+        assert!(
+            sealed_hits > 0 && fresh_hits > 0,
+            "{sealed_hits}/{fresh_hits}"
+        );
+        // Deterministic gather order: score desc, doc asc on ties.
+        for w in hits.windows(2) {
+            assert!(
+                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].doc.0 < w[1].doc.0)
+            );
+        }
+        let status = retriever.retrieve_with_status("apple", 20);
+        assert!(status.complete);
+        assert_eq!(status.hits, hits);
+    }
+
+    #[test]
+    fn delta_retriever_is_transparent_for_sealed_only_queries() {
+        let base = Arc::new(build(&base_corpus()));
+        let delta = Arc::new(DeltaIndex::build(&base, delta_corpus(12, 4)));
+        let retriever = DeltaRetriever::new(base.clone(), base.clone(), delta);
+        // No delta document mentions the weather vocabulary: the gather
+        // must be exactly the sealed ranking, score bits included.
+        let merged = retriever.retrieve("weather forecast", 10);
+        let sealed = Retriever::retrieve(base.as_ref(), "weather forecast", 10);
+        assert_eq!(merged.len(), sealed.len());
+        for (a, b) in merged.iter().zip(&sealed) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn retrieve_terms_translates_base_vocabulary() {
+        let base = Arc::new(build(&base_corpus()));
+        let delta = Arc::new(DeltaIndex::build(&base, delta_corpus(12, 4)));
+        let terms = base.analyze_query("apple orchard");
+        assert!(!terms.is_empty());
+        let hits = delta.retrieve_terms_global(base.vocab(), &terms, 10);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.doc.0 >= 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "densely")]
+    fn gapped_delta_ids_are_rejected() {
+        let base = build(&base_corpus());
+        let _ = DeltaIndex::build(&base, vec![doc(14, "tech")]);
+    }
+}

@@ -29,7 +29,11 @@
 //!   index (per-document `TermId` streams + cached IDF) that emits
 //!   snippet surrogates with zero string work on the request path,
 //! * [`vector`] — sparse TF-IDF vectors and the cosine similarity that
-//!   powers the paper's distance `δ(d₁,d₂) = 1 − cosine(d₁,d₂)` (Eq. 2).
+//!   powers the paper's distance `δ(d₁,d₂) = 1 − cosine(d₁,d₂)` (Eq. 2),
+//! * [`delta`] — [`DeltaIndex`] + [`DeltaRetriever`]: near-real-time
+//!   ingest searched alongside the sealed collection, and
+//!   [`merge_sealed`], the background fold that produces a new sealed
+//!   index bit-identical to a from-scratch build.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@ pub mod artifact;
 pub mod bm25;
 pub mod builder;
 pub mod cache;
+pub mod delta;
 pub mod document;
 pub mod dph;
 pub mod executor;
@@ -67,6 +72,7 @@ pub mod vector;
 pub use artifact::ShardArtifact;
 pub use builder::IndexBuilder;
 pub use cache::CachingEngine;
+pub use delta::{merge_sealed, DeltaIndex, DeltaRetriever};
 pub use document::{DocId, Document, DocumentStore};
 pub use dph::Dph;
 pub use executor::{ScoringExecutor, TaskPanic};

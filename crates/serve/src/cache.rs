@@ -16,8 +16,12 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Cache key: the full identity of a served SERP.
-pub type CacheKey = (String, usize, AlgorithmKind);
+/// Cache key: the full identity of a served SERP — including the
+/// [`GenerationId`](crate::GenerationId) it was computed against, so a
+/// hot swap can never serve a previous generation's page. Stale-
+/// generation entries simply stop matching (a miss) and age out of the
+/// LRU under new traffic: no global flush, no stall.
+pub type CacheKey = (u64, String, usize, AlgorithmKind);
 
 /// A borrowed view of a [`CacheKey`], so lookups can probe the map with
 /// request-owned parts (`&str` query) instead of allocating an owned
@@ -27,31 +31,39 @@ pub type CacheKey = (String, usize, AlgorithmKind);
 /// visits, in the same order — that is what makes
 /// `HashMap<CacheKey, _>::get::<dyn KeyView>` sound.
 trait KeyView {
+    fn generation(&self) -> u64;
     fn query(&self) -> &str;
     fn page_size(&self) -> usize;
     fn algorithm(&self) -> AlgorithmKind;
 }
 
 impl KeyView for CacheKey {
+    fn generation(&self) -> u64 {
+        self.0
+    }
     fn query(&self) -> &str {
-        &self.0
+        &self.1
     }
     fn page_size(&self) -> usize {
-        self.1
+        self.2
     }
     fn algorithm(&self) -> AlgorithmKind {
-        self.2
+        self.3
     }
 }
 
 /// The borrowed probe: one request's key parts by reference.
 struct KeyParts<'a> {
+    generation: u64,
     query: &'a str,
     k: usize,
     algorithm: AlgorithmKind,
 }
 
 impl KeyView for KeyParts<'_> {
+    fn generation(&self) -> u64 {
+        self.generation
+    }
     fn query(&self) -> &str {
         self.query
     }
@@ -66,6 +78,7 @@ impl KeyView for KeyParts<'_> {
 impl Hash for dyn KeyView + '_ {
     fn hash<H: Hasher>(&self, state: &mut H) {
         // Mirrors the derived tuple Hash: String delegates to str.
+        self.generation().hash(state);
         self.query().hash(state);
         self.page_size().hash(state);
         self.algorithm().hash(state);
@@ -74,7 +87,8 @@ impl Hash for dyn KeyView + '_ {
 
 impl PartialEq for dyn KeyView + '_ {
     fn eq(&self, other: &Self) -> bool {
-        self.query() == other.query()
+        self.generation() == other.generation()
+            && self.query() == other.query()
             && self.page_size() == other.page_size()
             && self.algorithm() == other.algorithm()
     }
@@ -122,7 +136,7 @@ impl CacheStats {
     }
 }
 
-/// Sharded LRU cache of `(query, k, algorithm) → SERP`.
+/// Sharded LRU cache of `(generation, query, k, algorithm) → SERP`.
 #[derive(Debug)]
 pub struct ShardedResultCache {
     shards: Vec<Mutex<LruCache<CacheKey, CachedSerp>>>,
@@ -158,8 +172,16 @@ impl ShardedResultCache {
 
     /// Look up a SERP by its identity parts, counting the outcome. The
     /// probe borrows the query — no allocation on either hit or miss.
-    pub fn get(&self, query: &str, k: usize, algorithm: AlgorithmKind) -> Option<CachedSerp> {
+    /// Entries written under a different generation never match.
+    pub fn get(
+        &self,
+        generation: u64,
+        query: &str,
+        k: usize,
+        algorithm: AlgorithmKind,
+    ) -> Option<CachedSerp> {
         let probe = KeyParts {
+            generation,
             query,
             k,
             algorithm,
@@ -234,16 +256,18 @@ mod tests {
     }
 
     fn key(q: &str) -> CacheKey {
-        (q.to_string(), 10, AlgorithmKind::OptSelect)
+        (1, q.to_string(), 10, AlgorithmKind::OptSelect)
     }
 
     #[test]
     fn miss_then_hit() {
         let cache = ShardedResultCache::new(4, 64);
-        assert!(cache.get("apple", 10, AlgorithmKind::OptSelect).is_none());
+        assert!(cache
+            .get(1, "apple", 10, AlgorithmKind::OptSelect)
+            .is_none());
         cache.insert(key("apple"), serp(3));
         let hit = cache
-            .get("apple", 10, AlgorithmKind::OptSelect)
+            .get(1, "apple", 10, AlgorithmKind::OptSelect)
             .expect("hit");
         assert_eq!(hit.results.len(), 3);
         let stats = cache.stats();
@@ -255,9 +279,20 @@ mod tests {
     fn algorithm_is_part_of_the_key() {
         let cache = ShardedResultCache::new(2, 16);
         cache.insert(key("q"), serp(2));
-        assert!(cache.get("q", 10, AlgorithmKind::Mmr).is_none());
-        assert!(cache.get("q", 5, AlgorithmKind::OptSelect).is_none());
-        assert!(cache.get("q", 10, AlgorithmKind::OptSelect).is_some());
+        assert!(cache.get(1, "q", 10, AlgorithmKind::Mmr).is_none());
+        assert!(cache.get(1, "q", 5, AlgorithmKind::OptSelect).is_none());
+        assert!(cache.get(1, "q", 10, AlgorithmKind::OptSelect).is_some());
+    }
+
+    #[test]
+    fn generation_is_part_of_the_key() {
+        // The hot-swap invariant: a page cached under generation 1 is
+        // invisible to generation-2 probes (and vice versa) — a swap can
+        // never serve the previous generation's page.
+        let cache = ShardedResultCache::new(2, 16);
+        cache.insert(key("q"), serp(2));
+        assert!(cache.get(2, "q", 10, AlgorithmKind::OptSelect).is_none());
+        assert!(cache.get(1, "q", 10, AlgorithmKind::OptSelect).is_some());
     }
 
     #[test]
@@ -266,16 +301,17 @@ mod tests {
         // bit, or shard selection and map lookups silently diverge.
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
-        for (q, k, a) in [
-            ("apple", 10, AlgorithmKind::OptSelect),
-            ("", 0, AlgorithmKind::Baseline),
-            ("longer query with spaces", 77, AlgorithmKind::Mmr),
+        for (g, q, k, a) in [
+            (1, "apple", 10, AlgorithmKind::OptSelect),
+            (0, "", 0, AlgorithmKind::Baseline),
+            (u64::MAX, "longer query with spaces", 77, AlgorithmKind::Mmr),
         ] {
-            let owned: CacheKey = (q.to_string(), k, a);
+            let owned: CacheKey = (g, q.to_string(), k, a);
             let mut h1 = DefaultHasher::new();
             owned.hash(&mut h1);
             let mut h2 = DefaultHasher::new();
             let parts = KeyParts {
+                generation: g,
                 query: q,
                 k,
                 algorithm: a,
@@ -314,7 +350,7 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..200 {
                         let k = key(&format!("q{}", (t * 7 + i) % 32));
-                        if cache.get(&k.0, k.1, k.2).is_none() {
+                        if cache.get(k.0, &k.1, k.2, k.3).is_none() {
                             cache.insert(k, serp(2));
                         }
                     }
@@ -330,7 +366,7 @@ mod tests {
     fn clear_resets() {
         let cache = ShardedResultCache::new(2, 8);
         cache.insert(key("a"), serp(1));
-        cache.get("a", 10, AlgorithmKind::OptSelect);
+        cache.get(1, "a", 10, AlgorithmKind::OptSelect);
         cache.clear();
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));

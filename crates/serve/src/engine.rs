@@ -1,23 +1,27 @@
-//! The serving engine: a thin driver over the stage pipeline, sharing
-//! immutable deployment state across worker threads.
+//! The serving engine: a thin driver over the stage pipeline, reading
+//! all serving state through an epoch-published [`Generation`].
 
 use crate::budget::Budget;
 use crate::cache::{CachedSerp, ShardedResultCache};
+use crate::generation::{
+    BackgroundMerger, Generation, GenerationArtifacts, GenerationHandle, GenerationId, PublishError,
+};
 use crate::metrics::{Degradation, MetricsSnapshot, ServeMetrics};
 use crate::request::{QueryRequest, RankedResult, SearchResponse, StageTimings};
+use crate::slo::SloConfig;
 use crate::stages::{default_stage_chain, PipelineContext, Stage, StageOutcome};
 use crate::surrogates::SurrogateCache;
 use serpdiv_core::{
     AlgorithmKind, CompiledSpecStore, Diversifier, PipelineParams, SpecializationStore,
-    UtilityScorer,
 };
 use serpdiv_index::{
-    ForwardIndex, InvertedIndex, Retriever, ScoredDoc, ScoringExecutor, SearchEngine as DphEngine,
-    ShardedIndex, SnippetGenerator, SparseVector,
+    merge_sealed, DeltaIndex, DeltaRetriever, Document, ForwardIndex, InvertedIndex, Retriever,
+    ScoredDoc, ScoringExecutor, SearchEngine as DphEngine, ShardedIndex, SnippetGenerator,
+    SparseVector,
 };
 use serpdiv_mining::SpecializationModel;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Deployment-time configuration of a [`SearchEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -32,8 +36,8 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// Total result-cache entries across shards; 0 disables the cache.
     pub cache_capacity: usize,
-    /// Total candidate-surrogate cache entries (keyed `(doc, query
-    /// terms)`), sharded like the result cache; 0 disables it.
+    /// Total candidate-surrogate cache entries (keyed `(generation, doc,
+    /// query terms)`), sharded like the result cache; 0 disables it.
     pub surrogate_cache_capacity: usize,
     /// Document partitions of the retrieval layer: 1 serves from the
     /// plain index, ≥ 2 deploys a [`ShardedIndex`] that scores shards in
@@ -66,6 +70,10 @@ pub struct EngineConfig {
     /// bit-identical either way, this only trades deploy-time compilation
     /// and memory for request latency.
     pub forward_index: bool,
+    /// Hold the engine to a served-latency SLO: burn-rate alerting over
+    /// the request stream, surfaced as
+    /// [`MetricsSnapshot::slo_burn_alerts`]. `None` disables monitoring.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +88,7 @@ impl Default for EngineConfig {
             executor_threads: 0,
             deadline_us: 0,
             forward_index: true,
+            slo: None,
         }
     }
 }
@@ -102,41 +111,27 @@ const ALGORITHMS: [AlgorithmKind; 5] = [
 
 /// A deployed, thread-safe diversified-search engine.
 ///
-/// Shares one immutable [`InvertedIndex`], [`Retriever`],
-/// [`SpecializationModel`] and [`SpecializationStore`] across every worker
-/// thread via `Arc` — no per-request cloning of index data. All
-/// per-request state lives in a [`PipelineContext`] on the request's own
-/// stack, so `&SearchEngine` is `Sync` and one instance serves arbitrary
-/// concurrency.
+/// All read-only serving state — index, retrieval layer, specialization
+/// model and stores, forward index, presentation table — lives in an
+/// immutable [`Generation`] published through a [`GenerationHandle`]:
+/// each request pins the current generation once and runs its whole
+/// pipeline against that pin, so a concurrent
+/// [`publish`](SearchEngine::publish) (hot swap) can never tear a
+/// request across two epochs. All per-request state lives in a
+/// [`PipelineContext`] on the request's own stack, so `&SearchEngine` is
+/// `Sync` and one instance serves arbitrary concurrency.
 ///
 /// The uncached path is a chain of [`Stage`] units (Detect → Retrieve →
 /// Surrogate → Utility → Select by default); [`SearchEngine::search`] is
-/// only the cache probe plus the stage-driver loop.
+/// only the generation pin, the cache probe, and the stage-driver loop.
 pub struct SearchEngine {
-    index: Arc<InvertedIndex>,
-    retriever: Arc<dyn Retriever>,
-    model: Arc<SpecializationModel>,
-    store: Arc<SpecializationStore>,
-    compiled: Arc<CompiledSpecStore>,
-    /// The compiled forward index the surrogate stage scans (`None` ⇒
-    /// text-path fallback, see [`EngineConfig::forward_index`]).
-    forward: Option<Arc<ForwardIndex>>,
-    /// Interned `(url, title)` per document: materializing a page clones
-    /// `Arc`s instead of copying strings. Built lazily on first use (or
-    /// injected via [`SearchEngine::with_presentation`] so several
-    /// engines over one corpus share a single table).
-    presentation: std::sync::OnceLock<PresentationTable>,
+    /// The epoch-swap cell: requests pin, deploys publish.
+    generations: GenerationHandle,
     stages: Vec<Box<dyn Stage>>,
     /// Pre-built diversifier trait objects, aligned with [`ALGORITHMS`].
     diversifiers: Vec<Box<dyn Diversifier + Send + Sync>>,
     cache: Option<ShardedResultCache>,
     surrogates: Option<SurrogateCache>,
-    /// One precompiled [`UtilityScorer`] per model entry, keyed by the
-    /// entry's query text — the per-request scorer gather-and-sort hoisted
-    /// to deploy time (an entry's active-spec set is immutable). The
-    /// utility stage scores through these; unknown entries (custom stage
-    /// chains) fall back to building a scorer on the fly.
-    scorers: std::collections::HashMap<String, UtilityScorer>,
     metrics: ServeMetrics,
     config: EngineConfig,
 }
@@ -145,7 +140,7 @@ impl SearchEngine {
     /// Deploy the engine: builds the §4.1 [`SpecializationStore`] eagerly
     /// (one retrieval + snippet pass per distinct specialization in
     /// `model`), compiles it into the inverted utility index, and starts
-    /// with empty caches.
+    /// with empty caches at generation 1.
     pub fn deploy(
         index: Arc<InvertedIndex>,
         model: Arc<SpecializationModel>,
@@ -197,16 +192,7 @@ impl SearchEngine {
         if config.index_shards <= 1 {
             config.executor_threads = 0;
         }
-        let retriever: Arc<dyn Retriever> = if config.index_shards > 1 {
-            let mut sharded = ShardedIndex::build(index.clone(), config.index_shards);
-            if config.executor_threads > 0 {
-                sharded =
-                    sharded.with_executor(Arc::new(ScoringExecutor::new(config.executor_threads)));
-            }
-            Arc::new(sharded)
-        } else {
-            index.clone()
-        };
+        let retriever = Self::build_retriever(&index, &config);
         Self::with_retriever(index, retriever, model, store, compiled, config)
     }
 
@@ -236,11 +222,10 @@ impl SearchEngine {
         Self::with_retriever_and_forward(index, retriever, model, store, compiled, forward, config)
     }
 
-    /// Deploy with every offline artifact supplied explicitly — the
-    /// constructor every other one funnels into. Lets callers share one
-    /// (expensive-to-build) [`ShardedIndex`] *and* one compiled
-    /// [`ForwardIndex`] across several engines. `forward: None` serves
-    /// surrogates through the per-request text path regardless of
+    /// Deploy with every offline artifact supplied explicitly. Lets
+    /// callers share one (expensive-to-build) [`ShardedIndex`] *and* one
+    /// compiled [`ForwardIndex`] across several engines. `forward: None`
+    /// serves surrogates through the per-request text path regardless of
     /// [`EngineConfig::forward_index`].
     pub fn with_retriever_and_forward(
         index: Arc<InvertedIndex>,
@@ -251,6 +236,16 @@ impl SearchEngine {
         forward: Option<Arc<ForwardIndex>>,
         config: EngineConfig,
     ) -> Self {
+        let generation = Arc::new(Generation::new(
+            1, index, retriever, model, store, compiled, forward,
+        ));
+        Self::from_generation(generation, config)
+    }
+
+    /// Deploy around an already-bundled serving [`Generation`] — the
+    /// constructor every other one funnels into, and the entry point for
+    /// standing an engine up on a generation bundled elsewhere.
+    pub fn from_generation(generation: Arc<Generation>, config: EngineConfig) -> Self {
         let cache = if config.cache_capacity > 0 {
             Some(ShardedResultCache::new(
                 config.cache_shards.max(1),
@@ -267,23 +262,8 @@ impl SearchEngine {
         } else {
             None
         };
-        let scorers = model
-            .iter()
-            .map(|entry| {
-                (
-                    entry.query.clone(),
-                    compiled.scorer(entry.specializations.iter().map(|(s, _)| s.as_str())),
-                )
-            })
-            .collect();
         SearchEngine {
-            index,
-            retriever,
-            model,
-            store,
-            compiled,
-            forward,
-            presentation: std::sync::OnceLock::new(),
+            generations: GenerationHandle::new(generation),
             stages: default_stage_chain(),
             diversifiers: ALGORITHMS
                 .iter()
@@ -291,9 +271,25 @@ impl SearchEngine {
                 .collect(),
             cache,
             surrogates,
-            scorers,
-            metrics: ServeMetrics::default(),
+            metrics: ServeMetrics::with_slo(config.slo),
             config,
+        }
+    }
+
+    /// The retrieval layer [`EngineConfig`] describes, over `index`:
+    /// the plain index at 1 shard, a (possibly executor-backed)
+    /// [`ShardedIndex`] otherwise. Also used to re-derive the layer when
+    /// a publish replaces the sealed index.
+    fn build_retriever(index: &Arc<InvertedIndex>, config: &EngineConfig) -> Arc<dyn Retriever> {
+        if config.index_shards > 1 {
+            let mut sharded = ShardedIndex::build(index.clone(), config.index_shards);
+            if config.executor_threads > 0 {
+                sharded =
+                    sharded.with_executor(Arc::new(ScoringExecutor::new(config.executor_threads)));
+            }
+            Arc::new(sharded)
+        } else {
+            index.clone()
         }
     }
 
@@ -317,29 +313,29 @@ impl SearchEngine {
             .collect()
     }
 
-    /// Inject a shared presentation table (builder-style, before the
-    /// engine is shared), so several engines deployed over one corpus
-    /// intern the urls/titles once instead of once each.
+    /// Inject a shared presentation table into the current generation
+    /// (builder-style, before the engine is shared), so several engines
+    /// deployed over one corpus intern the urls/titles once instead of
+    /// once each.
     ///
     /// # Panics
     /// Panics when the table size does not match the document store —
     /// a mismatched table would silently serve the wrong urls.
     pub fn with_presentation(self, table: PresentationTable) -> Self {
-        assert_eq!(
-            table.len(),
-            self.index.store().len(),
-            "presentation table must cover the document store"
-        );
-        let _ = self.presentation.set(table);
+        self.generations.pin().set_presentation(table);
         self
     }
 
-    /// Serve one request: probe the result cache, then drive the stage
-    /// chain (see [`crate::stages`] for the lifecycle).
+    /// Serve one request: pin the current generation, probe the result
+    /// cache under that generation's tag, then drive the stage chain
+    /// (see [`crate::stages`] for the lifecycle). The pin is taken
+    /// exactly once — a hot swap completing mid-request is invisible to
+    /// this request and takes effect from the next `search` call.
     pub fn search(&self, req: QueryRequest) -> SearchResponse {
         let start = Instant::now();
+        let generation = self.generations.pin();
         if let Some(cache) = &self.cache {
-            if let Some(serp) = cache.get(&req.query, req.k, req.algorithm) {
+            if let Some(serp) = cache.get(generation.id(), &req.query, req.k, req.algorithm) {
                 let timings = StageTimings {
                     total_us: elapsed_us(start),
                     ..StageTimings::default()
@@ -353,19 +349,20 @@ impl SearchEngine {
                     cache_hit: true,
                     degraded: false,
                     results: serp.results,
+                    generation: generation.id(),
                     timings,
                 };
             }
         }
 
-        let (response, degradation) = self.compute(&req, start);
+        let (response, degradation) = self.compute(&generation, &req, start);
         // Degraded pages are an accident of this request (an exhausted
         // budget, a lost shard), not the canonical SERP — never cache
         // them.
         if !response.degraded {
             if let Some(cache) = &self.cache {
                 cache.insert(
-                    req.cache_key(),
+                    req.cache_key(generation.id()),
                     CachedSerp {
                         results: response.results.clone(),
                         diversified: response.diversified,
@@ -380,16 +377,22 @@ impl SearchEngine {
     }
 
     /// The uncached path: drive the stage chain over one
-    /// [`PipelineContext`], timing each stage into its accounting bucket.
-    /// Returns the response together with its degradation class (the
-    /// response itself carries only the boolean).
-    fn compute(&self, req: &QueryRequest, start: Instant) -> (SearchResponse, Degradation) {
+    /// [`PipelineContext`] against the request's pinned `generation`,
+    /// timing each stage into its accounting bucket. Returns the
+    /// response together with its degradation class (the response itself
+    /// carries only the boolean).
+    fn compute(
+        &self,
+        generation: &Generation,
+        req: &QueryRequest,
+        start: Instant,
+    ) -> (SearchResponse, Degradation) {
         let budget = Budget::from_deadline_us(start, self.config.deadline_us);
         let mut ctx = PipelineContext::new(req, start, budget);
         for stage in &self.stages {
             let _ = serpdiv_chaos::failpoint(stage.kind().failpoint_site());
             let t = Instant::now();
-            let outcome = stage.run(self, &mut ctx);
+            let outcome = stage.run(self, generation, &mut ctx);
             ctx.timings.add(stage.kind(), elapsed_us(t));
             if outcome == StageOutcome::Finish {
                 break;
@@ -414,7 +417,7 @@ impl SearchEngine {
         } else {
             Degradation::Deadline
         };
-        let results = Arc::new(self.materialize(&ctx.page));
+        let results = Arc::new(self.materialize(generation, &ctx.page));
         ctx.timings.total_us = elapsed_us(start);
         let response = SearchResponse {
             query: req.query.clone(),
@@ -423,6 +426,7 @@ impl SearchEngine {
             cache_hit: false,
             degraded: ctx.degraded,
             results,
+            generation: generation.id(),
             timings: ctx.timings,
         };
         (response, degradation)
@@ -445,41 +449,69 @@ impl SearchEngine {
         self.metrics.record(false, false, degradation, timings);
     }
 
-    /// The candidate snippet surrogates for one request, through the
-    /// `(doc, query-terms)` cache when enabled. With a compiled
-    /// [`ForwardIndex`] deployed, a miss is a `TermId`-stream window scan
-    /// plus direct TF-IDF emission; without one it falls back to the text
-    /// oracle (bit-identical vectors, so the cache can be shared).
+    /// The candidate snippet surrogates for one request against its
+    /// pinned `generation`, through the `(generation, doc, query-terms)`
+    /// cache when enabled. With a compiled [`ForwardIndex`] deployed, a
+    /// miss is a `TermId`-stream window scan plus direct TF-IDF
+    /// emission; without one it falls back to the text oracle
+    /// (bit-identical vectors, so the cache can be shared).
     pub(crate) fn surrogate_vectors(
         &self,
+        generation: &Generation,
         query: &str,
         baseline: &[ScoredDoc],
     ) -> Vec<Arc<SparseVector>> {
         let snippets = SnippetGenerator::with_window(self.config.params.snippet_window);
-        let compute = |doc, qterms: &[serpdiv_text::TermId]| match &self.forward {
+        let index = generation.index();
+        let sealed = index.stats().num_docs as usize;
+        let compute = |doc, qterms: &[serpdiv_text::TermId]| match generation.forward() {
             Some(forward) => serpdiv_core::candidate_surrogate(forward, doc, qterms, &snippets),
-            None => serpdiv_core::candidate_surrogate_naive(&self.index, doc, qterms, &snippets),
+            None => serpdiv_core::candidate_surrogate_naive(index, doc, qterms, &snippets),
         };
-        let Some(cache) = &self.surrogates else {
-            let qterms = self.index.analyze_query(query);
-            return baseline
-                .iter()
-                .map(|h| Arc::new(compute(h.doc, &qterms)))
-                .collect();
-        };
-        let qterms = Arc::new(self.index.analyze_query(query));
+        // Fresh (delta) documents are scored against the delta's own
+        // small index, with the query re-analyzed under the delta
+        // vocabulary: a query term first seen in a delta document has no
+        // sealed TermId at all, so reusing the sealed qterms would
+        // silently drop it — and reusing the sealed cache key would
+        // alias two different vectors. Delta surrogates are therefore
+        // computed uncached; the delta is small and short-lived by
+        // design (the background merger seals it), so the cache would
+        // barely amortize anyway.
+        let mut delta_qterms: Option<Vec<serpdiv_text::TermId>> = None;
+        let qterms = Arc::new(index.analyze_query(query));
         baseline
             .iter()
-            .map(|h| cache.get_or_compute((h.doc, qterms.clone()), || compute(h.doc, &qterms)))
+            .map(|h| {
+                if h.doc.index() >= sealed {
+                    let delta = generation
+                        .delta()
+                        .expect("document beyond the sealed collection without a delta");
+                    let local = delta
+                        .local_id(h.doc)
+                        .expect("document beyond the generation's document space");
+                    let qt = delta_qterms.get_or_insert_with(|| delta.local().analyze_query(query));
+                    return Arc::new(serpdiv_core::candidate_surrogate_naive(
+                        delta.local(),
+                        local,
+                        qt,
+                        &snippets,
+                    ));
+                }
+                match &self.surrogates {
+                    Some(cache) => cache
+                        .get_or_compute((generation.id(), h.doc, qterms.clone()), || {
+                            compute(h.doc, &qterms)
+                        }),
+                    None => Arc::new(compute(h.doc, &qterms)),
+                }
+            })
             .collect()
     }
 
     /// Resolve scored docs into presentable results — refcount bumps into
-    /// the interned presentation table, no string copies.
-    fn materialize(&self, docs: &[ScoredDoc]) -> Vec<RankedResult> {
-        let table = self
-            .presentation
-            .get_or_init(|| Self::intern_presentation(&self.index));
+    /// the generation's interned presentation table, no string copies.
+    fn materialize(&self, generation: &Generation, docs: &[ScoredDoc]) -> Vec<RankedResult> {
+        let table = generation.presentation();
         docs.iter()
             .map(|h| {
                 let (url, title) = table
@@ -496,41 +528,176 @@ impl SearchEngine {
             .collect()
     }
 
-    /// The shared index.
-    pub fn index(&self) -> &Arc<InvertedIndex> {
-        &self.index
+    /// Pin the currently published serving [`Generation`]: one
+    /// shared-mode pointer read plus an `Arc` clone. Requests do this
+    /// once per call to [`search`](Self::search); external readers (the
+    /// background merger, tests, oracles) use it to observe a consistent
+    /// bundle.
+    pub fn generation(&self) -> Arc<Generation> {
+        self.generations.pin()
     }
 
-    /// The deployed retrieval layer (plain, sharded, or custom).
-    pub fn retriever(&self) -> &dyn Retriever {
-        &*self.retriever
+    /// The currently published generation id (lock-free).
+    pub fn current_generation_id(&self) -> GenerationId {
+        self.generations.current_id()
     }
 
-    /// The deployed specialization model.
-    pub fn model(&self) -> &Arc<SpecializationModel> {
-        &self.model
+    /// Validate-then-publish a candidate generation (see
+    /// [`GenerationHandle::publish`]); counts the outcome in the swap
+    /// metrics. On any error the old generation keeps serving untouched
+    /// — in-flight requests are never dropped, stalled, or torn.
+    pub fn publish(&self, candidate: Arc<Generation>) -> Result<GenerationId, PublishError> {
+        match self.generations.publish(candidate) {
+            Ok(id) => {
+                self.metrics.record_swap();
+                Ok(id)
+            }
+            Err(e) => {
+                self.metrics.record_swap_rejected();
+                Err(e)
+            }
+        }
     }
 
-    /// The precomputed §4.1 store.
-    pub fn store(&self) -> &Arc<SpecializationStore> {
-        &self.store
+    /// Decode, validate, and publish a shipped artifact bundle — what a
+    /// deploy pipeline calls on a running engine. Every buffer goes
+    /// through its checked deserializer (bad magic, version mismatch,
+    /// truncation and corruption all surface as
+    /// [`DecodeError`](serpdiv_index::DecodeError)), and any failure is
+    /// a counted rejection: the serving generation is untouched, the
+    /// pipeline gets the error, nothing crashes. The retrieval layer
+    /// over the decoded index is rebuilt from this engine's own config
+    /// (shard count, executor pool); the specialization model and raw
+    /// store carry over from the serving generation.
+    pub fn publish_artifacts(
+        &self,
+        artifacts: &GenerationArtifacts,
+    ) -> Result<GenerationId, PublishError> {
+        let current = self.generations.pin();
+        let decoded = (|| -> Result<_, PublishError> {
+            let analyzer = current.index().analyzer().clone();
+            let index = Arc::new(InvertedIndex::from_bytes(&artifacts.index, analyzer)?);
+            let forward = match &artifacts.forward {
+                Some(bytes) => Some(Arc::new(ForwardIndex::from_bytes(bytes)?)),
+                None => None,
+            };
+            let compiled = Arc::new(CompiledSpecStore::from_bytes(&artifacts.compiled)?);
+            Ok((index, forward, compiled))
+        })();
+        let (index, forward, compiled) = match decoded {
+            Ok(v) => v,
+            Err(e) => {
+                self.metrics.record_swap_rejected();
+                return Err(e);
+            }
+        };
+        let retriever = Self::build_retriever(&index, &self.config);
+        let candidate = Generation::new(
+            artifacts.id,
+            index,
+            retriever,
+            current.model().clone(),
+            current.store().clone(),
+            compiled,
+            forward,
+        );
+        self.publish(Arc::new(candidate))
     }
 
-    /// The compiled inverted utility index.
-    pub fn compiled(&self) -> &Arc<CompiledSpecStore> {
-        &self.compiled
+    /// Ingest fresh documents without rebuilding the sealed index:
+    /// publishes a successor generation whose [`DeltaIndex`] holds the
+    /// current delta's documents plus `docs`, retrieved through a
+    /// [`DeltaRetriever`] that gathers the sealed collection and the
+    /// delta side by side. Near-real-time semantics: the new documents
+    /// are searchable as soon as the publish lands; the background
+    /// merger (or an explicit [`merge_delta`](Self::merge_delta)) later
+    /// folds them into a sealed index bit-identical to a from-scratch
+    /// build.
+    ///
+    /// # Panics
+    /// Panics when `docs` do not continue the generation's document id
+    /// space densely (delta ids must follow sealed + delta ids).
+    pub fn ingest(&self, docs: Vec<Document>) -> Result<GenerationId, PublishError> {
+        let current = self.generations.pin();
+        let mut pending: Vec<Document> =
+            current.delta().map_or_else(Vec::new, |d| d.docs().to_vec());
+        pending.extend(docs);
+        let delta = Arc::new(DeltaIndex::build(current.index(), pending));
+        let retriever: Arc<dyn Retriever> = Arc::new(DeltaRetriever::new(
+            current.sealed_retriever().clone(),
+            current.index().clone(),
+            delta.clone(),
+        ));
+        self.publish(Arc::new(current.next().with_delta(delta, retriever)))
     }
 
-    /// The deploy-time precompiled [`UtilityScorer`] for a model entry's
-    /// query text (`None` for queries outside the model).
-    pub fn scorer_for(&self, query: &str) -> Option<&UtilityScorer> {
-        self.scorers.get(query)
+    /// Fold the current generation's delta into its sealed base
+    /// ([`merge_sealed`] — bit-identical to a from-scratch build over
+    /// the concatenated document stream) and publish the merged
+    /// successor: fresh retrieval layer per this engine's config, fresh
+    /// forward index when the generation served one, no delta.
+    pub fn merge_delta(&self) -> Result<GenerationId, PublishError> {
+        let current = self.generations.pin();
+        let Some(delta) = current.delta() else {
+            return Err(PublishError::Inconsistent("no delta to merge"));
+        };
+        let merged = Arc::new(merge_sealed(current.index(), delta));
+        let forward = current
+            .forward()
+            .is_some()
+            .then(|| Arc::new(ForwardIndex::build(&merged)));
+        let retriever = Self::build_retriever(&merged, &self.config);
+        self.publish(Arc::new(
+            current.next().with_sealed(merged, retriever, forward),
+        ))
     }
 
-    /// The compiled forward index (`None` ⇒ the engine serves surrogates
-    /// through the text path).
-    pub fn forward(&self) -> Option<&Arc<ForwardIndex>> {
-        self.forward.as_ref()
+    /// Publish an identical successor under the next id — every artifact
+    /// `Arc`-shared, so the swap is refcount-cheap. The soak suites and
+    /// `serve_bench --swap-every` use this to exercise the full swap
+    /// machinery under load without changing what is served.
+    pub fn republish(&self) -> Result<GenerationId, PublishError> {
+        self.publish(Arc::new(self.generations.pin().next()))
+    }
+
+    /// Start the background delta merger watching this engine: whenever
+    /// the published generation's delta holds at least `threshold`
+    /// documents, it is sealed via [`merge_delta`](Self::merge_delta).
+    /// Dropping the returned handle stops and joins the thread.
+    pub fn spawn_merger(self: &Arc<Self>, threshold: usize, poll: Duration) -> BackgroundMerger {
+        BackgroundMerger::spawn(self.clone(), threshold, poll)
+    }
+
+    /// The current generation's sealed inverted index.
+    pub fn index(&self) -> Arc<InvertedIndex> {
+        self.generations.pin().index().clone()
+    }
+
+    /// The current generation's retrieval layer (plain, sharded, delta,
+    /// or custom).
+    pub fn retriever(&self) -> Arc<dyn Retriever> {
+        self.generations.pin().retriever().clone()
+    }
+
+    /// The current generation's specialization model.
+    pub fn model(&self) -> Arc<SpecializationModel> {
+        self.generations.pin().model().clone()
+    }
+
+    /// The current generation's precomputed §4.1 store.
+    pub fn store(&self) -> Arc<SpecializationStore> {
+        self.generations.pin().store().clone()
+    }
+
+    /// The current generation's compiled inverted utility index.
+    pub fn compiled(&self) -> Arc<CompiledSpecStore> {
+        self.generations.pin().compiled().clone()
+    }
+
+    /// The current generation's compiled forward index (`None` ⇒ the
+    /// engine serves surrogates through the text path).
+    pub fn forward(&self) -> Option<Arc<ForwardIndex>> {
+        self.generations.pin().forward().cloned()
     }
 
     /// The pre-built [`Diversifier`] for `kind` (trait objects are
@@ -564,9 +731,19 @@ impl SearchEngine {
         self.config
     }
 
-    /// Cumulative request metrics.
+    /// Total requests served so far — one relaxed atomic load, for
+    /// pollers that must not pay the full [`metrics`](Self::metrics)
+    /// histogram snapshot per probe.
+    pub fn requests_served(&self) -> u64 {
+        self.metrics.requests_served()
+    }
+
+    /// Cumulative request metrics, stamped with the currently published
+    /// generation id.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.generation = self.generations.current_id();
+        snap
     }
 }
 
@@ -580,10 +757,10 @@ mod tests {
     use serpdiv_index::{Document, IndexBuilder};
 
     /// The two-interpretation "apple" world of the core framework tests.
-    fn deploy(config: EngineConfig) -> SearchEngine {
-        let mut b = IndexBuilder::new();
+    fn corpus() -> Vec<Document> {
+        let mut docs = Vec::new();
         for i in 0..5u32 {
-            b.add(Document::new(
+            docs.push(Document::new(
                 i,
                 format!("http://tech/{i}"),
                 "apple iphone",
@@ -591,7 +768,7 @@ mod tests {
             ));
         }
         for i in 5..10u32 {
-            b.add(Document::new(
+            docs.push(Document::new(
                 i,
                 format!("http://food/{i}"),
                 "apple fruit",
@@ -599,21 +776,35 @@ mod tests {
             ));
         }
         for i in 10..15u32 {
-            b.add(Document::new(
+            docs.push(Document::new(
                 i,
                 format!("http://misc/{i}"),
                 "",
                 "weather forecast rain cloud wind storm",
             ));
         }
-        let index = Arc::new(b.build());
-        let model = Arc::new(
+        docs
+    }
+
+    fn test_model() -> Arc<SpecializationModel> {
+        Arc::new(
             SpecializationModel::from_json(
                 r#"{"entries":{"apple":{"query":"apple","specializations":[["apple iphone",0.6],["apple fruit",0.4]]}}}"#,
             )
             .unwrap(),
-        );
-        SearchEngine::deploy(index, model, config)
+        )
+    }
+
+    fn deploy_docs(docs: Vec<Document>, config: EngineConfig) -> SearchEngine {
+        let mut b = IndexBuilder::new();
+        for doc in docs {
+            b.add(doc);
+        }
+        SearchEngine::deploy(Arc::new(b.build()), test_model(), config)
+    }
+
+    fn deploy(config: EngineConfig) -> SearchEngine {
+        deploy_docs(corpus(), config)
     }
 
     fn diversifying_config() -> EngineConfig {
@@ -635,6 +826,7 @@ mod tests {
         assert!(!out.cache_hit);
         assert!(!out.degraded);
         assert_eq!(out.algorithm, "OptSelect");
+        assert_eq!(out.generation, 1, "fresh deployments serve generation 1");
         assert_eq!(out.results.len(), 4);
         let tech = out.results.iter().filter(|r| r.doc.0 < 5).count();
         let food = out
@@ -657,11 +849,13 @@ mod tests {
         assert!(second.cache_hit);
         assert_eq!(first.results, second.results);
         assert_eq!(first.algorithm, second.algorithm);
+        assert_eq!(first.generation, second.generation);
         let stats = engine.cache().unwrap().stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         let m = engine.metrics();
         assert_eq!(m.requests, 2);
         assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.generation, 1);
     }
 
     #[test]
@@ -822,7 +1016,7 @@ mod tests {
     #[test]
     fn presentation_table_can_be_shared_across_engines() {
         let a = deploy(diversifying_config());
-        let table = SearchEngine::intern_presentation(a.index());
+        let table = SearchEngine::intern_presentation(&a.index());
         let b = deploy(diversifying_config()).with_presentation(table.clone());
         let ra = a.search(QueryRequest::new("apple", 3, AlgorithmKind::Baseline));
         let rb = b.search(QueryRequest::new("apple", 3, AlgorithmKind::Baseline));
@@ -1030,7 +1224,8 @@ mod tests {
             }
             fn run<'a>(
                 &self,
-                _engine: &'a SearchEngine,
+                _engine: &SearchEngine,
+                _generation: &'a Generation,
                 ctx: &mut PipelineContext<'a>,
             ) -> StageOutcome {
                 ctx.algorithm = "refused";
@@ -1046,5 +1241,124 @@ mod tests {
         let out = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
         assert_eq!(out.algorithm, "refused");
         assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn republish_swaps_generations_without_changing_pages() {
+        let engine = deploy(diversifying_config());
+        let before = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+        assert_eq!(before.generation, 1);
+        assert_eq!(engine.republish().unwrap(), 2);
+        assert_eq!(engine.current_generation_id(), 2);
+        let after = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+        assert_eq!(after.generation, 2);
+        // Same artifacts under a new id: bit-identical page, but the
+        // pre-swap cache entry is generation-tagged, so this was a
+        // recompute, not a stale hit.
+        assert!(!after.cache_hit);
+        assert_eq!(before.results, after.results);
+        let m = engine.metrics();
+        assert_eq!((m.swaps, m.swap_rejected, m.generation), (1, 0, 2));
+    }
+
+    #[test]
+    fn stale_publish_is_rejected_and_counted() {
+        let engine = deploy(diversifying_config());
+        let stale = Arc::new(Generation::new(
+            1, // does not advance the published id
+            engine.index(),
+            engine.retriever(),
+            engine.model(),
+            engine.store(),
+            engine.compiled(),
+            engine.forward(),
+        ));
+        match engine.publish(stale) {
+            Err(PublishError::Stale { candidate, current }) => {
+                assert_eq!((candidate, current), (1, 1));
+            }
+            other => panic!("expected Stale, got {other:?}"),
+        }
+        assert_eq!(engine.current_generation_id(), 1);
+        let m = engine.metrics();
+        assert_eq!((m.swaps, m.swap_rejected), (0, 1));
+    }
+
+    #[test]
+    fn ingested_documents_are_searchable_and_merge_seals_them() {
+        let engine = deploy(EngineConfig {
+            cache_capacity: 0,
+            ..diversifying_config()
+        });
+        // New weather documents continuing the id space at 15.
+        let fresh: Vec<Document> = (15..18u32)
+            .map(|i| {
+                Document::new(
+                    i,
+                    format!("http://fresh/{i}"),
+                    "storm warning",
+                    "weather storm warning wind forecast emergency",
+                )
+            })
+            .collect();
+        engine.ingest(fresh).unwrap();
+        assert_eq!(engine.current_generation_id(), 2);
+        let gen = engine.generation();
+        assert_eq!(gen.delta().unwrap().len(), 3);
+        let out = engine.search(QueryRequest::new("storm", 6, AlgorithmKind::Baseline));
+        assert!(
+            out.results.iter().any(|r| r.doc.0 >= 15),
+            "delta docs must be retrievable: {:?}",
+            out.results.iter().map(|r| r.doc).collect::<Vec<_>>()
+        );
+        assert!(
+            out.results
+                .iter()
+                .filter(|r| r.doc.0 >= 15)
+                .all(|r| r.url.starts_with("http://fresh/")),
+            "delta docs must materialize their own urls"
+        );
+        // Merge: the sealed successor carries no delta and is
+        // bit-identical to a from-scratch build over the full corpus, so
+        // the page matches a fresh deployment's exactly. (The delta-phase
+        // page above is allowed to differ: delta documents rank with
+        // delta-local statistics until the merge recomputes global ones.)
+        engine.merge_delta().unwrap();
+        assert_eq!(engine.current_generation_id(), 3);
+        assert!(engine.generation().delta().is_none());
+        let mut full = corpus();
+        full.extend((15..18u32).map(|i| {
+            Document::new(
+                i,
+                format!("http://fresh/{i}"),
+                "storm warning",
+                "weather storm warning wind forecast emergency",
+            )
+        }));
+        let oracle = deploy_docs(
+            full,
+            EngineConfig {
+                cache_capacity: 0,
+                ..diversifying_config()
+            },
+        );
+        assert_eq!(
+            engine.index().to_bytes(),
+            oracle.index().to_bytes(),
+            "merged index must be bit-identical to a from-scratch build"
+        );
+        let merged = engine.search(QueryRequest::new("storm", 6, AlgorithmKind::Baseline));
+        let expected = oracle.search(QueryRequest::new("storm", 6, AlgorithmKind::Baseline));
+        assert_eq!(merged.results, expected.results);
+    }
+
+    #[test]
+    fn merge_without_delta_is_refused() {
+        let engine = deploy(diversifying_config());
+        assert!(matches!(
+            engine.merge_delta(),
+            Err(PublishError::Inconsistent("no delta to merge"))
+        ));
+        assert_eq!(engine.current_generation_id(), 1);
     }
 }

@@ -1,0 +1,553 @@
+//! Generations: epoch-published serving state for zero-downtime updates.
+//!
+//! Every structure the request pipeline reads — inverted index, retrieval
+//! layer, forward index, specialization model, compiled spec store,
+//! presentation table — is immutable and `Arc`-shared. This module turns
+//! that strength into *live updates*: the whole read set is bundled into
+//! one immutable [`Generation`] tagged with a monotonically increasing
+//! [`GenerationId`], and running engines see updates only as the atomic
+//! publication of a new bundle through a [`GenerationHandle`].
+//!
+//! ## The torn-request problem, and the pin
+//!
+//! Swapping the index and the spec store *separately* under live traffic
+//! would let one request retrieve against the new index and score against
+//! the old spec store — a torn request, silently wrong. The handle makes
+//! this impossible by construction: a request calls
+//! [`GenerationHandle::pin`] **once**, gets an `Arc<Generation>`, and runs
+//! its whole detect→retrieve→surrogate→utility→select pipeline against
+//! that one bundle. A publish replaces the *pointer*, never the bundle;
+//! in-flight requests keep their pinned generation alive through the
+//! refcount and finish on exactly the state they started with.
+//!
+//! ## Epoch swap without an `ArcSwap` dependency
+//!
+//! The handle is a `parking_lot::RwLock<Arc<Generation>>` used only as a
+//! pointer cell: `pin` takes the lock in shared mode for the nanoseconds
+//! of one `Arc` clone, and publish takes it exclusively for the
+//! nanoseconds of one pointer store. Publishing therefore waits only for
+//! concurrent *pins* (pointer reads), never for in-flight *requests* —
+//! they hold the `Arc`, not the lock. No request is ever dropped, stalled,
+//! or torn by a swap.
+//!
+//! ## Validate-then-publish
+//!
+//! A candidate generation is checked **before** the pointer moves:
+//! internal consistency ([`Generation::validate`] — forward index and
+//! presentation table must cover the document space, a delta must extend
+//! this exact base) and id monotonicity (a stale or replayed id is
+//! refused). Serialized artifacts go through the existing checked decoders
+//! (`DecodeError`: bad magic, version mismatch, truncation, corruption) in
+//! [`SearchEngine::publish_artifacts`](crate::SearchEngine::publish_artifacts).
+//! Any failure leaves the old generation serving untouched and returns a
+//! [`PublishError`] (counted as `swap_rejected`) — never a crash, never a
+//! partial publish.
+//!
+//! Chaos hooks: publishing fires the `swap.validate` and `swap.publish`
+//! failpoints. A `Drop`/`Corrupt` fault at either site aborts the publish
+//! (modeling a poisoned artifact pipeline); `Delay`/`Stall` faults slow it
+//! down *outside* the pointer lock, so the soak suites can race slow
+//! publishes against live traffic.
+
+use crate::engine::PresentationTable;
+use parking_lot::RwLock;
+use serpdiv_core::{CompiledSpecStore, SpecializationStore, UtilityScorer};
+use serpdiv_index::{DecodeError, DeltaIndex, ForwardIndex, InvertedIndex, Retriever};
+use serpdiv_mining::SpecializationModel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Monotonically increasing tag of a published [`Generation`]. Engines
+/// start at generation 1; every successful publish increases it.
+pub type GenerationId = u64;
+
+/// One immutable bundle of everything a request reads: the serving
+/// state of one epoch.
+///
+/// A request pins exactly one `Generation` for its whole pipeline (see
+/// the [module docs](self)), so the bundle's parts can never be observed
+/// torn across a swap. All fields are `Arc`-shared: successive
+/// generations that change only one artifact share the rest, and
+/// republishing an identical bundle under a new id is refcount-cheap.
+pub struct Generation {
+    id: GenerationId,
+    index: Arc<InvertedIndex>,
+    /// The deployed retrieval layer over the sealed collection only
+    /// (plain index, sharded scatter-gather, fleet router).
+    sealed: Arc<dyn Retriever>,
+    /// What requests actually retrieve through: `sealed` itself, or a
+    /// [`DeltaRetriever`](serpdiv_index::DeltaRetriever) gathering the
+    /// sealed collection and the delta side by side.
+    retriever: Arc<dyn Retriever>,
+    model: Arc<SpecializationModel>,
+    store: Arc<SpecializationStore>,
+    compiled: Arc<CompiledSpecStore>,
+    forward: Option<Arc<ForwardIndex>>,
+    /// Freshly ingested documents not yet merged into the sealed index.
+    delta: Option<Arc<DeltaIndex>>,
+    /// Interned `(url, title)` per document (sealed then delta), built
+    /// lazily on first materialization or injected to share across
+    /// engines.
+    presentation: OnceLock<PresentationTable>,
+    /// Deploy-time precompiled utility scorers, one per model entry,
+    /// `Arc`-shared so republished generations reuse the table.
+    scorers: Arc<HashMap<String, UtilityScorer>>,
+}
+
+impl Generation {
+    /// Bundle a generation from its artifacts, precompiling the
+    /// per-entry utility scorers (shared by every later generation that
+    /// keeps the same model, see [`Generation::next`]).
+    pub fn new(
+        id: GenerationId,
+        index: Arc<InvertedIndex>,
+        retriever: Arc<dyn Retriever>,
+        model: Arc<SpecializationModel>,
+        store: Arc<SpecializationStore>,
+        compiled: Arc<CompiledSpecStore>,
+        forward: Option<Arc<ForwardIndex>>,
+    ) -> Self {
+        let scorers = Arc::new(
+            model
+                .iter()
+                .map(|entry| {
+                    (
+                        entry.query.clone(),
+                        compiled.scorer(entry.specializations.iter().map(|(s, _)| s.as_str())),
+                    )
+                })
+                .collect::<HashMap<_, _>>(),
+        );
+        Generation {
+            id,
+            index,
+            sealed: retriever.clone(),
+            retriever,
+            model,
+            store,
+            compiled,
+            forward,
+            delta: None,
+            presentation: OnceLock::new(),
+            scorers,
+        }
+    }
+
+    /// A successor bundle: identical artifacts (every `Arc` shared,
+    /// scorers included) under the next id. The building block of
+    /// [`republish`](crate::SearchEngine::republish) and of successors
+    /// that then swap in one changed artifact.
+    pub fn next(&self) -> Generation {
+        Generation {
+            id: self.id + 1,
+            index: self.index.clone(),
+            sealed: self.sealed.clone(),
+            retriever: self.retriever.clone(),
+            model: self.model.clone(),
+            store: self.store.clone(),
+            compiled: self.compiled.clone(),
+            forward: self.forward.clone(),
+            delta: self.delta.clone(),
+            presentation: clone_once(&self.presentation),
+            scorers: self.scorers.clone(),
+        }
+    }
+
+    /// Replace the sealed collection (builder-style, before
+    /// publication): a merged or rebuilt index with its retrieval layer
+    /// and forward index, clearing any delta. The inherited presentation
+    /// table is deliberately *kept* — folding a delta into its base
+    /// preserves the document space and its order (sealed docs then
+    /// delta docs), so the table still covers; [`validate`](Self::validate)
+    /// re-checks coverage before publication either way.
+    pub fn with_sealed(
+        mut self,
+        index: Arc<InvertedIndex>,
+        retriever: Arc<dyn Retriever>,
+        forward: Option<Arc<ForwardIndex>>,
+    ) -> Self {
+        self.index = index;
+        self.sealed = retriever.clone();
+        self.retriever = retriever;
+        self.forward = forward;
+        self.delta = None;
+        self
+    }
+
+    /// Attach a delta and the retriever that gathers it alongside the
+    /// sealed collection (builder-style, before publication).
+    pub fn with_delta(mut self, delta: Arc<DeltaIndex>, retriever: Arc<dyn Retriever>) -> Self {
+        self.delta = Some(delta);
+        self.retriever = retriever;
+        // The presentation table covers the document space, which the
+        // delta just grew: drop any inherited table so it is rebuilt (or
+        // re-injected) at the new size.
+        self.presentation = OnceLock::new();
+        self
+    }
+
+    /// This generation's id.
+    pub fn id(&self) -> GenerationId {
+        self.id
+    }
+
+    /// The sealed inverted index.
+    pub fn index(&self) -> &Arc<InvertedIndex> {
+        &self.index
+    }
+
+    /// What requests retrieve through: the sealed layer, or sealed +
+    /// delta.
+    pub fn retriever(&self) -> &Arc<dyn Retriever> {
+        &self.retriever
+    }
+
+    /// The sealed retrieval layer, without any delta (what a successor
+    /// generation's delta wraps).
+    pub fn sealed_retriever(&self) -> &Arc<dyn Retriever> {
+        &self.sealed
+    }
+
+    /// The specialization model.
+    pub fn model(&self) -> &Arc<SpecializationModel> {
+        &self.model
+    }
+
+    /// The raw §4.1 store.
+    pub fn store(&self) -> &Arc<SpecializationStore> {
+        &self.store
+    }
+
+    /// The compiled inverted utility index.
+    pub fn compiled(&self) -> &Arc<CompiledSpecStore> {
+        &self.compiled
+    }
+
+    /// The compiled forward index (`None` ⇒ text-path surrogates).
+    pub fn forward(&self) -> Option<&Arc<ForwardIndex>> {
+        self.forward.as_ref()
+    }
+
+    /// The delta of freshly ingested, not-yet-merged documents.
+    pub fn delta(&self) -> Option<&Arc<DeltaIndex>> {
+        self.delta.as_ref()
+    }
+
+    /// The deploy-time precompiled [`UtilityScorer`] for a model entry's
+    /// query text (`None` for queries outside the model).
+    pub fn scorer_for(&self, query: &str) -> Option<&UtilityScorer> {
+        self.scorers.get(query)
+    }
+
+    /// Total documents this generation serves: sealed + delta.
+    pub fn num_docs(&self) -> usize {
+        self.index.stats().num_docs as usize + self.delta.as_ref().map_or(0, |d| d.len())
+    }
+
+    /// The interned `(url, title)` presentation table, covering the
+    /// sealed collection followed by the delta documents. Built lazily on
+    /// first use; inject a shared one with
+    /// [`set_presentation`](Self::set_presentation).
+    pub fn presentation(&self) -> &PresentationTable {
+        self.presentation.get_or_init(|| {
+            let mut table: Vec<(Arc<str>, Arc<str>)> = self
+                .index
+                .store()
+                .iter()
+                .map(|d| (Arc::from(d.url.as_str()), Arc::from(d.title.as_str())))
+                .collect();
+            if let Some(delta) = &self.delta {
+                table.extend(
+                    delta
+                        .docs()
+                        .iter()
+                        .map(|d| (Arc::from(d.url.as_str()), Arc::from(d.title.as_str()))),
+                );
+            }
+            table.into()
+        })
+    }
+
+    /// Inject a pre-interned presentation table (no-op if one is already
+    /// set — `OnceLock` semantics).
+    ///
+    /// # Panics
+    /// Panics when the table does not cover the generation's document
+    /// space — a mismatched table would silently serve the wrong urls.
+    pub fn set_presentation(&self, table: PresentationTable) {
+        assert_eq!(
+            table.len(),
+            self.num_docs(),
+            "presentation table must cover the document store"
+        );
+        let _ = self.presentation.set(table);
+    }
+
+    /// Internal-consistency check, run by
+    /// [`GenerationHandle::publish`] before the pointer moves: every
+    /// cross-artifact size relation a torn deploy could violate.
+    pub fn validate(&self) -> Result<(), PublishError> {
+        let sealed_docs = self.index.stats().num_docs;
+        if let Some(forward) = &self.forward {
+            if forward.num_docs() as u64 != sealed_docs {
+                return Err(PublishError::Inconsistent(
+                    "forward index does not cover the sealed document store",
+                ));
+            }
+        }
+        if let Some(delta) = &self.delta {
+            if u64::from(delta.base_docs()) != sealed_docs {
+                return Err(PublishError::Inconsistent(
+                    "delta was built against a different sealed base",
+                ));
+            }
+        }
+        if let Some(table) = self.presentation.get() {
+            if table.len() != self.num_docs() {
+                return Err(PublishError::Inconsistent(
+                    "presentation table does not cover the document store",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Generation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Generation")
+            .field("id", &self.id)
+            .field("sealed_docs", &self.index.stats().num_docs)
+            .field("delta_docs", &self.delta.as_ref().map_or(0, |d| d.len()))
+            .field("forward", &self.forward.is_some())
+            .finish()
+    }
+}
+
+/// Copy a `OnceLock`'s settled value into a fresh cell (successor
+/// generations share an already-interned presentation table instead of
+/// re-interning it).
+fn clone_once(cell: &OnceLock<PresentationTable>) -> OnceLock<PresentationTable> {
+    let fresh = OnceLock::new();
+    if let Some(v) = cell.get() {
+        let _ = fresh.set(v.clone());
+    }
+    fresh
+}
+
+/// Why a candidate generation was refused publication. In every case the
+/// previously published generation keeps serving, untouched.
+#[derive(Debug)]
+pub enum PublishError {
+    /// A serialized artifact failed its checked decode (bad magic,
+    /// version mismatch, truncation, corruption) — the artifact never
+    /// became a `Generation` at all.
+    Decode(DecodeError),
+    /// The candidate's id does not advance the published id: a replayed
+    /// or out-of-order deploy.
+    Stale {
+        /// The refused candidate's id.
+        candidate: GenerationId,
+        /// The id still serving.
+        current: GenerationId,
+    },
+    /// The candidate's artifacts disagree with each other (sizes,
+    /// coverage) — a torn deploy caught before it could serve.
+    Inconsistent(&'static str),
+    /// An injected chaos fault at a `swap.*` failpoint aborted the
+    /// publish (modeling a poisoned artifact pipeline).
+    Fault(&'static str),
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::Decode(e) => write!(f, "artifact decode failed: {e}"),
+            PublishError::Stale { candidate, current } => write!(
+                f,
+                "stale generation {candidate} refused: generation {current} is serving"
+            ),
+            PublishError::Inconsistent(what) => write!(f, "inconsistent generation: {what}"),
+            PublishError::Fault(site) => write!(f, "publish aborted by fault at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PublishError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for PublishError {
+    fn from(e: DecodeError) -> Self {
+        PublishError::Decode(e)
+    }
+}
+
+/// The atomic epoch-swap cell (see the [module docs](self) for the
+/// design): requests [`pin`](Self::pin) the current generation, deploys
+/// [`publish`](Self::publish) a validated successor.
+pub struct GenerationHandle {
+    current: RwLock<Arc<Generation>>,
+    /// Lock-free mirror of the published id, for paths that need the id
+    /// without pinning (degraded replies, metrics snapshots).
+    latest: AtomicU64,
+}
+
+impl GenerationHandle {
+    /// A handle serving `initial`.
+    pub fn new(initial: Arc<Generation>) -> Self {
+        let id = initial.id();
+        GenerationHandle {
+            current: RwLock::new(initial),
+            latest: AtomicU64::new(id),
+        }
+    }
+
+    /// Pin the current generation: one shared-mode pointer read plus one
+    /// `Arc` clone, nanoseconds. The caller's whole request runs against
+    /// the returned bundle, immune to concurrent publishes.
+    pub fn pin(&self) -> Arc<Generation> {
+        self.current.read().clone()
+    }
+
+    /// The currently published id (lock-free).
+    pub fn current_id(&self) -> GenerationId {
+        self.latest.load(Ordering::Acquire)
+    }
+
+    /// Validate-then-publish `candidate`. On success the next
+    /// [`pin`](Self::pin) returns the new generation; in-flight requests
+    /// finish on whatever they pinned. On any error the old generation
+    /// keeps serving untouched.
+    ///
+    /// Fires the `swap.validate` and `swap.publish` chaos failpoints; a
+    /// `Drop`/`Corrupt` fault at either aborts the publish with
+    /// [`PublishError::Fault`], and delays land *before* the exclusive
+    /// pointer store so they never block concurrent pins.
+    pub fn publish(&self, candidate: Arc<Generation>) -> Result<GenerationId, PublishError> {
+        if fault_aborts(serpdiv_chaos::failpoint("swap.validate")) {
+            return Err(PublishError::Fault("swap.validate"));
+        }
+        candidate.validate()?;
+        // Cheap early monotonicity check (racy, re-checked under the
+        // lock): refuse obviously stale deploys before paying the
+        // publish failpoint's potential delay.
+        let current = self.current_id();
+        if candidate.id() <= current {
+            return Err(PublishError::Stale {
+                candidate: candidate.id(),
+                current,
+            });
+        }
+        if fault_aborts(serpdiv_chaos::failpoint("swap.publish")) {
+            return Err(PublishError::Fault("swap.publish"));
+        }
+        let id = candidate.id();
+        let mut slot = self.current.write();
+        if id <= slot.id() {
+            // A concurrent publisher won the race with a newer id.
+            return Err(PublishError::Stale {
+                candidate: id,
+                current: slot.id(),
+            });
+        }
+        *slot = candidate;
+        self.latest.store(id, Ordering::Release);
+        Ok(id)
+    }
+}
+
+impl std::fmt::Debug for GenerationHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenerationHandle")
+            .field("current_id", &self.current_id())
+            .finish()
+    }
+}
+
+/// Interpret a `swap.*` failpoint's verdict: `Drop`/`Corrupt` abort the
+/// publish; `Stall` sleeps here (a slow artifact pipeline) and continues
+/// — `Delay` already slept inside the failpoint.
+fn fault_aborts(action: serpdiv_chaos::SiteAction) -> bool {
+    match action {
+        serpdiv_chaos::SiteAction::None => false,
+        serpdiv_chaos::SiteAction::Stall(d) => {
+            std::thread::sleep(d);
+            false
+        }
+        serpdiv_chaos::SiteAction::Drop | serpdiv_chaos::SiteAction::Corrupt => true,
+    }
+}
+
+/// Serialized artifacts of a candidate generation — what a deploy
+/// pipeline ships to a running engine. Decoded and validated by
+/// [`SearchEngine::publish_artifacts`](crate::SearchEngine::publish_artifacts);
+/// a corrupt or version-mismatched buffer is a counted rejection, never a
+/// crash.
+#[derive(Debug, Clone)]
+pub struct GenerationArtifacts {
+    /// The id the decoded generation will carry (must advance the
+    /// published id).
+    pub id: GenerationId,
+    /// `InvertedIndex::to_bytes` image.
+    pub index: Vec<u8>,
+    /// `ForwardIndex::to_bytes` image (`None` ⇒ text-path surrogates).
+    pub forward: Option<Vec<u8>>,
+    /// `CompiledSpecStore::to_bytes` image.
+    pub compiled: Vec<u8>,
+}
+
+/// The background delta merger: a thread that watches the published
+/// generation and, whenever its delta has grown past a threshold, seals
+/// it with [`merge_delta`](crate::SearchEngine::merge_delta) — producing
+/// a merged index bit-identical to a from-scratch build — and publishes
+/// the successor. Dropping the handle stops and joins the thread.
+pub struct BackgroundMerger {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BackgroundMerger {
+    pub(crate) fn spawn(
+        engine: Arc<crate::engine::SearchEngine>,
+        threshold: usize,
+        poll: std::time::Duration,
+    ) -> Self {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("serpdiv-merger".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    let delta_len = engine.generation().delta().map_or(0, |d| d.len());
+                    if delta_len >= threshold.max(1) {
+                        // A lost publish race or a chaos-injected
+                        // rejection is not fatal: the delta is still
+                        // served, and the next poll retries.
+                        let _ = engine.merge_delta();
+                    }
+                    std::thread::sleep(poll);
+                }
+            })
+            .expect("failed to spawn background merger");
+        BackgroundMerger {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for BackgroundMerger {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}

@@ -89,11 +89,30 @@
 //! See [`Degradation`] for the full degradation ladder and the
 //! `serpdiv-chaos` crate (plus `tests/chaos_soak.rs` at the workspace
 //! root) for the failpoints that prove these properties under injected
-//! faults.
+//! faults. [`AdmissionPolicy::deadline_aware`] extends the ladder with
+//! predictive shedding: a request class whose service-time EWMA already
+//! overruns the engine's budget is refused at enqueue.
+//!
+//! ## Generations & live updates
+//!
+//! All of the read-only state above is bundled into an epoch-published
+//! [`Generation`]: each request pins the current generation once and
+//! runs its whole pipeline against that pin, so publishing a new index /
+//! model / compiled store ([`SearchEngine::publish`],
+//! [`SearchEngine::publish_artifacts`]) swaps a pointer without
+//! dropping, stalling, or tearing a single in-flight request. Fresh
+//! documents stream in through [`SearchEngine::ingest`]
+//! ([`DeltaIndex`](serpdiv_index::DeltaIndex) searched alongside the
+//! sealed shards) and are sealed by [`SearchEngine::merge_delta`] or the
+//! [`BackgroundMerger`] into an index bit-identical to a from-scratch
+//! build. See the [`generation`] module docs for the full design and the
+//! validate-then-publish contract.
 //!
 //! Every stage is timed per request ([`StageTimings`]) and aggregated in
 //! the engine's [`metrics`](SearchEngine::metrics); the cache exports
-//! hit/miss counters and degradations are counted separately.
+//! hit/miss counters and degradations are counted separately. An
+//! optional [`SloMonitor`] ([`EngineConfig::slo`]) turns the request
+//! stream into burn-rate alerts ([`MetricsSnapshot::slo_burn_alerts`]).
 //! `serve_bench` (in `crates/bench`) replays a synthetic query-log session
 //! stream against this engine at configurable concurrency and shard
 //! counts and reports QPS and latency percentiles per algorithm.
@@ -101,17 +120,22 @@
 pub mod budget;
 pub mod cache;
 pub mod engine;
+pub mod generation;
 pub mod histogram;
 pub mod lru;
 pub mod metrics;
 pub mod pool;
 pub mod request;
+pub mod slo;
 pub mod stages;
 pub mod surrogates;
 
 pub use budget::Budget;
 pub use cache::{CacheKey, CacheStats, CachedSerp, ShardedResultCache};
 pub use engine::{EngineConfig, PresentationTable, SearchEngine};
+pub use generation::{
+    BackgroundMerger, Generation, GenerationArtifacts, GenerationHandle, GenerationId, PublishError,
+};
 pub use histogram::{LatencyHistogram, LatencyStats};
 pub use lru::LruCache;
 pub use metrics::{Degradation, MetricsSnapshot, ServeMetrics, StageLatencies};
@@ -119,6 +143,7 @@ pub use pool::{AdmissionPolicy, WorkerPool};
 pub use request::{
     QueryRequest, RankedResult, SearchResponse, StageTimings, LABEL_INTERNAL, LABEL_SHED,
 };
+pub use slo::{SloConfig, SloMonitor};
 pub use stages::{
     default_stage_chain, DetectStage, PipelineContext, RetrieveStage, SelectStage, Stage,
     StageKind, StageOutcome, SurrogateStage, UtilityStage,

@@ -4,6 +4,7 @@
 
 use crate::histogram::{LatencyHistogram, LatencyStats};
 use crate::request::StageTimings;
+use crate::slo::{SloConfig, SloMonitor};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Why a request was not served its full diversified page — the rungs of
@@ -57,6 +58,11 @@ pub struct ServeMetrics {
     internal_errors: AtomicU64,
     queue_waits: AtomicU64,
     queue_wait_us: AtomicU64,
+    /// Generations successfully published to this engine (hot swaps).
+    swaps: AtomicU64,
+    /// Candidate generations refused by validate-then-publish (decode
+    /// failure, stale id, inconsistent artifacts, injected fault).
+    swap_rejected: AtomicU64,
     detect_us: AtomicU64,
     retrieve_us: AtomicU64,
     surrogate_us: AtomicU64,
@@ -78,6 +84,9 @@ pub struct ServeMetrics {
     /// End-to-end service-time distribution over **all** requests (cache
     /// hits included: this is the latency a client actually observed).
     hist_total: LatencyHistogram,
+    /// Burn-rate SLO evaluator (`None` ⇒ no SLO configured); fed one
+    /// outcome per recorded request.
+    slo: Option<SloMonitor>,
 }
 
 /// Latency percentile summaries per pipeline stage, from the log-bucketed
@@ -127,6 +136,20 @@ pub struct MetricsSnapshot {
     /// Requests whose serving worker contained a panic
     /// ([`Degradation::Internal`]). Disjoint from every other class.
     pub internal_errors: u64,
+    /// The [`GenerationId`](crate::GenerationId) currently serving (0
+    /// when the snapshot was taken straight from a [`ServeMetrics`] with
+    /// no engine attached).
+    pub generation: u64,
+    /// Generations successfully hot-swapped into this engine.
+    pub swaps: u64,
+    /// Candidate generations refused by validate-then-publish while the
+    /// old generation kept serving.
+    pub swap_rejected: u64,
+    /// Cumulative SLO burn-rate alert firings (rising edges; see
+    /// [`SloMonitor`](crate::SloMonitor)). 0 when no SLO is configured.
+    pub slo_burn_alerts: u64,
+    /// Whether the SLO burn-rate alert is currently latched.
+    pub slo_alert_active: bool,
     /// Requests that passed through the worker-pool queue (the
     /// denominator of `mean_queue_wait_us`).
     pub queue_waits: u64,
@@ -145,6 +168,31 @@ pub struct MetricsSnapshot {
 }
 
 impl ServeMetrics {
+    /// Metrics that also hold the engine to an SLO: every recorded
+    /// request feeds the burn-rate monitor (`None` keeps the plain
+    /// counters only).
+    pub fn with_slo(slo: Option<SloConfig>) -> Self {
+        ServeMetrics {
+            slo: slo.map(SloMonitor::new),
+            ..ServeMetrics::default()
+        }
+    }
+
+    /// The burn-rate monitor, when an SLO is configured.
+    pub fn slo(&self) -> Option<&SloMonitor> {
+        self.slo.as_ref()
+    }
+
+    /// Count one successful generation publish (hot swap).
+    pub fn record_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one refused generation publish.
+    pub fn record_swap_rejected(&self) {
+        self.swap_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record one served request.
     pub fn record(
         &self,
@@ -209,6 +257,14 @@ impl ServeMetrics {
             record_nonzero(&self.hist_select, timings.select_us);
         }
         self.hist_total.record(timings.total_us);
+        if let Some(slo) = &self.slo {
+            // Bad = not served its full contract: any degradation (a
+            // shed, a contained panic, a deadline or shard-loss
+            // fallback), or a full page that simply took too long.
+            let bad = !matches!(degradation, Degradation::None)
+                || timings.total_us > slo.config().target_us;
+            slo.observe(bad);
+        }
     }
 
     /// Record one worker-pool queue wait (enqueue → worker pickup).
@@ -220,6 +276,13 @@ impl ServeMetrics {
         self.queue_waits.fetch_add(1, Ordering::Relaxed);
         saturating_add(&self.queue_wait_us, us);
         self.hist_queue_wait.record(us);
+    }
+
+    /// Total requests recorded so far — one relaxed atomic load, for
+    /// pollers (swap pacing, progress displays) that must not pay the
+    /// full histogram [`snapshot`](Self::snapshot) per probe.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
     }
 
     /// Copy out the counters.
@@ -237,6 +300,11 @@ impl ServeMetrics {
             degraded_shard_loss: self.degraded_shard_loss.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             internal_errors: self.internal_errors.load(Ordering::Relaxed),
+            generation: 0, // filled by the engine, which knows the handle
+            swaps: self.swaps.load(Ordering::Relaxed),
+            swap_rejected: self.swap_rejected.load(Ordering::Relaxed),
+            slo_burn_alerts: self.slo.as_ref().map_or(0, |s| s.alerts()),
+            slo_alert_active: self.slo.as_ref().is_some_and(|s| s.alert_active()),
             queue_waits,
             mean_queue_wait_us: if queue_waits == 0 {
                 0.0
@@ -461,6 +529,51 @@ mod tests {
         assert_eq!(s.latency.total.max_us, 12);
         assert_eq!(s.latency.queue_wait.count, 1);
         assert_eq!(s.latency.queue_wait.p50_us, 40);
+    }
+
+    #[test]
+    fn swap_counters_and_slo_surface_in_the_snapshot() {
+        let m = ServeMetrics::with_slo(Some(SloConfig {
+            target_us: 100,
+            objective: 0.9,
+            window: 4,
+            burn_threshold: 2.0,
+        }));
+        m.record_swap();
+        m.record_swap();
+        m.record_swap_rejected();
+        // One hot window: 4/4 degraded requests ⇒ burn 10 ≥ 2.
+        for _ in 0..4 {
+            m.record(false, false, Degradation::Deadline, StageTimings::default());
+        }
+        let s = m.snapshot();
+        assert_eq!(s.swaps, 2);
+        assert_eq!(s.swap_rejected, 1);
+        assert_eq!(s.slo_burn_alerts, 1);
+        assert!(s.slo_alert_active);
+        assert_eq!(s.generation, 0, "bare metrics know no generation");
+        // A clean window clears the latch; slow-but-served still counts
+        // as bad when above target.
+        for _ in 0..4 {
+            m.record(false, true, Degradation::None, StageTimings::default());
+        }
+        let s = m.snapshot();
+        assert_eq!(s.slo_burn_alerts, 1);
+        assert!(!s.slo_alert_active);
+        for _ in 0..4 {
+            m.record(
+                false,
+                true,
+                Degradation::None,
+                StageTimings {
+                    total_us: 10_000, // 100× the target: bad despite a full page
+                    ..Default::default()
+                },
+            );
+        }
+        let s = m.snapshot();
+        assert_eq!(s.slo_burn_alerts, 2);
+        assert!(s.slo_alert_active);
     }
 
     #[test]

@@ -19,8 +19,9 @@ use crate::engine::SearchEngine;
 use crate::metrics::Degradation;
 use crate::request::{QueryRequest, SearchResponse, StageTimings, LABEL_INTERNAL, LABEL_SHED};
 use parking_lot::Mutex;
+use serpdiv_core::AlgorithmKind;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -48,6 +49,63 @@ pub struct AdmissionPolicy {
     /// stale, and serving it would only delay fresher ones behind it.
     /// 0 ⇒ serve no matter how stale.
     pub max_queue_wait_us: u64,
+    /// Deadline-aware admission: shed at enqueue when the engine's
+    /// per-request budget ([`EngineConfig::deadline_us`]) is smaller
+    /// than the pool's EWMA of recent service times *for that request's
+    /// algorithm class*. Such a request is statistically doomed to
+    /// exhaust its budget mid-pipeline and be served the degraded
+    /// baseline anyway — admitting it burns a worker's whole budget
+    /// window producing the same answer a free shed reply gives
+    /// instantly. No effect when the engine runs without a deadline, or
+    /// until a class has at least one sample.
+    ///
+    /// [`EngineConfig::deadline_us`]: crate::engine::EngineConfig::deadline_us
+    pub deadline_aware: bool,
+}
+
+/// Per-class service-time EWMA (µs), one cell per [`AlgorithmKind`] —
+/// the prediction behind [`AdmissionPolicy::deadline_aware`]. A cell
+/// holding 0 means "no samples yet" (real samples clamp to ≥ 1 µs):
+/// unseeded classes are always admitted, so the first request of a class
+/// is the probe that seeds its estimate. Smoothing is `new = (3·old +
+/// sample) / 4` — quarter-weight on the newest sample tracks load shifts
+/// within a few requests without letting one outlier flip admission.
+#[derive(Debug, Default)]
+struct ServiceEwma {
+    classes: [AtomicU64; 5],
+}
+
+impl ServiceEwma {
+    fn idx(kind: AlgorithmKind) -> usize {
+        match kind {
+            AlgorithmKind::Baseline => 0,
+            AlgorithmKind::OptSelect => 1,
+            AlgorithmKind::IaSelect => 2,
+            AlgorithmKind::XQuad => 3,
+            AlgorithmKind::Mmr => 4,
+        }
+    }
+
+    fn observe(&self, kind: AlgorithmKind, us: u64) {
+        let cell = &self.classes[Self::idx(kind)];
+        let sample = us.max(1);
+        let mut old = cell.load(Ordering::Relaxed);
+        loop {
+            let new = if old == 0 {
+                sample
+            } else {
+                (3 * old + sample) / 4
+            };
+            match cell.compare_exchange_weak(old, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(v) => old = v,
+            }
+        }
+    }
+
+    fn predict(&self, kind: AlgorithmKind) -> u64 {
+        self.classes[Self::idx(kind)].load(Ordering::Relaxed)
+    }
 }
 
 /// Minimum service time (µs) after which a worker yields its slice at the
@@ -73,6 +131,8 @@ pub struct WorkerPool {
     /// Jobs currently queued (enqueued, not yet picked up) — the value
     /// `max_queue` bounds.
     depth: Arc<AtomicUsize>,
+    /// Per-class service-time estimates feeding deadline-aware admission.
+    ewma: Arc<ServiceEwma>,
 }
 
 impl WorkerPool {
@@ -92,11 +152,13 @@ impl WorkerPool {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let depth = Arc::new(AtomicUsize::new(0));
+        let ewma = Arc::new(ServiceEwma::default());
         let handles = (0..workers)
             .map(|i| {
                 let engine = engine.clone();
                 let rx = rx.clone();
                 let depth = depth.clone();
+                let ewma = ewma.clone();
                 std::thread::Builder::new()
                     .name(format!("serpdiv-serve-{i}"))
                     .spawn(move || loop {
@@ -106,7 +168,7 @@ impl WorkerPool {
                             Err(_) => break, // queue closed: shut down
                         };
                         depth.fetch_sub(1, Ordering::Relaxed);
-                        let served_us = Self::serve_job(&engine, policy, job);
+                        let served_us = Self::serve_job(&engine, policy, &ewma, job);
                         // Yield at the request boundary. When workers
                         // outnumber cores, a thread that has run long
                         // enough gets preempted *mid-request*, parking a
@@ -134,6 +196,7 @@ impl WorkerPool {
             engine,
             policy,
             depth,
+            ewma,
         }
     }
 
@@ -141,7 +204,12 @@ impl WorkerPool {
     /// panic containment, reply delivery. Returns the request's service
     /// time in microseconds (0 for shed replies) — the worker loop's
     /// yield gate.
-    fn serve_job(engine: &SearchEngine, policy: AdmissionPolicy, job: Job) -> u64 {
+    fn serve_job(
+        engine: &SearchEngine,
+        policy: AdmissionPolicy,
+        ewma: &ServiceEwma,
+        job: Job,
+    ) -> u64 {
         let Job {
             seq,
             req,
@@ -159,7 +227,15 @@ impl WorkerPool {
                 ..StageTimings::default()
             };
             engine.record_out_of_band(Degradation::Shed, timings);
-            let _ = reply.send((seq, degraded_reply(req.query, LABEL_SHED, timings)));
+            let _ = reply.send((
+                seq,
+                degraded_reply(
+                    req.query,
+                    LABEL_SHED,
+                    timings,
+                    engine.current_generation_id(),
+                ),
+            ));
             return 0;
         }
         // Contain panics (scoring bugs, injected chaos): the worker
@@ -167,6 +243,7 @@ impl WorkerPool {
         // poisoned request can never shrink the pool — or deadlock a
         // batch waiting on a reply that will never come.
         let query = req.query.clone();
+        let class = req.algorithm;
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let _ = serpdiv_chaos::failpoint("pool.serve");
             engine.search(req)
@@ -174,6 +251,10 @@ impl WorkerPool {
         let response = match result {
             Ok(mut response) => {
                 response.timings.queue_wait_us = queue_wait_us;
+                // Feed the class's service-time estimate — engine work
+                // only (queue wait excluded), shed/panic replies never
+                // pollute it.
+                ewma.observe(class, response.timings.total_us);
                 response
             }
             Err(_) => {
@@ -183,7 +264,12 @@ impl WorkerPool {
                     ..StageTimings::default()
                 };
                 engine.record_out_of_band(Degradation::Internal, timings);
-                degraded_reply(query, LABEL_INTERNAL, timings)
+                degraded_reply(
+                    query,
+                    LABEL_INTERNAL,
+                    timings,
+                    engine.current_generation_id(),
+                )
             }
         };
         // Service time excluding the queue wait: what the worker itself
@@ -235,15 +321,37 @@ impl WorkerPool {
         self.policy
     }
 
+    /// The pool's current service-time EWMA for `algorithm` in µs (0 ⇒
+    /// no samples yet) — what deadline-aware admission compares against
+    /// the engine's budget.
+    pub fn predicted_service_us(&self, algorithm: AlgorithmKind) -> u64 {
+        self.ewma.predict(algorithm)
+    }
+
     fn enqueue(&self, seq: usize, req: QueryRequest, reply: mpsc::Sender<(usize, SearchResponse)>) {
         let _ = serpdiv_chaos::failpoint("pool.enqueue");
-        if self.policy.max_queue > 0 && self.depth.load(Ordering::Relaxed) >= self.policy.max_queue
-        {
-            // Shed at admission: one atomic load decided this — no
-            // engine work, no syscalls, O(µs) end to end.
+        let over_depth = self.policy.max_queue > 0
+            && self.depth.load(Ordering::Relaxed) >= self.policy.max_queue;
+        // Deadline-aware: when this class's expected service time alone
+        // already overruns the whole per-request budget, the pipeline
+        // would burn a worker just to serve the degraded baseline — shed
+        // for free instead. Two atomic loads, no engine work.
+        let doomed = self.policy.deadline_aware && {
+            let deadline = self.engine.config().deadline_us;
+            deadline > 0 && self.ewma.predict(req.algorithm) > deadline
+        };
+        if over_depth || doomed {
             let timings = StageTimings::default();
             self.engine.record_out_of_band(Degradation::Shed, timings);
-            let _ = reply.send((seq, degraded_reply(req.query, LABEL_SHED, timings)));
+            let _ = reply.send((
+                seq,
+                degraded_reply(
+                    req.query,
+                    LABEL_SHED,
+                    timings,
+                    self.engine.current_generation_id(),
+                ),
+            ));
             return;
         }
         self.depth.fetch_add(1, Ordering::Relaxed);
@@ -261,8 +369,15 @@ impl WorkerPool {
 }
 
 /// An empty, degraded, never-cached response carrying `label` — the shape
-/// of every page the pool produces without running the engine.
-fn degraded_reply(query: String, label: &'static str, timings: StageTimings) -> SearchResponse {
+/// of every page the pool produces without running the engine. Stamped
+/// with the generation that was current when the reply was minted (no
+/// pipeline ran, so there is no pinned generation to report).
+fn degraded_reply(
+    query: String,
+    label: &'static str,
+    timings: StageTimings,
+    generation: u64,
+) -> SearchResponse {
     SearchResponse {
         query,
         algorithm: label,
@@ -270,6 +385,7 @@ fn degraded_reply(query: String, label: &'static str, timings: StageTimings) -> 
         cache_hit: false,
         degraded: true,
         results: Arc::new(Vec::new()),
+        generation,
         timings,
     }
 }
@@ -412,7 +528,8 @@ mod tests {
         }
         fn run<'a>(
             &self,
-            _engine: &'a SearchEngine,
+            _engine: &SearchEngine,
+            _generation: &'a crate::generation::Generation,
             _ctx: &mut crate::stages::PipelineContext<'a>,
         ) -> crate::stages::StageOutcome {
             std::thread::sleep(self.0);
@@ -421,6 +538,13 @@ mod tests {
     }
 
     fn slow_engine(delay: std::time::Duration) -> Arc<SearchEngine> {
+        slow_engine_with_deadline(delay, 0)
+    }
+
+    fn slow_engine_with_deadline(
+        delay: std::time::Duration,
+        deadline_us: u64,
+    ) -> Arc<SearchEngine> {
         let shared = engine();
         let mut chain = crate::stages::default_stage_chain();
         chain.insert(0, Box::new(SleepStage(delay)));
@@ -435,6 +559,7 @@ mod tests {
             EngineConfig {
                 cache_capacity: 0,
                 n_candidates: 8,
+                deadline_us,
                 params: PipelineParams {
                     utility: UtilityParams { threshold_c: 0.4 },
                     ..PipelineParams::default()
@@ -454,7 +579,7 @@ mod tests {
             1,
             AdmissionPolicy {
                 max_queue: 1,
-                max_queue_wait_us: 0,
+                ..AdmissionPolicy::default()
             },
         );
         let reqs: Vec<QueryRequest> = (0..12)
@@ -499,8 +624,8 @@ mod tests {
             shared.clone(),
             1,
             AdmissionPolicy {
-                max_queue: 0,
                 max_queue_wait_us: 5_000, // 5 ms: far below one 25 ms service time
+                ..AdmissionPolicy::default()
             },
         );
         let reqs: Vec<QueryRequest> = (0..5)
@@ -537,7 +662,8 @@ mod tests {
         }
         fn run<'a>(
             &self,
-            _engine: &'a SearchEngine,
+            _engine: &SearchEngine,
+            _generation: &'a crate::generation::Generation,
             ctx: &mut crate::stages::PipelineContext<'a>,
         ) -> crate::stages::StageOutcome {
             assert!(ctx.request.query != "boom", "injected stage panic");
@@ -599,6 +725,59 @@ mod tests {
         // The pool still has live workers: a follow-up batch is served.
         let again = pool.serve_batch(vec![QueryRequest::new("apple", 3, AlgorithmKind::Mmr)]);
         assert_eq!(again[0].results.len(), 3);
+    }
+
+    #[test]
+    fn deadline_aware_admission_sheds_doomed_classes() {
+        // 20 ms of service against a 1 ms budget: every served OptSelect
+        // request exhausts its deadline and degrades. Once the class's
+        // EWMA has seen that, deadline-aware admission refuses the class
+        // at enqueue instead of burning a worker for 20 ms per reply.
+        let shared = slow_engine_with_deadline(std::time::Duration::from_millis(20), 1_000);
+        let pool = WorkerPool::with_admission(
+            shared.clone(),
+            1,
+            AdmissionPolicy {
+                deadline_aware: true,
+                ..AdmissionPolicy::default()
+            },
+        );
+        // The class is unseeded: the probe request is admitted (and
+        // served degraded, seeding the estimate).
+        let probe = pool
+            .serve_batch(vec![QueryRequest::new(
+                "apple",
+                4,
+                AlgorithmKind::OptSelect,
+            )])
+            .remove(0);
+        assert_ne!(probe.algorithm, LABEL_SHED);
+        assert!(probe.degraded, "20 ms of work cannot meet a 1 ms budget");
+        assert!(
+            pool.predicted_service_us(AlgorithmKind::OptSelect) > 1_000,
+            "the probe must have seeded the estimate above the budget"
+        );
+        // Now the estimate dwarfs the budget: shed at enqueue, instantly.
+        let shed = pool
+            .serve_batch(vec![QueryRequest::new(
+                "apple",
+                4,
+                AlgorithmKind::OptSelect,
+            )])
+            .remove(0);
+        assert_eq!(shed.algorithm, LABEL_SHED);
+        assert!(shed.degraded && shed.results.is_empty());
+        // Other classes have no samples yet and pass admission untouched.
+        let other = pool
+            .serve_batch(vec![QueryRequest::new("apple", 4, AlgorithmKind::Baseline)])
+            .remove(0);
+        assert_ne!(other.algorithm, LABEL_SHED);
+        let m = shared.metrics();
+        assert_eq!(m.shed, 1);
+        assert_eq!(
+            m.requests,
+            m.cache_hits + m.diversified + m.passthrough + m.shed + m.internal_errors
+        );
     }
 
     #[test]

@@ -35,12 +35,12 @@ impl QueryRequest {
         }
     }
 
-    /// The owned result-cache key of this request (allocates — built only
-    /// when a freshly computed SERP is inserted; lookups probe with
-    /// borrowed parts instead, see
+    /// The owned result-cache key of this request under `generation`
+    /// (allocates — built only when a freshly computed SERP is inserted;
+    /// lookups probe with borrowed parts instead, see
     /// [`ShardedResultCache::get`](crate::cache::ShardedResultCache::get)).
-    pub(crate) fn cache_key(&self) -> (String, usize, AlgorithmKind) {
-        (self.query.clone(), self.k, self.algorithm)
+    pub(crate) fn cache_key(&self, generation: u64) -> (u64, String, usize, AlgorithmKind) {
+        (generation, self.query.clone(), self.k, self.algorithm)
     }
 }
 
@@ -124,6 +124,11 @@ pub struct SearchResponse {
     /// result cache: a cache hit bumps a refcount instead of copying the
     /// page.
     pub results: Arc<Vec<RankedResult>>,
+    /// The [`GenerationId`](crate::GenerationId) of the serving state this
+    /// page was computed against. The whole pipeline ran pinned to this
+    /// one generation — under a concurrent hot swap, the page is
+    /// bit-identical to what that generation alone would have served.
+    pub generation: u64,
     /// Per-stage latency accounting for this request.
     pub timings: StageTimings,
 }
@@ -137,14 +142,24 @@ mod tests {
         let r = QueryRequest::new("apple", 10, AlgorithmKind::OptSelect);
         assert_eq!(r.query, "apple");
         assert_eq!(r.k, 10);
-        let (q, k, a) = r.cache_key();
-        assert_eq!((q.as_str(), k, a), ("apple", 10, AlgorithmKind::OptSelect));
+        let (g, q, k, a) = r.cache_key(7);
+        assert_eq!(
+            (g, q.as_str(), k, a),
+            (7, "apple", 10, AlgorithmKind::OptSelect)
+        );
     }
 
     #[test]
     fn distinct_algorithms_key_differently() {
-        let a = QueryRequest::new("q", 5, AlgorithmKind::OptSelect).cache_key();
-        let b = QueryRequest::new("q", 5, AlgorithmKind::Mmr).cache_key();
+        let a = QueryRequest::new("q", 5, AlgorithmKind::OptSelect).cache_key(1);
+        let b = QueryRequest::new("q", 5, AlgorithmKind::Mmr).cache_key(1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distinct_generations_key_differently() {
+        let a = QueryRequest::new("q", 5, AlgorithmKind::OptSelect).cache_key(1);
+        let b = QueryRequest::new("q", 5, AlgorithmKind::OptSelect).cache_key(2);
         assert_ne!(a, b);
     }
 }

@@ -1,0 +1,217 @@
+//! SLO burn-rate monitoring over the serving metrics.
+//!
+//! The stage histograms (PR 8) attribute *where* latency goes; this
+//! module answers the operator's next question: **is the error budget
+//! burning fast enough to page someone?** An [`SloMonitor`] watches the
+//! request stream in fixed-size count windows and compares each window's
+//! bad-request rate against the configured objective, expressed as a
+//! **burn rate** — the standard SRE multiple:
+//!
+//! ```text
+//! burn = bad_rate / (1 − objective)
+//! ```
+//!
+//! A burn of 1.0 consumes the error budget exactly as fast as the SLO
+//! allows; an alert fires when a window's burn reaches
+//! [`SloConfig::burn_threshold`] (e.g. 2.0 = burning budget twice as fast
+//! as sustainable). The alert **latches** while consecutive windows stay
+//! hot and **clears** on the first compliant window, so
+//! [`alerts`](SloMonitor::alerts) counts incidents (rising edges), not
+//! hot windows — the soak suites assert both the firing and the clearing.
+//!
+//! A request is *bad* when it was not served its full contract: any
+//! degradation (deadline, shard loss, shed, contained panic) or an
+//! end-to-end latency above [`SloConfig::target_us`]. Cache hits count —
+//! they are real traffic with real latency.
+//!
+//! Windows are counted with relaxed atomics: under concurrency a bad
+//! sample may slosh into the neighboring window. That is fine — burn-rate
+//! alerting is a smoothed operational signal, not an exact ledger, and
+//! the imprecision is bounded by one window.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The served-latency SLO an engine is held to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// A request slower than this (end-to-end `total_us`) is bad even if
+    /// it was served its full page.
+    pub target_us: u64,
+    /// Fraction of requests that must be good (e.g. `0.99`); the error
+    /// budget is `1 − objective`.
+    pub objective: f64,
+    /// Requests per evaluation window (clamped to ≥ 1).
+    pub window: u64,
+    /// Fire when a window's burn rate reaches this multiple of the
+    /// sustainable rate.
+    pub burn_threshold: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            target_us: 5_000,
+            objective: 0.99,
+            window: 256,
+            burn_threshold: 2.0,
+        }
+    }
+}
+
+/// Windowed burn-rate evaluator fed by
+/// [`ServeMetrics::record`](crate::ServeMetrics). Lock-free; one branch
+/// and two relaxed atomics per request off the alerting path.
+#[derive(Debug)]
+pub struct SloMonitor {
+    config: SloConfig,
+    /// Requests observed in the current window.
+    seen: AtomicU64,
+    /// Bad requests in the current window.
+    bad: AtomicU64,
+    /// Cumulative rising-edge alert count.
+    alerts: AtomicU64,
+    /// Whether the alert is currently latched.
+    active: AtomicBool,
+}
+
+impl SloMonitor {
+    /// A monitor holding the engine to `config`.
+    pub fn new(config: SloConfig) -> Self {
+        SloMonitor {
+            config,
+            seen: AtomicU64::new(0),
+            bad: AtomicU64::new(0),
+            alerts: AtomicU64::new(0),
+            active: AtomicBool::new(false),
+        }
+    }
+
+    /// The configured SLO.
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    /// Feed one request outcome; evaluates the window when it fills.
+    pub fn observe(&self, bad: bool) {
+        if bad {
+            self.bad.fetch_add(1, Ordering::Relaxed);
+        }
+        let window = self.config.window.max(1);
+        let n = self.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(window) {
+            let bad_in_window = self.bad.swap(0, Ordering::Relaxed);
+            let bad_rate = bad_in_window as f64 / window as f64;
+            let budget = (1.0 - self.config.objective).max(f64::EPSILON);
+            let burn = bad_rate / budget;
+            if burn >= self.config.burn_threshold {
+                // Rising edge only: a latched alert staying hot is one
+                // incident, not one alert per window.
+                if !self.active.swap(true, Ordering::Relaxed) {
+                    self.alerts.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                self.active.store(false, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Cumulative alert firings (rising edges).
+    pub fn alerts(&self) -> u64 {
+        self.alerts.load(Ordering::Relaxed)
+    }
+
+    /// Whether the alert is currently latched (the last evaluated window
+    /// burned at or above threshold).
+    pub fn alert_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(window: u64) -> SloMonitor {
+        SloMonitor::new(SloConfig {
+            target_us: 1_000,
+            objective: 0.9, // budget 10%
+            window,
+            burn_threshold: 2.0, // alert at ≥ 20% bad per window
+        })
+    }
+
+    #[test]
+    fn clean_traffic_never_alerts() {
+        let m = monitor(8);
+        for _ in 0..64 {
+            m.observe(false);
+        }
+        assert_eq!(m.alerts(), 0);
+        assert!(!m.alert_active());
+    }
+
+    #[test]
+    fn hot_window_fires_once_and_clear_window_clears() {
+        let m = monitor(8);
+        // Window 1: 4/8 bad = 50% ⇒ burn 5.0 ≥ 2.0 — fires.
+        for i in 0..8 {
+            m.observe(i % 2 == 0);
+        }
+        assert_eq!(m.alerts(), 1);
+        assert!(m.alert_active());
+        // Window 2: still hot — latched, no second alert.
+        for i in 0..8 {
+            m.observe(i % 2 == 0);
+        }
+        assert_eq!(m.alerts(), 1);
+        assert!(m.alert_active());
+        // Window 3: fully clean ⇒ burn 0 — clears.
+        for _ in 0..8 {
+            m.observe(false);
+        }
+        assert_eq!(m.alerts(), 1);
+        assert!(!m.alert_active());
+        // Window 4: hot again — a new incident, a second rising edge.
+        for _ in 0..8 {
+            m.observe(true);
+        }
+        assert_eq!(m.alerts(), 2);
+    }
+
+    #[test]
+    fn burn_below_threshold_does_not_fire() {
+        let m = monitor(16);
+        // 1/16 bad ≈ 6.2% ⇒ burn 0.62 < 2.0.
+        for i in 0..16 {
+            m.observe(i == 3);
+        }
+        assert_eq!(m.alerts(), 0);
+        assert!(!m.alert_active());
+    }
+
+    #[test]
+    fn partial_window_holds_judgment() {
+        let m = monitor(100);
+        for _ in 0..99 {
+            m.observe(true);
+        }
+        // The window has not filled: no verdict yet either way.
+        assert_eq!(m.alerts(), 0);
+        assert!(!m.alert_active());
+        m.observe(true);
+        assert_eq!(m.alerts(), 1);
+    }
+
+    #[test]
+    fn zero_window_is_clamped_not_divided_by() {
+        let m = SloMonitor::new(SloConfig {
+            window: 0,
+            ..SloConfig::default()
+        });
+        for _ in 0..4 {
+            m.observe(true); // window clamps to 1: every request evaluates
+        }
+        assert_eq!(m.alerts(), 1, "latched after the first bad window");
+        assert!(m.alert_active());
+    }
+}

@@ -10,10 +10,19 @@
 //! reorderings) without touching the driver; deadline degradation in
 //! [`SelectStage`] is the worked example.
 //!
+//! Every stage runs against the request's **pinned [`Generation`]** — the
+//! immutable bundle the request captured once at admission. Stages never
+//! read serving state through the engine (which may have swapped to a
+//! newer generation mid-request); they read it through the `generation`
+//! argument, which is what makes a concurrent hot swap unobservable from
+//! inside a request.
+//!
 //! # Example: a custom stage
 //!
 //! ```
-//! use serpdiv_serve::{PipelineContext, SearchEngine, Stage, StageKind, StageOutcome};
+//! use serpdiv_serve::{
+//!     Generation, PipelineContext, SearchEngine, Stage, StageKind, StageOutcome,
+//! };
 //!
 //! /// Refuses pages larger than 50 results (quota enforcement).
 //! struct ClampK;
@@ -25,7 +34,8 @@
 //!
 //!     fn run<'a>(
 //!         &self,
-//!         _engine: &'a SearchEngine,
+//!         _engine: &SearchEngine,
+//!         _generation: &'a Generation,
 //!         ctx: &mut PipelineContext<'a>,
 //!     ) -> StageOutcome {
 //!         if ctx.request.k > 50 {
@@ -39,6 +49,7 @@
 
 use crate::budget::Budget;
 use crate::engine::SearchEngine;
+use crate::generation::Generation;
 use crate::request::{QueryRequest, StageTimings};
 use serpdiv_core::{
     assemble_input_from_surrogates, assemble_input_with_scorer, AlgorithmKind, DiversifyInput,
@@ -160,8 +171,15 @@ pub trait Stage: Send + Sync {
     /// The accounting bucket this stage's wall time is charged to.
     fn kind(&self) -> StageKind;
 
-    /// Advance `ctx` by one stage.
-    fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome;
+    /// Advance `ctx` by one stage, reading all serving state from the
+    /// request's pinned `generation` (never from the engine's live
+    /// handle, which a concurrent swap may move mid-request).
+    fn run<'a>(
+        &self,
+        engine: &SearchEngine,
+        generation: &'a Generation,
+        ctx: &mut PipelineContext<'a>,
+    ) -> StageOutcome;
 }
 
 /// The standard five-stage chain of the paper's pipeline.
@@ -185,11 +203,16 @@ impl Stage for DetectStage {
         StageKind::Detect
     }
 
-    fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome {
+    fn run<'a>(
+        &self,
+        _engine: &SearchEngine,
+        generation: &'a Generation,
+        ctx: &mut PipelineContext<'a>,
+    ) -> StageOutcome {
         if ctx.request.algorithm == AlgorithmKind::Baseline {
             ctx.algorithm = "DPH";
         } else {
-            ctx.entry = engine.model().get(&ctx.request.query);
+            ctx.entry = generation.model().get(&ctx.request.query);
             if ctx.entry.is_none() {
                 ctx.algorithm = "DPH (passthrough)";
             }
@@ -238,11 +261,16 @@ impl Stage for RetrieveStage {
         StageKind::Retrieve
     }
 
-    fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome {
+    fn run<'a>(
+        &self,
+        engine: &SearchEngine,
+        generation: &'a Generation,
+        ctx: &mut PipelineContext<'a>,
+    ) -> StageOutcome {
         let query = &ctx.request.query;
         if ctx.entry.is_none() {
             // Passthrough: the page is the baseline top-k.
-            let retrieval = engine.retriever().retrieve_with_status_within(
+            let retrieval = generation.retriever().retrieve_with_status_within(
                 query,
                 ctx.request.k,
                 ctx.budget.remaining_us(),
@@ -261,7 +289,7 @@ impl Stage for RetrieveStage {
             // would only manufacture shard loss on top of the deadline)
             // and serve it as the degraded baseline.
             let retrieval =
-                engine
+                generation
                     .retriever()
                     .retrieve_with_status_within(query, ctx.request.k, None);
             ctx.page = retrieval.hits;
@@ -274,7 +302,7 @@ impl Stage for RetrieveStage {
         }
         let n = engine.config().n_candidates.max(ctx.request.k);
         let retrieval =
-            engine
+            generation
                 .retriever()
                 .retrieve_with_status_within(query, n, ctx.budget.remaining_us());
         ctx.candidates = retrieval.hits;
@@ -301,8 +329,13 @@ impl Stage for SurrogateStage {
         StageKind::Surrogate
     }
 
-    fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome {
-        ctx.vectors = engine.surrogate_vectors(&ctx.request.query, &ctx.candidates);
+    fn run<'a>(
+        &self,
+        engine: &SearchEngine,
+        generation: &'a Generation,
+        ctx: &mut PipelineContext<'a>,
+    ) -> StageOutcome {
+        ctx.vectors = engine.surrogate_vectors(generation, &ctx.request.query, &ctx.candidates);
         StageOutcome::Continue
     }
 }
@@ -316,7 +349,12 @@ impl Stage for UtilityStage {
         StageKind::Utility
     }
 
-    fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome {
+    fn run<'a>(
+        &self,
+        engine: &SearchEngine,
+        generation: &'a Generation,
+        ctx: &mut PipelineContext<'a>,
+    ) -> StageOutcome {
         // No detected entry, or surrogates missing/mismatched (possible
         // in custom chains that drop or reorder earlier stages): nothing
         // sound to score — leave `ctx.input` empty and let the select
@@ -332,7 +370,7 @@ impl Stage for UtilityStage {
         // (bit-identical rows, no per-request gather-and-sort); entries
         // outside the table — possible only with custom detect stages —
         // build one on the fly, exactly as before.
-        ctx.input = Some(match engine.scorer_for(&entry.query) {
+        ctx.input = Some(match generation.scorer_for(&entry.query) {
             Some(scorer) => assemble_input_with_scorer(
                 entry,
                 scorer,
@@ -342,7 +380,7 @@ impl Stage for UtilityStage {
             ),
             None => assemble_input_from_surrogates(
                 entry,
-                engine.compiled(),
+                generation.compiled(),
                 &engine.config().params,
                 vectors,
                 &ctx.candidates,
@@ -371,7 +409,12 @@ impl Stage for SelectStage {
         StageKind::Select
     }
 
-    fn run<'a>(&self, engine: &'a SearchEngine, ctx: &mut PipelineContext<'a>) -> StageOutcome {
+    fn run<'a>(
+        &self,
+        engine: &SearchEngine,
+        _generation: &'a Generation,
+        ctx: &mut PipelineContext<'a>,
+    ) -> StageOutcome {
         let k = ctx.request.k;
         if ctx.budget.exhausted() {
             ctx.page = ctx.candidates.iter().take(k).copied().collect();

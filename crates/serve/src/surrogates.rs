@@ -24,14 +24,19 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Cache key: the document plus the analyzed query terms the snippet was
-/// extracted for. The term list is `Arc`'d so one allocation is shared by
-/// all candidates of a request; hashing/equality go through the contents,
-/// so equal term lists from different requests still collide (that's the
-/// point).
-pub type SurrogateKey = (DocId, Arc<Vec<TermId>>);
+/// Cache key: the generation the vector was computed against, the
+/// document, and the analyzed query terms the snippet was extracted for.
+/// The generation tag keeps a hot swap from serving a previous
+/// generation's vectors (a new generation's index may assign the same
+/// `DocId` different content); stale entries stop matching and age out of
+/// the LRU — no flush stall. The term list is `Arc`'d so one allocation
+/// is shared by all candidates of a request; hashing/equality go through
+/// the contents, so equal term lists from different requests still
+/// collide (that's the point).
+pub type SurrogateKey = (u64, DocId, Arc<Vec<TermId>>);
 
-/// Sharded LRU cache of `(doc, query-terms) → snippet surrogate`.
+/// Sharded LRU cache of `(generation, doc, query-terms) → snippet
+/// surrogate`.
 #[derive(Debug)]
 pub struct SurrogateCache {
     shards: Vec<Mutex<LruCache<SurrogateKey, Arc<SparseVector>>>>,
@@ -110,6 +115,15 @@ mod tests {
 
     fn key(doc: u32, terms: &[u32]) -> SurrogateKey {
         (
+            1,
+            DocId(doc),
+            Arc::new(terms.iter().map(|&t| TermId(t)).collect()),
+        )
+    }
+
+    fn gen_key(generation: u64, doc: u32, terms: &[u32]) -> SurrogateKey {
+        (
+            generation,
             DocId(doc),
             Arc::new(terms.iter().map(|&t| TermId(t)).collect()),
         )
@@ -145,10 +159,13 @@ mod tests {
         cache.get_or_compute(key(1, &[6]), || vector(2.0));
         // Different doc, same terms → miss.
         cache.get_or_compute(key(2, &[5]), || vector(3.0));
+        // Same doc and terms under a different generation → miss: a hot
+        // swap must never serve the previous generation's vector.
+        cache.get_or_compute(gen_key(2, 1, &[5]), || vector(4.0));
         // Equal contents through a *different* Arc → hit.
         let hit = cache.get_or_compute(key(1, &[5]), || vector(9.0));
         assert_eq!(hit.entries()[0].1, 1.0);
-        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().misses, 4);
         assert_eq!(cache.stats().hits, 1);
     }
 

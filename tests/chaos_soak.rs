@@ -34,8 +34,8 @@ use serpdiv::index::{
 };
 use serpdiv::mining::SpecializationModel;
 use serpdiv::serve::{
-    EngineConfig, QueryRequest, SearchEngine, SearchResponse, WorkerPool, LABEL_INTERNAL,
-    LABEL_SHED,
+    EngineConfig, QueryRequest, SearchEngine, SearchResponse, SloConfig, WorkerPool,
+    LABEL_INTERNAL, LABEL_SHED,
 };
 use std::collections::HashMap;
 use std::os::unix::net::UnixListener;
@@ -138,12 +138,14 @@ fn build_engine(
     retriever: Arc<dyn Retriever>,
     shards: usize,
     deadline_us: u64,
+    slo: Option<SloConfig>,
 ) -> Arc<SearchEngine> {
     let config = EngineConfig {
         n_candidates: 30,
         cache_capacity: 0,
         index_shards: shards,
         deadline_us,
+        slo,
         ..EngineConfig::default()
     };
     let m = model();
@@ -327,7 +329,15 @@ fn delay_heavy_plan_degrades_at_stage_edges_and_recovers() {
         );
         // 25 ms of budget against 8 ms injected stage delays: most
         // requests finish, a seeded minority exhausts mid-pipeline.
-        let engine = build_engine(index, retriever, 4, 25_000);
+        // The SLO monitor holds the engine to 5 ms end-to-end: injected
+        // 8 ms delays make served-but-slow requests burn budget too.
+        let slo = SloConfig {
+            target_us: 5_000,
+            objective: 0.99,
+            window: 64,
+            burn_threshold: 2.0,
+        };
+        let engine = build_engine(index, retriever, 4, 25_000, Some(slo));
         let oracle = compute_oracle(&engine);
         let pool = WorkerPool::new(engine.clone(), 8);
         let baseline_requests = engine.metrics().requests;
@@ -355,7 +365,28 @@ fn delay_heavy_plan_degrades_at_stage_edges_and_recovers() {
             "every request accounted for"
         );
         assert_partition(&engine);
+        // The delay storm pushed the bad-request rate far past the 2×
+        // burn threshold in at least one evaluated window.
+        assert!(
+            m.slo_burn_alerts >= 1,
+            "the burn-rate alert must fire under the delay storm: {m:?}"
+        );
         assert_recovers(&engine, &oracle, Duration::from_secs(10));
+        // Fault-free traffic clears the latch: drive two full windows of
+        // clean requests so at least one evaluates with zero bad samples.
+        for _ in 0..2 * slo.window {
+            let out = engine.search(QueryRequest::new("apple", 6, AlgorithmKind::OptSelect));
+            assert!(!out.degraded, "recovered engine degraded a request");
+        }
+        let after = engine.metrics();
+        assert!(
+            !after.slo_alert_active,
+            "a clean window must clear the alert latch: {after:?}"
+        );
+        assert!(
+            after.slo_burn_alerts >= m.slo_burn_alerts,
+            "rising-edge count never decreases"
+        );
     });
 }
 
@@ -370,7 +401,7 @@ fn kill_heavy_plan_contains_every_panic_and_recovers() {
                 .with_executor(executor)
                 .with_parallel_threshold(0),
         );
-        let engine = build_engine(index, retriever, 4, 0);
+        let engine = build_engine(index, retriever, 4, 0, None);
         let oracle = compute_oracle(&engine);
         let pool = WorkerPool::new(engine.clone(), 8);
 
@@ -447,7 +478,7 @@ fn corruption_heavy_plan_keeps_fleet_pages_sound_and_recovers() {
             .wait_ready(Duration::from_secs(5))
             .expect("fleet boots before chaos");
         let retriever: Arc<dyn Retriever> = router.clone();
-        let engine = build_engine(index, retriever, 2, 0);
+        let engine = build_engine(index, retriever, 2, 0, None);
         let oracle = compute_oracle(&engine);
         let pool = WorkerPool::new(engine.clone(), 8);
 

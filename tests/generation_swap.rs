@@ -1,0 +1,296 @@
+//! Generation hot-swap integration: the epoch-publish machinery driven
+//! end-to-end through the public engine API.
+//!
+//! Covered here (the adversarial swap-under-load race lives in
+//! `tests/swap_soak.rs`):
+//!
+//! * a shipped artifact bundle (`InvertedIndex` + `ForwardIndex` +
+//!   `CompiledSpecStore` images) decodes, validates, publishes, and
+//!   serves the *new* corpus — while the pre-swap page stays bit-exact
+//!   for the old generation's oracle;
+//! * corrupt or truncated artifacts are **rejected with a counted
+//!   `swap_rejected`** and the old generation keeps serving untouched;
+//! * a stale (non-advancing) generation id is refused;
+//! * the result cache is generation-tagged: a page cached before a swap
+//!   is never returned after it — it recomputes (and the page only
+//!   changes if the corpus did);
+//! * NRT ingest accumulates across generations and `merge_delta` seals
+//!   the delta into an index **bit-identical** to a from-scratch build;
+//! * the [`BackgroundMerger`] seals a growing delta on its own.
+
+use serpdiv::core::AlgorithmKind;
+use serpdiv::index::{Document, ForwardIndex, IndexBuilder, InvertedIndex};
+use serpdiv::mining::SpecializationModel;
+use serpdiv::serve::{EngineConfig, GenerationArtifacts, PublishError, QueryRequest, SearchEngine};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn base_docs() -> Vec<Document> {
+    let mut docs = Vec::new();
+    for i in 0..6u32 {
+        docs.push(Document::new(
+            i,
+            format!("http://tech/{i}"),
+            "apple iphone",
+            "apple iphone smartphone review chip battery display camera",
+        ));
+    }
+    for i in 6..12u32 {
+        docs.push(Document::new(
+            i,
+            format!("http://food/{i}"),
+            "apple fruit",
+            "apple fruit orchard sweet harvest vitamin juice recipe",
+        ));
+    }
+    docs
+}
+
+fn storm_docs(range: std::ops::Range<u32>) -> Vec<Document> {
+    range
+        .map(|i| {
+            Document::new(
+                i,
+                format!("http://storm/{i}"),
+                "storm warning",
+                "weather storm warning wind forecast emergency shelter",
+            )
+        })
+        .collect()
+}
+
+fn build_index(docs: &[Document]) -> Arc<InvertedIndex> {
+    let mut b = IndexBuilder::new();
+    for d in docs {
+        b.add(d.clone());
+    }
+    Arc::new(b.build())
+}
+
+fn model() -> Arc<SpecializationModel> {
+    Arc::new(
+        SpecializationModel::from_json(
+            r#"{"entries":{"apple":{"query":"apple","specializations":[["apple iphone",0.6],["apple fruit",0.4]]}}}"#,
+        )
+        .unwrap(),
+    )
+}
+
+fn config(cache_capacity: usize) -> EngineConfig {
+    EngineConfig {
+        n_candidates: 12,
+        cache_capacity,
+        ..EngineConfig::default()
+    }
+}
+
+fn deploy(docs: &[Document], cache_capacity: usize) -> Arc<SearchEngine> {
+    Arc::new(SearchEngine::deploy(
+        build_index(docs),
+        model(),
+        config(cache_capacity),
+    ))
+}
+
+/// Serialize a corpus into the artifact bundle a deploy pipeline ships:
+/// index + forward images plus the serving engine's compiled spec store
+/// (the model carries over on publish).
+fn artifacts_for(engine: &SearchEngine, docs: &[Document], id: u64) -> GenerationArtifacts {
+    let index = build_index(docs);
+    GenerationArtifacts {
+        id,
+        index: index.to_bytes(),
+        forward: Some(ForwardIndex::build(&index).to_bytes()),
+        compiled: engine.compiled().to_bytes(),
+    }
+}
+
+#[test]
+fn published_artifacts_serve_the_new_corpus() {
+    let engine = deploy(&base_docs(), 0);
+    let before = engine.search(QueryRequest::new("storm", 5, AlgorithmKind::Baseline));
+    assert_eq!(before.generation, 1);
+    assert!(before.results.is_empty(), "old corpus has no storm docs");
+
+    let mut grown = base_docs();
+    grown.extend(storm_docs(12..16));
+    let bundle = artifacts_for(&engine, &grown, 2);
+    assert_eq!(engine.publish_artifacts(&bundle).unwrap(), 2);
+
+    let after = engine.search(QueryRequest::new("storm", 5, AlgorithmKind::Baseline));
+    assert_eq!(after.generation, 2);
+    assert_eq!(after.results.len(), 4, "new docs retrievable post-swap");
+    assert!(
+        after
+            .results
+            .iter()
+            .all(|r| r.url.starts_with("http://storm/")),
+        "post-swap pages materialize the new generation's urls"
+    );
+    // The diversified path still works end-to-end on the swapped-in
+    // generation (model + store carried over).
+    let div = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+    assert!(div.diversified);
+    assert_eq!(div.generation, 2);
+    let m = engine.metrics();
+    assert_eq!((m.swaps, m.swap_rejected, m.generation), (1, 0, 2));
+}
+
+#[test]
+fn corrupt_artifacts_are_rejected_and_the_old_generation_serves() {
+    let engine = deploy(&base_docs(), 0);
+    let oracle = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+
+    let mut grown = base_docs();
+    grown.extend(storm_docs(12..16));
+    let good = artifacts_for(&engine, &grown, 2);
+
+    // Bad magic: the index image no longer starts with the format tag.
+    let mut bad_magic = good.clone();
+    bad_magic.index[0] ^= 0xFF;
+    // Truncation: the compiled store image is cut mid-section.
+    let mut truncated = good.clone();
+    truncated.compiled.truncate(truncated.compiled.len() / 2);
+    // Mid-buffer corruption in the forward image.
+    let mut flipped = good.clone();
+    let mid = flipped.forward.as_ref().unwrap().len() / 2;
+    flipped.forward.as_mut().unwrap()[mid] ^= 0xA5;
+
+    for (what, bundle) in [
+        ("bad magic", &bad_magic),
+        ("truncated", &truncated),
+        ("flipped byte", &flipped),
+    ] {
+        match engine.publish_artifacts(bundle) {
+            Err(PublishError::Decode(_)) => {}
+            other => panic!("{what}: expected a decode rejection, got {other:?}"),
+        }
+        assert_eq!(engine.current_generation_id(), 1, "{what}: swapped anyway");
+    }
+    let m = engine.metrics();
+    assert_eq!((m.swaps, m.swap_rejected), (0, 3));
+
+    // The old generation serves on, bit-exact.
+    let after = engine.search(QueryRequest::new("apple", 4, AlgorithmKind::OptSelect));
+    assert_eq!(after.generation, 1);
+    assert_eq!(oracle.results, after.results);
+
+    // And the undamaged bundle still goes through afterwards.
+    assert_eq!(engine.publish_artifacts(&good).unwrap(), 2);
+    assert_eq!(engine.metrics().swaps, 1);
+}
+
+#[test]
+fn stale_artifact_ids_are_refused() {
+    let engine = deploy(&base_docs(), 0);
+    let bundle = artifacts_for(&engine, &base_docs(), 1); // does not advance
+    match engine.publish_artifacts(&bundle) {
+        Err(PublishError::Stale { candidate, current }) => {
+            assert_eq!((candidate, current), (1, 1));
+        }
+        other => panic!("expected Stale, got {other:?}"),
+    }
+    assert_eq!(engine.metrics().swap_rejected, 1);
+}
+
+#[test]
+fn cached_pages_do_not_survive_a_swap() {
+    let engine = deploy(&base_docs(), 256);
+    let req = || QueryRequest::new("apple", 4, AlgorithmKind::OptSelect);
+    let first = engine.search(req());
+    assert!(!first.cache_hit);
+    let second = engine.search(req());
+    assert!(second.cache_hit, "same generation: the page is cached");
+    assert_eq!(first.results, second.results);
+
+    // Swap to an identical successor: the cache entry under generation 1
+    // must be unreachable — the page recomputes (and, artifacts being
+    // identical, matches bit for bit).
+    engine.republish().unwrap();
+    let third = engine.search(req());
+    assert!(
+        !third.cache_hit,
+        "a pre-swap page must never be served post-swap"
+    );
+    assert_eq!(third.generation, 2);
+    assert_eq!(first.results, third.results);
+
+    // Swap to a *different* corpus: the recompute serves the new world,
+    // proving the miss was not cosmetic.
+    let mut grown = base_docs();
+    grown.extend(storm_docs(12..20));
+    engine
+        .publish_artifacts(&artifacts_for(&engine, &grown, 3))
+        .unwrap();
+    let storm = engine.search(QueryRequest::new("storm", 5, AlgorithmKind::Baseline));
+    assert!(!storm.cache_hit);
+    assert_eq!(storm.results.len(), 5);
+    // The new generation's pages cache under their own tag.
+    assert!(
+        engine
+            .search(QueryRequest::new("storm", 5, AlgorithmKind::Baseline))
+            .cache_hit
+    );
+}
+
+#[test]
+fn ingest_accumulates_and_merge_matches_a_from_scratch_build() {
+    let engine = deploy(&base_docs(), 0);
+    engine.ingest(storm_docs(12..14)).unwrap();
+    engine.ingest(storm_docs(14..16)).unwrap();
+    assert_eq!(engine.current_generation_id(), 3);
+    let gen = engine.generation();
+    assert_eq!(gen.delta().unwrap().len(), 4, "deltas accumulate");
+
+    let live = engine.search(QueryRequest::new("storm", 4, AlgorithmKind::Baseline));
+    assert_eq!(live.results.len(), 4, "delta docs searchable pre-merge");
+    assert!(live
+        .results
+        .iter()
+        .all(|r| r.url.starts_with("http://storm/")));
+
+    engine.merge_delta().unwrap();
+    assert!(engine.generation().delta().is_none());
+    let mut full = base_docs();
+    full.extend(storm_docs(12..16));
+    assert_eq!(
+        engine.index().to_bytes(),
+        build_index(&full).to_bytes(),
+        "merged index must be bit-identical to a from-scratch build"
+    );
+    // And the served page equals a fresh deployment's.
+    let oracle = deploy(&full, 0);
+    let merged = engine.search(QueryRequest::new("storm", 4, AlgorithmKind::Baseline));
+    let want = oracle.search(QueryRequest::new("storm", 4, AlgorithmKind::Baseline));
+    assert_eq!(merged.results, want.results);
+}
+
+#[test]
+fn background_merger_seals_a_growing_delta() {
+    let engine = deploy(&base_docs(), 0);
+    let merger = engine.spawn_merger(3, Duration::from_millis(5));
+
+    // Below threshold: the delta stays live.
+    engine.ingest(storm_docs(12..14)).unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+    assert!(
+        engine.generation().delta().is_some(),
+        "2 docs < threshold 3: no merge yet"
+    );
+
+    // Crossing the threshold: the merger seals it.
+    engine.ingest(storm_docs(14..16)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while engine.generation().delta().is_some() {
+        assert!(Instant::now() < deadline, "merger never sealed the delta");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(merger); // stops and joins
+
+    let mut full = base_docs();
+    full.extend(storm_docs(12..16));
+    assert_eq!(engine.index().to_bytes(), build_index(&full).to_bytes());
+    let out = engine.search(QueryRequest::new("storm", 4, AlgorithmKind::Baseline));
+    assert_eq!(out.results.len(), 4);
+    assert!(engine.metrics().swaps >= 3, "two ingests + one merge");
+}

@@ -122,13 +122,10 @@ fn all_four_diversifiers_return_min_k_n_distinct_results() {
         .clone();
 
     // n = the total candidate pool for this query.
-    let n = {
-        use serpdiv::index::SearchEngine as Retriever;
-        let total_docs = engine.index().stats().num_docs as usize;
-        Retriever::new(engine.index())
-            .search(&query, total_docs + 1)
-            .len()
-    };
+    use serpdiv::index::SearchEngine as Retriever;
+    let index = engine.index();
+    let total_docs = index.stats().num_docs as usize;
+    let n = Retriever::new(&index).search(&query, total_docs + 1).len();
     assert!(n > 0);
 
     for algo in [
