@@ -10,6 +10,25 @@
 //!   more than the tolerance (default 5%, `--qps-tol PCT`) — the PR 8
 //!   acceptance band.
 //!
+//! `--swap` turns on swap-profile mode for diffing the `--swap-every`
+//! report pair (`BENCH_serve_swap_baseline.json` vs
+//! `BENCH_serve_swap.json`). Each matched row additionally prints its
+//! swap telemetry (swaps, publish p99, carry-over counters), and the
+//! gates change to fit the pairing:
+//!
+//! * when **both** rows ran swaps (same profile on both sides), the
+//!   `p99_ms` gate applies as usual — a swap-profile tail that regressed
+//!   by more than the tolerance (default 10%) fails the diff;
+//! * when only the candidate ran swaps (a no-swap baseline vs the swap
+//!   profile), the p99/QPS deltas are the *swap tax* — structural, so
+//!   they are reported, not gated. Instead the candidate's publish
+//!   latency is gated absolutely: `swap_p99_us` above `--swap-p99-max`
+//!   (default 1000µs) fails — a publish is an epoch pointer swap plus an
+//!   O(1) carry plan, and anything at millisecond scale means eager
+//!   work crept back onto the publish path. Swap rows missing the
+//!   `carried_over`/`carry_skipped` columns fail too, so the carry
+//!   telemetry cannot silently vanish from the report schema.
+//!
 //! Missing fields and rows present on only one side are reported but are
 //! not regressions (reports evolve; older baselines lack newer fields).
 //! Exits 1 if any regression was flagged, 0 otherwise, so CI and scripts
@@ -17,6 +36,7 @@
 //!
 //! ```text
 //! bench_compare BASELINE.json CANDIDATE.json [--p99-tol PCT] [--qps-tol PCT]
+//!               [--swap] [--swap-p99-max US]
 //! ```
 
 use serpdiv_mining::json::{parse, Value};
@@ -43,7 +63,10 @@ impl Row {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench_compare BASELINE.json CANDIDATE.json [--p99-tol PCT] [--qps-tol PCT]");
+    eprintln!(
+        "usage: bench_compare BASELINE.json CANDIDATE.json [--p99-tol PCT] [--qps-tol PCT] \
+         [--swap] [--swap-p99-max US]"
+    );
     std::process::exit(2);
 }
 
@@ -110,17 +133,21 @@ fn main() {
     let mut paths: Vec<&str> = Vec::new();
     let mut p99_tol_pct = 10.0;
     let mut qps_tol_pct = 5.0;
+    let mut swap_mode = false;
+    let mut swap_p99_max_us = 1000.0;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let mut tol = |name: &str| -> f64 {
             it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("error: {name} needs a numeric percentage");
+                eprintln!("error: {name} needs a number");
                 usage();
             })
         };
         match arg.as_str() {
             "--p99-tol" => p99_tol_pct = tol("--p99-tol"),
             "--qps-tol" => qps_tol_pct = tol("--qps-tol"),
+            "--swap" => swap_mode = true,
+            "--swap-p99-max" => swap_p99_max_us = tol("--swap-p99-max"),
             p if !p.starts_with("--") => paths.push(p),
             _ => usage(),
         }
@@ -150,6 +177,12 @@ fn main() {
             continue;
         };
         matched += 1;
+        // In swap mode a no-swap baseline row paired with a swapping
+        // candidate row measures the swap *tax*, which is structural —
+        // report the deltas but gate only same-profile pairings.
+        let b_swaps = b.get("swaps").unwrap_or(0.0);
+        let c_swaps = c.get("swaps").unwrap_or(0.0);
+        let tax_pairing = swap_mode && (b_swaps > 0.0) != (c_swaps > 0.0);
         let mut flags = String::new();
         let (mut p99_cells, mut qps_cells) =
             (String::from("       n/a"), String::from("      n/a"));
@@ -163,7 +196,7 @@ fn main() {
                 0.0
             };
             p99_delta = format!("{delta_pct:>+8.1}");
-            if pb > 0.0 && delta_pct > p99_tol_pct {
+            if pb > 0.0 && delta_pct > p99_tol_pct && !tax_pairing {
                 flags.push_str("  << p99 REGRESSION");
                 regressions += 1;
             }
@@ -177,8 +210,23 @@ fn main() {
                 0.0
             };
             qps_delta = format!("{delta_pct:>+8.1}");
-            if qb > 0.0 && delta_pct < -qps_tol_pct {
+            if qb > 0.0 && delta_pct < -qps_tol_pct && !tax_pairing {
                 flags.push_str("  << QPS REGRESSION");
+                regressions += 1;
+            }
+        }
+        if swap_mode && c_swaps > 0.0 {
+            // Publish must stay an O(1) pointer swap: a millisecond-scale
+            // p99 means eager carry-over (or worse) is back on the path.
+            let publish_p99 = c.get("swap_p99_us").unwrap_or(0.0);
+            if publish_p99 > swap_p99_max_us {
+                flags.push_str("  << PUBLISH p99 OVER BOUND");
+                regressions += 1;
+            }
+            // The carry counters are the machine-readable acceptance
+            // evidence; a swap row without them is a schema regression.
+            if c.get("carried_over").is_none() || c.get("carry_skipped").is_none() {
+                flags.push_str("  << CARRY COLUMNS MISSING");
                 regressions += 1;
             }
         }
@@ -186,6 +234,28 @@ fn main() {
             "{:<28} {p99_cells} {p99_delta}  {qps_cells} {qps_delta}{flags}",
             fmt_key(&b.key)
         );
+        if swap_mode && (b_swaps > 0.0 || c_swaps > 0.0) {
+            let swap_info = |r: &Row| {
+                format!(
+                    "{} swaps, publish p99 {}µs, carried {}, skipped {}",
+                    r.get("swaps").unwrap_or(0.0),
+                    r.get("swap_p99_us").unwrap_or(0.0),
+                    r.get("carried_over").unwrap_or(0.0),
+                    r.get("carry_skipped").unwrap_or(0.0),
+                )
+            };
+            println!(
+                "{:<28}   base: {}; cand: {}{}",
+                "",
+                swap_info(b),
+                swap_info(c),
+                if tax_pairing {
+                    "  (swap-tax pairing: serving deltas reported, not gated)"
+                } else {
+                    ""
+                }
+            );
+        }
     }
     for c in &candidate {
         if !baseline.iter().any(|b| b.key == c.key) {

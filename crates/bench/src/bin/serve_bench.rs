@@ -69,18 +69,25 @@
 //! then reports `generation` (the id serving when the replay ended),
 //! `swaps`, `swap_rejected`, and `swap_p99_us` (p99 publish latency) —
 //! the "hot swaps are free for readers" claim becomes a measured QPS
-//! delta against a `--swap-every 0` baseline. Note the result cache is
-//! generation-tagged, so swapping invalidates it; compare swap overhead
-//! with `--no-cache` to isolate the epoch machinery from cache refill.
+//! delta against a `--swap-every 0` baseline. The result cache is
+//! generation-tagged, but each publish runs the carry-over pass: entries
+//! whose bytes are provably unchanged under the new generation are
+//! re-tagged instead of cold-missed, and every row reports the
+//! `carried_over` / `carry_skipped` counters so the refill saved by
+//! carry-over is machine-readable. Compare swap overhead with
+//! `--no-cache` to isolate the epoch machinery from cache refill.
 //!
 //! `--max-queue` / `--max-queue-wait-us` bound the worker-pool queue
 //! (admission control): overflow requests are shed in O(µs) instead of
 //! convoying, and every row reports the `shed` count plus the shed-reply
 //! latency p50 so the "rejection must be cheap" property is measurable
 //! under saturation. `--deadline-us` arms the per-request compute budget
-//! (deadline degradation). Fleet rows additionally report `hedged`
-//! (hedged exchanges) and `breaker_open` (circuit-breaker trips)
-//! observed during that row's replay; in-process rows carry zeros.
+//! (deadline degradation). `--hedge-pct N` arms the worker pool's hedged
+//! re-dispatch at N% of the per-class EWMA service estimate (0 = off);
+//! rows report the in-process `pool_hedges` count. Fleet rows
+//! additionally report `hedged` (hedged shard exchanges) and
+//! `breaker_open` (circuit-breaker trips) observed during that row's
+//! replay; in-process rows carry zeros.
 
 use serpdiv_bench::{Lab, LabConfig};
 use serpdiv_core::{AlgorithmKind, CompiledSpecStore, SpecializationStore};
@@ -108,6 +115,9 @@ struct Args {
     max_queue: usize,
     max_queue_wait_us: u64,
     deadline_us: u64,
+    /// Worker-pool hedged re-dispatch threshold in percent of the class
+    /// EWMA (0 = hedging off).
+    hedge_pct: u64,
     cache: bool,
     surrogate_cache: bool,
     /// Print the N slowest requests of every algorithm replay with their
@@ -132,6 +142,7 @@ fn parse_args() -> Args {
         max_queue: 0,
         max_queue_wait_us: 0,
         deadline_us: 0,
+        hedge_pct: 0,
         cache: true,
         surrogate_cache: true,
         tail_report: 0,
@@ -141,9 +152,9 @@ fn parse_args() -> Args {
     let usage = "usage: serve_bench [--sessions N] [--requests N] [--concurrency N] \
                  [--k N] [--candidates N] [--shards N[,N...]] \
                  [--executor-threads N[,N...]] [--fleet N[,N...]] [--max-queue N] \
-                 [--max-queue-wait-us N] [--deadline-us N] [--no-cache] \
-                 [--no-surrogate-cache] [--tail-report N] [--swap-every N] \
-                 [--json PATH]";
+                 [--max-queue-wait-us N] [--deadline-us N] [--hedge-pct N] \
+                 [--no-cache] [--no-surrogate-cache] [--tail-report N] \
+                 [--swap-every N] [--json PATH]";
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut next_str = |name: &str| -> String {
@@ -184,6 +195,9 @@ fn parse_args() -> Args {
             }
             "--deadline-us" => {
                 args.deadline_us = parse_num(&next_str("--deadline-us"), usage) as u64;
+            }
+            "--hedge-pct" => {
+                args.hedge_pct = parse_num(&next_str("--hedge-pct"), usage) as u64;
             }
             "--no-cache" => args.cache = false,
             "--no-surrogate-cache" => args.surrogate_cache = false,
@@ -388,6 +402,15 @@ struct AlgoReport {
     /// p99 publish latency of this row's swaps, microseconds (0 when no
     /// swaps ran).
     swap_p99_us: f64,
+    /// Cache entries (result pages + surrogates) the carry-over pass
+    /// re-tagged into freshly published generations during this replay.
+    carried_over: u64,
+    /// Old-generation entries the carry-over pass could not prove
+    /// byte-unchanged.
+    carry_skipped: u64,
+    /// Worker-pool hedged re-dispatches during this replay (in-process
+    /// hedging via `--hedge-pct`; distinct from the fleet's `hedged`).
+    pool_hedges: u64,
     // Mean per-stage microseconds over computed requests.
     detect_us: u64,
     retrieve_us: u64,
@@ -415,6 +438,7 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
         ("max_queue", args.max_queue as f64),
         ("max_queue_wait_us", args.max_queue_wait_us as f64),
         ("deadline_us", args.deadline_us as f64),
+        ("hedge_pct", args.hedge_pct as f64),
         ("swap_every", args.swap_every as f64),
     ];
     for (i, (key, v)) in config.iter().enumerate() {
@@ -488,6 +512,9 @@ fn write_json(path: &str, args: &Args, offline: &[(&str, f64)], algos: &[AlgoRep
             ("swaps", a.swaps as f64),
             ("swap_rejected", a.swap_rejected as f64),
             ("swap_p99_us", a.swap_p99_us),
+            ("carried_over", a.carried_over as f64),
+            ("carry_skipped", a.carry_skipped as f64),
+            ("pool_hedges", a.pool_hedges as f64),
             ("stage_detect_us", a.detect_us as f64),
             ("stage_retrieve_us", a.retrieve_us as f64),
             ("stage_surrogate_us", a.surrogate_us as f64),
@@ -691,6 +718,7 @@ fn main() {
                     max_queue: args.max_queue,
                     max_queue_wait_us: args.max_queue_wait_us,
                     deadline_aware: false,
+                    hedge_factor_pct: args.hedge_pct,
                 },
             );
             let requests: Vec<QueryRequest> = (0..args.requests)
@@ -820,6 +848,9 @@ fn main() {
                 swaps: m.swaps,
                 swap_rejected: m.swap_rejected,
                 swap_p99_us: percentile(&swap_us, 99.0) * 1e3,
+                carried_over: m.carried_over,
+                carry_skipped: m.carry_skipped,
+                pool_hedges: m.hedges,
                 detect_us: m.stage_sums.detect_us / computed,
                 retrieve_us: m.stage_sums.retrieve_us / computed,
                 surrogate_us: m.stage_sums.surrogate_us / computed,
@@ -854,8 +885,19 @@ fn main() {
             }
             if report.swaps > 0 || report.swap_rejected > 0 {
                 println!(
-                    "           {} generation swaps ({} rejected, publish p99 {:.0}µs), serving generation {} at replay end",
-                    report.swaps, report.swap_rejected, report.swap_p99_us, report.generation,
+                    "           {} generation swaps ({} rejected, publish p99 {:.0}µs), serving generation {} at replay end; carry-over kept {} cache entries, skipped {}",
+                    report.swaps,
+                    report.swap_rejected,
+                    report.swap_p99_us,
+                    report.generation,
+                    report.carried_over,
+                    report.carry_skipped,
+                );
+            }
+            if report.pool_hedges > 0 {
+                println!(
+                    "           {} hedged re-dispatches (pool, {}% of class EWMA)",
+                    report.pool_hedges, args.hedge_pct,
                 );
             }
             if args.tail_report > 0 {

@@ -13,18 +13,27 @@
 //! over the delta documents; the sealed postings are re-encoded, never
 //! re-tokenized.
 //!
-//! Scoring honesty: while a document lives in the delta it is ranked with
-//! the delta's *local* collection statistics (document frequency, average
-//! length), not the merged globals — the classic NRT-segment
-//! approximation. Rankings are still fully deterministic per
-//! (sealed, delta) pair; once the background merge seals a new
-//! generation, scores are bit-identical to a from-scratch build.
+//! Scoring honesty: the delta carries a **union statistics overlay**
+//! ([`StatsOverlay`]) — the union document count, token count, average
+//! length and the union per-term frequencies of every term the delta
+//! touches, computed with the exact integer additions [`merge_sealed`]
+//! performs — and *both* sides score against it: the sealed retrieval
+//! layer through [`Retriever::retrieve_terms_overlaid`], the delta
+//! through [`DeltaIndex::retrieve_union`]. Query terms are analyzed into
+//! the **union** term-id space (the sealed vocabulary extended by the
+//! delta's new terms in first-occurrence order, exactly the ids the merge
+//! will assign), so even terms the sealed collection has never seen
+//! contribute their df. A [`DeltaRetriever`] page is therefore
+//! `f64`-bit-identical to a from-scratch build over the union corpus at
+//! every instant — the same oracle discipline every other retrieval path
+//! in this workspace holds — not merely after the background merge.
 
 use crate::document::{DocId, Document};
-use crate::index::{CollectionStats, InvertedIndex, TermStats};
+use crate::dph::Dph;
+use crate::index::{CollectionStats, InvertedIndex, StatsOverlay, TermStats};
 use crate::postings::PostingsBuilder;
 use crate::retriever::{Retrieval, Retriever};
-use crate::search::{ScoredDoc, SearchEngine};
+use crate::search::{accumulate_term_contributions, query_weights, top_k, ScoredDoc};
 use crate::sharded::merge_top_k;
 use serpdiv_text::{TermId, Vocabulary};
 use std::collections::HashMap;
@@ -37,7 +46,11 @@ use std::sync::Arc;
 /// collection's dense id space (`base_docs..base_docs + len`). Internally
 /// the documents are re-addressed to a dense local id space and indexed
 /// with the base collection's analyzer, so query analysis matches the
-/// sealed index's token for token.
+/// sealed index's token for token. Term ids are bridged into the
+/// **union** id space (sealed ids, then delta-new terms in
+/// first-occurrence order — the ids [`merge_sealed`] will assign), and a
+/// union [`StatsOverlay`] is maintained so both the sealed and the delta
+/// side rank with post-merge statistics before the merge happens.
 #[derive(Debug)]
 pub struct DeltaIndex {
     /// Documents in the sealed collection the delta extends (== the
@@ -48,6 +61,19 @@ pub struct DeltaIndex {
     docs: Vec<Document>,
     /// Local mini-index over the delta documents (local ids `0..len`).
     local: InvertedIndex,
+    /// Union term id of each local term, indexed by local [`TermId`]:
+    /// the sealed id when the base vocabulary knows the term, otherwise
+    /// `base_vocab_len + n` in first-occurrence order — exactly the id
+    /// the merge's re-interning will assign.
+    local_to_union: Vec<TermId>,
+    /// The inverse bridge, for scoring union-space query terms against
+    /// the local postings.
+    union_to_local: HashMap<TermId, TermId>,
+    /// Union (sealed + delta) collection stats plus the union per-term
+    /// stats of every term occurring in the delta. Terms the delta never
+    /// touches keep their sealed statistics, which *are* the union
+    /// statistics — the overlay's fallback is exact.
+    overlay: StatsOverlay,
 }
 
 impl DeltaIndex {
@@ -76,10 +102,82 @@ impl DeltaIndex {
                 doc.body.clone(),
             ));
         }
+        let local = builder.build();
+
+        // Bridge local term ids into the union space. Local ids are
+        // assigned by first occurrence over the delta token stream; the
+        // merge interns the same stream into a copy of the base
+        // vocabulary, so among terms the base does not know, ascending
+        // local id *is* the merge's assignment order.
+        let base_vocab_len = base.vocab().len();
+        let mut local_to_union = Vec::with_capacity(local.vocab().len());
+        let mut next_new = u32::try_from(base_vocab_len).expect("vocabulary fits u32 ids");
+        for lt in 0..local.vocab().len() {
+            let term = local
+                .vocab()
+                .term(TermId(lt as u32))
+                .expect("local vocabulary is dense");
+            let union = base.vocab().id(term).unwrap_or_else(|| {
+                let t = TermId(next_new);
+                next_new += 1;
+                t
+            });
+            local_to_union.push(union);
+        }
+        let union_to_local: HashMap<TermId, TermId> = local_to_union
+            .iter()
+            .enumerate()
+            .map(|(lt, &u)| (u, TermId(lt as u32)))
+            .collect();
+
+        // Union statistics, with the merge's exact integer arithmetic:
+        // the merge adds each delta document's token count to the sealed
+        // total and divides once at the end, and sums df/cf over base
+        // postings plus the delta extension runs.
+        let (bs, ls) = (base.stats(), local.stats());
+        let num_docs = bs.num_docs + ls.num_docs;
+        let num_tokens = bs.num_tokens + ls.num_tokens;
+        let avg_doc_len = if num_docs == 0 {
+            0.0
+        } else {
+            num_tokens as f64 / num_docs as f64
+        };
+        let overrides = local_to_union
+            .iter()
+            .enumerate()
+            .map(|(lt, &u)| {
+                let lts = local
+                    .term_stats(TermId(lt as u32))
+                    .expect("local term stats are dense");
+                let bts = base.term_stats(u).unwrap_or(TermStats {
+                    doc_freq: 0,
+                    coll_freq: 0,
+                });
+                (
+                    u,
+                    TermStats {
+                        doc_freq: bts.doc_freq + lts.doc_freq,
+                        coll_freq: bts.coll_freq + lts.coll_freq,
+                    },
+                )
+            })
+            .collect();
+        let overlay = StatsOverlay::new(
+            CollectionStats {
+                num_docs,
+                num_tokens,
+                avg_doc_len,
+            },
+            overrides,
+        );
+
         DeltaIndex {
             base_docs,
             docs,
-            local: builder.build(),
+            local,
+            local_to_union,
+            union_to_local,
+            overlay,
         }
     }
 
@@ -116,28 +214,71 @@ impl DeltaIndex {
         (usize::try_from(local).unwrap() < self.docs.len()).then_some(DocId(local))
     }
 
-    /// Top-`k` delta documents for a raw query, ranked with the delta's
-    /// local statistics, reported under **global** ids.
-    pub fn retrieve_global(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
-        self.globalize(SearchEngine::new(&self.local).search(query, k))
+    /// The union statistics overlay: union collection stats plus the
+    /// union per-term stats of every term the delta touches.
+    pub fn overlay(&self) -> &StatsOverlay {
+        &self.overlay
     }
 
-    /// Top-`k` delta documents for terms pre-analyzed against the *base*
-    /// vocabulary. Term ids are translated through their surface strings
-    /// into the delta's own vocabulary (terms the delta never saw simply
-    /// contribute nothing).
-    pub fn retrieve_terms_global(
-        &self,
-        base_vocab: &Vocabulary,
-        terms: &[TermId],
-        k: usize,
-    ) -> Vec<ScoredDoc> {
-        let local_terms: Vec<TermId> = terms
+    /// Union (sealed + delta) collection statistics — bit-identical to
+    /// what [`merge_sealed`] will compute.
+    pub fn union_stats(&self) -> CollectionStats {
+        self.overlay.coll()
+    }
+
+    /// Analyze raw query text into **union** term ids: sealed ids for
+    /// terms the base vocabulary knows, bridged delta ids for terms only
+    /// the delta has seen. Terms unknown to both are dropped — exactly
+    /// what the merged index's `analyze_query` will do.
+    ///
+    /// This is what lets a query term that arrived *with* the delta
+    /// contribute its df before the merge; the sealed-vocabulary-only
+    /// analysis the old path used silently dropped such terms.
+    pub fn analyze_query_union(&self, base_vocab: &Vocabulary, query: &str) -> Vec<TermId> {
+        self.local
+            .analyzer()
+            .analyze(query)
             .iter()
-            .filter_map(|&t| base_vocab.term(t))
-            .filter_map(|s| self.local.vocab().id(s))
-            .collect();
-        self.globalize(SearchEngine::new(&self.local).search_terms(&local_terms, k))
+            .filter_map(|term| {
+                base_vocab.id(term).or_else(|| {
+                    self.local
+                        .vocab()
+                        .id(term)
+                        .map(|lt| self.local_to_union[lt.index()])
+                })
+            })
+            .collect()
+    }
+
+    /// Top-`k` delta documents for union-space query terms, scored with
+    /// the **union** statistics overlay (DPH, ascending-union-id
+    /// accumulation order), reported under **global** ids — the delta
+    /// half of the bit-identity contract: every score equals, bit for
+    /// bit, what a from-scratch build over the union corpus computes for
+    /// the same document.
+    pub fn retrieve_union(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
+        if terms.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let model = Dph::new();
+        let mut acc: HashMap<DocId, f64> = HashMap::new();
+        accumulate_term_contributions(
+            self.overlay.coll(),
+            |t| self.overlay.term_stats(t),
+            |t| {
+                self.union_to_local
+                    .get(&t)
+                    .and_then(|&lt| self.local.postings(lt))
+            },
+            |doc| self.local.doc_len(doc).unwrap_or(0),
+            &query_weights(terms),
+            &model,
+            |doc, s| *acc.entry(doc).or_insert(0.0) += s,
+        );
+        self.globalize(top_k(
+            acc.into_iter().map(|(doc, score)| ScoredDoc { doc, score }),
+            k,
+        ))
     }
 
     /// Shift a local ranking into the global id space (a constant offset,
@@ -154,6 +295,15 @@ impl DeltaIndex {
 /// side by side, gathering the union top-`k` with the same k-way merge
 /// the sharded scatter path uses — the delta is just one more shard.
 ///
+/// Queries are analyzed once into the union term-id space; the sealed
+/// side scores through [`Retriever::retrieve_terms_overlaid`] under the
+/// delta's union [`StatsOverlay`], the delta side through
+/// [`DeltaIndex::retrieve_union`]. Because the two sides partition the
+/// union document space, accumulate each document's terms in the same
+/// ascending-union-id order against the same statistics, and merge under
+/// [`top_k`]'s exact total order, the gathered page is `f64`-bit-identical
+/// to a from-scratch build over the union corpus.
+///
 /// Completeness mirrors the sealed retriever's: the in-process delta can
 /// never lose a shard, so a partial gather can only come from below.
 pub struct DeltaRetriever {
@@ -165,6 +315,11 @@ pub struct DeltaRetriever {
 impl DeltaRetriever {
     /// Combine `sealed` (the deployed retrieval layer over `base`) with a
     /// delta over freshly ingested documents.
+    ///
+    /// The bit-identity contract requires `sealed` to honor
+    /// [`Retriever::retrieve_terms_overlaid`]; the retrievers the serving
+    /// engine deploys ([`InvertedIndex`],
+    /// [`ShardedIndex`](crate::sharded::ShardedIndex)) all do.
     pub fn new(
         sealed: Arc<dyn Retriever>,
         base: Arc<InvertedIndex>,
@@ -181,32 +336,36 @@ impl DeltaRetriever {
     pub fn delta(&self) -> &Arc<DeltaIndex> {
         &self.delta
     }
+
+    /// Score both sides of the union under the shared overlay and gather.
+    /// Union-only term ids are harmless on the sealed side: the sealed
+    /// postings simply do not have them, so they contribute nothing there
+    /// — as in the merged index, where their postings hold only delta
+    /// documents.
+    fn gather(&self, terms: &[TermId], k: usize) -> Retrieval {
+        let sealed = self
+            .sealed
+            .retrieve_terms_overlaid(terms, k, self.delta.overlay());
+        let hits = merge_top_k(vec![sealed.hits, self.delta.retrieve_union(terms, k)], k);
+        Retrieval {
+            hits,
+            complete: sealed.complete,
+        }
+    }
 }
 
 impl Retriever for DeltaRetriever {
     fn retrieve(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
-        merge_top_k(
-            vec![
-                self.sealed.retrieve(query, k),
-                self.delta.retrieve_global(query, k),
-            ],
-            k,
-        )
+        self.retrieve_with_status(query, k).hits
     }
 
     fn retrieve_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
-        merge_top_k(
-            vec![
-                self.sealed.retrieve_terms(terms, k),
-                self.delta
-                    .retrieve_terms_global(self.base.vocab(), terms, k),
-            ],
-            k,
-        )
+        self.gather(terms, k).hits
     }
 
     fn retrieve_with_status(&self, query: &str, k: usize) -> Retrieval {
-        self.retrieve_with_status_within(query, k, None)
+        let terms = self.delta.analyze_query_union(self.base.vocab(), query);
+        self.gather(&terms, k)
     }
 
     fn retrieve_with_status_within(
@@ -215,12 +374,11 @@ impl Retriever for DeltaRetriever {
         k: usize,
         budget_us: Option<u64>,
     ) -> Retrieval {
-        let sealed = self.sealed.retrieve_with_status_within(query, k, budget_us);
-        let hits = merge_top_k(vec![sealed.hits, self.delta.retrieve_global(query, k)], k);
-        Retrieval {
-            hits,
-            complete: sealed.complete,
-        }
+        // The retrievers a delta seals over are in-process and ignore
+        // budgets (an in-flight retrieval is cheaper to finish than to
+        // abandon), so there is nothing to forward the budget to.
+        let _ = budget_us;
+        self.retrieve_with_status(query, k)
     }
 }
 
@@ -377,6 +535,27 @@ mod tests {
         b.build()
     }
 
+    /// The union oracle: a from-scratch build over base + delta docs.
+    fn union_build(base_docs: &[Document], fresh: &[Document]) -> InvertedIndex {
+        let mut all = base_docs.to_vec();
+        all.extend(fresh.iter().cloned());
+        build(&all)
+    }
+
+    fn assert_bit_identical(got: &[ScoredDoc], expect: &[ScoredDoc], what: &str) {
+        assert_eq!(got.len(), expect.len(), "{what}");
+        for (g, e) in got.iter().zip(expect) {
+            assert_eq!(g.doc, e.doc, "{what}");
+            assert_eq!(
+                g.score.to_bits(),
+                e.score.to_bits(),
+                "{what}: {} vs {}",
+                g.score,
+                e.score
+            );
+        }
+    }
+
     #[test]
     fn merge_is_bit_identical_to_from_scratch() {
         let base_docs = base_corpus();
@@ -385,9 +564,7 @@ mod tests {
         let delta = DeltaIndex::build(&base, fresh.clone());
         let merged = merge_sealed(&base, &delta);
 
-        let mut all = base_docs.clone();
-        all.extend(fresh);
-        let scratch = build(&all);
+        let scratch = union_build(&base_docs, &fresh);
 
         // The strongest claim first: the serialized images are equal byte
         // for byte, so every downstream consumer (artifact export, shard
@@ -397,11 +574,7 @@ mod tests {
         for query in ["apple", "apple iphone", "weather forecast", "orchard"] {
             let a = Retriever::retrieve(&merged, query, 10);
             let b = Retriever::retrieve(&scratch, query, 10);
-            assert_eq!(a.len(), b.len(), "{query}");
-            for (x, y) in a.iter().zip(&b) {
-                assert_eq!(x.doc, y.doc, "{query}");
-                assert_eq!(x.score.to_bits(), y.score.to_bits(), "{query}");
-            }
+            assert_bit_identical(&a, &b, query);
         }
     }
 
@@ -415,10 +588,40 @@ mod tests {
     }
 
     #[test]
+    fn union_overlay_matches_the_merged_statistics_exactly() {
+        let base_docs = base_corpus();
+        let base = build(&base_docs);
+        let fresh = delta_corpus(12, 5);
+        let delta = DeltaIndex::build(&base, fresh.clone());
+        let merged = merge_sealed(&base, &delta);
+
+        // Collection stats: the same integer sums and the same single
+        // division, so even the f64 average is bit-equal.
+        let (u, m) = (delta.union_stats(), merged.stats());
+        assert_eq!(u.num_docs, m.num_docs);
+        assert_eq!(u.num_tokens, m.num_tokens);
+        assert_eq!(u.avg_doc_len.to_bits(), m.avg_doc_len.to_bits());
+
+        // Every merged term's stats come out of the overlay (delta terms)
+        // or the sealed index (untouched terms) — never a third value.
+        for t in 0..merged.num_terms() {
+            let term = TermId(t as u32);
+            let expect = merged.term_stats(term).unwrap();
+            let got = delta
+                .overlay()
+                .term_stats(term)
+                .or_else(|| base.term_stats(term))
+                .unwrap();
+            assert_eq!(got, expect, "term {t}");
+        }
+    }
+
+    #[test]
     fn delta_docs_are_searchable_under_global_ids() {
         let base = build(&base_corpus());
         let delta = DeltaIndex::build(&base, delta_corpus(12, 4));
-        let hits = delta.retrieve_global("apple fruit orchard", 10);
+        let terms = delta.analyze_query_union(base.vocab(), "apple fruit orchard");
+        let hits = delta.retrieve_union(&terms, 10);
         assert!(!hits.is_empty());
         for h in &hits {
             assert!(h.doc.0 >= 12, "delta hits carry global ids: {:?}", h.doc);
@@ -453,28 +656,96 @@ mod tests {
     }
 
     #[test]
-    fn delta_retriever_is_transparent_for_sealed_only_queries() {
-        let base = Arc::new(build(&base_corpus()));
-        let delta = Arc::new(DeltaIndex::build(&base, delta_corpus(12, 4)));
+    fn delta_retriever_is_bit_identical_to_from_scratch_union_build() {
+        let base_docs = base_corpus();
+        let fresh = delta_corpus(12, 4);
+        let base = Arc::new(build(&base_docs));
+        let delta = Arc::new(DeltaIndex::build(&base, fresh.clone()));
         let retriever = DeltaRetriever::new(base.clone(), base.clone(), delta);
-        // No delta document mentions the weather vocabulary: the gather
-        // must be exactly the sealed ranking, score bits included.
-        let merged = retriever.retrieve("weather forecast", 10);
-        let sealed = Retriever::retrieve(base.as_ref(), "weather forecast", 10);
-        assert_eq!(merged.len(), sealed.len());
-        for (a, b) in merged.iter().zip(&sealed) {
-            assert_eq!(a.doc, b.doc);
-            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        let scratch = union_build(&base_docs, &fresh);
+
+        // Every page — sealed-heavy, delta-heavy, mixed, sealed-only —
+        // must match the from-scratch union build bit for bit. This is
+        // the contract that used to hold only *after* the merge.
+        for query in [
+            "apple",
+            "apple iphone",
+            "apple fruit orchard",
+            "weather forecast",
+            "orchard sweet harvest",
+        ] {
+            for k in [1, 3, 10, 30] {
+                let got = retriever.retrieve(query, k);
+                let expect = Retriever::retrieve(&scratch, query, k);
+                assert_bit_identical(&got, &expect, &format!("{query} k={k}"));
+            }
         }
     }
 
     #[test]
-    fn retrieve_terms_translates_base_vocabulary() {
+    fn sealed_only_queries_rank_with_union_statistics() {
+        let base_docs = base_corpus();
+        let fresh = delta_corpus(12, 4);
+        let base = Arc::new(build(&base_docs));
+        let delta = Arc::new(DeltaIndex::build(&base, fresh.clone()));
+        let retriever = DeltaRetriever::new(base.clone(), base.clone(), delta);
+        // No delta document mentions the weather vocabulary, so every hit
+        // is sealed — but the *scores* must still be the union build's
+        // (the delta changed num_docs and avg_doc_len for everyone), not
+        // the sealed index's own.
+        let scratch = union_build(&base_docs, &fresh);
+        let got = retriever.retrieve("weather forecast", 10);
+        let expect = Retriever::retrieve(&scratch, "weather forecast", 10);
+        assert!(got.iter().all(|h| h.doc.0 < 12), "sealed-only query");
+        assert_bit_identical(&got, &expect, "weather forecast");
+    }
+
+    #[test]
+    fn delta_only_query_terms_contribute_df_before_the_merge() {
+        // Regression for the silently-dropped-terms bug: "quantum" exists
+        // only in the delta, so sealed-vocabulary analysis loses it and
+        // the old path returned nothing for it. Union analysis must keep
+        // it, rank the delta document, and agree with the from-scratch
+        // union build bit for bit — including on a mixed query where the
+        // term's df shifts every matching document's score.
+        let base_docs = base_corpus();
+        let mut fresh = delta_corpus(12, 2);
+        fresh.push(Document::new(
+            14,
+            "http://tech/14",
+            "quantum computer",
+            "quantum computer qubit entanglement apple silicon",
+        ));
+        let base = Arc::new(build(&base_docs));
+        let delta = Arc::new(DeltaIndex::build(&base, fresh.clone()));
+        let retriever = DeltaRetriever::new(base.clone(), base.clone(), delta.clone());
+        let scratch = union_build(&base_docs, &fresh);
+
+        // The term is genuinely unknown to the sealed vocabulary…
+        assert!(base.analyze_query("quantum").is_empty());
+        // …but union analysis resolves it to the id the merge will assign.
+        let union_terms = delta.analyze_query_union(base.vocab(), "quantum");
+        assert_eq!(union_terms.len(), 1);
+        assert!(union_terms[0].index() >= base.vocab().len());
+
+        for query in ["quantum", "quantum apple", "qubit entanglement apple"] {
+            let got = retriever.retrieve(query, 10);
+            let expect = Retriever::retrieve(&scratch, query, 10);
+            assert!(!got.is_empty(), "{query}: delta-only terms must match");
+            assert_bit_identical(&got, &expect, query);
+        }
+    }
+
+    #[test]
+    fn retrieve_terms_accepts_base_vocabulary_ids() {
         let base = Arc::new(build(&base_corpus()));
         let delta = Arc::new(DeltaIndex::build(&base, delta_corpus(12, 4)));
         let terms = base.analyze_query("apple orchard");
         assert!(!terms.is_empty());
-        let hits = delta.retrieve_terms_global(base.vocab(), &terms, 10);
+        // Base term ids are union term ids (the sealed vocabulary is a
+        // prefix of the union vocabulary), so they address the delta's
+        // postings directly.
+        let hits = delta.retrieve_union(&terms, 10);
         assert!(!hits.is_empty());
         assert!(hits.iter().all(|h| h.doc.0 >= 12));
     }

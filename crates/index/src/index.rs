@@ -29,6 +29,52 @@ pub struct TermStats {
     pub coll_freq: u64,
 }
 
+/// Statistics to score against *instead of* an index's own: replacement
+/// collection-wide quantities plus per-term overrides for the terms whose
+/// statistics differ.
+///
+/// This is how the NRT delta path keeps ranking score-honest: the overlay
+/// carries the **union** (sealed + delta) collection stats and the union
+/// [`TermStats`] of every term the delta touches, and both the sealed
+/// retrieval side and the delta side score against it. Terms the overlay
+/// does not carry fall back to the scored index's own statistics — for a
+/// term absent from the delta, sealed statistics *are* the union
+/// statistics, so the fallback is exact, not approximate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsOverlay {
+    coll: CollectionStats,
+    /// Overridden per-term statistics, sorted by ascending [`TermId`].
+    terms: Vec<(TermId, TermStats)>,
+}
+
+impl StatsOverlay {
+    /// Overlay with replacement collection stats and per-term overrides
+    /// (any order; sorted internally).
+    pub fn new(coll: CollectionStats, mut terms: Vec<(TermId, TermStats)>) -> Self {
+        terms.sort_unstable_by_key(|&(t, _)| t);
+        StatsOverlay { coll, terms }
+    }
+
+    /// The replacement collection-wide statistics.
+    pub fn coll(&self) -> CollectionStats {
+        self.coll
+    }
+
+    /// The overridden statistics of `term`, when the overlay carries them
+    /// (`None` ⇒ the scored index's own statistics are already correct).
+    pub fn term_stats(&self, term: TermId) -> Option<TermStats> {
+        self.terms
+            .binary_search_by_key(&term, |&(t, _)| t)
+            .ok()
+            .map(|i| self.terms[i].1)
+    }
+
+    /// Number of per-term overrides.
+    pub fn num_overrides(&self) -> usize {
+        self.terms.len()
+    }
+}
+
 /// Immutable inverted index over a [`DocumentStore`].
 #[derive(Debug)]
 pub struct InvertedIndex {

@@ -77,7 +77,7 @@ pub use document::{DocId, Document, DocumentStore};
 pub use dph::Dph;
 pub use executor::{ScoringExecutor, TaskPanic};
 pub use forward::ForwardIndex;
-pub use index::{CollectionStats, InvertedIndex, TermStats};
+pub use index::{CollectionStats, InvertedIndex, StatsOverlay, TermStats};
 pub use maxscore::MaxScoreEngine;
 pub use positions::{phrase_search, PositionalIndex};
 pub use retriever::{Retrieval, Retriever};

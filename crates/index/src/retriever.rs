@@ -28,7 +28,7 @@
 //! assert_eq!(unsharded.retrieve("apple", 2), sharded.retrieve("apple", 2));
 //! ```
 
-use crate::index::InvertedIndex;
+use crate::index::{InvertedIndex, StatsOverlay};
 use crate::maxscore::MaxScoreEngine;
 use crate::search::{RankingModel, ScoredDoc, SearchEngine};
 use serpdiv_text::TermId;
@@ -110,6 +110,29 @@ pub trait Retriever: Send + Sync {
         let _ = budget_us;
         self.retrieve_with_status(query, k)
     }
+
+    /// Like [`retrieve_terms`](Self::retrieve_terms), but scored against
+    /// the statistics in `overlay` instead of the retriever's own — the
+    /// sealed half of the NRT union-statistics contract (see
+    /// [`DeltaRetriever`](crate::delta::DeltaRetriever)).
+    ///
+    /// The default **ignores the overlay** and scores with the
+    /// retriever's own statistics. That is only acceptable for strategies
+    /// that never serve underneath a [`DeltaIndex`](crate::delta::DeltaIndex)
+    /// (MaxScore, the fleet router); the retrievers the serving engine
+    /// actually seals a delta over — [`InvertedIndex`] and
+    /// [`ShardedIndex`](crate::sharded::ShardedIndex) — override it
+    /// honestly, which is what makes a pre-merge `DeltaRetriever` page
+    /// `f64`-bit-identical to a from-scratch union build.
+    fn retrieve_terms_overlaid(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        overlay: &StatsOverlay,
+    ) -> Retrieval {
+        let _ = overlay;
+        Retrieval::complete(self.retrieve_terms(terms, k))
+    }
 }
 
 /// The default retriever: term-at-a-time DPH over the whole collection
@@ -121,6 +144,15 @@ impl Retriever for InvertedIndex {
 
     fn retrieve_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
         SearchEngine::new(self).search_terms(terms, k)
+    }
+
+    fn retrieve_terms_overlaid(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        overlay: &StatsOverlay,
+    ) -> Retrieval {
+        Retrieval::complete(SearchEngine::new(self).search_terms_overlaid(terms, k, overlay))
     }
 }
 

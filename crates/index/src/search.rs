@@ -6,7 +6,7 @@
 //! same discipline OptSelect later applies to diversification.
 
 use crate::document::DocId;
-use crate::index::{CollectionStats, InvertedIndex, TermStats};
+use crate::index::{CollectionStats, InvertedIndex, StatsOverlay, TermStats};
 use serpdiv_text::TermId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -107,6 +107,41 @@ impl<'a> SearchEngine<'a> {
         accumulate_term_contributions(
             self.index.stats(),
             |t| self.index.term_stats(t),
+            |t| self.index.postings(t),
+            |doc| self.index.doc_len(doc).unwrap_or(0),
+            &query_weights(terms),
+            &*self.model,
+            |doc, s| *acc.entry(doc).or_insert(0.0) += s,
+        );
+        top_k(
+            acc.into_iter().map(|(doc, score)| ScoredDoc { doc, score }),
+            k,
+        )
+    }
+
+    /// Like [`search_terms`](Self::search_terms), but every model call
+    /// reads statistics through `overlay`: the overlay's collection stats
+    /// replace the index's own, and per-term overrides take precedence
+    /// (terms without an override keep the index's statistics).
+    ///
+    /// This is the sealed half of the NRT union-statistics contract: a
+    /// sealed index scored under the delta's union overlay produces, for
+    /// every sealed document, the exact `f64` bits a from-scratch build
+    /// over the union corpus would — same stats, same ascending-term
+    /// accumulation order.
+    pub fn search_terms_overlaid(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        overlay: &StatsOverlay,
+    ) -> Vec<ScoredDoc> {
+        if terms.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut acc: HashMap<DocId, f64> = HashMap::new();
+        accumulate_term_contributions(
+            overlay.coll(),
+            |t| overlay.term_stats(t).or_else(|| self.index.term_stats(t)),
             |t| self.index.postings(t),
             |doc| self.index.doc_len(doc).unwrap_or(0),
             &query_weights(terms),

@@ -28,9 +28,9 @@
 use crate::document::DocId;
 use crate::dph::Dph;
 use crate::executor::ScoringExecutor;
-use crate::index::InvertedIndex;
+use crate::index::{InvertedIndex, StatsOverlay};
 use crate::postings::{PostingsBuilder, PostingsList};
-use crate::retriever::Retriever;
+use crate::retriever::{Retrieval, Retriever};
 use crate::search::{accumulate_term_contributions, query_weights, top_k, RankingModel, ScoredDoc};
 use serpdiv_text::TermId;
 use std::cmp::Ordering;
@@ -302,11 +302,12 @@ impl ShardedIndex {
         weights: &[(TermId, u32)],
         model: &(dyn RankingModel + Send + Sync),
         k: usize,
+        overlay: Option<&StatsOverlay>,
     ) -> Vec<ScoredDoc> {
         if shard.len <= self.dense_limit {
-            self.score_shard_dense(shard, weights, model, k)
+            self.score_shard_dense(shard, weights, model, k, overlay)
         } else {
-            self.score_shard_sparse(shard, weights, model, k)
+            self.score_shard_sparse(shard, weights, model, k, overlay)
         }
     }
 
@@ -319,11 +320,13 @@ impl ShardedIndex {
         weights: &[(TermId, u32)],
         model: &(dyn RankingModel + Send + Sync),
         k: usize,
+        overlay: Option<&StatsOverlay>,
     ) -> Vec<ScoredDoc> {
         score_range_dense(
             &ShardView {
                 index: &self.index,
                 shard,
+                overlay,
             },
             weights,
             model,
@@ -339,11 +342,13 @@ impl ShardedIndex {
         weights: &[(TermId, u32)],
         model: &(dyn RankingModel + Send + Sync),
         k: usize,
+        overlay: Option<&StatsOverlay>,
     ) -> Vec<ScoredDoc> {
         score_range_sparse(
             &ShardView {
                 index: &self.index,
                 shard,
+                overlay,
             },
             weights,
             model,
@@ -383,8 +388,16 @@ impl ShardedIndex {
     /// Scatter: score every shard — through the persistent executor, the
     /// scoped-thread oracle, or inline, per `mode` — then gather: k-way
     /// merge of the per-shard top-`k` lists. Every mode produces the same
-    /// `f64` bits in the same order.
-    fn scatter_gather(&self, terms: &[TermId], k: usize, mode: ScatterMode) -> Vec<ScoredDoc> {
+    /// `f64` bits in the same order. When an `overlay` is given, every
+    /// shard scores against its statistics (the NRT union contract)
+    /// instead of the shared index's own.
+    fn scatter_gather(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        mode: ScatterMode,
+        overlay: Option<&StatsOverlay>,
+    ) -> Vec<ScoredDoc> {
         if terms.is_empty() || k == 0 {
             return Vec::new();
         }
@@ -420,7 +433,7 @@ impl ShardedIndex {
                 .enumerate()
                 .map(|(s, shard)| {
                     self.fault(s);
-                    self.score_shard(shard, &weights, &model, k)
+                    self.score_shard(shard, &weights, &model, k, overlay)
                 })
                 .collect(),
             ScatterMode::Executor => {
@@ -433,7 +446,7 @@ impl ShardedIndex {
                 // reuse their thread-local scratch — nothing is spawned.
                 match executor.scope_run(self.shards.len(), &|s| {
                     self.fault(s);
-                    self.score_shard(&self.shards[s], &weights, &model, k)
+                    self.score_shard(&self.shards[s], &weights, &model, k, overlay)
                 }) {
                     Ok(per_shard) => per_shard,
                     // A panicked task poisons only this query: re-raise on
@@ -456,7 +469,10 @@ impl ShardedIndex {
                                         break;
                                     };
                                     self.fault(s);
-                                    mine.push((s, self.score_shard(shard, weights, model, k)));
+                                    mine.push((
+                                        s,
+                                        self.score_shard(shard, weights, model, k, overlay),
+                                    ));
                                 }
                                 mine
                             })
@@ -484,18 +500,27 @@ impl ShardedIndex {
         k: usize,
         mode: ScatterMode,
     ) -> Vec<ScoredDoc> {
-        self.scatter_gather(terms, k, mode)
+        self.scatter_gather(terms, k, mode, None)
     }
 }
 
 impl Retriever for ShardedIndex {
     fn retrieve(&self, query: &str, k: usize) -> Vec<ScoredDoc> {
         let terms = self.index.analyze_query(query);
-        self.scatter_gather(&terms, k, ScatterMode::Auto)
+        self.scatter_gather(&terms, k, ScatterMode::Auto, None)
     }
 
     fn retrieve_terms(&self, terms: &[TermId], k: usize) -> Vec<ScoredDoc> {
-        self.scatter_gather(terms, k, ScatterMode::Auto)
+        self.scatter_gather(terms, k, ScatterMode::Auto, None)
+    }
+
+    fn retrieve_terms_overlaid(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        overlay: &StatsOverlay,
+    ) -> Retrieval {
+        Retrieval::complete(self.scatter_gather(terms, k, ScatterMode::Auto, Some(overlay)))
     }
 }
 
@@ -522,19 +547,25 @@ pub(crate) trait RangeSource {
 }
 
 /// [`RangeSource`] over one in-process shard: postings from the shard,
-/// every statistic from the shared global index.
+/// every statistic from the shared global index — or, under the NRT
+/// union contract, from the overlay first (with the index's own
+/// statistics as the exact fallback for terms the overlay leaves alone).
 struct ShardView<'a> {
     index: &'a InvertedIndex,
     shard: &'a Shard,
+    overlay: Option<&'a StatsOverlay>,
 }
 
 impl RangeSource for ShardView<'_> {
     fn coll(&self) -> crate::index::CollectionStats {
-        self.index.stats()
+        self.overlay
+            .map_or_else(|| self.index.stats(), |o| o.coll())
     }
 
     fn term_stats(&self, t: TermId) -> Option<crate::index::TermStats> {
-        self.index.term_stats(t)
+        self.overlay
+            .and_then(|o| o.term_stats(t))
+            .or_else(|| self.index.term_stats(t))
     }
 
     fn range_postings(&self, t: TermId) -> Option<&PostingsList> {
@@ -958,19 +989,19 @@ mod tests {
         let weights = query_weights(&idx.analyze_query("apple iphone chip"));
         // Sanity: the query touches enough postings that a fuse of 3
         // burns after some slots are dirty but before the pass finishes.
-        let clean = sharded.score_shard_dense(shard, &weights, &Dph::new(), 30);
+        let clean = sharded.score_shard_dense(shard, &weights, &Dph::new(), 30, None);
         assert!(clean.len() > 3);
         let faulty = FusedModel {
             inner: Dph::new(),
             fuse: AtomicU32::new(3),
         };
         let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sharded.score_shard_dense(shard, &weights, &faulty, 30)
+            sharded.score_shard_dense(shard, &weights, &faulty, 30, None)
         }));
         assert!(unwound.is_err(), "the fused model must panic mid-pass");
         // The unwind path must have restored the all-zero invariant on
         // this thread's scratch: an immediate re-score is bit-identical.
-        let rescored = sharded.score_shard_dense(shard, &weights, &Dph::new(), 30);
+        let rescored = sharded.score_shard_dense(shard, &weights, &Dph::new(), 30, None);
         assert_eq!(clean.len(), rescored.len());
         for (a, b) in clean.iter().zip(&rescored) {
             assert_eq!(a.doc, b.doc);

@@ -209,6 +209,30 @@ impl ShardedResultCache {
         self.shard(&key as &dyn KeyView).lock().insert(key, serp);
     }
 
+    /// Probe without touching the hit/miss counters — the carry-over
+    /// path's look at the *predecessor* generation's tag. That probe is
+    /// bookkeeping behind a request whose own lookup was already counted
+    /// as a miss by [`get`](Self::get); counting it too would double-bill
+    /// the request in the hit rate.
+    pub fn peek(
+        &self,
+        generation: u64,
+        query: &str,
+        k: usize,
+        algorithm: AlgorithmKind,
+    ) -> Option<CachedSerp> {
+        let probe = KeyParts {
+            generation,
+            query,
+            k,
+            algorithm,
+        };
+        self.shard(&probe)
+            .lock()
+            .get_by(&probe as &dyn KeyView)
+            .cloned()
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()

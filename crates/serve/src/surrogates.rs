@@ -73,11 +73,13 @@ impl SurrogateCache {
     /// miss. `compute` runs outside the shard lock, so a slow surrogate
     /// build never blocks other workers' lookups (two racing misses both
     /// compute; the deterministic construction makes either result
-    /// correct).
+    /// correct). It returns the `Arc` directly so a caller resolving the
+    /// miss from elsewhere — the cross-generation carry-over probe —
+    /// shares the vector instead of copying it.
     pub fn get_or_compute(
         &self,
         key: SurrogateKey,
-        compute: impl FnOnce() -> SparseVector,
+        compute: impl FnOnce() -> Arc<SparseVector>,
     ) -> Arc<SparseVector> {
         let shard = self.shard(&key);
         if let Some(v) = shard.lock().get(&key) {
@@ -85,9 +87,17 @@ impl SurrogateCache {
             return v.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let v = Arc::new(compute());
+        let v = compute();
         shard.lock().insert(key, v.clone());
         v
+    }
+
+    /// Probe without touching the hit/miss counters — the carry-over
+    /// path's look at the *predecessor* generation's tag, which is not a
+    /// request-facing lookup (the request's own probe is already counted
+    /// by [`get_or_compute`](Self::get_or_compute)).
+    pub fn peek(&self, key: &SurrogateKey) -> Option<Arc<SparseVector>> {
+        self.shard(key).lock().get(key).cloned()
     }
 
     /// Current counters and occupancy.
@@ -139,11 +149,11 @@ mod tests {
         let mut calls = 0;
         let a = cache.get_or_compute(key(7, &[1, 2]), || {
             calls += 1;
-            vector(1.0)
+            Arc::new(vector(1.0))
         });
         let b = cache.get_or_compute(key(7, &[1, 2]), || {
             calls += 1;
-            vector(2.0)
+            Arc::new(vector(2.0))
         });
         assert_eq!(calls, 1, "second lookup must hit");
         assert!(Arc::ptr_eq(&a, &b), "hit returns the shared vector");
@@ -154,16 +164,16 @@ mod tests {
     #[test]
     fn key_is_doc_and_term_contents() {
         let cache = SurrogateCache::new(2, 16);
-        cache.get_or_compute(key(1, &[5]), || vector(1.0));
+        cache.get_or_compute(key(1, &[5]), || Arc::new(vector(1.0)));
         // Same doc, different query terms → different snippet → miss.
-        cache.get_or_compute(key(1, &[6]), || vector(2.0));
+        cache.get_or_compute(key(1, &[6]), || Arc::new(vector(2.0)));
         // Different doc, same terms → miss.
-        cache.get_or_compute(key(2, &[5]), || vector(3.0));
+        cache.get_or_compute(key(2, &[5]), || Arc::new(vector(3.0)));
         // Same doc and terms under a different generation → miss: a hot
         // swap must never serve the previous generation's vector.
-        cache.get_or_compute(gen_key(2, 1, &[5]), || vector(4.0));
+        cache.get_or_compute(gen_key(2, 1, &[5]), || Arc::new(vector(4.0)));
         // Equal contents through a *different* Arc → hit.
-        let hit = cache.get_or_compute(key(1, &[5]), || vector(9.0));
+        let hit = cache.get_or_compute(key(1, &[5]), || Arc::new(vector(9.0)));
         assert_eq!(hit.entries()[0].1, 1.0);
         assert_eq!(cache.stats().misses, 4);
         assert_eq!(cache.stats().hits, 1);
@@ -173,7 +183,7 @@ mod tests {
     fn capacity_bounds_and_clear() {
         let cache = SurrogateCache::new(2, 4);
         for d in 0..100 {
-            cache.get_or_compute(key(d, &[1]), || vector(d as f32 + 1.0));
+            cache.get_or_compute(key(d, &[1]), || Arc::new(vector(d as f32 + 1.0)));
         }
         assert!(cache.stats().entries <= 4);
         cache.clear();
@@ -190,7 +200,8 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..200u32 {
                         let d = (t * 13 + i) % 32;
-                        let got = cache.get_or_compute(key(d, &[1, 2]), || vector(d as f32 + 1.0));
+                        let got = cache
+                            .get_or_compute(key(d, &[1, 2]), || Arc::new(vector(d as f32 + 1.0)));
                         assert_eq!(got.entries()[0].1, d as f32 + 1.0);
                     }
                 });

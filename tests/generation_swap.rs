@@ -11,9 +11,10 @@
 //! * corrupt or truncated artifacts are **rejected with a counted
 //!   `swap_rejected`** and the old generation keeps serving untouched;
 //! * a stale (non-advancing) generation id is refused;
-//! * the result cache is generation-tagged: a page cached before a swap
-//!   is never returned after it — it recomputes (and the page only
-//!   changes if the corpus did);
+//! * the result cache is generation-tagged with provable carry-over: a
+//!   swap whose artifacts leave a page byte-for-byte unchanged keeps it
+//!   warm under the new generation, while any swap that could change a
+//!   byte of it drops the entry and recomputes;
 //! * NRT ingest accumulates across generations and `merge_delta` seals
 //!   the delta into an index **bit-identical** to a from-scratch build;
 //! * the [`BackgroundMerger`] seals a growing delta on its own.
@@ -194,7 +195,7 @@ fn stale_artifact_ids_are_refused() {
 }
 
 #[test]
-fn cached_pages_do_not_survive_a_swap() {
+fn carry_over_keeps_identical_pages_and_drops_changed_ones() {
     let engine = deploy(&base_docs(), 256);
     let req = || QueryRequest::new("apple", 4, AlgorithmKind::OptSelect);
     let first = engine.search(req());
@@ -203,25 +204,32 @@ fn cached_pages_do_not_survive_a_swap() {
     assert!(second.cache_hit, "same generation: the page is cached");
     assert_eq!(first.results, second.results);
 
-    // Swap to an identical successor: the cache entry under generation 1
-    // must be unreachable — the page recomputes (and, artifacts being
-    // identical, matches bit for bit).
+    // Swap to an identical successor: the publish proves every byte of
+    // the page unchanged, and the repeat's miss under the new tag
+    // promotes the entry instead of recomputing — a warm hit under the
+    // new generation, no swap cold-start.
     engine.republish().unwrap();
     let third = engine.search(req());
-    assert!(
-        !third.cache_hit,
-        "a pre-swap page must never be served post-swap"
-    );
+    assert!(third.cache_hit, "an identical swap must carry the page");
     assert_eq!(third.generation, 2);
     assert_eq!(first.results, third.results);
+    assert!(engine.metrics().carried_over > 0);
 
-    // Swap to a *different* corpus: the recompute serves the new world,
-    // proving the miss was not cosmetic.
+    // Swap to a *different* corpus: carry validation fails (the corpus
+    // — hence retrieval — changed), the entry drops, and the recompute
+    // serves the new world. A carried page never hides a corpus change.
     let mut grown = base_docs();
     grown.extend(storm_docs(12..20));
     engine
         .publish_artifacts(&artifacts_for(&engine, &grown, 3))
         .unwrap();
+    let apple = engine.search(req());
+    assert!(!apple.cache_hit, "the pre-swap page was refused");
+    assert_eq!(apple.generation, 3);
+    assert!(
+        engine.metrics().carry_skipped > 0,
+        "changed corpus: cached pages must not carry"
+    );
     let storm = engine.search(QueryRequest::new("storm", 5, AlgorithmKind::Baseline));
     assert!(!storm.cache_hit);
     assert_eq!(storm.results.len(), 5);
@@ -231,6 +239,47 @@ fn cached_pages_do_not_survive_a_swap() {
             .search(QueryRequest::new("storm", 5, AlgorithmKind::Baseline))
             .cache_hit
     );
+}
+
+#[test]
+fn ingest_carries_surrogates_but_recomputes_pages() {
+    let engine = deploy(&base_docs(), 256);
+    let req = || QueryRequest::new("apple", 4, AlgorithmKind::OptSelect);
+    let first = engine.search(req());
+    assert!(!first.cache_hit && first.diversified);
+
+    // An ingest changes the union statistics, so every cached page is
+    // invalid (DPH scores move with df / num_docs / avg_doc_len) and
+    // must recompute — but the sealed index and forward store are the
+    // very same arcs, so the per-document snippet surrogates carry and
+    // the recompute only pays retrieval + selection, not vectorization.
+    engine.ingest(storm_docs(12..14)).unwrap();
+    let after = engine.search(req());
+    assert!(!after.cache_hit, "union stats changed: the page recomputes");
+    assert_eq!(after.generation, 2);
+    let m = engine.metrics();
+    assert!(m.carried_over > 0, "surrogates carry across an ingest");
+    assert!(m.carry_skipped > 0, "the cached page must not");
+}
+
+#[test]
+fn merge_delta_carries_baseline_pages_via_the_union_contract() {
+    let engine = deploy(&base_docs(), 256);
+    engine.ingest(storm_docs(12..16)).unwrap();
+    let req = || QueryRequest::new("storm", 4, AlgorithmKind::Baseline);
+    let live = engine.search(req());
+    assert!(!live.cache_hit);
+    assert_eq!(live.results.len(), 4);
+
+    // The union-statistics contract makes the pre-merge page bit-equal
+    // to the post-merge one; the merge publish re-proves that per entry
+    // and carries it, so sealing the delta does not cold-start traffic
+    // whose pages did not change.
+    engine.merge_delta().unwrap();
+    let sealed = engine.search(req());
+    assert!(sealed.cache_hit, "merge must carry the bit-identical page");
+    assert_eq!(sealed.generation, engine.current_generation_id());
+    assert_eq!(live.results, sealed.results);
 }
 
 #[test]

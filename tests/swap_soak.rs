@@ -21,6 +21,18 @@
 //! (zero dropped requests) and the swap counters equal the deploy
 //! schedule exactly.
 //!
+//! Two carry-over invariants ride on the same oracle discipline. Every
+//! response — cache hits and carried entries included — must match its
+//! claimed generation's oracle, so a carried entry serving a stale
+//! generation's bytes fails `check` loudly. And the carry counters must
+//! agree with what the swaps could prove: artifact swaps that change the
+//! corpus change every page's statistics, so nothing may carry, while
+//! NRT ingest shares the sealed artifacts, so surrogates carry and
+//! result pages (whose union statistics moved) do not. The ingest oracle
+//! additionally pins the union-statistics contract: every page holding
+//! *unmerged delta documents* is bit-identical to a from-scratch sealed
+//! build over the union corpus.
+//!
 //! Chaos arming is process-global, so the tests serialize on one mutex.
 
 use serpdiv::chaos::{self, FaultKind, FaultPlan};
@@ -341,6 +353,15 @@ fn sixteen_clients_race_repeated_swaps_without_a_single_torn_page() {
         // The deploy schedule, exactly: 5 good swaps, 1 poisoned reject.
         assert_eq!((m.swaps, m.swap_rejected), (GENERATIONS - 1, 1));
         assert_eq!(m.generation, GENERATIONS);
+        // Carry-over staleness: every generation grows the corpus, which
+        // moves every page's collection statistics and every surrogate's
+        // idf table — no cached byte is provably unchanged, so the carry
+        // pass must refuse everything. (That nothing stale *was* served
+        // is what `check` proved on every single response above.)
+        assert_eq!(
+            m.carried_over, 0,
+            "a corpus-changing swap must never carry a cache entry"
+        );
     });
 }
 
@@ -366,10 +387,36 @@ fn nrt_ingest_races_clients_without_tearing() {
             oracle.insert(g, pages);
         };
         record(&shadow, &mut oracle, 1);
+        let sealed_docs = base_docs().len() as u32;
+        let mut accumulated = base_docs();
+        let mut delta_pages = 0usize;
         for (i, step) in steps.iter().enumerate() {
             shadow.ingest(step.clone()).expect("shadow ingest");
             record(&shadow, &mut oracle, i as u64 + 2);
+            // The union-statistics contract, held *inside the oracle*:
+            // at every ingest instant, each page containing unmerged
+            // delta documents is f64-bit-identical to a from-scratch
+            // sealed build over the union corpus — delta docs rank with
+            // union statistics, not delta-local ones.
+            accumulated.extend(step.iter().cloned());
+            let scratch = SearchEngine::deploy(build_index(&accumulated), model(), config(0));
+            for req in schedule() {
+                let key = (req.query.clone(), req.k, req.algorithm);
+                let live_page = &oracle[&(i as u64 + 2)][&key];
+                if live_page.iter().any(|(doc, _)| *doc >= sealed_docs) {
+                    delta_pages += 1;
+                    assert_eq!(
+                        live_page,
+                        &page_bits(&scratch.search(req)),
+                        "unmerged-delta page {key:?} drifted from the from-scratch union build"
+                    );
+                }
+            }
         }
+        assert!(
+            delta_pages >= steps.len() * 2,
+            "the schedule must exercise pages holding unmerged delta docs"
+        );
         let oracle = Arc::new(oracle);
         let last_gen = steps.len() as u64 + 1;
 
@@ -409,6 +456,20 @@ fn nrt_ingest_races_clients_without_tearing() {
         });
         assert_eq!(engine.current_generation_id(), last_gen);
         assert_eq!(engine.generation().delta().unwrap().len(), 8);
+        // Ingest publishes share the sealed index + forward store by Arc,
+        // so surrogates carry into each new generation — and `check`
+        // above proved every page those carried vectors fed was still
+        // bit-exact for its generation. Cached result pages must NOT
+        // carry: every ingest moves the union statistics under them.
+        let m = engine.metrics();
+        assert!(
+            m.carried_over > 0,
+            "surrogates must carry across NRT ingest publishes"
+        );
+        assert!(
+            m.carry_skipped > 0,
+            "result pages must not carry across a union-stats change"
+        );
         // Sealing the accumulated delta yields the from-scratch index.
         engine.merge_delta().expect("merge");
         let mut full = base_docs();
